@@ -1,0 +1,124 @@
+//! Criterion micro/meso benchmarks: one group per reproduced figure's
+//! core kernel, plus simulator-infrastructure benchmarks. These measure
+//! *host* performance of the harness; the figures themselves report
+//! simulated cycles (see the fig* binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use step_hdl::{simulate_swiglu, RefConfig};
+use step_models::attention::{attention_graph, AttentionCfg, ParallelStrategy};
+use step_models::moe::{moe_graph, MoeCfg, Tiling};
+use step_models::swiglu::{swiglu_graph, SwigluCfg};
+use step_models::ModelConfig;
+use step_sim::{SimConfig, Simulation};
+use step_traces::{expert_routing, kv_lengths, KvTraceConfig, RoutingConfig, Variability};
+
+fn small_model() -> ModelConfig {
+    ModelConfig {
+        name: "small",
+        hidden: 128,
+        moe_intermediate: 256,
+        experts: 8,
+        top_k: 2,
+        q_heads: 4,
+        kv_heads: 2,
+        head_dim: 32,
+        layers: 2,
+    }
+}
+
+fn bench_fig8_validation(c: &mut Criterion) {
+    let cfg = SwigluCfg::validation(32, 64);
+    c.bench_function("fig8/step_sim_swiglu", |b| {
+        b.iter(|| {
+            Simulation::new(swiglu_graph(&cfg).unwrap(), SimConfig::validation())
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+    c.bench_function("fig8/reference_swiglu", |b| {
+        b.iter(|| simulate_swiglu(&cfg, &RefConfig::default()))
+    });
+}
+
+fn bench_fig9_tiling(c: &mut Criterion) {
+    let model = small_model();
+    let trace = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch: 32,
+        skew: 0.8,
+        seed: 7,
+    });
+    for (label, tiling) in [
+        ("static8", Tiling::Static { tile: 8 }),
+        ("dynamic", Tiling::Dynamic),
+    ] {
+        let cfg = MoeCfg::new(model.clone(), tiling);
+        let trace = trace.clone();
+        c.bench_function(&format!("fig9/moe_{label}"), move |b| {
+            b.iter(|| {
+                Simulation::new(moe_graph(&cfg, &trace).unwrap(), SimConfig::default())
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+}
+
+fn bench_fig12_timeshare(c: &mut Criterion) {
+    let model = small_model();
+    let trace = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch: 32,
+        skew: 0.8,
+        seed: 7,
+    });
+    let cfg = MoeCfg::new(model.clone(), Tiling::Static { tile: 8 }).with_regions(2);
+    c.bench_function("fig12/moe_timeshare_2regions", |b| {
+        b.iter(|| {
+            Simulation::new(moe_graph(&cfg, &trace).unwrap(), SimConfig::default())
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+}
+
+fn bench_fig14_attention(c: &mut Criterion) {
+    let model = small_model();
+    let kv = kv_lengths(&KvTraceConfig {
+        batch: 32,
+        variability: Variability::High,
+        median_len: 384.0,
+        max_len: 2048,
+        seed: 13,
+        ..KvTraceConfig::default()
+    });
+    for (label, strategy) in [
+        ("interleave", ParallelStrategy::StaticInterleaved),
+        ("dynamic", ParallelStrategy::Dynamic),
+    ] {
+        let cfg = AttentionCfg::new(model.clone(), strategy);
+        let kv = kv.clone();
+        c.bench_function(&format!("fig14/attention_{label}"), move |b| {
+            b.iter(|| {
+                Simulation::new(attention_graph(&cfg, &kv).unwrap(), SimConfig::default())
+                    .unwrap()
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_fig8_validation,
+    bench_fig9_tiling,
+    bench_fig12_timeshare,
+    bench_fig14_attention
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Fig 1 (SDA vs GPU effective bandwidth).
+fn main() {
+    step_bench::experiments::fig1();
+}

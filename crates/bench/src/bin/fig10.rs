@@ -1,0 +1,10 @@
+//! Regenerates Fig 10 (dynamic tiling Pareto, batch 1024) and the traffic
+//! view of Fig 20.
+use step_bench::experiments::{report_tiling, tiling_sweep};
+use step_models::ModelConfig;
+fn main() {
+    let mixtral = tiling_sweep(ModelConfig::mixtral_8x7b(), 1024, &[16, 64, 256, 1024], 7);
+    report_tiling("fig10_mixtral_b1024", &mixtral);
+    let qwen = tiling_sweep(ModelConfig::qwen3_30b_a3b(), 1024, &[16, 64, 256, 1024], 7);
+    report_tiling("fig10_qwen_b1024", &qwen);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig 13 (time-multiplexing resource usage: memory,
+//! allocated compute, off-chip bandwidth utilization).
+use step_bench::experiments::{report_timeshare, timeshare_sweep};
+use step_models::moe::Tiling;
+fn main() {
+    let rows = timeshare_sweep(Tiling::Static { tile: 32 }, 7);
+    report_timeshare("fig13", &rows);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 14 (dynamic parallelization vs static interleaved
+//! across KV-length variability).
+fn main() {
+    step_bench::experiments::fig14();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 15 (coarse-grained vs dynamic parallelization across
+//! batch sizes).
+fn main() {
+    step_bench::experiments::fig15();
+}

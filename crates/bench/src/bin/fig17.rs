@@ -1,0 +1,4 @@
+//! Regenerates Fig 17 (end-to-end Qwen3-30B-A3B and Mixtral-8x7B).
+fn main() {
+    step_bench::experiments::fig17();
+}

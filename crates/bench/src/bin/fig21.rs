@@ -1,0 +1,4 @@
+//! Regenerates Fig 21 (parallelization ablation).
+fn main() {
+    step_bench::experiments::fig21();
+}

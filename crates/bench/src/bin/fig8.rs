@@ -1,0 +1,6 @@
+//! Regenerates Fig 8 (simulator validation against the fine-grained
+//! reference).
+fn main() {
+    let (_, r) = step_bench::experiments::fig8();
+    assert!(r > 0.9, "validation correlation regressed: {r}");
+}

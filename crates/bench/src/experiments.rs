@@ -1,0 +1,500 @@
+//! The experiment suite: one function per paper figure.
+//!
+//! Every function is deterministic (seeded traces), prints an aligned
+//! table, writes a CSV under `results/`, and returns its rows so
+//! integration tests can assert the paper's qualitative claims.
+
+use crate::pareto::{pareto_front, pid, Point};
+use crate::roofline::fig1_bars;
+use crate::table::{f2, f3, print_table, write_csv};
+use step_hdl::{pearson, simulate_swiglu, RefConfig};
+use step_models::attention::{attention_graph, AttentionCfg, ParallelStrategy};
+use step_models::e2e::{run_e2e, E2eVariant};
+use step_models::moe::{moe_graph, MoeCfg, Tiling};
+use step_models::swiglu::{swiglu_graph, SwigluCfg};
+use step_models::ModelConfig;
+use step_sim::{SimConfig, SimReport, Simulation};
+use step_traces::{
+    expert_routing, kv_lengths, KvTraceConfig, RoutingConfig, Variability,
+};
+
+fn run(graph: step_core::Graph, cfg: SimConfig) -> SimReport {
+    Simulation::new(graph, cfg)
+        .expect("graph is executable")
+        .run()
+        .expect("simulation completes")
+}
+
+/// A coarser execution window for the large MoE sweeps (ordering
+/// fidelity of ±512 cycles is immaterial against multi-million-cycle
+/// runs and speeds the scheduler up).
+fn moe_sim_config() -> SimConfig {
+    SimConfig {
+        horizon_step: 512,
+        ..SimConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig 1
+// ---------------------------------------------------------------------
+
+/// Fig 1: effective bandwidth of GPUs vs SDAs (published inputs, roofline
+/// arithmetic).
+pub fn fig1() -> Vec<Vec<String>> {
+    let rows: Vec<Vec<String>> = fig1_bars()
+        .iter()
+        .map(|b| {
+            vec![
+                b.workload.to_string(),
+                b.platform.to_string(),
+                f2(b.peak_tbps),
+                f2(b.fraction * 100.0),
+                f2(b.effective_tbps()),
+            ]
+        })
+        .collect();
+    let header = ["workload", "platform", "peak TB/s", "% of peak", "effective TB/s"];
+    print_table("Fig 1: SDA vs GPU effective bandwidth", &header, &rows);
+    let _ = write_csv("fig1", &header, &rows);
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fig 8
+// ---------------------------------------------------------------------
+
+/// One Fig 8 sweep point.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// (batch tile, hidden, intermediate tile).
+    pub tiles: (u64, u64, u64),
+    /// Cycle-approximate STeP simulator cycles.
+    pub step_cycles: u64,
+    /// Fine-grained reference simulator cycles.
+    pub ref_cycles: u64,
+    /// Off-chip traffic measured by the STeP simulator (bytes).
+    pub step_traffic: u64,
+    /// Off-chip traffic measured by the reference (bytes).
+    pub ref_traffic: u64,
+}
+
+/// Fig 8: simulator validation — SwiGLU tile sweep, STeP simulator vs the
+/// fine-grained reference, with the Pearson correlation of cycle counts.
+pub fn fig8() -> (Vec<Fig8Row>, f64) {
+    let mut rows = Vec::new();
+    for tb in [16u64, 32, 64] {
+        for ti in [16u64, 32, 64, 128, 256] {
+            let cfg = SwigluCfg::validation(tb, ti);
+            let report = run(
+                swiglu_graph(&cfg).expect("valid tiles"),
+                SimConfig::validation(),
+            );
+            let reference = simulate_swiglu(&cfg, &RefConfig::default());
+            rows.push(Fig8Row {
+                tiles: (tb, 256, ti),
+                step_cycles: report.cycles,
+                ref_cycles: reference.cycles,
+                step_traffic: report.offchip_traffic,
+                ref_traffic: reference.offchip_bytes,
+            });
+        }
+    }
+    let xs: Vec<f64> = rows.iter().map(|r| r.step_cycles as f64).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r.ref_cycles as f64).collect();
+    let r = pearson(&xs, &ys);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|x| {
+            vec![
+                format!("({},{},{})", x.tiles.0, x.tiles.1, x.tiles.2),
+                x.step_cycles.to_string(),
+                x.ref_cycles.to_string(),
+                f2(x.step_traffic as f64 / 1e6),
+                f2(x.ref_traffic as f64 / 1e6),
+            ]
+        })
+        .collect();
+    let header = ["tile", "step cycles", "ref cycles", "step MB", "ref MB"];
+    print_table("Fig 8: simulator validation (SwiGLU)", &header, &table);
+    println!("Pearson r (cycles) = {}", f3(r));
+    let _ = write_csv("fig8", &header, &table);
+    (rows, r)
+}
+
+// ---------------------------------------------------------------------
+// Fig 9 / 10 / 19 / 20: dynamic tiling
+// ---------------------------------------------------------------------
+
+/// One tiling design point.
+#[derive(Debug, Clone)]
+pub struct TilingRow {
+    /// Model name.
+    pub model: &'static str,
+    /// Schedule label ("static(8)", "dynamic").
+    pub schedule: String,
+    /// Latency in cycles.
+    pub cycles: u64,
+    /// Measured on-chip memory (bytes).
+    pub onchip: u64,
+    /// Off-chip traffic (bytes).
+    pub traffic: u64,
+}
+
+/// Runs the static-tile sweep plus dynamic tiling for one model and
+/// batch (Figs 9/10 use batch 64/1024; Figs 19/20 read the traffic
+/// column of the same runs).
+pub fn tiling_sweep(model: ModelConfig, batch: usize, tiles: &[u64], seed: u64) -> Vec<TilingRow> {
+    let trace = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch,
+        skew: 0.8,
+        seed,
+    });
+    let mut rows = Vec::new();
+    let mut schedules: Vec<Tiling> = tiles.iter().map(|&t| Tiling::Static { tile: t }).collect();
+    schedules.push(Tiling::Dynamic);
+    for tiling in schedules {
+        let cfg = MoeCfg::new(model.clone(), tiling);
+        let report = run(moe_graph(&cfg, &trace).expect("valid MoE"), moe_sim_config());
+        rows.push(TilingRow {
+            model: model.name,
+            schedule: tiling.to_string(),
+            cycles: report.cycles,
+            onchip: report.onchip_memory,
+            traffic: report.offchip_traffic,
+        });
+    }
+    rows
+}
+
+/// Prints/writes one tiling figure and returns the dynamic point's PID
+/// versus the static frontier.
+pub fn report_tiling(figname: &str, rows: &[TilingRow]) -> f64 {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.to_string(),
+                r.schedule.clone(),
+                r.cycles.to_string(),
+                r.onchip.to_string(),
+                r.traffic.to_string(),
+            ]
+        })
+        .collect();
+    let header = ["model", "schedule", "cycles", "onchip B", "traffic B"];
+    print_table(figname, &header, &table);
+    let _ = write_csv(figname, &header, &table);
+    let static_points: Vec<Point> = rows
+        .iter()
+        .filter(|r| r.schedule.starts_with("static"))
+        .map(|r| Point::new(r.cycles as f64, r.onchip as f64))
+        .collect();
+    let front = pareto_front(&static_points);
+    let dynamic = rows
+        .iter()
+        .find(|r| r.schedule == "dynamic")
+        .expect("dynamic row present");
+    let v = pid(Point::new(dynamic.cycles as f64, dynamic.onchip as f64), &front);
+    println!("PID(dynamic vs static frontier) = {}", f2(v));
+    v
+}
+
+// ---------------------------------------------------------------------
+// Fig 12 / 13: configuration time-multiplexing
+// ---------------------------------------------------------------------
+
+/// One time-multiplexing design point.
+#[derive(Debug, Clone)]
+pub struct TimeshareRow {
+    /// Parallel regions (experts/region = experts / regions).
+    pub regions: u32,
+    /// Latency in cycles.
+    pub cycles: u64,
+    /// Compute utilization (fraction).
+    pub compute_util: f64,
+    /// Allocated compute (FLOPs/cycle).
+    pub allocated_compute: u64,
+    /// Measured on-chip memory (bytes).
+    pub onchip: u64,
+    /// Off-chip bandwidth utilization (fraction).
+    pub bw_util: f64,
+}
+
+/// Figs 12/13: sweep the number of regions sharing a configuration for
+/// the Qwen3-30B-A3B MoE layer (batch 64).
+pub fn timeshare_sweep(tiling: Tiling, seed: u64) -> Vec<TimeshareRow> {
+    let model = ModelConfig::qwen3_30b_a3b();
+    let trace = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch: 64,
+        skew: 0.8,
+        seed,
+    });
+    let mut rows = Vec::new();
+    for regions in [128u32, 64, 32, 16, 8, 4] {
+        let cfg = if regions == model.experts {
+            MoeCfg::new(model.clone(), tiling)
+        } else {
+            MoeCfg::new(model.clone(), tiling).with_regions(regions)
+        };
+        let report = run(moe_graph(&cfg, &trace).expect("valid MoE"), moe_sim_config());
+        rows.push(TimeshareRow {
+            regions,
+            cycles: report.cycles,
+            compute_util: report.compute_utilization(),
+            allocated_compute: report.allocated_compute,
+            onchip: report.onchip_memory,
+            bw_util: report.offchip_bw_utilization(),
+        });
+    }
+    rows
+}
+
+/// Prints/writes Fig 12 (utilization + cycles) or Fig 13 (resources).
+pub fn report_timeshare(figname: &str, rows: &[TimeshareRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.regions.to_string(),
+                (128 / r.regions).to_string(),
+                r.cycles.to_string(),
+                f3(r.compute_util * 100.0),
+                r.allocated_compute.to_string(),
+                r.onchip.to_string(),
+                f3(r.bw_util * 100.0),
+            ]
+        })
+        .collect();
+    let header = [
+        "regions",
+        "experts/region",
+        "cycles",
+        "compute util %",
+        "alloc FLOPs/cyc",
+        "onchip B",
+        "offchip BW %",
+    ];
+    print_table(figname, &header, &table);
+    let _ = write_csv(figname, &header, &table);
+}
+
+// ---------------------------------------------------------------------
+// Fig 14 / 15 / 21: dynamic parallelization
+// ---------------------------------------------------------------------
+
+/// Latency of one attention configuration.
+pub fn attention_latency(
+    model: &ModelConfig,
+    strategy: ParallelStrategy,
+    batch: usize,
+    variability: Variability,
+    seed: u64,
+) -> u64 {
+    let kv = kv_lengths(&KvTraceConfig {
+        batch,
+        variability,
+        median_len: 1024.0,
+        seed,
+        ..KvTraceConfig::default()
+    });
+    let cfg = AttentionCfg::new(model.clone(), strategy);
+    run(attention_graph(&cfg, &kv).expect("valid attention"), SimConfig::default()).cycles
+}
+
+/// Fig 14: dynamic vs static interleaved across KV-length variability
+/// (batch 64, geometric mean of three sampled batches per class).
+pub fn fig14() -> Vec<(Variability, f64)> {
+    let model = ModelConfig::qwen3_30b_a3b();
+    let mut out = Vec::new();
+    for v in Variability::all() {
+        let mut ratio = 1.0f64;
+        let seeds = [11u64, 23, 37];
+        for &s in &seeds {
+            let inter =
+                attention_latency(&model, ParallelStrategy::StaticInterleaved, 64, v, s);
+            let dynamic = attention_latency(&model, ParallelStrategy::Dynamic, 64, v, s);
+            ratio *= inter as f64 / dynamic as f64;
+        }
+        out.push((v, ratio.powf(1.0 / seeds.len() as f64)));
+    }
+    let table: Vec<Vec<String>> = out
+        .iter()
+        .map(|(v, s)| vec![v.to_string(), f2(*s)])
+        .collect();
+    let header = ["KV var", "dyn speedup vs interleaved"];
+    print_table("Fig 14: dynamic parallelization vs interleaved", &header, &table);
+    let _ = write_csv("fig14", &header, &table);
+    out
+}
+
+/// Fig 15: dynamic vs static coarse-grained (quota 16) across batch
+/// sizes.
+pub fn fig15() -> Vec<(usize, u64, u64)> {
+    let model = ModelConfig::qwen3_30b_a3b();
+    let mut out = Vec::new();
+    for batch in [16usize, 32, 48, 64] {
+        let coarse = attention_latency(
+            &model,
+            ParallelStrategy::StaticCoarse { quota: 16 },
+            batch,
+            Variability::Medium,
+            42,
+        );
+        let dynamic =
+            attention_latency(&model, ParallelStrategy::Dynamic, batch, Variability::Medium, 42);
+        out.push((batch, coarse, dynamic));
+    }
+    let table: Vec<Vec<String>> = out
+        .iter()
+        .map(|(b, c, d)| {
+            vec![
+                b.to_string(),
+                c.to_string(),
+                d.to_string(),
+                f2(*c as f64 / *d as f64),
+            ]
+        })
+        .collect();
+    let header = ["batch", "coarse cycles", "dynamic cycles", "speedup"];
+    print_table("Fig 15: coarse vs dynamic across batch", &header, &table);
+    let _ = write_csv("fig15", &header, &table);
+    out
+}
+
+/// Fig 21: normalized performance of all three strategies across batch
+/// classes and variability (geomean of three batches each, relative to
+/// dynamic).
+pub fn fig21() -> Vec<Vec<String>> {
+    let model = ModelConfig::qwen3_30b_a3b();
+    let seeds = [11u64, 23, 37];
+    let mut rows = Vec::new();
+    for batch in [16usize, 64] {
+        for v in Variability::all() {
+            let mut coarse = 1.0f64;
+            let mut inter = 1.0f64;
+            for &s in &seeds {
+                let d = attention_latency(&model, ParallelStrategy::Dynamic, batch, v, s) as f64;
+                coarse *= attention_latency(
+                    &model,
+                    ParallelStrategy::StaticCoarse { quota: 16 },
+                    batch,
+                    v,
+                    s,
+                ) as f64
+                    / d;
+                inter *= attention_latency(
+                    &model,
+                    ParallelStrategy::StaticInterleaved,
+                    batch,
+                    v,
+                    s,
+                ) as f64
+                    / d;
+            }
+            let n = seeds.len() as f64;
+            rows.push(vec![
+                format!("B={batch}"),
+                v.to_string(),
+                f2(coarse.powf(1.0 / n)),
+                f2(inter.powf(1.0 / n)),
+                "1.00".to_string(),
+            ]);
+        }
+    }
+    let header = [
+        "batch",
+        "KV var",
+        "coarse (norm)",
+        "interleave (norm)",
+        "dynamic",
+    ];
+    print_table("Fig 21: parallelization ablation (cycles / dynamic)", &header, &rows);
+    let _ = write_csv("fig21", &header, &rows);
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fig 17: end-to-end
+// ---------------------------------------------------------------------
+
+/// Fig 17: end-to-end Qwen3-30B-A3B and Mixtral-8x7B under
+/// memory-matched static, performance-matched static, and dynamic
+/// schedules.
+pub fn fig17() -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for (model, mem_tile, perf_tile, dyn_regions) in [
+        (ModelConfig::mixtral_8x7b(), 16u64, 32u64, None),
+        (ModelConfig::qwen3_30b_a3b(), 8, 64, Some(32u32)),
+    ] {
+        let variants = [
+            E2eVariant::static_schedule("Static (Mem-matched)", mem_tile),
+            E2eVariant::static_schedule("Static (Perf-matched)", perf_tile),
+            E2eVariant::dynamic_schedule(dyn_regions),
+        ];
+        let reports: Vec<_> = variants
+            .iter()
+            .map(|v| run_e2e(&model, 64, v, 7).expect("e2e runs"))
+            .collect();
+        let base = reports[0].total_cycles as f64;
+        for (v, r) in variants.iter().zip(&reports) {
+            rows.push(vec![
+                model.name.to_string(),
+                v.name.clone(),
+                r.total_cycles.to_string(),
+                f2(base / r.total_cycles as f64),
+                f2(r.onchip_bytes as f64 / 1e6),
+                (r.allocated_compute / 1000).to_string(),
+            ]);
+        }
+    }
+    let header = [
+        "model",
+        "schedule",
+        "total cycles",
+        "speedup vs mem-matched",
+        "onchip MB",
+        "alloc KFLOPs/cyc",
+    ];
+    print_table("Fig 17: end-to-end models", &header, &rows);
+    let _ = write_csv("fig17", &header, &rows);
+    rows
+}
+
+/// Table 1 (qualitative): the abstraction landscape.
+pub fn landscape() {
+    let rows: Vec<Vec<String>> = [
+        ("Spatial", "no", "no", "yes", "no", "no"),
+        ("Revet", "no", "no", "yes", "limited", "no"),
+        ("StreamIt", "yes", "yes", "no", "no", "no"),
+        ("SAM", "yes", "no", "no", "limited", "limited"),
+        ("Ripple", "yes", "no", "no", "yes", "no"),
+        ("STeP", "yes", "yes", "yes", "yes", "yes"),
+    ]
+    .iter()
+    .map(|(a, b, c, d, e, f)| {
+        vec![
+            a.to_string(),
+            b.to_string(),
+            c.to_string(),
+            d.to_string(),
+            e.to_string(),
+            f.to_string(),
+        ]
+    })
+    .collect();
+    let header = [
+        "abstraction",
+        "dataflow",
+        "explicit rate",
+        "explicit mem hierarchy",
+        "dyn routing/merge",
+        "dyn on-chip tiling",
+    ];
+    print_table("Table 1: programming-abstraction landscape", &header, &rows);
+    let _ = write_csv("table1", &header, &rows);
+}

@@ -1,0 +1,12 @@
+//! Experiment harness regenerating every table and figure of the STeP
+//! paper's evaluation (see DESIGN.md's per-experiment index and
+//! EXPERIMENTS.md for the recorded results).
+//!
+//! Each `fig*` binary is a thin wrapper over a function in
+//! [`experiments`] that returns structured rows; rows are printed as
+//! aligned tables and written as CSV under `results/`.
+
+pub mod experiments;
+pub mod pareto;
+pub mod roofline;
+pub mod table;

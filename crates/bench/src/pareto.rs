@@ -1,0 +1,104 @@
+//! Pareto-frontier utilities and the Pareto Improvement Distance (PID)
+//! metric (§5.2, Appendix B.4).
+
+/// A bi-objective design point: both objectives are minimized
+/// (cycles and on-chip memory, or traffic and memory).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// First objective (e.g. cycles).
+    pub a: f64,
+    /// Second objective (e.g. bytes of on-chip memory).
+    pub b: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(a: f64, b: f64) -> Point {
+        Point { a, b }
+    }
+
+    /// Whether `self` dominates `other` (no worse in both, better in
+    /// one).
+    pub fn dominates(&self, other: &Point) -> bool {
+        self.a <= other.a && self.b <= other.b && (self.a < other.a || self.b < other.b)
+    }
+}
+
+/// The Pareto-optimal subset of `points` (non-dominated configurations).
+pub fn pareto_front(points: &[Point]) -> Vec<Point> {
+    points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .copied()
+        .collect()
+}
+
+/// Pareto Improvement Distance of `p` with respect to the baseline
+/// frontier `front` (Appendix B.4, eq. 2):
+///
+/// `PID(p) = min_{q in F} max(a(q)/a(p), b(q)/b(p))`
+///
+/// `PID > 1` means `p` lies strictly beyond the baseline frontier; `= 1`
+/// on it; `< 1` dominated by it.
+///
+/// # Panics
+///
+/// Panics if `front` is empty or any coordinate is non-positive.
+pub fn pid(p: Point, front: &[Point]) -> f64 {
+    assert!(!front.is_empty(), "baseline frontier must be non-empty");
+    assert!(p.a > 0.0 && p.b > 0.0, "objectives must be positive");
+    front
+        .iter()
+        .map(|q| {
+            assert!(q.a > 0.0 && q.b > 0.0, "objectives must be positive");
+            (q.a / p.a).max(q.b / p.b)
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domination_is_strict() {
+        let p = Point::new(1.0, 2.0);
+        assert!(p.dominates(&Point::new(2.0, 2.0)));
+        assert!(p.dominates(&Point::new(1.0, 3.0)));
+        assert!(!p.dominates(&Point::new(1.0, 2.0)));
+        assert!(!p.dominates(&Point::new(0.5, 3.0)));
+    }
+
+    #[test]
+    fn front_filters_dominated() {
+        let pts = vec![
+            Point::new(1.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(4.0, 1.0),
+            Point::new(3.0, 3.0), // dominated by (2,2)
+        ];
+        let f = pareto_front(&pts);
+        assert_eq!(f.len(), 3);
+        assert!(!f.contains(&Point::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn pid_beyond_frontier_exceeds_one() {
+        let front = vec![Point::new(2.0, 2.0)];
+        // Twice as good in both objectives.
+        assert!((pid(Point::new(1.0, 1.0), &front) - 2.0).abs() < 1e-12);
+        // On the frontier.
+        assert!((pid(Point::new(2.0, 2.0), &front) - 1.0).abs() < 1e-12);
+        // Dominated.
+        assert!(pid(Point::new(4.0, 4.0), &front) < 1.0);
+    }
+
+    #[test]
+    fn pid_picks_closest_baseline_point() {
+        let front = vec![Point::new(1.0, 8.0), Point::new(8.0, 1.0)];
+        // A balanced new point: each baseline point must improve its worse
+        // objective to match; the min over the frontier is taken.
+        let v = pid(Point::new(2.0, 2.0), &front);
+        assert!((v - 4.0).abs() < 1e-12, "{v}");
+    }
+}

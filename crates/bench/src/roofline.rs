@@ -1,0 +1,109 @@
+//! Fig 1's effective-bandwidth arithmetic.
+//!
+//! Fig 1 is background material comparing SDAs and GPUs using numbers
+//! published in prior work \[19\]: effective bandwidth is derived by
+//! roofline modeling from each platform's peak HBM bandwidth and its
+//! reported fraction of peak throughput on memory-bound token
+//! generation. We reproduce the arithmetic and the published inputs; we
+//! obviously cannot re-measure GPUs or SN40L hardware here.
+
+/// One platform/workload bar of Fig 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthBar {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Platform label.
+    pub platform: &'static str,
+    /// Peak HBM bandwidth in TB/s.
+    pub peak_tbps: f64,
+    /// Fraction of peak throughput reported by prior work \[19\].
+    pub fraction: f64,
+}
+
+impl BandwidthBar {
+    /// Effective bandwidth: `peak x fraction` (roofline model on a
+    /// memory-bound phase).
+    pub fn effective_tbps(&self) -> f64 {
+        self.peak_tbps * self.fraction
+    }
+}
+
+/// The published inputs behind Fig 1 (peak bandwidths are public specs;
+/// fractions are the percent-of-peak figures reported by \[19\]).
+pub fn fig1_bars() -> Vec<BandwidthBar> {
+    vec![
+        BandwidthBar {
+            workload: "Llama-3.1-8B b=1",
+            platform: "8xH100",
+            peak_tbps: 26.8,
+            fraction: 0.21,
+        },
+        BandwidthBar {
+            workload: "Llama-3.1-8B b=1",
+            platform: "SN40L-8",
+            peak_tbps: 12.8,
+            fraction: 0.86,
+        },
+        BandwidthBar {
+            workload: "Llama-3.1-8B b=8",
+            platform: "8xH100",
+            peak_tbps: 26.8,
+            fraction: 0.33,
+        },
+        BandwidthBar {
+            workload: "Llama-3.1-8B b=8",
+            platform: "SN40L-16",
+            peak_tbps: 25.6,
+            fraction: 0.85,
+        },
+        BandwidthBar {
+            workload: "Llama-3.1-70B b=1",
+            platform: "8xH100",
+            peak_tbps: 26.8,
+            fraction: 0.39,
+        },
+        BandwidthBar {
+            workload: "Llama-3.1-70B b=1",
+            platform: "SN40L-16",
+            peak_tbps: 25.6,
+            fraction: 0.83,
+        },
+        BandwidthBar {
+            workload: "Llama-3.1-70B b=8",
+            platform: "8xH100",
+            peak_tbps: 26.8,
+            fraction: 0.45,
+        },
+        BandwidthBar {
+            workload: "Llama-3.1-70B b=8",
+            platform: "SN40L-16",
+            peak_tbps: 25.6,
+            fraction: 0.84,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_bandwidth_is_fraction_of_peak() {
+        let b = BandwidthBar {
+            workload: "w",
+            platform: "p",
+            peak_tbps: 10.0,
+            fraction: 0.5,
+        };
+        assert!((b.effective_tbps() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sdas_attain_higher_fraction_than_gpus() {
+        // The qualitative claim of Fig 1: SN40L bars use a larger share of
+        // peak than the GPU bars on the same workload.
+        for pair in fig1_bars().chunks(2) {
+            assert!(pair[1].fraction > pair[0].fraction);
+        }
+    }
+}

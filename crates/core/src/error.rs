@@ -1,0 +1,52 @@
+//! Error types shared across the STeP crates.
+
+use std::fmt;
+
+/// Convenience result alias for STeP operations.
+pub type Result<T> = std::result::Result<T, StepError>;
+
+/// Errors raised while building or executing STeP programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepError {
+    /// Producer/consumer stream shapes do not align (build-time check
+    /// mirroring the symbolic frontend's verification, §4.1).
+    Shape(String),
+    /// The stream's data type is not accepted by the operator.
+    ElemType(String),
+    /// A token stream violated well-formedness (stop-token discipline).
+    Malformed(String),
+    /// Operator configuration is invalid (e.g. zero tile size).
+    Config(String),
+    /// Execution-time failure (selector out of range, buffer missing, ...).
+    Exec(String),
+    /// The dataflow graph made no progress before all nodes finished.
+    Deadlock(String),
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::Shape(m) => write!(f, "shape mismatch: {m}"),
+            StepError::ElemType(m) => write!(f, "element type mismatch: {m}"),
+            StepError::Malformed(m) => write!(f, "malformed stream: {m}"),
+            StepError::Config(m) => write!(f, "invalid configuration: {m}"),
+            StepError::Exec(m) => write!(f, "execution error: {m}"),
+            StepError::Deadlock(m) => write!(f, "deadlock: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StepError::Shape("rank 2 vs 3".into());
+        assert_eq!(e.to_string(), "shape mismatch: rank 2 vs 3");
+        let e = StepError::Deadlock("node 4 blocked".into());
+        assert!(e.to_string().contains("deadlock"));
+    }
+}

@@ -1,0 +1,415 @@
+//! The hardware-function algebra supplied to higher-order operators
+//! (§3.2.4).
+//!
+//! STeP's higher-order operators (`Map`, `Accum`, `Scan`, `FlatMap`) take a
+//! "function supported by the hardware" as an argument. We model those
+//! functions as closed enums rather than closures so that every backend
+//! (the cycle-approximate simulator, the fine-grained reference simulator,
+//! and the symbolic metric equations) can interpret them consistently —
+//! both for *values* (dense tiles) and for *cost* (FLOPs derived from tile
+//! shapes, as required by the paper's roofline timing model, §4.3).
+
+use crate::elem::Elem;
+use crate::error::{Result, StepError};
+use crate::tile::Tile;
+
+/// Unary elementwise operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EwOp {
+    /// SiLU (swish) activation, the gate of SwiGLU.
+    Silu,
+    /// Rectified linear unit.
+    Relu,
+    /// Exponential.
+    Exp,
+    /// Identity (useful as a rate-limited pass-through).
+    Identity,
+    /// Multiply by a constant.
+    Scale(f32),
+}
+
+impl EwOp {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            EwOp::Silu => x / (1.0 + (-x).exp()),
+            EwOp::Relu => x.max(0.0),
+            EwOp::Exp => x.exp(),
+            EwOp::Identity => x,
+            EwOp::Scale(a) => a * x,
+        }
+    }
+
+    /// Modeled FLOPs per element.
+    pub fn flops_per_elem(self) -> u64 {
+        match self {
+            EwOp::Silu => 4,
+            EwOp::Exp => 2,
+            EwOp::Relu | EwOp::Scale(_) => 1,
+            EwOp::Identity => 0,
+        }
+    }
+}
+
+/// Binary elementwise operations over equal-shaped tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Elementwise sum.
+    Add,
+    /// Elementwise product.
+    Mul,
+    /// `silu(a) * b` — the fused SwiGLU gate (one hardware function in the
+    /// paper's SwiGLU validation workload, §4.5).
+    SiluMul,
+}
+
+impl BinOp {
+    fn apply(self, a: &Tile, b: &Tile) -> Result<Tile> {
+        match self {
+            BinOp::Add => a.add(b),
+            BinOp::Mul => a.mul(b),
+            BinOp::SiluMul => a.map_values(|x| x / (1.0 + (-x).exp())).mul(b),
+        }
+    }
+
+    /// Modeled FLOPs per element.
+    pub fn flops_per_elem(self) -> u64 {
+        match self {
+            BinOp::Add | BinOp::Mul => 1,
+            BinOp::SiluMul => 5,
+        }
+    }
+}
+
+/// Row-wise reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduce {
+    /// Row sums.
+    Sum,
+    /// Row maxima.
+    Max,
+}
+
+/// Functions usable with `Map`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MapFn {
+    /// `(A [m,k], B [k,n]) -> A x B [m,n]` over a tuple stream.
+    Matmul,
+    /// `(A [m,k], B [n,k]) -> A x Bᵀ [m,n]` over a tuple stream.
+    MatmulBt,
+    /// Unary elementwise function on tiles.
+    Elementwise(EwOp),
+    /// Binary elementwise function over a tuple of equal-shaped tiles.
+    Binary(BinOp),
+    /// Row-wise reduction `[m,n] -> [m,1]`.
+    RowReduce(Reduce),
+}
+
+impl MapFn {
+    /// Applies the function to a stream element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::ElemType`] for inadmissible element variants
+    /// and [`StepError::Exec`] for shape mismatches.
+    pub fn apply(&self, e: &Elem) -> Result<Elem> {
+        match self {
+            MapFn::Matmul => {
+                let (a, b) = tuple2(e)?;
+                Ok(Elem::Tile(a.matmul(b)?))
+            }
+            MapFn::MatmulBt => {
+                let (a, b) = tuple2(e)?;
+                Ok(Elem::Tile(a.matmul_bt(b)?))
+            }
+            MapFn::Elementwise(op) => {
+                let t = e.as_tile()?;
+                Ok(Elem::Tile(t.map_values(|x| op.apply(x))))
+            }
+            MapFn::Binary(op) => {
+                let (a, b) = tuple2(e)?;
+                Ok(Elem::Tile(op.apply(a, b)?))
+            }
+            MapFn::RowReduce(r) => {
+                let t = e.as_tile()?;
+                Ok(Elem::Tile(match r {
+                    Reduce::Sum => t.row_reduce(0.0, |a, b| a + b),
+                    Reduce::Max => t.row_reduce(f32::NEG_INFINITY, f32::max),
+                }))
+            }
+        }
+    }
+
+    /// Modeled FLOPs to process one element (the `total FLOPs` term of the
+    /// roofline equation in §4.3, computed inside the supplied function as
+    /// it depends on the computation performed).
+    pub fn flops(&self, e: &Elem) -> u64 {
+        match self {
+            MapFn::Matmul => match tuple2(e) {
+                Ok((a, b)) => 2 * (a.rows() * a.cols() * b.cols()) as u64,
+                Err(_) => 0,
+            },
+            MapFn::MatmulBt => match tuple2(e) {
+                Ok((a, b)) => 2 * (a.rows() * a.cols() * b.rows()) as u64,
+                Err(_) => 0,
+            },
+            MapFn::Elementwise(op) => match e.as_tile() {
+                Ok(t) => op.flops_per_elem() * t.len() as u64,
+                Err(_) => 0,
+            },
+            MapFn::Binary(op) => match tuple2(e) {
+                Ok((a, _)) => op.flops_per_elem() * a.len() as u64,
+                Err(_) => 0,
+            },
+            MapFn::RowReduce(_) => match e.as_tile() {
+                Ok(t) => t.len() as u64,
+                Err(_) => 0,
+            },
+        }
+    }
+}
+
+/// Update functions usable with `Accum` and `Scan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccumFn {
+    /// Concatenate tiles vertically: packs row-tiles into a larger tile
+    /// (paper's `RetileRow`).
+    RetileRow,
+    /// Concatenate tiles horizontally (paper's `RetileCol`).
+    RetileCol,
+    /// Elementwise accumulation of equal-shaped tiles (inner-product
+    /// matmul partial sums).
+    AddTiles,
+}
+
+impl AccumFn {
+    /// Folds `x` into the accumulator `acc` (which starts as `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::ElemType`]/[`StepError::Exec`] on inadmissible
+    /// inputs.
+    pub fn update(&self, acc: Option<Tile>, x: &Elem) -> Result<Tile> {
+        let t = x.as_tile()?;
+        match acc {
+            None => Ok(t.clone()),
+            Some(a) => match self {
+                AccumFn::RetileRow => a.concat_rows(t),
+                AccumFn::RetileCol => a.concat_cols(t),
+                AccumFn::AddTiles => a.add(t),
+            },
+        }
+    }
+
+    /// Modeled FLOPs for folding one element.
+    pub fn flops(&self, x: &Elem) -> u64 {
+        match (self, x.as_tile()) {
+            (AccumFn::AddTiles, Ok(t)) => t.len() as u64,
+            // Retiling is data movement, not arithmetic.
+            _ => 0,
+        }
+    }
+}
+
+/// Functions usable with `FlatMap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlatMapFn {
+    /// Splits a tile row-wise into `⌈rows/chunk⌉` tiles of `chunk` rows
+    /// (last chunk may be short), emitted as one rank-1 tensor (paper's
+    /// `RetileStreamify`).
+    SplitRows {
+        /// Rows per output tile.
+        chunk: usize,
+    },
+    /// Splits a tile column-wise into `⌈cols/chunk⌉` tiles of `chunk`
+    /// columns, emitted as one rank-1 tensor (hierarchical tiling of the
+    /// reduction dimension, Appendix B.2).
+    SplitCols {
+        /// Columns per output tile.
+        chunk: usize,
+    },
+}
+
+impl FlatMapFn {
+    /// Expands one element into a rank-`b` block of tokens, returned as
+    /// the list of inner tensors (for `SplitRows`, a single tensor: the
+    /// list of row chunks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::ElemType`] for non-tile inputs or
+    /// [`StepError::Config`] for a zero chunk.
+    pub fn expand(&self, e: &Elem) -> Result<Vec<Vec<Elem>>> {
+        match self {
+            FlatMapFn::SplitRows { chunk } => {
+                if *chunk == 0 {
+                    return Err(StepError::Config("SplitRows chunk must be > 0".into()));
+                }
+                let t = e.as_tile()?;
+                let mut out = Vec::new();
+                let mut r = 0;
+                while r < t.rows() {
+                    let n = (*chunk).min(t.rows() - r);
+                    out.push(Elem::Tile(t.row_slice(r, n)?));
+                    r += n;
+                }
+                Ok(vec![out])
+            }
+            FlatMapFn::SplitCols { chunk } => {
+                if *chunk == 0 {
+                    return Err(StepError::Config("SplitCols chunk must be > 0".into()));
+                }
+                let t = e.as_tile()?;
+                let mut out = Vec::new();
+                let mut c = 0;
+                while c < t.cols() {
+                    let n = (*chunk).min(t.cols() - c);
+                    out.push(Elem::Tile(t.col_slice(c, n)?));
+                    c += n;
+                }
+                Ok(vec![out])
+            }
+        }
+    }
+
+    /// The rank of the block produced per element.
+    pub fn block_rank(&self) -> u8 {
+        match self {
+            FlatMapFn::SplitRows { .. } | FlatMapFn::SplitCols { .. } => 1,
+        }
+    }
+}
+
+fn tuple2(e: &Elem) -> Result<(&Tile, &Tile)> {
+    let t = e.as_tuple()?;
+    if t.len() != 2 {
+        return Err(StepError::ElemType(format!(
+            "expected 2-tuple, got {} elements",
+            t.len()
+        )));
+    }
+    Ok((t[0].as_tile()?, t[1].as_tile()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: Tile, b: Tile) -> Elem {
+        Elem::Tuple(vec![Elem::Tile(a), Elem::Tile(b)])
+    }
+
+    #[test]
+    fn matmul_map_fn() {
+        let e = pair(Tile::identity(2), Tile::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let out = MapFn::Matmul.apply(&e).unwrap();
+        assert_eq!(
+            out.as_tile().unwrap().values().unwrap(),
+            &[1.0, 2.0, 3.0, 4.0]
+        );
+        assert_eq!(MapFn::Matmul.flops(&e), 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn silu_is_sigmoid_weighted() {
+        let t = Tile::from_rows(&[&[0.0]]);
+        let out = MapFn::Elementwise(EwOp::Silu)
+            .apply(&Elem::Tile(t))
+            .unwrap();
+        assert!((out.as_tile().unwrap().get(0, 0).unwrap() - 0.0).abs() < 1e-6);
+        let t = Tile::from_rows(&[&[10.0]]);
+        let out = MapFn::Elementwise(EwOp::Silu)
+            .apply(&Elem::Tile(t))
+            .unwrap();
+        assert!((out.as_tile().unwrap().get(0, 0).unwrap() - 10.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn silu_mul_fuses() {
+        let a = Tile::from_rows(&[&[10.0]]);
+        let b = Tile::from_rows(&[&[3.0]]);
+        let out = MapFn::Binary(BinOp::SiluMul).apply(&pair(a, b)).unwrap();
+        assert!((out.as_tile().unwrap().get(0, 0).unwrap() - 30.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn row_reduce_max() {
+        let t = Tile::from_rows(&[&[1.0, 5.0], &[2.0, -3.0]]);
+        let out = MapFn::RowReduce(Reduce::Max).apply(&Elem::Tile(t)).unwrap();
+        assert_eq!(out.as_tile().unwrap().values().unwrap(), &[5.0, 2.0]);
+    }
+
+    #[test]
+    fn map_fn_rejects_wrong_elem() {
+        assert!(MapFn::Matmul.apply(&Elem::Bool(true)).is_err());
+        assert!(MapFn::Elementwise(EwOp::Relu).apply(&Elem::Unit).is_err());
+        let triple = Elem::Tuple(vec![Elem::Unit, Elem::Unit, Elem::Unit]);
+        assert!(MapFn::Matmul.apply(&triple).is_err());
+    }
+
+    #[test]
+    fn accum_retile_row_packs() {
+        let acc = AccumFn::RetileRow
+            .update(None, &Elem::Tile(Tile::from_rows(&[&[1.0, 2.0]])))
+            .unwrap();
+        let acc = AccumFn::RetileRow
+            .update(Some(acc), &Elem::Tile(Tile::from_rows(&[&[3.0, 4.0]])))
+            .unwrap();
+        assert_eq!((acc.rows(), acc.cols()), (2, 2));
+        assert_eq!(acc.values().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn accum_add_tiles() {
+        let a = Tile::splat(2, 2, 1.0);
+        let acc = AccumFn::AddTiles.update(None, &Elem::Tile(a.clone())).unwrap();
+        let acc = AccumFn::AddTiles
+            .update(Some(acc), &Elem::Tile(a.clone()))
+            .unwrap();
+        assert_eq!(acc.values().unwrap(), &[2.0; 4]);
+        assert_eq!(AccumFn::AddTiles.flops(&Elem::Tile(a)), 4);
+        assert_eq!(
+            AccumFn::RetileRow.flops(&Elem::Tile(Tile::zeros(2, 2))),
+            0
+        );
+    }
+
+    #[test]
+    fn flatmap_split_rows() {
+        let t = Tile::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0], &[5.0]]);
+        let blocks = FlatMapFn::SplitRows { chunk: 2 }
+            .expand(&Elem::Tile(t))
+            .unwrap();
+        assert_eq!(blocks.len(), 1);
+        let chunks = &blocks[0];
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].as_tile().unwrap().rows(), 2);
+        assert_eq!(chunks[2].as_tile().unwrap().rows(), 1); // short tail
+    }
+
+    #[test]
+    fn flatmap_split_cols() {
+        let t = Tile::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let blocks = FlatMapFn::SplitCols { chunk: 2 }
+            .expand(&Elem::Tile(t))
+            .unwrap();
+        let chunks = &blocks[0];
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].as_tile().unwrap().values().unwrap(), &[1.0, 2.0]);
+        assert_eq!(chunks[1].as_tile().unwrap().values().unwrap(), &[3.0]);
+    }
+
+    #[test]
+    fn flatmap_zero_chunk_is_config_error() {
+        let r = FlatMapFn::SplitRows { chunk: 0 }.expand(&Elem::Tile(Tile::zeros(1, 1)));
+        assert!(matches!(r, Err(StepError::Config(_))));
+    }
+
+    #[test]
+    fn phantom_flops_match_dense() {
+        let dense = pair(Tile::zeros(4, 64), Tile::zeros(64, 256));
+        let phantom = pair(Tile::phantom(4, 64), Tile::phantom(64, 256));
+        assert_eq!(MapFn::Matmul.flops(&dense), MapFn::Matmul.flops(&phantom));
+        let out = MapFn::Matmul.apply(&phantom).unwrap();
+        assert!(out.as_tile().unwrap().is_phantom());
+    }
+}

@@ -1,0 +1,367 @@
+//! STeP operator configurations (§3.2, Tables 3–7).
+//!
+//! Operators fall into five categories: off-chip memory operators, on-chip
+//! memory operators, dynamic routing and merging operators, higher-order
+//! operators, and shape operators. This module defines their configuration
+//! types; shape inference lives in [`crate::graph`] and execution semantics
+//! in the `step-sim` crate.
+
+use crate::elem::Elem;
+use crate::func::{AccumFn, FlatMapFn, MapFn};
+use crate::token::Token;
+
+/// Affine read configuration for `LinearOffChipLoad` (Fig 2).
+///
+/// The stored tensor of `mem_shape` elements is viewed as a row-major grid
+/// of `tile_shape` tiles; each reference-stream element triggers an affine
+/// read of `shape_tiled` tiles with `stride_tiled` steps (in tile units).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearLoadCfg {
+    /// Base address of the stored tensor in off-chip memory (bytes).
+    pub base_addr: u64,
+    /// Stored tensor shape in elements: (rows, cols).
+    pub mem_shape: (u64, u64),
+    /// Tile shape in elements: (rows, cols).
+    pub tile_shape: (u64, u64),
+    /// Affine stride in tile units: (row step, col step).
+    pub stride_tiled: (u64, u64),
+    /// Affine extent in tiles: (rows of tiles, cols of tiles).
+    pub shape_tiled: (u64, u64),
+}
+
+impl LinearLoadCfg {
+    /// A full row-major read of the stored tensor: `shape_tiled` covers the
+    /// whole tile grid with unit column stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_shape` does not evenly divide `mem_shape` or any
+    /// extent is zero.
+    pub fn new(base_addr: u64, mem_shape: (u64, u64), tile_shape: (u64, u64)) -> LinearLoadCfg {
+        assert!(tile_shape.0 > 0 && tile_shape.1 > 0, "zero tile shape");
+        assert!(
+            mem_shape.0.is_multiple_of(tile_shape.0) && mem_shape.1.is_multiple_of(tile_shape.1),
+            "tile shape must divide memory shape"
+        );
+        let grid = (mem_shape.0 / tile_shape.0, mem_shape.1 / tile_shape.1);
+        LinearLoadCfg {
+            base_addr,
+            mem_shape,
+            tile_shape,
+            stride_tiled: (grid.1, 1),
+            shape_tiled: grid,
+        }
+    }
+
+    /// Overrides the affine stride/extent (both in tile units).
+    pub fn with_view(mut self, stride_tiled: (u64, u64), shape_tiled: (u64, u64)) -> Self {
+        self.stride_tiled = stride_tiled;
+        self.shape_tiled = shape_tiled;
+        self
+    }
+
+    /// The tile grid of the stored tensor: (rows of tiles, cols of tiles).
+    pub fn grid(&self) -> (u64, u64) {
+        (
+            self.mem_shape.0 / self.tile_shape.0,
+            self.mem_shape.1 / self.tile_shape.1,
+        )
+    }
+
+    /// Bytes per tile.
+    pub fn tile_bytes(&self) -> u64 {
+        self.tile_shape.0 * self.tile_shape.1 * crate::DTYPE_BYTES
+    }
+
+    /// Tiles per triggered read.
+    pub fn tiles_per_read(&self) -> u64 {
+        self.shape_tiled.0 * self.shape_tiled.1
+    }
+}
+
+/// Configuration for `RandomOffChipLoad`/`RandomOffChipStore`: random
+/// access at tile granularity over a stored tensor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomAccessCfg {
+    /// Base address (bytes).
+    pub base_addr: u64,
+    /// Tile shape in elements: (rows, cols).
+    pub tile_shape: (u64, u64),
+}
+
+impl RandomAccessCfg {
+    /// Creates a random-access configuration.
+    pub fn new(base_addr: u64, tile_shape: (u64, u64)) -> RandomAccessCfg {
+        RandomAccessCfg {
+            base_addr,
+            tile_shape,
+        }
+    }
+
+    /// Bytes per tile.
+    pub fn tile_bytes(&self) -> u64 {
+        self.tile_shape.0 * self.tile_shape.1 * crate::DTYPE_BYTES
+    }
+}
+
+/// Affine-read configuration for `Streamify` over statically-shaped
+/// buffers. Dynamically-shaped buffers always stream linearly (§3.2.2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamifyCfg {
+    /// Affine stride over the buffer in tile units, if affine.
+    pub stride: Option<(u64, u64)>,
+    /// Affine extent in tiles, if affine.
+    pub shape: Option<(u64, u64)>,
+}
+
+/// A source node: plays a pre-materialized token stream at a configurable
+/// rate. Models a graph input (e.g. activations arriving from a previous
+/// fused region or a testbench).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceCfg {
+    /// The tokens to play, including the trailing `Done`.
+    pub tokens: Vec<Token>,
+    /// Tokens emitted per cycle (1 = one per cycle).
+    pub tokens_per_cycle: u64,
+}
+
+/// A sink node: consumes a stream, recording it for inspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkCfg {
+    /// Whether to retain consumed tokens for test inspection.
+    pub record: bool,
+}
+
+/// The operator of a graph node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Stream input (testbench or fused-region boundary).
+    Source(SourceCfg),
+    /// Off-chip → on-chip affine tiled load, triggered per reference
+    /// element (Table 3).
+    LinearLoad(LinearLoadCfg),
+    /// On-chip → off-chip linear tiled store (Table 3).
+    LinearStore {
+        /// Destination base address.
+        base_addr: u64,
+    },
+    /// Off-chip random load: one tile per address element (Table 3).
+    RandomLoad(RandomAccessCfg),
+    /// Off-chip random store: writes `wdata` tiles at `waddr` addresses,
+    /// emitting an acknowledgement stream (Table 3).
+    RandomStore(RandomAccessCfg),
+    /// Stores the `rank` innermost dims of the stream into on-chip memory,
+    /// emitting buffer references (Table 4, Fig 3).
+    Bufferize {
+        /// Number of innermost dims captured per buffer.
+        rank: u8,
+    },
+    /// Reads buffers back into a stream, once per reference element
+    /// (Table 4, Fig 3).
+    Streamify(StreamifyCfg),
+    /// Routes rank-`rank` chunks to selected consumers (Table 6).
+    Partition {
+        /// Chunk rank routed per selector element.
+        rank: u8,
+        /// Number of output streams.
+        num_consumers: u32,
+    },
+    /// Merges rank-`rank` chunks from selected inputs per selector element,
+    /// adding one dimension (Table 6, Fig 4).
+    Reassemble {
+        /// Chunk rank drained per selected input.
+        rank: u8,
+        /// Number of input streams.
+        num_producers: u32,
+    },
+    /// Merges whole tensors from inputs in arrival order, emitting data
+    /// plus a selector stream of provenance (Table 6).
+    EagerMerge {
+        /// Number of input streams.
+        num_producers: u32,
+    },
+    /// Applies `func` elementwise (Table 5). Two-input maps consume a
+    /// zipped tuple stream.
+    Map {
+        /// Hardware function.
+        func: MapFn,
+        /// Allocated compute bandwidth in FLOPs/cycle (§4.3).
+        compute_bw: u64,
+    },
+    /// Reduces the `rank` innermost dims with `func` (Table 5).
+    Accum {
+        /// Reduction rank.
+        rank: u8,
+        /// Update function.
+        func: AccumFn,
+        /// Allocated compute bandwidth in FLOPs/cycle.
+        compute_bw: u64,
+    },
+    /// Like `Accum` but emits the running accumulator per element
+    /// (Table 5).
+    Scan {
+        /// Reduction rank (state resets at stops ≥ rank).
+        rank: u8,
+        /// Update function.
+        func: AccumFn,
+        /// Allocated compute bandwidth in FLOPs/cycle.
+        compute_bw: u64,
+    },
+    /// Expands each element into a rank-`b` block; blocks concatenate
+    /// (Table 5).
+    FlatMap {
+        /// Expansion function.
+        func: FlatMapFn,
+    },
+    /// Generates, per input element carrying target index `i`, a rank-1
+    /// block of `count` addresses `base + (i*count + j)*stride` — the
+    /// address generator feeding `RandomOffChipLoad` under configuration
+    /// time-multiplexing (Fig 11).
+    AddrGen {
+        /// Addresses per block.
+        count: u64,
+        /// Byte stride between consecutive addresses.
+        stride: u64,
+        /// Base address.
+        base: u64,
+    },
+    /// Merges the dims between stop levels `min..=max` (Table 7).
+    Flatten {
+        /// Innermost flattened level.
+        min: u8,
+        /// Outermost flattened level.
+        max: u8,
+    },
+    /// Splits the dim at stop level `level` into chunks of `chunk`
+    /// elements, padding the tail with `pad` when `level == 0`; emits data
+    /// and padding streams (Table 7).
+    Reshape {
+        /// Dim (stop level) to split. Only `0` may pad.
+        level: u8,
+        /// Chunk size.
+        chunk: u64,
+        /// Padding element for short tails (required at level 0 unless the
+        /// dim is statically divisible).
+        pad: Option<Elem>,
+    },
+    /// Adds a new outermost dimension of extent `1` (or `0` for an empty
+    /// stream) (Table 7).
+    Promote,
+    /// Repeats elements of the input per the reference stream's structure
+    /// below level `level` (Table 7, Fig 5).
+    Expand {
+        /// Smallest stop level of the input stream.
+        level: u8,
+    },
+    /// Static variant of `Expand`: repeats each innermost element `factor`
+    /// times, growing the innermost dim.
+    ExpandStatic {
+        /// Repeat count.
+        factor: u64,
+    },
+    /// Groups two same-shaped streams into a tuple stream (Table 7).
+    Zip,
+    /// Replicates the input stream to `ways` outputs (hardware FIFO
+    /// fan-out; infrastructure rather than a paper operator).
+    Fork {
+        /// Number of replicas.
+        ways: u32,
+    },
+    /// Stream output.
+    Sink(SinkCfg),
+}
+
+impl OpKind {
+    /// A short operator name for diagnostics and trace output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Source(_) => "Source",
+            OpKind::LinearLoad(_) => "LinearOffChipLoad",
+            OpKind::LinearStore { .. } => "LinearOffChipStore",
+            OpKind::RandomLoad(_) => "RandomOffChipLoad",
+            OpKind::RandomStore(_) => "RandomOffChipStore",
+            OpKind::Bufferize { .. } => "Bufferize",
+            OpKind::Streamify(_) => "Streamify",
+            OpKind::Partition { .. } => "Partition",
+            OpKind::Reassemble { .. } => "Reassemble",
+            OpKind::EagerMerge { .. } => "EagerMerge",
+            OpKind::Map { .. } => "Map",
+            OpKind::Accum { .. } => "Accum",
+            OpKind::Scan { .. } => "Scan",
+            OpKind::FlatMap { .. } => "FlatMap",
+            OpKind::AddrGen { .. } => "AddrGen",
+            OpKind::Flatten { .. } => "Flatten",
+            OpKind::Reshape { .. } => "Reshape",
+            OpKind::Promote => "Promote",
+            OpKind::Expand { .. } => "Expand",
+            OpKind::ExpandStatic { .. } => "ExpandStatic",
+            OpKind::Zip => "Zip",
+            OpKind::Fork { .. } => "Fork",
+            OpKind::Sink(_) => "Sink",
+        }
+    }
+
+    /// Whether this operator touches off-chip memory (the only operators
+    /// contributing off-chip traffic in §4.2).
+    pub fn is_offchip(&self) -> bool {
+        matches!(
+            self,
+            OpKind::LinearLoad(_)
+                | OpKind::LinearStore { .. }
+                | OpKind::RandomLoad(_)
+                | OpKind::RandomStore(_)
+        )
+    }
+
+    /// The compute bandwidth allocated to this node in FLOPs/cycle, if it
+    /// is a compute operator.
+    pub fn compute_bw(&self) -> Option<u64> {
+        match self {
+            OpKind::Map { compute_bw, .. }
+            | OpKind::Accum { compute_bw, .. }
+            | OpKind::Scan { compute_bw, .. } => Some(*compute_bw),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_load_defaults_cover_grid() {
+        let cfg = LinearLoadCfg::new(0, (64, 256), (64, 64));
+        assert_eq!(cfg.grid(), (1, 4));
+        assert_eq!(cfg.shape_tiled, (1, 4));
+        assert_eq!(cfg.stride_tiled, (4, 1));
+        assert_eq!(cfg.tiles_per_read(), 4);
+        assert_eq!(cfg.tile_bytes(), 64 * 64 * 2);
+    }
+
+    #[test]
+    fn linear_load_with_view_overrides() {
+        let cfg = LinearLoadCfg::new(0, (64, 256), (64, 64)).with_view((4, 1), (1, 2));
+        assert_eq!(cfg.tiles_per_read(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn linear_load_rejects_nondividing_tiles() {
+        let _ = LinearLoadCfg::new(0, (64, 250), (64, 64));
+    }
+
+    #[test]
+    fn op_kind_queries() {
+        let load = OpKind::LinearLoad(LinearLoadCfg::new(0, (64, 64), (64, 64)));
+        assert!(load.is_offchip());
+        assert_eq!(load.name(), "LinearOffChipLoad");
+        let map = OpKind::Map {
+            func: MapFn::Matmul,
+            compute_bw: 1024,
+        };
+        assert!(!map.is_offchip());
+        assert_eq!(map.compute_bw(), Some(1024));
+        assert_eq!(OpKind::Promote.compute_bw(), None);
+    }
+}

@@ -1,0 +1,500 @@
+//! Tiles: two-dimensional regular matrices flowing through streams (§3.1).
+//!
+//! STeP allows tiles to have *dynamically defined shapes* — the key enabler
+//! for dynamic tiling (§5.2). A tile carries either dense `f32` data (used
+//! by functional tests and small examples) or a *phantom* payload that
+//! records only the shape. All cost accounting (bytes, FLOPs) derives from
+//! the shape, so phantom runs are timing-identical to dense runs; MoE
+//! routing decisions come from trace-driven selector streams, never from
+//! tile values, which keeps phantom simulations faithful.
+
+use crate::error::{Result, StepError};
+use crate::DTYPE_BYTES;
+use std::fmt;
+
+/// Payload of a [`Tile`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TileData {
+    /// Row-major dense values.
+    Dense(Vec<f32>),
+    /// Shape-only payload: values are not materialized.
+    Phantom,
+}
+
+/// A two-dimensional tile of `rows x cols` elements.
+///
+/// # Examples
+///
+/// ```
+/// use step_core::tile::Tile;
+/// let a = Tile::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Tile::identity(2);
+/// let c = a.matmul(&b).unwrap();
+/// assert_eq!(c.get(1, 0), Some(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    rows: usize,
+    cols: usize,
+    data: TileData,
+}
+
+impl Tile {
+    /// A dense tile from explicit row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn dense(rows: usize, cols: usize, data: Vec<f32>) -> Tile {
+        assert_eq!(data.len(), rows * cols, "tile data length mismatch");
+        Tile {
+            rows,
+            cols,
+            data: TileData::Dense(data),
+        }
+    }
+
+    /// A dense tile from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Tile {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in tile literal");
+            data.extend_from_slice(row);
+        }
+        Tile::dense(r, c, data)
+    }
+
+    /// A dense tile of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Tile {
+        Tile::dense(rows, cols, vec![0.0; rows * cols])
+    }
+
+    /// A dense identity matrix.
+    pub fn identity(n: usize) -> Tile {
+        let mut t = Tile::zeros(n, n);
+        if let TileData::Dense(d) = &mut t.data {
+            for i in 0..n {
+                d[i * n + i] = 1.0;
+            }
+        }
+        t
+    }
+
+    /// A dense tile filled with `value`.
+    pub fn splat(rows: usize, cols: usize, value: f32) -> Tile {
+        Tile::dense(rows, cols, vec![value; rows * cols])
+    }
+
+    /// A shape-only tile.
+    pub fn phantom(rows: usize, cols: usize) -> Tile {
+        Tile {
+            rows,
+            cols,
+            data: TileData::Phantom,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the tile has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes at the modeled datatype width (BF16).
+    pub fn bytes(&self) -> u64 {
+        (self.len() as u64) * DTYPE_BYTES
+    }
+
+    /// Whether the payload is phantom (shape-only).
+    pub fn is_phantom(&self) -> bool {
+        matches!(self.data, TileData::Phantom)
+    }
+
+    /// Element at `(r, c)`, if dense and in range.
+    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
+        match &self.data {
+            TileData::Dense(d) if r < self.rows && c < self.cols => Some(d[r * self.cols + c]),
+            _ => None,
+        }
+    }
+
+    /// Dense values in row-major order, if dense.
+    pub fn values(&self) -> Option<&[f32]> {
+        match &self.data {
+            TileData::Dense(d) => Some(d),
+            TileData::Phantom => None,
+        }
+    }
+
+    fn binary_shape_check(&self, other: &Tile, what: &str) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(StepError::Exec(format!(
+                "{what}: shape ({}, {}) vs ({}, {})",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        Ok(())
+    }
+
+    fn lift2(&self, other: &Tile, f: impl Fn(f32, f32) -> f32) -> Tile {
+        match (&self.data, &other.data) {
+            (TileData::Dense(a), TileData::Dense(b)) => Tile::dense(
+                self.rows,
+                self.cols,
+                a.iter().zip(b).map(|(x, y)| f(*x, *y)).collect(),
+            ),
+            _ => Tile::phantom(self.rows, self.cols),
+        }
+    }
+
+    /// Applies `f` to each element (phantom stays phantom).
+    pub fn map_values(&self, f: impl Fn(f32) -> f32) -> Tile {
+        match &self.data {
+            TileData::Dense(d) => {
+                Tile::dense(self.rows, self.cols, d.iter().map(|x| f(*x)).collect())
+            }
+            TileData::Phantom => Tile::phantom(self.rows, self.cols),
+        }
+    }
+
+    /// Matrix product `self x other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Exec`] if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Tile) -> Result<Tile> {
+        if self.cols != other.rows {
+            return Err(StepError::Exec(format!(
+                "matmul: ({}, {}) x ({}, {})",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        match (&self.data, &other.data) {
+            (TileData::Dense(a), TileData::Dense(b)) => {
+                let (m, k, n) = (self.rows, self.cols, other.cols);
+                let mut out = vec![0.0f32; m * n];
+                for i in 0..m {
+                    for p in 0..k {
+                        let av = a[i * k + p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for j in 0..n {
+                            out[i * n + j] += av * b[p * n + j];
+                        }
+                    }
+                }
+                Ok(Tile::dense(m, n, out))
+            }
+            _ => Ok(Tile::phantom(self.rows, other.cols)),
+        }
+    }
+
+    /// Matrix product `self x otherᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Exec`] if `self.cols != other.cols`.
+    pub fn matmul_bt(&self, other: &Tile) -> Result<Tile> {
+        if self.cols != other.cols {
+            return Err(StepError::Exec(format!(
+                "matmul_bt: ({}, {}) x ({}, {})^T",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        match (&self.data, &other.data) {
+            (TileData::Dense(a), TileData::Dense(b)) => {
+                let (m, k, n) = (self.rows, self.cols, other.rows);
+                let mut out = vec![0.0f32; m * n];
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut acc = 0.0;
+                        for p in 0..k {
+                            acc += a[i * k + p] * b[j * k + p];
+                        }
+                        out[i * n + j] = acc;
+                    }
+                }
+                Ok(Tile::dense(m, n, out))
+            }
+            _ => Ok(Tile::phantom(self.rows, other.rows)),
+        }
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Exec`] on shape mismatch.
+    pub fn add(&self, other: &Tile) -> Result<Tile> {
+        self.binary_shape_check(other, "add")?;
+        Ok(self.lift2(other, |a, b| a + b))
+    }
+
+    /// Elementwise product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Exec`] on shape mismatch.
+    pub fn mul(&self, other: &Tile) -> Result<Tile> {
+        self.binary_shape_check(other, "mul")?;
+        Ok(self.lift2(other, |a, b| a * b))
+    }
+
+    /// Vertical concatenation: `[self; other]` (the `RetileRow` function).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Exec`] on column-count mismatch.
+    pub fn concat_rows(&self, other: &Tile) -> Result<Tile> {
+        if self.cols != other.cols {
+            return Err(StepError::Exec(format!(
+                "concat_rows: {} vs {} cols",
+                self.cols, other.cols
+            )));
+        }
+        match (&self.data, &other.data) {
+            (TileData::Dense(a), TileData::Dense(b)) => {
+                let mut d = Vec::with_capacity(a.len() + b.len());
+                d.extend_from_slice(a);
+                d.extend_from_slice(b);
+                Ok(Tile::dense(self.rows + other.rows, self.cols, d))
+            }
+            _ => Ok(Tile::phantom(self.rows + other.rows, self.cols)),
+        }
+    }
+
+    /// Horizontal concatenation: `[self, other]` (the `RetileCol` function).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Exec`] on row-count mismatch.
+    pub fn concat_cols(&self, other: &Tile) -> Result<Tile> {
+        if self.rows != other.rows {
+            return Err(StepError::Exec(format!(
+                "concat_cols: {} vs {} rows",
+                self.rows, other.rows
+            )));
+        }
+        match (&self.data, &other.data) {
+            (TileData::Dense(a), TileData::Dense(b)) => {
+                let cols = self.cols + other.cols;
+                let mut d = Vec::with_capacity(self.rows * cols);
+                for r in 0..self.rows {
+                    d.extend_from_slice(&a[r * self.cols..(r + 1) * self.cols]);
+                    d.extend_from_slice(&b[r * other.cols..(r + 1) * other.cols]);
+                }
+                Ok(Tile::dense(self.rows, cols, d))
+            }
+            _ => Ok(Tile::phantom(self.rows, self.cols + other.cols)),
+        }
+    }
+
+    /// The sub-tile of rows `r0..r0+n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Exec`] if the range exceeds the tile.
+    pub fn row_slice(&self, r0: usize, n: usize) -> Result<Tile> {
+        if r0 + n > self.rows {
+            return Err(StepError::Exec(format!(
+                "row_slice {r0}..{} of {} rows",
+                r0 + n,
+                self.rows
+            )));
+        }
+        match &self.data {
+            TileData::Dense(d) => Ok(Tile::dense(
+                n,
+                self.cols,
+                d[r0 * self.cols..(r0 + n) * self.cols].to_vec(),
+            )),
+            TileData::Phantom => Ok(Tile::phantom(n, self.cols)),
+        }
+    }
+
+    /// The sub-tile of columns `c0..c0+n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Exec`] if the range exceeds the tile.
+    pub fn col_slice(&self, c0: usize, n: usize) -> Result<Tile> {
+        if c0 + n > self.cols {
+            return Err(StepError::Exec(format!(
+                "col_slice {c0}..{} of {} cols",
+                c0 + n,
+                self.cols
+            )));
+        }
+        match &self.data {
+            TileData::Dense(d) => {
+                let mut out = Vec::with_capacity(self.rows * n);
+                for r in 0..self.rows {
+                    out.extend_from_slice(&d[r * self.cols + c0..r * self.cols + c0 + n]);
+                }
+                Ok(Tile::dense(self.rows, n, out))
+            }
+            TileData::Phantom => Ok(Tile::phantom(self.rows, n)),
+        }
+    }
+
+    /// Row-wise reduction to a `rows x 1` tile using `f` with `init`.
+    pub fn row_reduce(&self, init: f32, f: impl Fn(f32, f32) -> f32) -> Tile {
+        match &self.data {
+            TileData::Dense(d) => {
+                let mut out = Vec::with_capacity(self.rows);
+                for r in 0..self.rows {
+                    let mut acc = init;
+                    for c in 0..self.cols {
+                        acc = f(acc, d[r * self.cols + c]);
+                    }
+                    out.push(acc);
+                }
+                Tile::dense(self.rows, 1, out)
+            }
+            TileData::Phantom => Tile::phantom(self.rows, 1),
+        }
+    }
+}
+
+impl fmt::Display for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.data {
+            TileData::Dense(_) => write!(f, "Tile[{}x{}]", self.rows, self.cols),
+            TileData::Phantom => write!(f, "Tile[{}x{} phantom]", self.rows, self.cols),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tile::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tile::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.values().unwrap(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_bt_matches_transposed_matmul() {
+        let a = Tile::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let b = Tile::from_rows(&[&[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        let c = a.matmul_bt(&b).unwrap();
+        assert_eq!(c.rows(), 1);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.values().unwrap(), &[32.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Tile::zeros(2, 3);
+        let b = Tile::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul_bt(&b).is_ok());
+    }
+
+    #[test]
+    fn phantom_propagates_shape() {
+        let a = Tile::phantom(4, 64);
+        let b = Tile::phantom(64, 256);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.is_phantom());
+        assert_eq!((c.rows(), c.cols()), (4, 256));
+        assert_eq!(c.bytes(), 4 * 256 * 2);
+    }
+
+    #[test]
+    fn dense_phantom_mix_degrades_to_phantom() {
+        let a = Tile::zeros(2, 2);
+        let b = Tile::phantom(2, 2);
+        assert!(a.add(&b).unwrap().is_phantom());
+        assert!(a.matmul(&b).unwrap().is_phantom());
+    }
+
+    #[test]
+    fn concat_rows_and_cols() {
+        let a = Tile::from_rows(&[&[1.0, 2.0]]);
+        let b = Tile::from_rows(&[&[3.0, 4.0]]);
+        let v = a.concat_rows(&b).unwrap();
+        assert_eq!((v.rows(), v.cols()), (2, 2));
+        assert_eq!(v.values().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        let h = a.concat_cols(&b).unwrap();
+        assert_eq!((h.rows(), h.cols()), (1, 4));
+        assert_eq!(h.values().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_mismatch_errors() {
+        let a = Tile::zeros(1, 2);
+        let b = Tile::zeros(1, 3);
+        assert!(a.concat_rows(&b).is_err());
+        let c = Tile::zeros(2, 3);
+        assert!(a.concat_cols(&c).is_err());
+    }
+
+    #[test]
+    fn row_slice_splits() {
+        let t = Tile::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let s = t.row_slice(1, 2).unwrap();
+        assert_eq!(s.values().unwrap(), &[2.0, 3.0]);
+        assert!(t.row_slice(3, 2).is_err());
+    }
+
+    #[test]
+    fn col_slice_splits() {
+        let t = Tile::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let s = t.col_slice(1, 2).unwrap();
+        assert_eq!(s.values().unwrap(), &[2.0, 3.0, 5.0, 6.0]);
+        assert!(t.col_slice(2, 2).is_err());
+    }
+
+    #[test]
+    fn row_reduce_sums() {
+        let t = Tile::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let r = t.row_reduce(0.0, |a, b| a + b);
+        assert_eq!(r.values().unwrap(), &[3.0, 7.0]);
+        assert_eq!((r.rows(), r.cols()), (2, 1));
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Tile::from_rows(&[&[2.0, 3.0], &[4.0, 5.0]]);
+        let c = a.matmul(&Tile::identity(2)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn bytes_uses_bf16() {
+        assert_eq!(Tile::zeros(16, 16).bytes(), 512);
+    }
+
+    #[test]
+    fn map_values_applies() {
+        let t = Tile::from_rows(&[&[-1.0, 2.0]]);
+        let r = t.map_values(|x| x.max(0.0));
+        assert_eq!(r.values().unwrap(), &[0.0, 2.0]);
+    }
+}

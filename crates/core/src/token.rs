@@ -1,0 +1,386 @@
+//! Token streams (§3.1, "Stop Tokens").
+//!
+//! A STeP stream is logically zero or more rank-`N` tensors. The logical
+//! structure is embedded with *stop tokens*: `Stop(k)` (`S_k`, `k >= 1`)
+//! marks the end of the `k` innermost dimensions, with only the
+//! highest-level stop emitted at coincident boundaries, and `Done`
+//! terminates the stream. A rank-0 stream carries bare values.
+//!
+//! Example (paper equation (1)): the rank-2 stream
+//! `1, 2, S1, 3, S2, 4, S1, 5, 6, 7, S2, D` holds two `[2, D0]` tensors
+//! with a ragged innermost dimension.
+
+use crate::elem::Elem;
+use crate::error::{Result, StepError};
+use std::fmt;
+
+/// One token of a STeP stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A data element.
+    Val(Elem),
+    /// End of the `level` innermost dimensions (`S_level`, `level >= 1`).
+    Stop(u8),
+    /// End of the stream.
+    Done,
+}
+
+impl Token {
+    /// Whether this token is a value.
+    pub fn is_val(&self) -> bool {
+        matches!(self, Token::Val(_))
+    }
+
+    /// The stop level, if this is a stop token.
+    pub fn stop_level(&self) -> Option<u8> {
+        match self {
+            Token::Stop(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Unwraps the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Malformed`] if this is not a `Val`.
+    pub fn into_val(self) -> Result<Elem> {
+        match self {
+            Token::Val(e) => Ok(e),
+            other => Err(StepError::Malformed(format!("expected value, got {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Val(e) => write!(f, "{e}"),
+            Token::Stop(l) => write!(f, "S{l}"),
+            Token::Done => write!(f, "D"),
+        }
+    }
+}
+
+/// Summary statistics of a validated token stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Number of `Val` tokens.
+    pub values: u64,
+    /// Number of rank-`rank` tensors (top-level stop count; equals
+    /// `values` for rank-0 streams).
+    pub tensors: u64,
+    /// Count of stop tokens per level (index 0 unused).
+    pub stops: Vec<u64>,
+}
+
+/// Validates stop-token discipline for a stream of the given rank and
+/// returns summary statistics.
+///
+/// Rules checked:
+/// - stop levels lie in `1..=rank`;
+/// - the stream ends with `Done`, and `Done` appears only at the end;
+/// - no two consecutive stop tokens (coincident boundaries must be
+///   absorbed into the highest-level stop);
+/// - a non-empty stream's final token before `Done` is `Stop(rank)` (for
+///   rank ≥ 1): every tensor is closed;
+/// - the stream does not begin with a stop.
+///
+/// # Errors
+///
+/// Returns [`StepError::Malformed`] describing the first violation.
+pub fn validate(tokens: &[Token], rank: u8) -> Result<StreamStats> {
+    let mut stats = StreamStats {
+        stops: vec![0; rank as usize + 1],
+        ..StreamStats::default()
+    };
+    let mut prev_was_stop = true; // disallows a leading stop
+    let mut done_seen = false;
+    for (i, t) in tokens.iter().enumerate() {
+        if done_seen {
+            return Err(StepError::Malformed(format!(
+                "token {i} after Done: {t}"
+            )));
+        }
+        match t {
+            Token::Val(_) => {
+                stats.values += 1;
+                if rank == 0 {
+                    stats.tensors += 1;
+                }
+                prev_was_stop = false;
+            }
+            Token::Stop(l) => {
+                if *l == 0 || *l > rank {
+                    return Err(StepError::Malformed(format!(
+                        "stop level {l} out of range for rank {rank} (token {i})"
+                    )));
+                }
+                if prev_was_stop {
+                    return Err(StepError::Malformed(format!(
+                        "consecutive stop tokens at {i} (unabsorbed boundary)"
+                    )));
+                }
+                stats.stops[*l as usize] += 1;
+                if *l == rank {
+                    stats.tensors += 1;
+                }
+                prev_was_stop = true;
+            }
+            Token::Done => {
+                if rank > 0 && !prev_was_stop && stats.values > 0 {
+                    return Err(StepError::Malformed(format!(
+                        "stream of rank {rank} must close with Stop({rank}) before Done"
+                    )));
+                }
+                done_seen = true;
+            }
+        }
+    }
+    if !done_seen {
+        return Err(StepError::Malformed("stream missing Done".into()));
+    }
+    if rank > 0 {
+        if let Some(&top) = stats.stops.get(rank as usize) {
+            if stats.values > 0 && top == 0 {
+                return Err(StepError::Malformed(format!(
+                    "non-empty rank-{rank} stream has no Stop({rank})"
+                )));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Builds a well-formed rank-1 token stream from a vector of elements
+/// split into groups: each group becomes one rank-1 tensor.
+pub fn rank1_from_groups(groups: &[Vec<Elem>]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for g in groups {
+        for e in g {
+            out.push(Token::Val(e.clone()));
+        }
+        out.push(Token::Stop(1));
+    }
+    out.push(Token::Done);
+    out
+}
+
+/// Builds a rank-0 token stream (bare values, then `Done`).
+pub fn rank0_from_values(vals: impl IntoIterator<Item = Elem>) -> Vec<Token> {
+    let mut out: Vec<Token> = vals.into_iter().map(Token::Val).collect();
+    out.push(Token::Done);
+    out
+}
+
+/// Builds a rank-2 stream from tensors of row groups.
+pub fn rank2_from_tensors(tensors: &[Vec<Vec<Elem>>]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for t in tensors {
+        for (ri, row) in t.iter().enumerate() {
+            for e in row {
+                out.push(Token::Val(e.clone()));
+            }
+            if ri + 1 < t.len() {
+                out.push(Token::Stop(1));
+            }
+        }
+        out.push(Token::Stop(2));
+    }
+    out.push(Token::Done);
+    out
+}
+
+/// Extracts all values from a token stream, ignoring structure.
+pub fn values(tokens: &[Token]) -> Vec<&Elem> {
+    tokens
+        .iter()
+        .filter_map(|t| match t {
+            Token::Val(e) => Some(e),
+            _ => None,
+        })
+        .collect()
+}
+
+/// An incremental builder for well-formed token streams of a given rank.
+///
+/// Emits values with [`TokenStreamBuilder::val`] and closes dimension
+/// boundaries with [`TokenStreamBuilder::stop`]; coincident boundaries are
+/// the caller's responsibility (use the highest level). `finish` appends
+/// `Done` and validates.
+///
+/// # Examples
+///
+/// ```
+/// use step_core::token::TokenStreamBuilder;
+/// use step_core::elem::Elem;
+/// let mut b = TokenStreamBuilder::new(1);
+/// b.val(Elem::Addr(1)).val(Elem::Addr(2)).stop(1);
+/// let tokens = b.finish().unwrap();
+/// assert_eq!(tokens.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct TokenStreamBuilder {
+    rank: u8,
+    tokens: Vec<Token>,
+}
+
+impl TokenStreamBuilder {
+    /// A builder for a stream of the given rank.
+    pub fn new(rank: u8) -> Self {
+        TokenStreamBuilder {
+            rank,
+            tokens: Vec::new(),
+        }
+    }
+
+    /// Appends a value token.
+    pub fn val(&mut self, e: Elem) -> &mut Self {
+        self.tokens.push(Token::Val(e));
+        self
+    }
+
+    /// Appends a stop token of the given level.
+    pub fn stop(&mut self, level: u8) -> &mut Self {
+        self.tokens.push(Token::Stop(level));
+        self
+    }
+
+    /// Appends `Done`, validates, and returns the tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Malformed`] if the stream violates stop-token
+    /// discipline for its rank.
+    pub fn finish(mut self) -> Result<Vec<Token>> {
+        self.tokens.push(Token::Done);
+        validate(&self.tokens, self.rank)?;
+        Ok(self.tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> Token {
+        Token::Val(Elem::Addr(x))
+    }
+
+    #[test]
+    fn paper_example_stream_validates() {
+        // 1,2,S1,3,S2,4,S1,5,6,7,S2,D — shape [2, 2, D0]
+        let s = vec![
+            v(1),
+            v(2),
+            Token::Stop(1),
+            v(3),
+            Token::Stop(2),
+            v(4),
+            Token::Stop(1),
+            v(5),
+            v(6),
+            v(7),
+            Token::Stop(2),
+            Token::Done,
+        ];
+        let stats = validate(&s, 2).unwrap();
+        assert_eq!(stats.values, 7);
+        assert_eq!(stats.tensors, 2);
+        assert_eq!(stats.stops[1], 2);
+        assert_eq!(stats.stops[2], 2);
+    }
+
+    #[test]
+    fn empty_stream_is_valid() {
+        let stats = validate(&[Token::Done], 3).unwrap();
+        assert_eq!(stats.values, 0);
+        assert_eq!(stats.tensors, 0);
+    }
+
+    #[test]
+    fn rank0_stream() {
+        let s = rank0_from_values([Elem::Addr(1), Elem::Addr(2)]);
+        let stats = validate(&s, 0).unwrap();
+        assert_eq!(stats.values, 2);
+        assert_eq!(stats.tensors, 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_stop() {
+        let s = vec![v(1), Token::Stop(3), Token::Done];
+        assert!(validate(&s, 2).is_err());
+        let s = vec![v(1), Token::Stop(0), Token::Done];
+        assert!(validate(&s, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_consecutive_stops() {
+        let s = vec![v(1), Token::Stop(1), Token::Stop(2), Token::Done];
+        assert!(validate(&s, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_leading_stop() {
+        let s = vec![Token::Stop(1), Token::Done];
+        assert!(validate(&s, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_tensor() {
+        let s = vec![v(1), Token::Done];
+        assert!(validate(&s, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_tokens_after_done() {
+        let s = vec![v(1), Token::Stop(1), Token::Done, v(2)];
+        assert!(validate(&s, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_done() {
+        let s = vec![v(1), Token::Stop(1)];
+        assert!(validate(&s, 1).is_err());
+    }
+
+    #[test]
+    fn rank1_builder_roundtrip() {
+        let groups = vec![
+            vec![Elem::Addr(1), Elem::Addr(2)],
+            vec![Elem::Addr(3)],
+        ];
+        let s = rank1_from_groups(&groups);
+        let stats = validate(&s, 1).unwrap();
+        assert_eq!(stats.tensors, 2);
+        assert_eq!(values(&s).len(), 3);
+    }
+
+    #[test]
+    fn rank2_builder_absorbs_final_row_stop() {
+        let s = rank2_from_tensors(&[vec![
+            vec![Elem::Addr(1), Elem::Addr(2)],
+            vec![Elem::Addr(3)],
+        ]]);
+        // 1,2,S1,3,S2,D — the final row's S1 is absorbed into S2.
+        assert_eq!(
+            s,
+            vec![
+                v(1),
+                v(2),
+                Token::Stop(1),
+                v(3),
+                Token::Stop(2),
+                Token::Done
+            ]
+        );
+        validate(&s, 2).unwrap();
+    }
+
+    #[test]
+    fn builder_validates_on_finish() {
+        let mut b = TokenStreamBuilder::new(2);
+        b.val(Elem::Addr(1)).stop(1).stop(2);
+        assert!(b.finish().is_err());
+    }
+}

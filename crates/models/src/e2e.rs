@@ -1,0 +1,201 @@
+//! End-to-end decoder models (§5.5, Fig 17).
+//!
+//! Each decoder layer consists of QKV generation (dense GEMM), attention,
+//! and the MoE block; the model stacks `layers` such layers executed
+//! repeatedly with layer-specific weights, so end-to-end latency is the
+//! per-layer latency times the layer count. We simulate the three phases
+//! as separate STeP graphs and sum their latencies: decode phases are
+//! serialized by data dependence, which makes the sum a faithful (slightly
+//! conservative) composition that affects every variant identically —
+//! the *relative* comparisons of Fig 17 are what the figure reports.
+
+use crate::attention::{attention_graph, AttentionCfg, ParallelStrategy};
+use crate::config::ModelConfig;
+use crate::moe::{moe_graph, MoeCfg, Tiling};
+use crate::swiglu::{build_gemm, GemmCfg};
+use step_core::graph::GraphBuilder;
+use step_core::Result;
+use step_sim::{SimConfig, SimReport, Simulation};
+use step_traces::{expert_routing, kv_lengths, KvTraceConfig, RoutingConfig, Variability};
+
+/// One end-to-end schedule variant (a column of Fig 17).
+#[derive(Debug, Clone)]
+pub struct E2eVariant {
+    /// Display name ("Static (Mem-matched)", ...).
+    pub name: String,
+    /// MoE batch tiling.
+    pub tiling: Tiling,
+    /// MoE time-multiplexing regions (None = fully spatial).
+    pub moe_regions: Option<u32>,
+    /// Attention dispatch strategy.
+    pub attention: ParallelStrategy,
+}
+
+impl E2eVariant {
+    /// A static baseline with the given MoE tile size.
+    pub fn static_schedule(name: &str, tile: u64) -> E2eVariant {
+        E2eVariant {
+            name: name.to_string(),
+            tiling: Tiling::Static { tile },
+            moe_regions: None,
+            attention: ParallelStrategy::StaticInterleaved,
+        }
+    }
+
+    /// The fully dynamic schedule (dynamic tiling + dynamic
+    /// parallelization), optionally with configuration time-multiplexing.
+    pub fn dynamic_schedule(moe_regions: Option<u32>) -> E2eVariant {
+        E2eVariant {
+            name: "Dynamic".to_string(),
+            tiling: Tiling::Dynamic,
+            moe_regions,
+            attention: ParallelStrategy::Dynamic,
+        }
+    }
+}
+
+/// Per-phase and whole-model results.
+#[derive(Debug, Clone)]
+pub struct E2eReport {
+    /// QKV + output projection cycles.
+    pub qkv_cycles: u64,
+    /// Attention cycles.
+    pub attn_cycles: u64,
+    /// MoE cycles.
+    pub moe_cycles: u64,
+    /// One decoder layer (sum of phases).
+    pub layer_cycles: u64,
+    /// Full model (layer x layer count).
+    pub total_cycles: u64,
+    /// Measured on-chip memory across the three phase graphs, bytes.
+    pub onchip_bytes: u64,
+    /// Allocated compute across the three phase graphs, FLOPs/cycle.
+    pub allocated_compute: u64,
+    /// Whole-model off-chip traffic, bytes.
+    pub offchip_traffic: u64,
+}
+
+fn run_graph(graph: step_core::Graph) -> Result<SimReport> {
+    Simulation::new(graph, SimConfig::default())?.run()
+}
+
+/// MoE graphs run multi-million-cycle simulations; a coarser execution
+/// window is ordering-equivalent there and much faster.
+fn run_moe_graph(graph: step_core::Graph) -> Result<SimReport> {
+    let cfg = SimConfig {
+        horizon_step: 512,
+        ..SimConfig::default()
+    };
+    Simulation::new(graph, cfg)?.run()
+}
+
+/// Runs one end-to-end variant.
+///
+/// # Errors
+///
+/// Propagates graph-construction and simulation errors.
+pub fn run_e2e(
+    model: &ModelConfig,
+    batch: usize,
+    variant: &E2eVariant,
+    seed: u64,
+) -> Result<E2eReport> {
+    // QKV generation + output projection as one fused dense GEMM.
+    let n = (model.q_heads + 2 * model.kv_heads) * model.head_dim + model.hidden;
+    let tile_n = [256u64, 128, 64, 32]
+        .into_iter()
+        .find(|t| n.is_multiple_of(*t))
+        .unwrap_or(n);
+    let mut g = GraphBuilder::new();
+    build_gemm(
+        &mut g,
+        &GemmCfg {
+            batch: batch as u64,
+            hidden: model.hidden,
+            n,
+            tile_batch: 64.min(batch as u64),
+            tile_n,
+            x_addr: 0x100_0000,
+            w_addr: 0x1000_0000,
+            out_addr: 0x8000_0000,
+            compute_bw: 8192,
+        },
+    )?;
+    let qkv = run_graph(g.finish())?;
+
+    // Attention over a median-variability KV trace (§5.5).
+    let kv = kv_lengths(&KvTraceConfig {
+        batch,
+        variability: Variability::Medium,
+        median_len: 1024.0,
+        seed,
+        ..KvTraceConfig::default()
+    });
+    let attn_cfg = AttentionCfg::new(model.clone(), variant.attention);
+    let attn = run_graph(attention_graph(&attn_cfg, &kv)?)?;
+
+    // MoE with the variant's tiling / multiplexing.
+    let routing = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch,
+        skew: 0.8,
+        seed: seed ^ 0x5eed,
+    });
+    let mut moe_cfg = MoeCfg::new(model.clone(), variant.tiling);
+    if let Some(r) = variant.moe_regions {
+        moe_cfg = moe_cfg.with_regions(r);
+    }
+    let moe = run_moe_graph(moe_graph(&moe_cfg, &routing)?)?;
+
+    let layer_cycles = qkv.cycles + attn.cycles + moe.cycles;
+    Ok(E2eReport {
+        qkv_cycles: qkv.cycles,
+        attn_cycles: attn.cycles,
+        moe_cycles: moe.cycles,
+        layer_cycles,
+        total_cycles: layer_cycles * model.layers,
+        onchip_bytes: qkv.onchip_memory + attn.onchip_memory + moe.onchip_memory,
+        allocated_compute: qkv.allocated_compute
+            + attn.allocated_compute
+            + moe.allocated_compute,
+        offchip_traffic: (qkv.offchip_traffic + attn.offchip_traffic + moe.offchip_traffic)
+            * model.layers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ModelConfig {
+        ModelConfig {
+            name: "tiny",
+            hidden: 128,
+            moe_intermediate: 256,
+            experts: 4,
+            top_k: 2,
+            q_heads: 4,
+            kv_heads: 2,
+            head_dim: 32,
+            layers: 2,
+        }
+    }
+
+    #[test]
+    fn e2e_runs_and_scales_with_layers() {
+        let r = run_e2e(&tiny(), 8, &E2eVariant::static_schedule("s", 4), 1).unwrap();
+        assert_eq!(r.total_cycles, r.layer_cycles * 2);
+        assert_eq!(r.layer_cycles, r.qkv_cycles + r.attn_cycles + r.moe_cycles);
+        assert!(r.onchip_bytes > 0);
+        assert!(r.allocated_compute > 0);
+    }
+
+    #[test]
+    fn dynamic_variant_runs_with_regions() {
+        let r = run_e2e(&tiny(), 8, &E2eVariant::dynamic_schedule(Some(2)), 1).unwrap();
+        assert!(r.moe_cycles > 0);
+        let spatial = run_e2e(&tiny(), 8, &E2eVariant::dynamic_schedule(None), 1).unwrap();
+        assert!(r.allocated_compute < spatial.allocated_compute);
+    }
+}

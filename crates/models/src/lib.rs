@@ -1,0 +1,23 @@
+//! LLM layers expressed as STeP programs, with the schedules evaluated in
+//! the paper (§5).
+//!
+//! - [`config`] — model configurations (Mixtral-8x7B, Qwen3-30B-A3B) and
+//!   hardware-facing constants;
+//! - [`swiglu`] — the SwiGLU layer used for simulator validation (§4.5,
+//!   Fig 8), parameterized by batch/intermediate tile sizes;
+//! - [`moe`] — the Mixture-of-Experts layer with static tiling, dynamic
+//!   tiling (§5.2), and configuration time-multiplexing (§5.3);
+//! - [`attention`] — decode attention with static coarse, static
+//!   interleaved, and dynamic parallelization (§5.4, Fig 16);
+//! - [`e2e`] — full decoder-layer and model-level composition (§5.5).
+//!
+//! Every builder returns a plain [`step_core::Graph`]; run it with
+//! [`step_sim::Simulation`].
+
+pub mod attention;
+pub mod config;
+pub mod e2e;
+pub mod moe;
+pub mod swiglu;
+
+pub use config::ModelConfig;

@@ -1,0 +1,230 @@
+//! On-chip buffer arena and off-chip backing store.
+
+use std::collections::HashMap;
+use step_core::elem::Elem;
+use step_core::error::{Result, StepError};
+use step_core::tile::Tile;
+
+/// A buffer allocated by `Bufferize`: the captured tiles plus the
+/// dimension extents observed while filling it.
+#[derive(Debug, Clone)]
+pub struct StoredBuffer {
+    /// Captured elements in stream order.
+    pub elems: Vec<Elem>,
+    /// Extents of the buffered dims (outermost first).
+    pub dims: Vec<u64>,
+    /// Total payload bytes.
+    pub bytes: u64,
+}
+
+/// The on-chip scratchpad arena shared by `Bufferize`/`Streamify` nodes.
+///
+/// Tracks live and peak byte usage, which provides the *measured* on-chip
+/// memory requirement for dynamically-sized buffers (§4.2, "handling data
+/// dependencies").
+#[derive(Debug, Default)]
+pub struct Arena {
+    buffers: HashMap<u64, StoredBuffer>,
+    next_id: u64,
+    live_bytes: u64,
+    peak_bytes: u64,
+}
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new() -> Arena {
+        Arena::default()
+    }
+
+    /// Allocates a buffer, returning its id.
+    pub fn alloc(&mut self, buf: StoredBuffer) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live_bytes += buf.bytes;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        self.buffers.insert(id, buf);
+        id
+    }
+
+    /// Reads a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Exec`] if the buffer does not exist (already
+    /// freed or never allocated).
+    pub fn get(&self, id: u64) -> Result<&StoredBuffer> {
+        self.buffers
+            .get(&id)
+            .ok_or_else(|| StepError::Exec(format!("buffer {id} not resident")))
+    }
+
+    /// Frees a buffer. Freeing twice is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Exec`] if the buffer does not exist.
+    pub fn free(&mut self, id: u64) -> Result<()> {
+        match self.buffers.remove(&id) {
+            Some(b) => {
+                self.live_bytes -= b.bytes;
+                Ok(())
+            }
+            None => Err(StepError::Exec(format!("double free of buffer {id}"))),
+        }
+    }
+
+    /// Current resident bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Peak resident bytes over the run.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+}
+
+/// Dense contents of off-chip memory, keyed by the base address of each
+/// registered tensor. Loads overlapping a registered tensor return dense
+/// tiles; loads elsewhere return phantom tiles of the right shape, keeping
+/// timing runs cheap.
+#[derive(Debug, Default)]
+pub struct BackingStore {
+    tensors: HashMap<u64, StoredTensor>,
+}
+
+#[derive(Debug)]
+struct StoredTensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl BackingStore {
+    /// Creates an empty store.
+    pub fn new() -> BackingStore {
+        BackingStore::default()
+    }
+
+    /// Registers a dense row-major tensor at `base_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn register(&mut self, base_addr: u64, rows: usize, cols: usize, data: Vec<f32>) {
+        assert_eq!(data.len(), rows * cols, "backing tensor size mismatch");
+        self.tensors
+            .insert(base_addr, StoredTensor { rows, cols, data });
+    }
+
+    /// Reads the tile at element offset `(r0, c0)` of the tensor at
+    /// `base_addr`, or a phantom tile if nothing is registered there.
+    pub fn read_tile(
+        &self,
+        base_addr: u64,
+        r0: usize,
+        c0: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Tile {
+        match self.tensors.get(&base_addr) {
+            Some(t) => {
+                let mut out = Vec::with_capacity(rows * cols);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let (rr, cc) = (r0 + r, c0 + c);
+                        out.push(if rr < t.rows && cc < t.cols {
+                            t.data[rr * t.cols + cc]
+                        } else {
+                            0.0
+                        });
+                    }
+                }
+                Tile::dense(rows, cols, out)
+            }
+            None => Tile::phantom(rows, cols),
+        }
+    }
+
+    /// Writes a tile at element offset `(r0, c0)` of the tensor at
+    /// `base_addr`. Writes to unregistered regions or with phantom data
+    /// are accounted but not materialized.
+    pub fn write_tile(&mut self, base_addr: u64, r0: usize, c0: usize, tile: &Tile) {
+        if let (Some(t), Some(vals)) = (self.tensors.get_mut(&base_addr), tile.values()) {
+            for r in 0..tile.rows() {
+                for c in 0..tile.cols() {
+                    let (rr, cc) = (r0 + r, c0 + c);
+                    if rr < t.rows && cc < t.cols {
+                        t.data[rr * t.cols + cc] = vals[r * tile.cols() + c];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads back a registered tensor's dense contents, if present.
+    pub fn tensor(&self, base_addr: u64) -> Option<(usize, usize, &[f32])> {
+        self.tensors
+            .get(&base_addr)
+            .map(|t| (t.rows, t.cols, t.data.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_tracks_peak() {
+        let mut a = Arena::new();
+        let id1 = a.alloc(StoredBuffer {
+            elems: vec![],
+            dims: vec![2],
+            bytes: 100,
+        });
+        let id2 = a.alloc(StoredBuffer {
+            elems: vec![],
+            dims: vec![4],
+            bytes: 50,
+        });
+        assert_eq!(a.live_bytes(), 150);
+        a.free(id1).unwrap();
+        assert_eq!(a.live_bytes(), 50);
+        assert_eq!(a.peak_bytes(), 150);
+        a.free(id2).unwrap();
+        assert!(a.free(id2).is_err());
+    }
+
+    #[test]
+    fn arena_get_missing_errors() {
+        let a = Arena::new();
+        assert!(a.get(0).is_err());
+    }
+
+    #[test]
+    fn backing_store_roundtrip() {
+        let mut s = BackingStore::new();
+        s.register(0x1000, 4, 4, (0..16).map(|x| x as f32).collect());
+        let t = s.read_tile(0x1000, 2, 2, 2, 2);
+        assert_eq!(t.values().unwrap(), &[10.0, 11.0, 14.0, 15.0]);
+        s.write_tile(0x1000, 0, 0, &Tile::splat(2, 2, 9.0));
+        let t = s.read_tile(0x1000, 0, 0, 2, 2);
+        assert_eq!(t.values().unwrap(), &[9.0; 4]);
+    }
+
+    #[test]
+    fn unregistered_reads_are_phantom() {
+        let s = BackingStore::new();
+        let t = s.read_tile(0xdead, 0, 0, 8, 8);
+        assert!(t.is_phantom());
+        assert_eq!((t.rows(), t.cols()), (8, 8));
+    }
+
+    #[test]
+    fn out_of_range_reads_are_zero_padded() {
+        let mut s = BackingStore::new();
+        s.register(0, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let t = s.read_tile(0, 1, 1, 2, 2);
+        assert_eq!(t.values().unwrap(), &[4.0, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Timed bounded FIFOs.
+//!
+//! Channels model the hardware queues connecting SDA units. Each entry
+//! carries the simulation time at which it becomes visible to the
+//! receiver. Backpressure is modeled *in time*: a channel has `capacity`
+//! slots; a slot is reclaimed at the moment the receiver dequeues, so a
+//! sender that finds the queue full resumes no earlier than that dequeue
+//! time. Ports sustain at most one token per cycle in each direction.
+
+use std::collections::VecDeque;
+use step_core::token::Token;
+
+/// A bounded FIFO carrying `(ready_time, token)` pairs.
+#[derive(Debug)]
+pub struct Channel {
+    latency: u64,
+    queue: VecDeque<(u64, Token)>,
+    /// Times at which free slots became (or were initially) available.
+    slots: VecDeque<u64>,
+    last_send: Option<u64>,
+    last_pop: Option<u64>,
+    closed: bool,
+    src_finished: bool,
+    /// Lower bound on the ready time of any *future* token (producer's
+    /// clock plus transit latency); lets arrival-order consumers commit
+    /// to a head knowing nothing earlier can still arrive.
+    floor: u64,
+    /// Total tokens ever enqueued (for edge statistics).
+    sent_tokens: u64,
+    /// Maximum element payload in bytes observed on this channel.
+    max_elem_bytes: u64,
+}
+
+impl Channel {
+    /// Creates a channel with `capacity` slots and `latency` cycles of
+    /// transit delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, latency: u64) -> Channel {
+        assert!(capacity > 0, "channel capacity must be positive");
+        Channel {
+            latency,
+            queue: VecDeque::with_capacity(capacity),
+            slots: std::iter::repeat_n(0, capacity).collect(),
+            last_send: None,
+            last_pop: None,
+            closed: false,
+            src_finished: false,
+            floor: 0,
+            sent_tokens: 0,
+            max_elem_bytes: 0,
+        }
+    }
+
+    /// Whether a send would succeed right now.
+    pub fn can_send(&self) -> bool {
+        self.closed || !self.slots.is_empty()
+    }
+
+    /// Enqueues `token` from a sender whose local clock reads `now`,
+    /// returning the effective send time (when the port actually accepted
+    /// the token). If the receiver is gone the token is dropped and `now`
+    /// is returned unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is full — call [`Channel::can_send`] first.
+    pub fn send(&mut self, now: u64, token: Token) -> u64 {
+        if self.closed {
+            return now;
+        }
+        let slot = self
+            .slots
+            .pop_front()
+            .expect("send on full channel; check can_send()");
+        let mut t = now.max(slot);
+        if let Some(last) = self.last_send {
+            t = t.max(last + 1); // one token per cycle per port
+        }
+        self.last_send = Some(t);
+        self.sent_tokens += 1;
+        if let Token::Val(e) = &token {
+            self.max_elem_bytes = self.max_elem_bytes.max(e.bytes());
+        }
+        self.queue.push_back((t + self.latency, token));
+        t
+    }
+
+    /// The head entry, if any.
+    pub fn peek(&self) -> Option<&(u64, Token)> {
+        self.queue.front()
+    }
+
+    /// Dequeues the head token for a receiver whose clock reads `now`,
+    /// returning `(dequeue_time, token)` where `dequeue_time = max(now,
+    /// ready, last_pop + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is empty — call [`Channel::peek`] first.
+    pub fn pop(&mut self, now: u64) -> (u64, Token) {
+        let (ready, token) = self.queue.pop_front().expect("pop on empty channel");
+        let mut t = now.max(ready);
+        if let Some(last) = self.last_pop {
+            t = t.max(last + 1);
+        }
+        self.last_pop = Some(t);
+        self.slots.push_back(t);
+        (t, token)
+    }
+
+    /// Marks the receiver as gone: pending and future tokens are dropped.
+    pub fn close(&mut self) {
+        self.closed = true;
+        self.queue.clear();
+        // Slots are irrelevant once closed, but keep the invariant simple.
+    }
+
+    /// Marks the producer as finished (it has emitted `Done`).
+    pub fn finish_src(&mut self) {
+        self.src_finished = true;
+    }
+
+    /// Whether the producer has emitted all its tokens.
+    pub fn src_finished(&self) -> bool {
+        self.src_finished
+    }
+
+    /// Raises the future-token time floor to `t` (monotone).
+    pub fn raise_floor(&mut self, t: u64) {
+        self.floor = self.floor.max(t);
+    }
+
+    /// Lower bound on any future token's ready time.
+    pub fn time_floor(&self) -> u64 {
+        self.floor + self.latency
+    }
+
+    /// Whether the receiver has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Queued token count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total tokens ever enqueued.
+    pub fn sent_tokens(&self) -> u64 {
+        self.sent_tokens
+    }
+
+    /// Largest element payload observed, in bytes.
+    pub fn max_elem_bytes(&self) -> u64 {
+        self.max_elem_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use step_core::elem::Elem;
+
+    fn val(x: u64) -> Token {
+        Token::Val(Elem::Addr(x))
+    }
+
+    #[test]
+    fn send_and_pop_respect_latency() {
+        let mut c = Channel::new(4, 3);
+        let t = c.send(10, val(1));
+        assert_eq!(t, 10);
+        let (t, tok) = c.pop(0);
+        assert_eq!(t, 13); // ready at send + latency
+        assert_eq!(tok, val(1));
+    }
+
+    #[test]
+    fn port_rate_is_one_token_per_cycle() {
+        let mut c = Channel::new(8, 0);
+        assert_eq!(c.send(5, val(1)), 5);
+        assert_eq!(c.send(5, val(2)), 6);
+        assert_eq!(c.send(5, val(3)), 7);
+        let (t1, _) = c.pop(0);
+        let (t2, _) = c.pop(0);
+        assert_eq!(t1, 5);
+        assert_eq!(t2, 6);
+    }
+
+    #[test]
+    fn backpressure_stalls_sender_until_pop_time() {
+        let mut c = Channel::new(1, 0);
+        assert_eq!(c.send(0, val(1)), 0);
+        assert!(!c.can_send());
+        // Receiver takes the token at time 100; slot frees then.
+        let (t, _) = c.pop(100);
+        assert_eq!(t, 100);
+        assert!(c.can_send());
+        assert_eq!(c.send(1, val(2)), 100);
+    }
+
+    #[test]
+    fn closed_channel_drops_tokens() {
+        let mut c = Channel::new(1, 0);
+        c.send(0, val(1));
+        c.close();
+        assert!(c.is_empty());
+        assert!(c.can_send());
+        assert_eq!(c.send(7, val(2)), 7);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn tracks_max_elem_bytes() {
+        let mut c = Channel::new(4, 0);
+        c.send(0, Token::Val(Elem::Tile(step_core::tile::Tile::phantom(4, 4))));
+        c.send(0, Token::Stop(1));
+        assert_eq!(c.max_elem_bytes(), 32);
+        assert_eq!(c.sent_tokens(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full channel")]
+    fn send_on_full_panics() {
+        let mut c = Channel::new(1, 0);
+        c.send(0, val(1));
+        c.send(0, val(2));
+    }
+}

@@ -1,0 +1,248 @@
+//! The simulation engine: scheduler, termination, and reporting.
+
+use crate::arena::{Arena, BackingStore};
+use crate::channel::Channel;
+use crate::config::SimConfig;
+use crate::hbm::Hbm;
+use crate::nodes::{self, Ctx, SimNode};
+use crate::stats::NodeStats;
+use std::collections::BTreeMap;
+use step_core::error::{Result, StepError};
+use step_core::graph::{Graph, NodeId};
+use step_core::token::Token;
+
+/// The outcome of a simulation run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Total execution time in cycles (latest node completion or HBM
+    /// transfer).
+    pub cycles: u64,
+    /// Total off-chip traffic in bytes (measured at the HBM node).
+    pub offchip_traffic: u64,
+    /// Off-chip bytes read.
+    pub offchip_read: u64,
+    /// Off-chip bytes written.
+    pub offchip_write: u64,
+    /// Measured on-chip memory requirement in bytes (per-node §4.2
+    /// equations with runtime-observed dynamic quantities).
+    pub onchip_memory: u64,
+    /// Peak bytes resident in the buffer arena.
+    pub arena_peak: u64,
+    /// Total FLOPs executed by higher-order operators.
+    pub total_flops: u64,
+    /// Total compute bandwidth allocated across compute nodes
+    /// (FLOPs/cycle).
+    pub allocated_compute: u64,
+    /// Peak off-chip bandwidth (bytes/cycle) for utilization.
+    pub offchip_peak_bw: u64,
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+    /// Per-node statistics, indexed like `graph.nodes()`.
+    pub node_stats: Vec<NodeStats>,
+    /// Recorded token streams per recording sink.
+    pub sinks: BTreeMap<NodeId, Vec<Token>>,
+}
+
+impl SimReport {
+    /// Fraction of allocated compute actually used:
+    /// `FLOPs / (allocated FLOPs/cycle × cycles)` (Fig 12).
+    pub fn compute_utilization(&self) -> f64 {
+        if self.allocated_compute == 0 || self.cycles == 0 {
+            0.0
+        } else {
+            self.total_flops as f64 / (self.allocated_compute as f64 * self.cycles as f64)
+        }
+    }
+
+    /// Fraction of peak off-chip bandwidth used (Fig 13).
+    pub fn offchip_bw_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.offchip_traffic as f64 / (self.offchip_peak_bw as f64 * self.cycles as f64)
+        }
+    }
+
+    /// The recorded tokens of the sink created by
+    /// [`step_core::graph::GraphBuilder::sink`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Exec`] if the node did not record.
+    pub fn sink_tokens(&self, id: NodeId) -> Result<&[Token]> {
+        self.sinks
+            .get(&id)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| StepError::Exec(format!("node {id:?} is not a recording sink")))
+    }
+}
+
+/// A configured simulation of one STeP graph.
+pub struct Simulation {
+    graph: Graph,
+    cfg: SimConfig,
+    channels: Vec<Channel>,
+    nodes: Vec<Box<dyn SimNode>>,
+    hbm: Hbm,
+    arena: Arena,
+    store: BackingStore,
+}
+
+impl Simulation {
+    /// Builds executors and channels for `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Config`] if an operator cannot be executed.
+    pub fn new(graph: Graph, cfg: SimConfig) -> Result<Simulation> {
+        let channels: Vec<Channel> = graph
+            .edges()
+            .iter()
+            .map(|e| Channel::new(e.capacity, cfg.channel_latency))
+            .collect();
+        let nodes: Result<Vec<_>> = (0..graph.nodes().len())
+            .map(|i| nodes::build_node(&graph, i))
+            .collect();
+        let hbm = Hbm::new(cfg.hbm.clone());
+        Ok(Simulation {
+            graph,
+            cfg,
+            channels,
+            nodes: nodes?,
+            hbm,
+            arena: Arena::new(),
+            store: BackingStore::new(),
+        })
+    }
+
+    /// Registers a dense tensor in off-chip memory so loads return real
+    /// data (functional runs).
+    pub fn preload(&mut self, base_addr: u64, rows: usize, cols: usize, data: Vec<f32>) {
+        self.store.register(base_addr, rows, cols, data);
+    }
+
+    /// Reads back a preloaded/stored tensor.
+    pub fn offchip_tensor(&self, base_addr: u64) -> Option<(usize, usize, Vec<f32>)> {
+        self.store
+            .tensor(base_addr)
+            .map(|(r, c, d)| (r, c, d.to_vec()))
+    }
+
+    /// Runs the graph to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Deadlock`] if the graph stops making progress
+    /// before finishing, or the first functional error raised by a node.
+    pub fn run(mut self) -> Result<SimReport> {
+        let mut rounds: u64 = 0;
+        let mut horizon: u64 = self.cfg.horizon_step;
+        loop {
+            rounds += 1;
+            if rounds > self.cfg.max_rounds {
+                return Err(StepError::Exec(format!(
+                    "exceeded {} scheduler rounds",
+                    self.cfg.max_rounds
+                )));
+            }
+            let mut progress = false;
+            let mut all_done = true;
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                if node.done() {
+                    continue;
+                }
+                all_done = false;
+                let mut ctx = Ctx {
+                    channels: &mut self.channels,
+                    hbm: &mut self.hbm,
+                    arena: &mut self.arena,
+                    store: &mut self.store,
+                    cfg: &self.cfg,
+                    horizon,
+                };
+                let p = node.fire(&mut ctx).map_err(|e| {
+                    let n = &self.graph.nodes()[i];
+                    let label = if n.label.is_empty() {
+                        n.op.name().to_string()
+                    } else {
+                        format!("{} ({})", n.op.name(), n.label)
+                    };
+                    StepError::Exec(format!("node {i} [{label}]: {e}"))
+                })?;
+                progress |= p;
+                // Publish a conservative lower bound on this node's future
+                // token times so arrival-order merges can commit safely.
+                let t = node.local_time();
+                for e in &self.graph.nodes()[i].outputs {
+                    self.channels[e.0 as usize].raise_floor(t);
+                }
+            }
+            if all_done {
+                break;
+            }
+            if !progress {
+                // Quiescent within the current window: advance the horizon
+                // to the next pending event.
+                let next_event = self
+                    .channels
+                    .iter()
+                    .filter_map(|c| c.peek().map(|(t, _)| *t))
+                    .filter(|&t| t > horizon)
+                    .min();
+                if let Some(t) = next_event {
+                    horizon = t + self.cfg.horizon_step;
+                    continue;
+                }
+                let blocked: Vec<String> = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| !n.done())
+                    .map(|(i, n)| {
+                        let g = &self.graph.nodes()[i];
+                        format!("{i}:{} t={}", g.op.name(), n.local_time())
+                    })
+                    .collect();
+                return Err(StepError::Deadlock(format!(
+                    "no progress with {} nodes blocked: {}",
+                    blocked.len(),
+                    blocked.join(", ")
+                )));
+            }
+        }
+        Ok(self.into_report(rounds))
+    }
+
+    fn into_report(self, rounds: u64) -> SimReport {
+        let node_stats: Vec<NodeStats> =
+            self.nodes.iter().map(|n| n.stats().clone()).collect();
+        let cycles = node_stats
+            .iter()
+            .map(|s| s.finish_time)
+            .max()
+            .unwrap_or(0)
+            .max(self.hbm.last_completion());
+        let mut sinks = BTreeMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(toks) = n.recorded() {
+                sinks.insert(NodeId(i as u32), toks.to_vec());
+            }
+        }
+        let onchip_memory = node_stats.iter().map(|s| s.onchip_bytes).sum();
+        let total_flops = node_stats.iter().map(|s| s.flops).sum();
+        SimReport {
+            cycles,
+            offchip_traffic: self.hbm.total_bytes(),
+            offchip_read: self.hbm.read_bytes(),
+            offchip_write: self.hbm.write_bytes(),
+            onchip_memory,
+            arena_peak: self.arena.peak_bytes(),
+            total_flops,
+            allocated_compute: self.graph.allocated_compute(),
+            offchip_peak_bw: self.hbm.peak_bytes_per_cycle(),
+            rounds,
+            node_stats,
+            sinks,
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Cycle-approximate simulator for STeP programs (§4.3).
+//!
+//! The paper implements its simulator on the Dataflow Abstract Machine
+//! (DAM) framework: every operator executes asynchronously with a local
+//! clock, communicating over bounded, latency-carrying FIFOs; off-chip
+//! accesses go through an HBM timing node and higher-order operators charge
+//! a roofline cost `max(in_bytes/mem_bw, flops/compute_bw,
+//! out_bytes/mem_bw)` per element. This crate reproduces those semantics
+//! with a deterministic, single-threaded conservative event model:
+//!
+//! - [`channel::Channel`] — bounded FIFOs carrying `(ready_time, token)`
+//!   pairs, modelling backpressure *in time* (a sender blocked on a full
+//!   queue resumes at the receiver's dequeue time) and a one-token-per-
+//!   cycle port rate;
+//! - [`hbm::Hbm`] — a bank/row/bus DRAM timing model standing in for
+//!   Ramulator 2.0 (see DESIGN.md for the substitution argument);
+//! - [`arena::Arena`] — the on-chip scratchpad backing `Bufferize` /
+//!   `Streamify`, tracking peak usage for dynamic buffers;
+//! - [`arena::BackingStore`] — optional dense off-chip contents so that
+//!   loads return real data in functional tests (phantom otherwise);
+//! - [`nodes`] — an executor per STeP operator implementing both the
+//!   functional token semantics of §3.2 and the timing model of §4.3;
+//! - [`engine::Simulation`] — the round-robin scheduler with deadlock
+//!   detection, and [`engine::SimReport`] with cycles, off-chip traffic,
+//!   measured on-chip memory, utilization, and recorded sink streams.
+//!
+//! # Example
+//!
+//! ```
+//! use step_core::graph::GraphBuilder;
+//! use step_core::ops::LinearLoadCfg;
+//! use step_sim::{SimConfig, Simulation};
+//!
+//! let mut g = GraphBuilder::new();
+//! let trigger = g.unit_source(1);
+//! let tiles = g.linear_offchip_load(
+//!     &trigger,
+//!     LinearLoadCfg::new(0, (64, 256), (64, 64)),
+//! ).unwrap();
+//! g.linear_offchip_store(&tiles, 0x10_0000).unwrap();
+//! let report = Simulation::new(g.finish(), SimConfig::default())
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.offchip_traffic, 2 * 64 * 256 * 2); // load + store
+//! assert!(report.cycles > 0);
+//! ```
+
+pub mod arena;
+pub mod channel;
+pub mod config;
+pub mod engine;
+pub mod hbm;
+pub mod nodes;
+pub mod stats;
+
+pub use config::{HbmConfig, SimConfig};
+pub use engine::{SimReport, Simulation};
+pub use stats::NodeStats;

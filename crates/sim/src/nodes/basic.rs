@@ -1,0 +1,505 @@
+//! Sources, sinks, fan-out, zip, and the shape operators (Table 7).
+
+use super::{Ctx, Io, SimNode, BUDGET};
+use crate::stats::NodeStats;
+use step_core::elem::Elem;
+use step_core::error::{Result, StepError};
+use step_core::graph::Node;
+use step_core::ops::SourceCfg;
+use step_core::token::Token;
+
+macro_rules! impl_simnode_common {
+    ($ty:ty) => {
+        impl SimNode for $ty {
+            fn fire(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+                let mut progress = false;
+                for _ in 0..BUDGET {
+                    let (sent, drained) = self.io.flush(ctx);
+                    progress |= sent;
+                    if !drained || self.io.done || self.io.finishing {
+                        return Ok(progress);
+                    }
+                    match self.step(ctx)? {
+                        true => progress = true,
+                        false => return Ok(progress),
+                    }
+                }
+                Ok(progress)
+            }
+
+            fn done(&self) -> bool {
+                self.io.done
+            }
+
+            fn stats(&self) -> &NodeStats {
+                &self.io.stats
+            }
+
+            fn local_time(&self) -> u64 {
+                self.io.time
+            }
+        }
+    };
+}
+pub(crate) use impl_simnode_common;
+
+/// Plays a pre-materialized token stream.
+pub struct SourceNode {
+    io: Io,
+    tokens: std::vec::IntoIter<Token>,
+}
+
+impl SourceNode {
+    pub fn new(node: &Node, cfg: SourceCfg) -> SourceNode {
+        SourceNode {
+            io: Io::new(node),
+            tokens: cfg.tokens.into_iter(),
+        }
+    }
+
+    fn step(&mut self, _ctx: &mut Ctx<'_>) -> Result<bool> {
+        match self.tokens.next() {
+            Some(Token::Done) => {
+                self.io.push_done_all();
+                Ok(true)
+            }
+            Some(tok) => {
+                self.io.push(0, tok);
+                Ok(true)
+            }
+            None => {
+                self.io.finishing = true;
+                Ok(true)
+            }
+        }
+    }
+}
+
+impl_simnode_common!(SourceNode);
+
+/// Consumes a stream, optionally recording it.
+pub struct SinkNode {
+    io: Io,
+    record: bool,
+    recorded: Vec<Token>,
+}
+
+impl SinkNode {
+    pub fn new(node: &Node, record: bool) -> SinkNode {
+        SinkNode {
+            io: Io::new(node),
+            record,
+            recorded: Vec::new(),
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        let tok = self.io.pop(ctx, 0);
+        let done = matches!(tok, Token::Done);
+        if self.record {
+            self.recorded.push(tok);
+        }
+        if done {
+            self.io.finishing = true;
+        }
+        Ok(true)
+    }
+}
+
+impl SimNode for SinkNode {
+    fn fire(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        let mut progress = false;
+        for _ in 0..BUDGET {
+            let (sent, drained) = self.io.flush(ctx);
+            progress |= sent;
+            if !drained || self.io.done || self.io.finishing {
+                return Ok(progress);
+            }
+            match self.step(ctx)? {
+                true => progress = true,
+                false => return Ok(progress),
+            }
+        }
+        Ok(progress)
+    }
+
+    fn done(&self) -> bool {
+        self.io.done
+    }
+
+    fn stats(&self) -> &NodeStats {
+        &self.io.stats
+    }
+
+    fn local_time(&self) -> u64 {
+        self.io.time
+    }
+
+    fn recorded(&self) -> Option<&[Token]> {
+        self.record.then_some(self.recorded.as_slice())
+    }
+}
+
+/// Replicates the input stream to every output.
+pub struct ForkNode {
+    io: Io,
+}
+
+impl ForkNode {
+    pub fn new(node: &Node) -> ForkNode {
+        ForkNode { io: Io::new(node) }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        let tok = self.io.pop(ctx, 0);
+        match tok {
+            Token::Done => self.io.push_done_all(),
+            t => {
+                for port in 0..self.io.outs.len() {
+                    self.io.push(port, t.clone());
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(ForkNode);
+
+/// Groups two equal-shaped streams into tuples.
+pub struct ZipNode {
+    io: Io,
+}
+
+impl ZipNode {
+    pub fn new(node: &Node) -> ZipNode {
+        ZipNode { io: Io::new(node) }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() || self.io.peek(ctx, 1).is_none() {
+            return Ok(false);
+        }
+        let a = self.io.pop(ctx, 0);
+        let b = self.io.pop(ctx, 1);
+        match (a, b) {
+            (Token::Val(x), Token::Val(y)) => {
+                self.io.push(0, Token::Val(Elem::Tuple(vec![x, y])));
+            }
+            (Token::Stop(s1), Token::Stop(s2)) if s1 == s2 => {
+                self.io.push(0, Token::Stop(s1));
+            }
+            (Token::Done, Token::Done) => self.io.push_done_all(),
+            (x, y) => {
+                return Err(StepError::Exec(format!(
+                    "zip misalignment: {x} vs {y}"
+                )))
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(ZipNode);
+
+/// `Flatten`: merges dims between stop levels `min..=max` (Table 7).
+pub struct FlattenNode {
+    io: Io,
+    min: u8,
+    max: u8,
+}
+
+impl FlattenNode {
+    pub fn new(node: &Node, min: u8, max: u8) -> FlattenNode {
+        FlattenNode {
+            io: Io::new(node),
+            min,
+            max,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(e) => self.io.push(0, Token::Val(e)),
+            Token::Stop(k) => {
+                let width = self.max - self.min;
+                if k <= self.min {
+                    self.io.push(0, Token::Stop(k));
+                } else if k <= self.max {
+                    // Boundary internal to the merged dim: it survives only
+                    // as a level-`min` stop (vanishes when min == 0).
+                    if self.min > 0 {
+                        self.io.push(0, Token::Stop(self.min));
+                    }
+                } else {
+                    self.io.push(0, Token::Stop(k - width));
+                }
+            }
+            Token::Done => self.io.push_done_all(),
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(FlattenNode);
+
+/// `Promote`: adds an outermost dimension of extent 1 (Table 7). The final
+/// top-level stop is upgraded by one level; an empty stream stays empty.
+pub struct PromoteNode {
+    io: Io,
+    rank: u8,
+    held: Option<Token>,
+}
+
+impl PromoteNode {
+    pub fn new(node: &Node, input_rank: u8) -> PromoteNode {
+        PromoteNode {
+            io: Io::new(node),
+            rank: input_rank,
+            held: None,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        let tok = self.io.pop(ctx, 0);
+        match tok {
+            Token::Done => {
+                match self.held.take() {
+                    Some(Token::Stop(s)) if s == self.rank => {
+                        self.io.push(0, Token::Stop(s + 1));
+                    }
+                    Some(t) => {
+                        // Rank-0 inputs have no closing stop of their own;
+                        // the promoted dimension supplies one.
+                        self.io.push(0, t);
+                        self.io.push(0, Token::Stop(self.rank + 1));
+                    }
+                    None => {}
+                }
+                self.io.push_done_all();
+            }
+            t => {
+                if let Some(prev) = self.held.replace(t) {
+                    self.io.push(0, prev);
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(PromoteNode);
+
+/// Static `Expand`: repeats each value `factor` times.
+pub struct ExpandStaticNode {
+    io: Io,
+    factor: u64,
+}
+
+impl ExpandStaticNode {
+    pub fn new(node: &Node, factor: u64) -> ExpandStaticNode {
+        ExpandStaticNode {
+            io: Io::new(node),
+            factor,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(e) => {
+                for _ in 0..self.factor {
+                    self.io.push(0, Token::Val(e.clone()));
+                }
+                if let Elem::Tile(t) = &e {
+                    self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(t.bytes());
+                }
+            }
+            Token::Stop(s) => self.io.push(0, Token::Stop(s)),
+            Token::Done => self.io.push_done_all(),
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(ExpandStaticNode);
+
+/// Reference-driven `Expand` (Fig 5): repeats input elements per the
+/// reference stream's structure below `level`.
+pub struct ExpandNode {
+    io: Io,
+    level: u8,
+    current: Option<Elem>,
+}
+
+impl ExpandNode {
+    pub fn new(node: &Node, level: u8) -> ExpandNode {
+        ExpandNode {
+            io: Io::new(node),
+            level,
+            current: None,
+        }
+    }
+
+    /// Consumes input tokens up to and including the stop closing the
+    /// current element's block.
+    fn advance_input(&mut self, ctx: &mut Ctx<'_>, expect_level: u8) -> Result<bool> {
+        // The input mirrors the reference structure at levels >= `level`:
+        // after each value it carries the same stop the reference carries.
+        match self.io.peek(ctx, 0) {
+            None => Ok(false),
+            Some(_) => match self.io.pop(ctx, 0) {
+                Token::Stop(s) if s == expect_level => {
+                    self.current = None;
+                    Ok(true)
+                }
+                other => Err(StepError::Exec(format!(
+                    "expand: input out of sync, expected Stop({expect_level}), got {other}"
+                ))),
+            },
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        match self.io.peek(ctx, 1) {
+            None => Ok(false),
+            Some((_, Token::Val(_))) => {
+                if self.current.is_none() {
+                    match self.io.peek(ctx, 0) {
+                        Some((_, Token::Val(_))) => {
+                            if let Token::Val(e) = self.io.pop(ctx, 0) {
+                                if let Elem::Tile(t) = &e {
+                                    self.io.stats.onchip_bytes =
+                                        self.io.stats.onchip_bytes.max(t.bytes());
+                                }
+                                self.current = Some(e);
+                            }
+                        }
+                        Some((_, other)) => {
+                            return Err(StepError::Exec(format!(
+                                "expand: expected input value, got {other}"
+                            )))
+                        }
+                        None => return Ok(false),
+                    }
+                }
+                let _ = self.io.pop(ctx, 1);
+                let e = self.current.clone().expect("loaded above");
+                self.io.push(0, Token::Val(e));
+                Ok(true)
+            }
+            Some(&(_, Token::Stop(s))) => {
+                if s >= self.level && !self.advance_input(ctx, s)? {
+                    return Ok(false);
+                }
+                let _ = self.io.pop(ctx, 1);
+                self.io.push(0, Token::Stop(s));
+                Ok(true)
+            }
+            Some((_, Token::Done)) => {
+                // Input should be exhausted up to its Done.
+                if let Some((_, Token::Done)) = self.io.peek(ctx, 0) {
+                    let _ = self.io.pop(ctx, 0);
+                }
+                let _ = self.io.pop(ctx, 1);
+                self.io.push_done_all();
+                Ok(true)
+            }
+        }
+    }
+}
+
+impl_simnode_common!(ExpandNode);
+
+/// `Reshape` at level 0: splits the innermost dim into `chunk`-element
+/// groups, padding short tails; emits data and padding streams (Table 7).
+pub struct ReshapeNode {
+    io: Io,
+    chunk: u64,
+    pad: Option<Elem>,
+    count: u64,
+    pending_stop: bool,
+}
+
+impl ReshapeNode {
+    pub fn new(node: &Node, chunk: u64, pad: Option<Elem>) -> ReshapeNode {
+        ReshapeNode {
+            io: Io::new(node),
+            chunk,
+            pad,
+            count: 0,
+            pending_stop: false,
+        }
+    }
+
+    fn pad_to_boundary(&mut self) -> Result<()> {
+        if self.count == 0 {
+            return Ok(());
+        }
+        while self.count < self.chunk {
+            let pad = self.pad.clone().ok_or_else(|| {
+                StepError::Exec("reshape needs padding but no pad value configured".into())
+            })?;
+            self.io.push(0, Token::Val(pad));
+            self.io.push(1, Token::Val(Elem::Bool(true)));
+            self.count += 1;
+        }
+        self.count = 0;
+        self.pending_stop = true;
+        Ok(())
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(e) => {
+                if self.pending_stop {
+                    self.io.push(0, Token::Stop(1));
+                    self.io.push(1, Token::Stop(1));
+                    self.pending_stop = false;
+                }
+                self.io.push(0, Token::Val(e));
+                self.io.push(1, Token::Val(Elem::Bool(false)));
+                self.count += 1;
+                if self.count == self.chunk {
+                    self.count = 0;
+                    self.pending_stop = true;
+                }
+            }
+            Token::Stop(k) => {
+                self.pad_to_boundary()?;
+                self.io.push(0, Token::Stop(k + 1));
+                self.io.push(1, Token::Stop(k + 1));
+                self.pending_stop = false;
+            }
+            Token::Done => {
+                self.pad_to_boundary()?;
+                if self.pending_stop {
+                    self.io.push(0, Token::Stop(1));
+                    self.io.push(1, Token::Stop(1));
+                    self.pending_stop = false;
+                }
+                self.io.push_done_all();
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(ReshapeNode);

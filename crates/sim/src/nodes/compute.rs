@@ -1,0 +1,274 @@
+//! Higher-order operators (Table 5) with the roofline timing model of
+//! §4.3: each element costs `max(1, ⌈FLOPs / compute_bw⌉)` cycles; memory
+//! terms are charged by the on-chip operators that own the scratchpad
+//! ports.
+
+use super::basic::impl_simnode_common;
+use super::{compute_cycles, BlockEmitter, Ctx, Io, SimNode, BUDGET};
+use crate::stats::NodeStats;
+use step_core::error::{Result, StepError};
+use step_core::func::{AccumFn, FlatMapFn, MapFn};
+use step_core::graph::Node;
+use step_core::tile::Tile;
+use step_core::token::Token;
+use step_core::{Elem, DTYPE_BYTES};
+
+/// `Map`: elementwise application of a hardware function.
+pub struct MapNode {
+    io: Io,
+    func: MapFn,
+    compute_bw: u64,
+}
+
+impl MapNode {
+    pub fn new(node: &Node, func: MapFn, compute_bw: u64) -> MapNode {
+        MapNode {
+            io: Io::new(node),
+            func,
+            compute_bw,
+        }
+    }
+
+    fn track_memory(&mut self, e: &Elem) {
+        if matches!(self.func, MapFn::Matmul | MapFn::MatmulBt) {
+            if let Ok(pair) = e.as_tuple() {
+                if let (Ok(a), Ok(b)) = (pair[0].as_tile(), pair[1].as_tile()) {
+                    // 16 * in_tile_col * bytes + |weight tile| (§4.2).
+                    let mem = 16 * a.cols() as u64 * DTYPE_BYTES + b.bytes();
+                    self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(mem);
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(e) => {
+                let flops = self.func.flops(&e);
+                let out = self.func.apply(&e)?;
+                self.track_memory(&e);
+                self.io.stats.flops += flops;
+                self.io.busy(compute_cycles(flops, self.compute_bw));
+                self.io.push(0, Token::Val(out));
+            }
+            Token::Stop(s) => self.io.push(0, Token::Stop(s)),
+            Token::Done => self.io.push_done_all(),
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(MapNode);
+
+/// `Accum`: folds the `rank` innermost dims; the accumulator may be
+/// dynamically sized (dynamic tiling, §5.2).
+pub struct AccumNode {
+    io: Io,
+    rank: u8,
+    func: AccumFn,
+    compute_bw: u64,
+    acc: Option<Tile>,
+}
+
+impl AccumNode {
+    pub fn new(node: &Node, rank: u8, func: AccumFn, compute_bw: u64) -> AccumNode {
+        AccumNode {
+            io: Io::new(node),
+            rank,
+            func,
+            compute_bw,
+            acc: None,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(e) => {
+                let flops = self.func.flops(&e);
+                let acc = self.func.update(self.acc.take(), &e)?;
+                self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(acc.bytes());
+                self.acc = Some(acc);
+                self.io.stats.flops += flops;
+                self.io.busy(compute_cycles(flops, self.compute_bw));
+            }
+            Token::Stop(s) if s < self.rank => {}
+            Token::Stop(s) => {
+                if let Some(acc) = self.acc.take() {
+                    self.io.push(0, Token::Val(Elem::Tile(acc)));
+                }
+                if s > self.rank {
+                    self.io.push(0, Token::Stop(s - self.rank));
+                }
+            }
+            Token::Done => {
+                if self.acc.is_some() {
+                    return Err(StepError::Malformed(
+                        "accum input ended without closing stop".into(),
+                    ));
+                }
+                self.io.push_done_all();
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(AccumNode);
+
+/// `Scan`: like `Accum` but emits the running state per element.
+pub struct ScanNode {
+    io: Io,
+    rank: u8,
+    func: AccumFn,
+    compute_bw: u64,
+    acc: Option<Tile>,
+}
+
+impl ScanNode {
+    pub fn new(node: &Node, rank: u8, func: AccumFn, compute_bw: u64) -> ScanNode {
+        ScanNode {
+            io: Io::new(node),
+            rank,
+            func,
+            compute_bw,
+            acc: None,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(e) => {
+                let flops = self.func.flops(&e);
+                let acc = self.func.update(self.acc.take(), &e)?;
+                self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(acc.bytes());
+                self.io.stats.flops += flops;
+                self.io.busy(compute_cycles(flops, self.compute_bw));
+                self.io.push(0, Token::Val(Elem::Tile(acc.clone())));
+                self.acc = Some(acc);
+            }
+            Token::Stop(s) => {
+                if s >= self.rank {
+                    self.acc = None;
+                }
+                self.io.push(0, Token::Stop(s));
+            }
+            Token::Done => self.io.push_done_all(),
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(ScanNode);
+
+/// `FlatMap`: expands each element into a rank-1 block; blocks
+/// concatenate (Table 5).
+pub struct FlatMapNode {
+    io: Io,
+    func: FlatMapFn,
+    emitter: BlockEmitter,
+}
+
+impl FlatMapNode {
+    pub fn new(node: &Node, func: FlatMapFn) -> FlatMapNode {
+        FlatMapNode {
+            io: Io::new(node),
+            func,
+            emitter: BlockEmitter::default(),
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        let b = self.func.block_rank();
+        match self.io.pop(ctx, 0) {
+            Token::Val(e) => {
+                let tensors = self.func.expand(&e)?;
+                for tensor in tensors {
+                    self.emitter.before_block(&mut self.io, 0, b);
+                    for elem in tensor {
+                        self.io.busy(1);
+                        self.io.push(0, Token::Val(elem));
+                    }
+                }
+            }
+            Token::Stop(s) => self.emitter.on_stop(&mut self.io, 0, s, b),
+            Token::Done => {
+                self.emitter.on_done(&mut self.io, 0, b);
+                self.io.push_done_all();
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(FlatMapNode);
+
+/// Address generator: per target-index element, a rank-1 block of `count`
+/// addresses (the `RandomOffChipLoad` feeder under configuration
+/// time-multiplexing, Fig 11).
+pub struct AddrGenNode {
+    io: Io,
+    count: u64,
+    stride: u64,
+    base: u64,
+    emitter: BlockEmitter,
+}
+
+impl AddrGenNode {
+    pub fn new(node: &Node, count: u64, stride: u64, base: u64) -> AddrGenNode {
+        AddrGenNode {
+            io: Io::new(node),
+            count,
+            stride,
+            base,
+            emitter: BlockEmitter::default(),
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(e) => {
+                let index = match &e {
+                    Elem::Sel(s) => {
+                        *s.targets().first().ok_or_else(|| {
+                            StepError::Exec("addr-gen on empty selector".into())
+                        })? as u64
+                    }
+                    Elem::Addr(a) => *a,
+                    other => {
+                        return Err(StepError::ElemType(format!(
+                            "addr-gen needs selector or address, got {other}"
+                        )))
+                    }
+                };
+                self.emitter.before_block(&mut self.io, 0, 1);
+                for j in 0..self.count {
+                    let addr = self.base + (index * self.count + j) * self.stride;
+                    self.io.push(0, Token::Val(Elem::Addr(addr)));
+                }
+            }
+            Token::Stop(s) => self.emitter.on_stop(&mut self.io, 0, s, 1),
+            Token::Done => {
+                self.emitter.on_done(&mut self.io, 0, 1);
+                self.io.push_done_all();
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(AddrGenNode);

@@ -1,0 +1,336 @@
+//! Operator executors.
+//!
+//! Each STeP operator is executed by a node implementing [`SimNode`]:
+//! a state machine with a local clock that consumes timed tokens from its
+//! input channels, performs the operator's functional semantics (§3.2),
+//! charges its timing model (§4.3), and produces timed tokens. Nodes are
+//! fired round-robin by the engine until the graph drains.
+
+mod basic;
+mod compute;
+mod offchip;
+mod onchip;
+mod routing;
+mod routing_partition;
+
+use crate::arena::{Arena, BackingStore};
+use crate::channel::Channel;
+use crate::config::SimConfig;
+use crate::hbm::Hbm;
+use crate::stats::NodeStats;
+use std::collections::VecDeque;
+use step_core::error::{Result, StepError};
+use step_core::graph::{EdgeId, Graph, Node};
+use step_core::ops::OpKind;
+use step_core::token::Token;
+
+/// Shared mutable simulation state handed to nodes on every fire.
+pub struct Ctx<'a> {
+    /// Channels indexed by [`EdgeId`].
+    pub channels: &'a mut [Channel],
+    /// The shared off-chip memory timing node.
+    pub hbm: &'a mut Hbm,
+    /// The on-chip scratchpad arena.
+    pub arena: &'a mut Arena,
+    /// Dense off-chip contents for functional runs.
+    pub store: &'a mut BackingStore,
+    /// Global configuration.
+    pub cfg: &'a SimConfig,
+    /// Upper bound (inclusive) on token ready times visible this round:
+    /// the engine advances this window so that host execution order
+    /// tracks simulated time (conservative windowed execution).
+    pub horizon: u64,
+}
+
+impl Ctx<'_> {
+    fn ch(&mut self, e: EdgeId) -> &mut Channel {
+        &mut self.channels[e.0 as usize]
+    }
+}
+
+/// Steps a node can take per `fire` call, bounding per-round work so the
+/// scheduler interleaves nodes fairly.
+pub(crate) const BUDGET: usize = 256;
+
+/// A simulated operator.
+pub trait SimNode {
+    /// Processes as much as possible (bounded); returns whether any
+    /// progress was made.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError`] on functional violations (shape mismatches,
+    /// selector range errors, malformed streams).
+    fn fire(&mut self, ctx: &mut Ctx<'_>) -> Result<bool>;
+
+    /// Whether the node has fully finished.
+    fn done(&self) -> bool;
+
+    /// Execution statistics.
+    fn stats(&self) -> &NodeStats;
+
+    /// The node's local clock.
+    fn local_time(&self) -> u64;
+
+    /// Recorded tokens, for recording sinks.
+    fn recorded(&self) -> Option<&[Token]> {
+        None
+    }
+}
+
+/// Tokens a port may stage beyond its channel before the node stalls —
+/// the unit's small internal output register, decoupling ports from each
+/// other (a full FIFO on port A must not block traffic for port B).
+const PORT_STAGING: usize = 2;
+
+/// Common I/O harness embedded in every node: input/output edges, local
+/// clock, statistics, and per-port timed outboxes providing
+/// backpressure-correct sends.
+pub(crate) struct Io {
+    pub ins: Vec<EdgeId>,
+    pub outs: Vec<EdgeId>,
+    pub time: u64,
+    pub stats: NodeStats,
+    outbox: Vec<VecDeque<(u64, Token)>>,
+    pub finishing: bool,
+    pub done: bool,
+}
+
+impl Io {
+    pub fn new(node: &Node) -> Io {
+        Io {
+            ins: node.inputs.clone(),
+            outs: node.outputs.clone(),
+            time: 0,
+            stats: NodeStats::default(),
+            outbox: vec![VecDeque::new(); node.outputs.len()],
+            finishing: false,
+            done: false,
+        }
+    }
+
+    /// Queues a token for `port` stamped with the current local time.
+    pub fn push(&mut self, port: usize, tok: Token) {
+        let t = self.time;
+        self.push_at(port, t, tok);
+    }
+
+    /// Queues a token for `port` with an explicit production time.
+    pub fn push_at(&mut self, port: usize, time: u64, tok: Token) {
+        if let Token::Val(_) = &tok {
+            self.stats.values_out += 1;
+        }
+        self.outbox[port].push_back((time, tok));
+    }
+
+    /// Queues `Done` on every output port and marks the node finishing.
+    pub fn push_done_all(&mut self) {
+        for port in 0..self.outs.len() {
+            let t = self.time;
+            self.outbox[port].push_back((t, Token::Done));
+        }
+        self.finishing = true;
+    }
+
+    /// Attempts to drain every port's outbox (ports never block each
+    /// other). Returns `(made_progress, may_step)` where `may_step`
+    /// allows further input processing only while every port is within
+    /// its staging allowance.
+    pub fn flush(&mut self, ctx: &mut Ctx<'_>) -> (bool, bool) {
+        let mut progress = false;
+        let mut may_step = true;
+        for (port, q) in self.outbox.iter_mut().enumerate() {
+            while let Some((t, tok)) = q.front().cloned() {
+                let ch = ctx.ch(self.outs[port]);
+                if !ch.can_send() {
+                    break;
+                }
+                ch.send(t, tok);
+                q.pop_front();
+                progress = true;
+            }
+            if q.len() > PORT_STAGING {
+                may_step = false;
+            }
+        }
+        if may_step && self.finishing && !self.done {
+            // Finish only once everything is delivered.
+            if self.outbox.iter().all(VecDeque::is_empty) {
+                self.finish(ctx);
+                progress = true;
+            } else {
+                may_step = false;
+            }
+        }
+        (progress, may_step)
+    }
+
+    /// Closes all inputs, marks outputs finished, and flags the node done.
+    pub fn finish(&mut self, ctx: &mut Ctx<'_>) {
+        for e in &self.ins {
+            ctx.channels[e.0 as usize].close();
+        }
+        for e in &self.outs {
+            ctx.channels[e.0 as usize].finish_src();
+        }
+        self.stats.finish_time = self.time;
+        self.done = true;
+    }
+
+    /// Peeks input `port`'s head token, if it is ready within the
+    /// engine's current time horizon.
+    pub fn peek<'c>(&self, ctx: &'c Ctx<'_>, port: usize) -> Option<&'c (u64, Token)> {
+        ctx.channels[self.ins[port].0 as usize]
+            .peek()
+            .filter(|(ready, _)| *ready <= ctx.horizon)
+    }
+
+    /// Pops input `port`, advancing the local clock to the dequeue time
+    /// and counting values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is empty; peek first.
+    pub fn pop(&mut self, ctx: &mut Ctx<'_>, port: usize) -> Token {
+        let (t, tok) = ctx.ch(self.ins[port]).pop(self.time);
+        self.time = self.time.max(t);
+        if tok.is_val() {
+            self.stats.values_in += 1;
+        }
+        tok
+    }
+
+    /// Charges `cycles` of busy processing time.
+    pub fn busy(&mut self, cycles: u64) {
+        self.time += cycles;
+        self.stats.busy_cycles += cycles;
+    }
+}
+
+/// Cost of moving `bytes` through an on-chip memory port (§4.3 roofline
+/// memory terms), at least one cycle.
+pub(crate) fn mem_cycles(bytes: u64, cfg: &SimConfig) -> u64 {
+    bytes.div_ceil(cfg.onchip_bytes_per_cycle.max(1)).max(1)
+}
+
+/// Roofline compute cost for `flops` at `compute_bw` FLOPs/cycle, at
+/// least one cycle per element (II = 1).
+pub(crate) fn compute_cycles(flops: u64, compute_bw: u64) -> u64 {
+    flops.div_ceil(compute_bw.max(1)).max(1)
+}
+
+/// Emits separator stops between consecutive blocks and shifts incoming
+/// stops by the added rank — the shared structural rule of every
+/// block-expanding operator (`LinearOffChipLoad`, `Streamify`, `FlatMap`,
+/// `AddrGen`).
+#[derive(Debug, Default)]
+pub(crate) struct BlockEmitter {
+    pending: bool,
+}
+
+impl BlockEmitter {
+    /// Call before emitting a new block: flushes the pending separator.
+    pub fn before_block(&mut self, io: &mut Io, port: usize, added_rank: u8) {
+        if self.pending {
+            io.push(port, Token::Stop(added_rank));
+        }
+        self.pending = true;
+    }
+
+    /// Call on an incoming stop: emits the shifted stop, absorbing any
+    /// pending separator.
+    pub fn on_stop(&mut self, io: &mut Io, port: usize, level: u8, added_rank: u8) {
+        io.push(port, Token::Stop(level + added_rank));
+        self.pending = false;
+    }
+
+    /// Call on `Done`: closes the final block if one is pending.
+    pub fn on_done(&mut self, io: &mut Io, port: usize, added_rank: u8) {
+        if self.pending {
+            io.push(port, Token::Stop(added_rank));
+            self.pending = false;
+        }
+    }
+}
+
+/// Builds the executor for a graph node.
+///
+/// # Errors
+///
+/// Returns [`StepError::Config`] for operators whose configuration cannot
+/// be executed.
+pub fn build_node(graph: &Graph, index: usize) -> Result<Box<dyn SimNode>> {
+    let node = &graph.nodes()[index];
+    let rank_of = |e: EdgeId| graph.edge(e).shape.rank();
+    Ok(match &node.op {
+        OpKind::Source(cfg) => Box::new(basic::SourceNode::new(node, cfg.clone())),
+        OpKind::Sink(cfg) => Box::new(basic::SinkNode::new(node, cfg.record)),
+        OpKind::Fork { .. } => Box::new(basic::ForkNode::new(node)),
+        OpKind::Zip => Box::new(basic::ZipNode::new(node)),
+        OpKind::Flatten { min, max } => Box::new(basic::FlattenNode::new(node, *min, *max)),
+        OpKind::Promote => {
+            let rank = rank_of(node.inputs[0]);
+            Box::new(basic::PromoteNode::new(node, rank))
+        }
+        OpKind::ExpandStatic { factor } => {
+            Box::new(basic::ExpandStaticNode::new(node, *factor))
+        }
+        OpKind::Expand { level } => Box::new(basic::ExpandNode::new(node, *level)),
+        OpKind::Reshape { level, chunk, pad } => {
+            if *level != 0 {
+                return Err(StepError::Config(
+                    "only innermost (level 0) reshape is executable".into(),
+                ));
+            }
+            Box::new(basic::ReshapeNode::new(node, *chunk, pad.clone()))
+        }
+        OpKind::LinearLoad(cfg) => Box::new(offchip::LinearLoadNode::new(node, cfg.clone())),
+        OpKind::LinearStore { base_addr } => {
+            Box::new(offchip::LinearStoreNode::new(node, *base_addr))
+        }
+        OpKind::RandomLoad(cfg) => Box::new(offchip::RandomLoadNode::new(node, cfg.clone())),
+        OpKind::RandomStore(cfg) => Box::new(offchip::RandomStoreNode::new(node, cfg.clone())),
+        OpKind::Bufferize { rank } => Box::new(onchip::BufferizeNode::new(node, *rank)),
+        OpKind::Streamify(cfg) => {
+            let buf_rank = rank_of(node.inputs[0]);
+            let ref_rank = rank_of(node.inputs[1]);
+            Box::new(onchip::StreamifyNode::new(
+                node,
+                cfg.clone(),
+                ref_rank - buf_rank,
+            ))
+        }
+        OpKind::Partition {
+            rank,
+            num_consumers,
+        } => Box::new(routing_partition::PartitionNode::new(node, *rank, *num_consumers)),
+        OpKind::Reassemble {
+            rank,
+            num_producers,
+        } => Box::new(routing::ReassembleNode::new(node, *rank, *num_producers)),
+        OpKind::EagerMerge { num_producers } => {
+            let rank = rank_of(node.inputs[0]);
+            Box::new(routing::EagerMergeNode::new(node, *num_producers, rank))
+        }
+        OpKind::Map { func, compute_bw } => {
+            Box::new(compute::MapNode::new(node, *func, *compute_bw))
+        }
+        OpKind::Accum {
+            rank,
+            func,
+            compute_bw,
+        } => Box::new(compute::AccumNode::new(node, *rank, *func, *compute_bw)),
+        OpKind::Scan {
+            rank,
+            func,
+            compute_bw,
+        } => Box::new(compute::ScanNode::new(node, *rank, *func, *compute_bw)),
+        OpKind::FlatMap { func } => Box::new(compute::FlatMapNode::new(node, *func)),
+        OpKind::AddrGen {
+            count,
+            stride,
+            base,
+        } => Box::new(compute::AddrGenNode::new(node, *count, *stride, *base)),
+    })
+}
+

@@ -1,0 +1,233 @@
+//! Off-chip memory operators (Table 3) wired to the HBM timing node.
+
+use super::basic::impl_simnode_common;
+use super::{BlockEmitter, Ctx, Io, SimNode, BUDGET};
+use crate::stats::NodeStats;
+use step_core::error::{Result, StepError};
+use step_core::graph::Node;
+use step_core::ops::{LinearLoadCfg, RandomAccessCfg};
+use step_core::token::Token;
+use step_core::Elem;
+
+/// `LinearOffChipLoad` (Fig 2): per reference element, an affine tiled
+/// read of the stored tensor, adding two dimensions to the stream.
+pub struct LinearLoadNode {
+    io: Io,
+    cfg: LinearLoadCfg,
+    emitter: BlockEmitter,
+}
+
+impl LinearLoadNode {
+    pub fn new(node: &Node, cfg: LinearLoadCfg) -> LinearLoadNode {
+        LinearLoadNode {
+            io: Io::new(node),
+            cfg,
+            emitter: BlockEmitter::default(),
+        }
+    }
+
+    fn emit_block(&mut self, ctx: &mut Ctx<'_>) {
+        let (nr, nc) = self.cfg.shape_tiled;
+        let (sr, sc) = self.cfg.stride_tiled;
+        let (tr, tc) = self.cfg.tile_shape;
+        let grid_cols = self.cfg.grid().1.max(1);
+        let tile_bytes = self.cfg.tile_bytes();
+        let issue = self.io.time;
+        let mut k = 0u64;
+        for i in 0..nr {
+            for j in 0..nc {
+                let idx = i * sr + j * sc;
+                let addr = self.cfg.base_addr + idx * tile_bytes;
+                // Requests issue pipelined at one per cycle; completions
+                // are bounded by the shared HBM bus.
+                let done = ctx.hbm.access(addr, tile_bytes, issue + k, false);
+                k += 1;
+                let (gr, gc) = (idx / grid_cols, idx % grid_cols);
+                let tile = ctx.store.read_tile(
+                    self.cfg.base_addr,
+                    (gr * tr) as usize,
+                    (gc * tc) as usize,
+                    tr as usize,
+                    tc as usize,
+                );
+                self.io.push_at(0, done, Token::Val(Elem::Tile(tile)));
+                if j + 1 == nc && i + 1 < nr {
+                    self.io.push_at(0, done, Token::Stop(1));
+                }
+            }
+        }
+        self.io.time = issue + k;
+        // Double-buffered staging of the tile being transferred (§4.2).
+        self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(2 * tile_bytes);
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(_) => {
+                self.emitter.before_block(&mut self.io, 0, 2);
+                self.emit_block(ctx);
+            }
+            Token::Stop(k) => self.emitter.on_stop(&mut self.io, 0, k, 2),
+            Token::Done => {
+                self.emitter.on_done(&mut self.io, 0, 2);
+                self.io.push_done_all();
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(LinearLoadNode);
+
+/// `LinearOffChipStore`: writes tiles linearly at the base address.
+pub struct LinearStoreNode {
+    io: Io,
+    base_addr: u64,
+    offset_bytes: u64,
+    row_offset: usize,
+    last_done: u64,
+}
+
+impl LinearStoreNode {
+    pub fn new(node: &Node, base_addr: u64) -> LinearStoreNode {
+        LinearStoreNode {
+            io: Io::new(node),
+            base_addr,
+            offset_bytes: 0,
+            row_offset: 0,
+            last_done: 0,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(e) => {
+                let tile = e.as_tile()?;
+                let bytes = tile.bytes();
+                let done =
+                    ctx.hbm
+                        .access(self.base_addr + self.offset_bytes, bytes, self.io.time, true);
+                ctx.store
+                    .write_tile(self.base_addr, self.row_offset, 0, tile);
+                self.row_offset += tile.rows();
+                self.offset_bytes += bytes;
+                self.last_done = self.last_done.max(done);
+                self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(2 * bytes);
+            }
+            Token::Stop(_) => {}
+            Token::Done => {
+                self.io.time = self.io.time.max(self.last_done);
+                self.io.push_done_all();
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(LinearStoreNode);
+
+/// `RandomOffChipLoad`: one tile per byte address.
+pub struct RandomLoadNode {
+    io: Io,
+    cfg: RandomAccessCfg,
+}
+
+impl RandomLoadNode {
+    pub fn new(node: &Node, cfg: RandomAccessCfg) -> RandomLoadNode {
+        RandomLoadNode {
+            io: Io::new(node),
+            cfg,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(e) => {
+                let addr = e.as_addr()?;
+                let bytes = self.cfg.tile_bytes();
+                // Issue immediately (the pop above already rate-limits to
+                // one address per cycle); the token carries the completion
+                // time, and the bounded output channel caps requests in
+                // flight.
+                let done = ctx.hbm.access(addr, bytes, self.io.time, false);
+                // Functional payload: tiles are addressed as a vertical
+                // stack below the configured base.
+                let (tr, tc) = self.cfg.tile_shape;
+                let tile_idx = addr.saturating_sub(self.cfg.base_addr) / bytes.max(1);
+                let tile = ctx.store.read_tile(
+                    self.cfg.base_addr,
+                    (tile_idx * tr) as usize,
+                    0,
+                    tr as usize,
+                    tc as usize,
+                );
+                self.io.push_at(0, done, Token::Val(Elem::Tile(tile)));
+                self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(2 * bytes);
+            }
+            Token::Stop(k) => self.io.push(0, Token::Stop(k)),
+            Token::Done => self.io.push_done_all(),
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(RandomLoadNode);
+
+/// `RandomOffChipStore`: writes data tiles at paired addresses, emitting
+/// an acknowledgement stream.
+pub struct RandomStoreNode {
+    io: Io,
+    cfg: RandomAccessCfg,
+}
+
+impl RandomStoreNode {
+    pub fn new(node: &Node, cfg: RandomAccessCfg) -> RandomStoreNode {
+        RandomStoreNode {
+            io: Io::new(node),
+            cfg,
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() || self.io.peek(ctx, 1).is_none() {
+            return Ok(false);
+        }
+        let a = self.io.pop(ctx, 0);
+        let d = self.io.pop(ctx, 1);
+        match (a, d) {
+            (Token::Val(a), Token::Val(d)) => {
+                let addr = a.as_addr()?;
+                let tile = d.as_tile()?;
+                let bytes = tile.bytes();
+                let done = ctx.hbm.access(addr, bytes, self.io.time, true);
+                let (tr, _) = self.cfg.tile_shape;
+                let tile_idx = addr.saturating_sub(self.cfg.base_addr) / self.cfg.tile_bytes().max(1);
+                ctx.store
+                    .write_tile(self.cfg.base_addr, (tile_idx * tr) as usize, 0, tile);
+                self.io.push_at(0, done, Token::Val(Elem::Bool(true)));
+                self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(2 * bytes);
+            }
+            (Token::Stop(s1), Token::Stop(s2)) if s1 == s2 => {
+                self.io.push(0, Token::Stop(s1));
+            }
+            (Token::Done, Token::Done) => self.io.push_done_all(),
+            (x, y) => {
+                return Err(StepError::Exec(format!(
+                    "random store misalignment: {x} vs {y}"
+                )))
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(RandomStoreNode);

@@ -1,0 +1,277 @@
+//! On-chip memory operators (Table 4): `Bufferize` and `Streamify`.
+
+use super::basic::impl_simnode_common;
+use super::{mem_cycles, BlockEmitter, Ctx, Io, SimNode, BUDGET};
+use crate::arena::StoredBuffer;
+use crate::stats::NodeStats;
+use step_core::elem::BufRef;
+use step_core::error::{Result, StepError};
+use step_core::graph::Node;
+use step_core::ops::StreamifyCfg;
+use step_core::token::Token;
+use step_core::Elem;
+
+/// `Bufferize` (Fig 3): captures the `rank` innermost dims into an on-chip
+/// buffer, emitting a reference per buffer.
+pub struct BufferizeNode {
+    io: Io,
+    rank: u8,
+    elems: Vec<Elem>,
+    bytes: u64,
+    /// Completed-unit counters per level (index 0 counts values).
+    counts: Vec<u64>,
+    /// Maximum extent seen per level.
+    extents: Vec<u64>,
+    max_buffer_bytes: u64,
+    max_elem_bytes: u64,
+}
+
+impl BufferizeNode {
+    pub fn new(node: &Node, rank: u8) -> BufferizeNode {
+        BufferizeNode {
+            io: Io::new(node),
+            rank,
+            elems: Vec::new(),
+            bytes: 0,
+            counts: vec![0; rank as usize + 1],
+            extents: vec![0; rank as usize],
+            max_buffer_bytes: 0,
+            max_elem_bytes: 0,
+        }
+    }
+
+    fn close_levels(&mut self, upto: u8) {
+        for l in 1..=(upto.min(self.rank) as usize) {
+            self.extents[l - 1] = self.extents[l - 1].max(self.counts[l - 1]);
+            self.counts[l - 1] = 0;
+            self.counts[l] += 1;
+        }
+    }
+
+    fn seal_buffer(&mut self, ctx: &mut Ctx<'_>) {
+        let dims: Vec<u64> = self.extents.iter().rev().copied().collect();
+        let bytes = self.bytes;
+        let id = ctx.arena.alloc(StoredBuffer {
+            elems: std::mem::take(&mut self.elems),
+            dims: dims.clone(),
+            bytes,
+        });
+        self.max_buffer_bytes = self.max_buffer_bytes.max(bytes);
+        self.io.stats.onchip_bytes = self.max_elem_bytes + 2 * self.max_buffer_bytes;
+        self.io.push(0, Token::Val(Elem::Buf(BufRef { id, dims })));
+        self.bytes = 0;
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.extents.iter_mut().for_each(|e| *e = 0);
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.io.peek(ctx, 0).is_none() {
+            return Ok(false);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(e) => {
+                let bytes = e.bytes();
+                self.max_elem_bytes = self.max_elem_bytes.max(bytes);
+                self.bytes += bytes;
+                self.counts[0] += 1;
+                self.elems.push(e);
+                let cost = mem_cycles(bytes, ctx.cfg);
+                self.io.busy(cost);
+            }
+            Token::Stop(s) => {
+                self.close_levels(s);
+                if s >= self.rank {
+                    self.seal_buffer(ctx);
+                    if s > self.rank {
+                        self.io.push(0, Token::Stop(s - self.rank));
+                    }
+                }
+            }
+            Token::Done => {
+                if !self.elems.is_empty() {
+                    return Err(StepError::Malformed(
+                        "bufferize input ended without closing stop".into(),
+                    ));
+                }
+                self.io.push_done_all();
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl_simnode_common!(BufferizeNode);
+
+/// `Streamify` (Fig 3): reads buffers back into a stream, once per
+/// reference element. Statically-shaped buffers support affine reads;
+/// dynamic buffers stream linearly.
+pub struct StreamifyNode {
+    io: Io,
+    cfg: StreamifyCfg,
+    /// Extra reference rank relative to the buffer stream: each rank-`c`
+    /// reference block consumes one buffer (c = 0 means one reference
+    /// value per buffer).
+    c: u8,
+    current: Option<StoredBuffer>,
+    current_id: Option<u64>,
+    emitter: BlockEmitter,
+    block_rank: u8,
+}
+
+impl StreamifyNode {
+    pub fn new(node: &Node, cfg: StreamifyCfg, c: u8) -> StreamifyNode {
+        StreamifyNode {
+            io: Io::new(node),
+            cfg,
+            c,
+            current: None,
+            current_id: None,
+            emitter: BlockEmitter::default(),
+            block_rank: 0,
+        }
+    }
+
+    fn load_buffer(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.current.is_some() {
+            return Ok(true);
+        }
+        match self.io.peek(ctx, 0) {
+            None => Ok(false),
+            Some((_, Token::Val(_))) => {
+                let tok = self.io.pop(ctx, 0);
+                let e = tok.into_val()?;
+                let buf = e.as_buf()?;
+                // Reuse of the same reference (e.g. after ExpandStatic)
+                // keeps the buffer resident.
+                if self.current_id != Some(buf.id) {
+                    if let Some(prev) = self.current_id.take() {
+                        let _ = ctx.arena.free(prev);
+                    }
+                }
+                let stored = ctx.arena.get(buf.id)?.clone();
+                self.block_rank = if self.cfg.shape.is_some() {
+                    2
+                } else {
+                    stored.dims.len() as u8
+                };
+                self.current_id = Some(buf.id);
+                self.current = Some(stored);
+                Ok(true)
+            }
+            Some((_, other)) => Err(StepError::Exec(format!(
+                "streamify: expected buffer ref, got {other}"
+            ))),
+        }
+    }
+
+    fn emit_block(&mut self, ctx: &mut Ctx<'_>) -> Result<()> {
+        let buf = self.current.as_ref().expect("buffer loaded").clone();
+        match (self.cfg.shape, self.cfg.stride) {
+            (Some((nr, nc)), stride) => {
+                let (sr, sc) = stride.unwrap_or((nc, 1));
+                for i in 0..nr {
+                    for j in 0..nc {
+                        let idx = (i * sr + j * sc) as usize;
+                        let e = buf.elems.get(idx).ok_or_else(|| {
+                            StepError::Exec(format!(
+                                "streamify affine read {idx} out of buffer of {}",
+                                buf.elems.len()
+                            ))
+                        })?;
+                        let cost = mem_cycles(e.bytes(), ctx.cfg);
+                        self.io.busy(cost);
+                        self.io.push(0, Token::Val(e.clone()));
+                        if j + 1 == nc && i + 1 < nr {
+                            self.io.push(0, Token::Stop(1));
+                        }
+                    }
+                }
+            }
+            (None, _) => {
+                // Linear stream of the whole buffer, reconstructing the
+                // captured dims.
+                let dims = &buf.dims;
+                let total: u64 = dims.iter().product::<u64>().max(buf.elems.len() as u64);
+                let mut run_lengths = Vec::new();
+                let mut acc = 1u64;
+                for d in dims.iter().rev() {
+                    acc *= (*d).max(1);
+                    run_lengths.push(acc);
+                }
+                for (k, e) in buf.elems.iter().enumerate() {
+                    let cost = mem_cycles(e.bytes(), ctx.cfg);
+                    self.io.busy(cost);
+                    self.io.push(0, Token::Val(e.clone()));
+                    let pos = (k + 1) as u64;
+                    if pos < total {
+                        // Highest level whose run completes here.
+                        let mut level = 0u8;
+                        for (li, rl) in run_lengths.iter().enumerate() {
+                            if pos.is_multiple_of(*rl) {
+                                level = li as u8 + 1;
+                            }
+                        }
+                        if level > 0 && level < self.block_rank {
+                            self.io.push(0, Token::Stop(level));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        match self.io.peek(ctx, 1) {
+            None => Ok(false),
+            Some((_, Token::Val(_))) => {
+                if !self.load_buffer(ctx)? {
+                    return Ok(false);
+                }
+                let _ = self.io.pop(ctx, 1);
+                self.emitter.before_block(&mut self.io, 0, self.block_rank);
+                self.emit_block(ctx)?;
+                if self.c == 0 {
+                    self.current = None;
+                }
+                Ok(true)
+            }
+            Some(&(_, Token::Stop(s))) => {
+                let _ = self.io.pop(ctx, 1);
+                self.emitter
+                    .on_stop(&mut self.io, 0, s, self.block_rank);
+                if s >= self.c && self.c > 0 {
+                    self.current = None;
+                    // Consume the aligned buffer-stream stop, if any.
+                    if s > self.c {
+                        match self.io.peek(ctx, 0) {
+                            Some(&(_, Token::Stop(bs))) if bs == s - self.c => {
+                                let _ = self.io.pop(ctx, 0);
+                            }
+                            _ => {
+                                return Err(StepError::Exec(
+                                    "streamify: buffer stream out of sync".into(),
+                                ))
+                            }
+                        }
+                    }
+                }
+                Ok(true)
+            }
+            Some((_, Token::Done)) => {
+                if let Some((_, Token::Done)) = self.io.peek(ctx, 0) {
+                    let _ = self.io.pop(ctx, 0);
+                }
+                if let Some(prev) = self.current_id.take() {
+                    let _ = ctx.arena.free(prev);
+                }
+                let _ = self.io.pop(ctx, 1);
+                self.emitter.on_done(&mut self.io, 0, self.block_rank);
+                self.io.push_done_all();
+                Ok(true)
+            }
+        }
+    }
+}
+
+impl_simnode_common!(StreamifyNode);

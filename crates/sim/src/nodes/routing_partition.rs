@@ -1,0 +1,158 @@
+//! `Partition` executor (split out of `routing` for readability).
+
+use super::basic::impl_simnode_common;
+use super::{Ctx, Io, SimNode, BUDGET};
+use crate::stats::NodeStats;
+use step_core::error::{Result, StepError};
+use step_core::graph::Node;
+use step_core::token::Token;
+
+/// `Partition`: routes rank-`rank` chunks to the outputs named by each
+/// multi-hot selector element (Table 6).
+///
+/// Chunk-closing stops are emitted eagerly; when a chunk ends exactly at
+/// an outer boundary the incoming stream already carries the absorbed
+/// higher-level stop, so a one-token lookahead distinguishes "more chunks
+/// follow" from "group/stream ends here".
+pub struct PartitionNode {
+    io: Io,
+    rank: u8,
+    num_consumers: u32,
+    targets: Option<Vec<u32>>,
+    /// Targets owed a chunk-closing `Stop(rank)` pending lookahead.
+    closing: Option<Vec<u32>>,
+    /// Outputs that produced content since the last outer boundary.
+    had_content: Vec<bool>,
+}
+
+impl PartitionNode {
+    pub fn new(node: &Node, rank: u8, num_consumers: u32) -> PartitionNode {
+        PartitionNode {
+            io: Io::new(node),
+            rank,
+            num_consumers,
+            targets: None,
+            closing: None,
+            had_content: vec![false; num_consumers as usize],
+        }
+    }
+
+    fn need_selector(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.targets.is_some() {
+            return Ok(true);
+        }
+        match self.io.peek(ctx, 1) {
+            None => Ok(false),
+            Some((_, Token::Val(_))) => {
+                let sel = self.io.pop(ctx, 1).into_val()?;
+                let sel = sel.as_sel()?.clone();
+                if sel.targets().iter().any(|&t| t >= self.num_consumers) {
+                    return Err(StepError::Exec(format!(
+                        "partition selector {sel} exceeds {} consumers",
+                        self.num_consumers
+                    )));
+                }
+                self.targets = Some(sel.targets().to_vec());
+                Ok(true)
+            }
+            Some((_, other)) => Err(StepError::Exec(format!(
+                "partition: expected selector value, got {other}"
+            ))),
+        }
+    }
+
+    fn consume_selector_stop(&mut self, ctx: &mut Ctx<'_>, level: u8) -> Result<()> {
+        match self.io.peek(ctx, 1) {
+            Some(&(_, Token::Stop(k))) if k == level => {
+                let _ = self.io.pop(ctx, 1);
+                Ok(())
+            }
+            _ => Err(StepError::Exec(
+                "partition: selector stream out of sync at outer stop".into(),
+            )),
+        }
+    }
+
+    fn emit_outer_stop(&mut self, level: u8) {
+        for i in 0..self.had_content.len() {
+            if std::mem::take(&mut self.had_content[i]) {
+                self.io.push(i, Token::Stop(level));
+            }
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        // A chunk just ended: look ahead to decide between an eager
+        // Stop(rank) and an absorbed higher-level stop.
+        if let Some(closing) = self.closing.clone() {
+            match self.io.peek(ctx, 0) {
+                None => return Ok(false),
+                Some((_, Token::Val(_))) => {
+                    for t in closing {
+                        self.io.push(t as usize, Token::Stop(self.rank));
+                    }
+                    self.closing = None;
+                    return Ok(true);
+                }
+                Some(&(_, Token::Stop(s))) => {
+                    debug_assert!(s > self.rank, "chunk already closed");
+                    let _ = self.io.pop(ctx, 0);
+                    self.emit_outer_stop(s);
+                    self.consume_selector_stop(ctx, s - self.rank)?;
+                    self.closing = None;
+                    return Ok(true);
+                }
+                Some((_, Token::Done)) => {
+                    let _ = self.io.pop(ctx, 0);
+                    for t in closing {
+                        self.io.push(t as usize, Token::Stop(self.rank));
+                    }
+                    self.closing = None;
+                    self.io.push_done_all();
+                    return Ok(true);
+                }
+            }
+        }
+        match self.io.peek(ctx, 0) {
+            None => Ok(false),
+            Some((_, Token::Val(_))) => {
+                if !self.need_selector(ctx)? {
+                    return Ok(false);
+                }
+                let v = self.io.pop(ctx, 0).into_val()?;
+                let targets = self.targets.clone().expect("selected above");
+                for t in targets {
+                    self.had_content[t as usize] = true;
+                    self.io.push(t as usize, Token::Val(v.clone()));
+                }
+                Ok(true)
+            }
+            Some(&(_, Token::Stop(s))) => {
+                let _ = self.io.pop(ctx, 0);
+                if s < self.rank {
+                    let targets = self.targets.clone().ok_or_else(|| {
+                        StepError::Exec("partition: chunk-internal stop before selector".into())
+                    })?;
+                    for t in targets {
+                        self.io.push(t as usize, Token::Stop(s));
+                    }
+                } else if s == self.rank {
+                    self.closing = self.targets.take();
+                } else {
+                    // The chunk's close was absorbed into this outer stop.
+                    self.targets = None;
+                    self.emit_outer_stop(s);
+                    self.consume_selector_stop(ctx, s - self.rank)?;
+                }
+                Ok(true)
+            }
+            Some((_, Token::Done)) => {
+                let _ = self.io.pop(ctx, 0);
+                self.io.push_done_all();
+                Ok(true)
+            }
+        }
+    }
+}
+
+impl_simnode_common!(PartitionNode);

@@ -1,0 +1,60 @@
+//! Per-node execution statistics.
+
+/// Statistics collected by each node during simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Value tokens processed (per primary input).
+    pub values_in: u64,
+    /// Value tokens emitted (per primary output).
+    pub values_out: u64,
+    /// FLOPs executed (higher-order operators only).
+    pub flops: u64,
+    /// Cycles this node spent busy (processing, not blocked).
+    pub busy_cycles: u64,
+    /// Local clock at completion.
+    pub finish_time: u64,
+    /// Measured on-chip memory requirement in bytes, per the §4.2
+    /// equations with dynamic quantities observed at runtime.
+    pub onchip_bytes: u64,
+}
+
+impl NodeStats {
+    /// Merges peak-style fields and accumulates counters (used when a node
+    /// reports incrementally).
+    pub fn absorb(&mut self, other: &NodeStats) {
+        self.values_in += other.values_in;
+        self.values_out += other.values_out;
+        self.flops += other.flops;
+        self.busy_cycles += other.busy_cycles;
+        self.finish_time = self.finish_time.max(other.finish_time);
+        self.onchip_bytes = self.onchip_bytes.max(other.onchip_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_mixes_counters_and_peaks() {
+        let mut a = NodeStats {
+            values_in: 1,
+            flops: 10,
+            onchip_bytes: 100,
+            finish_time: 5,
+            ..NodeStats::default()
+        };
+        let b = NodeStats {
+            values_in: 2,
+            flops: 5,
+            onchip_bytes: 50,
+            finish_time: 9,
+            ..NodeStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.values_in, 3);
+        assert_eq!(a.flops, 15);
+        assert_eq!(a.onchip_bytes, 100);
+        assert_eq!(a.finish_time, 9);
+    }
+}

@@ -1,0 +1,738 @@
+//! Functional semantics tests: every operator's token behaviour, plus the
+//! paper's §3.3 simplified-MoE walkthrough executed end-to-end with dense
+//! data.
+
+use step_core::elem::{Elem, ElemKind, Selector};
+use step_core::func::{AccumFn, EwOp, FlatMapFn, MapFn};
+use step_core::graph::GraphBuilder;
+use step_core::ops::{LinearLoadCfg, StreamifyCfg};
+use step_core::shape::{Dim, StreamShape};
+use step_core::tile::Tile;
+use step_core::token::{self, Token};
+use step_core::StepError;
+use step_sim::{SimConfig, Simulation};
+
+fn tile1(v: f32) -> Elem {
+    Elem::Tile(Tile::splat(1, 1, v))
+}
+
+fn values_of(tokens: &[Token]) -> Vec<f32> {
+    tokens
+        .iter()
+        .filter_map(|t| match t {
+            Token::Val(Elem::Tile(t)) => t.get(0, 0),
+            _ => None,
+        })
+        .collect()
+}
+
+fn stops_of(tokens: &[Token]) -> Vec<u8> {
+    tokens.iter().filter_map(Token::stop_level).collect()
+}
+
+#[test]
+fn source_to_sink_passthrough() {
+    let mut g = GraphBuilder::new();
+    let s = g
+        .source(
+            token::rank1_from_groups(&[vec![tile1(1.0), tile1(2.0)], vec![tile1(3.0)]]),
+            StreamShape::fixed(&[2, 2]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let sink = g.sink(&s).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    assert_eq!(values_of(toks), vec![1.0, 2.0, 3.0]);
+    assert_eq!(stops_of(toks), vec![1, 1]);
+    token::validate(toks, 1).unwrap();
+}
+
+#[test]
+fn linear_load_reads_preloaded_tensor() {
+    let mut g = GraphBuilder::new();
+    let r = g.unit_source(1);
+    let tiles = g
+        .linear_offchip_load(&r, LinearLoadCfg::new(0x1000, (2, 4), (2, 2)))
+        .unwrap();
+    let sink = g.sink(&tiles).unwrap();
+    let mut sim = Simulation::new(g.finish(), SimConfig::default()).unwrap();
+    sim.preload(0x1000, 2, 4, (0..8).map(|x| x as f32).collect());
+    let report = sim.run().unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    token::validate(toks, 2).unwrap();
+    // Two 2x2 tiles: left [[0,1],[4,5]] and right [[2,3],[6,7]].
+    let tiles: Vec<&Tile> = toks
+        .iter()
+        .filter_map(|t| match t {
+            Token::Val(Elem::Tile(t)) => Some(t),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(tiles.len(), 2);
+    assert_eq!(tiles[0].values().unwrap(), &[0.0, 1.0, 4.0, 5.0]);
+    assert_eq!(tiles[1].values().unwrap(), &[2.0, 3.0, 6.0, 7.0]);
+    assert_eq!(report.offchip_read, 2 * 4 * 2);
+}
+
+#[test]
+fn linear_load_repeats_per_reference_and_shifts_stops() {
+    let mut g = GraphBuilder::new();
+    // Rank-1 reference: two groups of sizes 2 and 1.
+    let r = g
+        .source(
+            token::rank1_from_groups(&[
+                vec![Elem::Unit, Elem::Unit],
+                vec![Elem::Unit],
+            ]),
+            StreamShape::fixed(&[2, 2]),
+            ElemKind::Unit,
+        )
+        .unwrap();
+    let tiles = g
+        .linear_offchip_load(&r, LinearLoadCfg::new(0, (2, 4), (2, 2)))
+        .unwrap();
+    let sink = g.sink(&tiles).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    token::validate(toks, 3).unwrap();
+    // Each trigger emits a [1,2] block; block separators are Stop(2) and
+    // the reference's Stop(1)s become Stop(3)s.
+    assert_eq!(stops_of(toks), vec![2, 3, 3]);
+    assert_eq!(report.offchip_read, 3 * 2 * 4 * 2);
+}
+
+#[test]
+fn map_matmul_computes_dense_values() {
+    let mut g = GraphBuilder::new();
+    let a = g
+        .source(
+            token::rank0_from_values([Elem::Tile(Tile::from_rows(&[&[1.0, 2.0]]))]),
+            StreamShape::fixed(&[1]),
+            ElemKind::tile(1, 2),
+        )
+        .unwrap();
+    let b = g
+        .source(
+            token::rank0_from_values([Elem::Tile(Tile::from_rows(&[
+                &[1.0, 0.0],
+                &[0.0, 2.0],
+            ]))]),
+            StreamShape::fixed(&[1]),
+            ElemKind::tile(2, 2),
+        )
+        .unwrap();
+    let out = g.map2(&a, &b, MapFn::Matmul, 1024).unwrap();
+    let sink = g.sink(&out).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    let t = toks[0].clone().into_val().unwrap();
+    assert_eq!(t.as_tile().unwrap().values().unwrap(), &[1.0, 4.0]);
+    assert_eq!(report.total_flops, 2 * 2 * 2);
+}
+
+#[test]
+fn partition_routes_chunks_per_selector() {
+    let mut g = GraphBuilder::new();
+    let groups: Vec<Vec<Elem>> = (0..4).map(|i| vec![tile1(i as f32)]).collect();
+    let s = g
+        .source(
+            token::rank1_from_groups(&groups),
+            StreamShape::fixed(&[4, 1]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let sels = vec![
+        Selector::one(0),
+        Selector::one(1),
+        Selector::one(0),
+        Selector::multi(&[0, 1]),
+    ];
+    let sel = g.selector_source(sels, 2).unwrap();
+    let outs = g.partition(&s, &sel, 1, 2).unwrap();
+    let sink0 = g.sink(&outs[0]).unwrap();
+    let sink1 = g.sink(&outs[1]).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let t0 = report.sink_tokens(sink0).unwrap();
+    let t1 = report.sink_tokens(sink1).unwrap();
+    token::validate(t0, 1).unwrap();
+    token::validate(t1, 1).unwrap();
+    // Multi-hot selector 3 duplicates row 3 to both outputs.
+    assert_eq!(values_of(t0), vec![0.0, 2.0, 3.0]);
+    assert_eq!(values_of(t1), vec![1.0, 3.0]);
+}
+
+#[test]
+fn partition_reassemble_roundtrip() {
+    let mut g = GraphBuilder::new();
+    let n = 6;
+    let groups: Vec<Vec<Elem>> = (0..n).map(|i| vec![tile1(i as f32)]).collect();
+    let s = g
+        .source(
+            token::rank1_from_groups(&groups),
+            StreamShape::fixed(&[n as u64, 1]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let sels: Vec<Selector> = (0..n).map(|i| Selector::one((i % 3) as u32)).collect();
+    let sel = g.selector_source(sels, 3).unwrap();
+    let sel2 = g.fork(&sel, 2).unwrap();
+    let outs = g.partition(&s, &sel2[0], 1, 3).unwrap();
+    let refs: Vec<&_> = outs.iter().collect();
+    let merged = g.reassemble(&refs, &sel2[1], 1).unwrap();
+    let sink = g.sink(&merged).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    // Chunks come back in the original order.
+    assert_eq!(values_of(toks), (0..n).map(|i| i as f32).collect::<Vec<_>>());
+    token::validate(toks, 2).unwrap();
+}
+
+#[test]
+fn reassemble_selector_out_of_range_errors() {
+    let mut g = GraphBuilder::new();
+    let groups: Vec<Vec<Elem>> = vec![vec![tile1(0.0)]];
+    let a = g
+        .source(
+            token::rank1_from_groups(&groups),
+            StreamShape::fixed(&[1, 1]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    // Build a selector source with 2 targets but connect a 1-input
+    // reassemble — caught at build time.
+    let sel = g.selector_source(vec![Selector::one(1)], 2).unwrap();
+    assert!(matches!(
+        g.reassemble(&[&a], &sel, 1),
+        Err(StepError::Config(_))
+    ));
+}
+
+#[test]
+fn eager_merge_collects_all_and_reports_provenance() {
+    let mut g = GraphBuilder::new();
+    let mk = |g: &mut GraphBuilder, vals: &[f32]| {
+        let groups: Vec<Vec<Elem>> = vals.iter().map(|&v| vec![tile1(v)]).collect();
+        g.source(
+            token::rank1_from_groups(&groups),
+            StreamShape::fixed(&[vals.len() as u64, 1]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap()
+    };
+    let a = mk(&mut g, &[1.0, 2.0]);
+    let b = mk(&mut g, &[10.0]);
+    let (data, sel) = g.eager_merge(&[&a, &b]).unwrap();
+    let dsink = g.sink(&data).unwrap();
+    let ssink = g.sink(&sel).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let data = report.sink_tokens(dsink).unwrap();
+    let sels = report.sink_tokens(ssink).unwrap();
+    let mut vals = values_of(data);
+    vals.sort_by(f32::total_cmp);
+    assert_eq!(vals, vec![1.0, 2.0, 10.0]);
+    token::validate(data, 1).unwrap();
+    let sel_count = sels.iter().filter(|t| t.is_val()).count();
+    assert_eq!(sel_count, 3);
+}
+
+#[test]
+fn bufferize_streamify_rereads_buffers() {
+    let mut g = GraphBuilder::new();
+    // Two rank-1 groups of 2 tiles each -> 2 buffers.
+    let s = g
+        .source(
+            token::rank1_from_groups(&[
+                vec![tile1(1.0), tile1(2.0)],
+                vec![tile1(3.0), tile1(4.0)],
+            ]),
+            StreamShape::fixed(&[2, 2]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let bufs = g.bufferize(&s, 1).unwrap();
+    // Reference rank 1 (c = 1): read each buffer 3 times.
+    let r = g
+        .source(
+            token::rank1_from_groups(&[vec![Elem::Unit; 3], vec![Elem::Unit; 3]]),
+            StreamShape::fixed(&[2, 3]),
+            ElemKind::Unit,
+        )
+        .unwrap();
+    let out = g.streamify(&bufs, &r, StreamifyCfg::default()).unwrap();
+    let sink = g.sink(&out).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    token::validate(toks, 2).unwrap();
+    assert_eq!(
+        values_of(toks),
+        vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 3.0, 4.0, 3.0, 4.0, 3.0, 4.0]
+    );
+    // Buffers are freed after their reads: peak is one buffer + the next.
+    assert!(report.arena_peak <= 2 * 2 * 2);
+}
+
+#[test]
+fn reshape_pads_and_flags() {
+    let mut g = GraphBuilder::new();
+    let s = g
+        .source(
+            token::rank0_from_values((0..5).map(|i| tile1(i as f32))),
+            StreamShape::fixed(&[5]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let (data, padding) = g.reshape(&s, 2, Some(tile1(-1.0))).unwrap();
+    let dsink = g.sink(&data).unwrap();
+    let psink = g.sink(&padding).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let d = report.sink_tokens(dsink).unwrap();
+    token::validate(d, 1).unwrap();
+    assert_eq!(values_of(d), vec![0.0, 1.0, 2.0, 3.0, 4.0, -1.0]);
+    let p = report.sink_tokens(psink).unwrap();
+    let flags: Vec<bool> = p
+        .iter()
+        .filter_map(|t| match t {
+            Token::Val(Elem::Bool(b)) => Some(*b),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(flags, vec![false, false, false, false, false, true]);
+}
+
+#[test]
+fn promote_wraps_stream_once() {
+    let mut g = GraphBuilder::new();
+    let s = g
+        .source(
+            token::rank1_from_groups(&[vec![tile1(1.0)], vec![tile1(2.0)]]),
+            StreamShape::fixed(&[2, 1]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let p = g.promote(&s).unwrap();
+    let sink = g.sink(&p).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    token::validate(toks, 2).unwrap();
+    assert_eq!(stops_of(toks), vec![1, 2]);
+}
+
+#[test]
+fn promote_on_empty_stream_stays_empty() {
+    let mut g = GraphBuilder::new();
+    let s = g
+        .source(
+            vec![Token::Done],
+            StreamShape::fixed(&[0, 1]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let p = g.promote(&s).unwrap();
+    let sink = g.sink(&p).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(report.sink_tokens(sink).unwrap(), &[Token::Done]);
+}
+
+#[test]
+fn flatten_merges_levels() {
+    let mut g = GraphBuilder::new();
+    let s = g
+        .source(
+            token::rank2_from_tensors(&[
+                vec![vec![tile1(1.0), tile1(2.0)], vec![tile1(3.0)]],
+                vec![vec![tile1(4.0)]],
+            ]),
+            StreamShape::fixed(&[2, 2, 2]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let f = g.flatten(&s, 0, 1).unwrap();
+    let sink = g.sink(&f).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    token::validate(toks, 1).unwrap();
+    // S1 dropped, S2 -> S1.
+    assert_eq!(stops_of(toks), vec![1, 1]);
+    assert_eq!(values_of(toks), vec![1.0, 2.0, 3.0, 4.0]);
+}
+
+#[test]
+fn accum_retile_row_packs_dynamic_groups() {
+    let mut g = GraphBuilder::new();
+    let s = g
+        .source(
+            token::rank1_from_groups(&[
+                vec![tile1(1.0), tile1(2.0), tile1(3.0)],
+                vec![tile1(4.0)],
+            ]),
+            StreamShape::fixed(&[2, 3]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let a = g.accum(&s, 1, AccumFn::RetileRow, 64).unwrap();
+    let sink = g.sink(&a).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    let tiles: Vec<&Tile> = toks
+        .iter()
+        .filter_map(|t| match t {
+            Token::Val(Elem::Tile(t)) => Some(t),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(tiles.len(), 2);
+    // Dynamically-sized accumulators: 3x1 then 1x1.
+    assert_eq!(tiles[0].rows(), 3);
+    assert_eq!(tiles[1].rows(), 1);
+    // Measured accumulator memory follows the larger group.
+    assert!(report.onchip_memory >= 3 * 2);
+}
+
+#[test]
+fn scan_emits_running_state_and_resets() {
+    let mut g = GraphBuilder::new();
+    let s = g
+        .source(
+            token::rank1_from_groups(&[
+                vec![tile1(1.0), tile1(2.0)],
+                vec![tile1(5.0)],
+            ]),
+            StreamShape::fixed(&[2, 2]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let sc = g.scan(&s, 1, AccumFn::AddTiles, 64).unwrap();
+    let sink = g.sink(&sc).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    assert_eq!(values_of(toks), vec![1.0, 3.0, 5.0]);
+}
+
+#[test]
+fn flat_map_splits_rows() {
+    let mut g = GraphBuilder::new();
+    let s = g
+        .source(
+            token::rank0_from_values([Elem::Tile(Tile::from_rows(&[
+                &[1.0],
+                &[2.0],
+                &[3.0],
+            ]))]),
+            StreamShape::fixed(&[1]),
+            ElemKind::tile(3, 1),
+        )
+        .unwrap();
+    let fm = g.flat_map(&s, FlatMapFn::SplitRows { chunk: 2 }).unwrap();
+    let sink = g.sink(&fm).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    token::validate(toks, 1).unwrap();
+    let tiles: Vec<usize> = toks
+        .iter()
+        .filter_map(|t| match t {
+            Token::Val(Elem::Tile(t)) => Some(t.rows()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(tiles, vec![2, 1]);
+}
+
+#[test]
+fn expand_static_repeats_elements() {
+    let mut g = GraphBuilder::new();
+    let s = g
+        .source(
+            token::rank1_from_groups(&[vec![tile1(7.0)]]),
+            StreamShape::fixed(&[1, 1]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let e = g.expand_static(&s, 3).unwrap();
+    let sink = g.sink(&e).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        values_of(report.sink_tokens(sink).unwrap()),
+        vec![7.0, 7.0, 7.0]
+    );
+}
+
+#[test]
+fn expand_with_reference_follows_fig5() {
+    let mut g = GraphBuilder::new();
+    // Input [2,1,1]: one value per rank-2 block.
+    let input = g
+        .source(
+            vec![
+                Token::Val(tile1(1.0)),
+                Token::Stop(2),
+                Token::Val(tile1(2.0)),
+                Token::Stop(2),
+                Token::Done,
+            ],
+            StreamShape::fixed(&[2, 1, 1]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    // Reference [2, ragged, 2].
+    let reference = g
+        .source(
+            token::rank2_from_tensors(&[
+                vec![vec![Elem::Unit, Elem::Unit], vec![Elem::Unit, Elem::Unit]],
+                vec![vec![Elem::Unit, Elem::Unit]],
+            ]),
+            StreamShape::fixed(&[2, 2, 2]),
+            ElemKind::Unit,
+        )
+        .unwrap();
+    let e = g.expand(&input, &reference, 2).unwrap();
+    let sink = g.sink(&e).unwrap();
+    let report = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let toks = report.sink_tokens(sink).unwrap();
+    token::validate(toks, 2).unwrap();
+    assert_eq!(values_of(toks), vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0]);
+}
+
+#[test]
+fn zip_misalignment_is_an_error() {
+    let mut g = GraphBuilder::new();
+    let a = g
+        .source(
+            token::rank0_from_values([tile1(1.0), tile1(2.0)]),
+            StreamShape::fixed(&[2]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let b = g
+        .source(
+            token::rank0_from_values([tile1(3.0)]),
+            StreamShape::new(vec![Dim::fixed(2)]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let z = g.zip(&a, &b).unwrap();
+    g.sink(&z).unwrap();
+    let err = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run();
+    assert!(err.is_err());
+}
+
+#[test]
+fn streamify_starved_of_buffers_fails() {
+    let mut g = GraphBuilder::new();
+    let s = g
+        .source(
+            token::rank1_from_groups(&[vec![tile1(1.0)]]),
+            StreamShape::fixed(&[1, 1]),
+            ElemKind::tile(1, 1),
+        )
+        .unwrap();
+    let bufs = g.bufferize(&s, 1).unwrap();
+    // c = 0 reference demanding two buffers when only one exists.
+    let r = g.unit_source(2);
+    let out = g.streamify(&bufs, &r, StreamifyCfg::default()).unwrap();
+    g.sink(&out).unwrap();
+    let err = Simulation::new(g.finish(), SimConfig::default())
+        .unwrap()
+        .run();
+    // The reference demands a second buffer that never arrives; the
+    // Streamify node reports the malformed pairing explicitly.
+    assert!(err.is_err(), "{err:?}");
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let build = || {
+        let mut g = GraphBuilder::new();
+        let groups: Vec<Vec<Elem>> = (0..8).map(|i| vec![tile1(i as f32)]).collect();
+        let s = g
+            .source(
+                token::rank1_from_groups(&groups),
+                StreamShape::fixed(&[8, 1]),
+                ElemKind::tile(1, 1),
+            )
+            .unwrap();
+        let sels: Vec<Selector> = (0..8).map(|i| Selector::one(i % 2)).collect();
+        let sel = g.selector_source(sels, 2).unwrap();
+        let outs = g.partition(&s, &sel, 1, 2).unwrap();
+        let (m, _) = g.eager_merge(&[&outs[0], &outs[1]]).unwrap();
+        let mapped = g.map(&m, MapFn::Elementwise(EwOp::Relu), 64).unwrap();
+        g.sink(&mapped).unwrap();
+        g.finish()
+    };
+    let r1 = Simulation::new(build(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let r2 = Simulation::new(build(), SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(r1.cycles, r2.cycles);
+    assert_eq!(r1.offchip_traffic, r2.offchip_traffic);
+    assert_eq!(r1.rounds, r2.rounds);
+}
+
+/// The §3.3 walkthrough: a two-expert MoE where each expert is a single
+/// matmul, built exactly as Fig 7 (route, pack-to-tile, broadcast, load
+/// weight, compute, pack/unpack tile, merge), executed with dense data and
+/// checked against a direct tensor-level reference.
+#[test]
+fn simplified_moe_matches_reference() {
+    const BATCH: usize = 8;
+    const HIDDEN: usize = 16;
+    const OUT: usize = 32;
+    const TILE: usize = 4; // pack 4 rows per tile
+    const COL_TILE: usize = 16; // weight column tile
+
+    // Deterministic input and weights.
+    let xs: Vec<Vec<f32>> = (0..BATCH)
+        .map(|i| (0..HIDDEN).map(|j| ((i * 7 + j * 3) % 5) as f32 - 2.0).collect())
+        .collect();
+    let w = |e: usize| -> Vec<f32> {
+        (0..HIDDEN * OUT)
+            .map(|k| (((k + e * 13) % 7) as f32 - 3.0) * 0.5)
+            .collect()
+    };
+    // Rows alternate between experts so each expert gets exactly 4 rows
+    // (no padding; value-exact roundtrip).
+    let expert_of = |i: usize| i % 2;
+
+    let mut g = GraphBuilder::new();
+    let groups: Vec<Vec<Elem>> = xs
+        .iter()
+        .map(|row| vec![Elem::Tile(Tile::dense(1, HIDDEN, row.clone()))])
+        .collect();
+    let input = g
+        .source(
+            token::rank1_from_groups(&groups),
+            StreamShape::fixed(&[BATCH as u64, 1]),
+            ElemKind::tile(1, HIDDEN as u64),
+        )
+        .unwrap();
+    let sels: Vec<Selector> = (0..BATCH)
+        .map(|i| Selector::one(expert_of(i) as u32))
+        .collect();
+    let sel = g.selector_source(sels, 2).unwrap();
+    let sel2 = g.fork(&sel, 2).unwrap();
+    let routed = g.partition(&input, &sel2[0], 1, 2).unwrap();
+
+    let mut expert_outs = Vec::new();
+    for (e, stream) in routed.iter().enumerate() {
+        let base = 0x10_000 * (e as u64 + 1);
+        // Pack to tile: [D,1] -> [D] -> [ceil(D/TILE), TILE] -> packed tiles.
+        let flat = g.flatten(stream, 0, 1).unwrap();
+        let (chunks, _pad) = g
+            .reshape(&flat, TILE as u64, Some(Elem::Tile(Tile::zeros(1, HIDDEN))))
+            .unwrap();
+        let packed = g.accum(&chunks, 1, AccumFn::RetileRow, 64).unwrap();
+        let fk = g.fork(&packed, 2).unwrap();
+        // Broadcast each packed tile across the weight's column tiles.
+        let (ones, _) = g.reshape(&fk[0], 1, None).unwrap();
+        let bcast = g
+            .expand_static(&ones, (OUT / COL_TILE) as u64)
+            .unwrap();
+        // Load the expert weight once per packed tile.
+        let wtiles = g
+            .linear_offchip_load(
+                &fk[1],
+                LinearLoadCfg::new(base, (HIDDEN as u64, OUT as u64), (HIDDEN as u64, COL_TILE as u64)),
+            )
+            .unwrap();
+        let wflat = g.flatten(&wtiles, 0, 1).unwrap();
+        // Compute and repack: [ceil(D/T), OUT/CT] partials -> row tiles.
+        let prod = g.map2(&bcast, &wflat, MapFn::Matmul, 1024).unwrap();
+        let full = g.accum(&prod, 1, AccumFn::RetileCol, 1024).unwrap();
+        let rows = g.flat_map(&full, FlatMapFn::SplitRows { chunk: 1 }).unwrap();
+        // Rechunk to single-row rank-1 tensors for per-row reassembly.
+        let rows_flat = g.flatten(&rows, 0, 1).unwrap();
+        let (row_chunks, _) = g.reshape(&rows_flat, 1, None).unwrap();
+        expert_outs.push(row_chunks);
+    }
+    let refs: Vec<&_> = expert_outs.iter().collect();
+    let merged = g.reassemble(&refs, &sel2[1], 1).unwrap();
+    let sink = g.sink(&merged).unwrap();
+
+    let mut sim = Simulation::new(g.finish(), SimConfig::default()).unwrap();
+    sim.preload(0x10_000, HIDDEN, OUT, w(0));
+    sim.preload(0x20_000, HIDDEN, OUT, w(1));
+    let report = sim.run().unwrap();
+
+    // Reference: per row, x_i x W_{expert(i)}.
+    let toks = report.sink_tokens(sink).unwrap();
+    let out_tiles: Vec<&Tile> = toks
+        .iter()
+        .filter_map(|t| match t {
+            Token::Val(Elem::Tile(t)) => Some(t),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(out_tiles.len(), BATCH);
+    for (i, tile) in out_tiles.iter().enumerate() {
+        let e = expert_of(i);
+        let x = Tile::dense(1, HIDDEN, xs[i].clone());
+        let wt = Tile::dense(HIDDEN, OUT, w(e));
+        let expect = x.matmul(&wt).unwrap();
+        let got = tile.values().unwrap();
+        let want = expect.values().unwrap();
+        assert_eq!(got.len(), want.len(), "row {i}");
+        for (a, b) in got.iter().zip(want) {
+            assert!((a - b).abs() < 1e-3, "row {i}: {a} vs {b}");
+        }
+    }
+    // Each expert loads its weight ceil(4/4) = 1 time.
+    assert_eq!(
+        report.offchip_read,
+        2 * (HIDDEN * OUT * 2) as u64
+    );
+    assert!(report.compute_utilization() > 0.0);
+}

@@ -1,0 +1,118 @@
+//! Binding environments mapping symbols to concrete values.
+
+use crate::symbol::Symbol;
+use std::collections::BTreeMap;
+
+/// A partial assignment of concrete values to symbols.
+///
+/// The simulator measures the runtime value of every data-dependent
+/// dimension (e.g. the number of tokens routed to each expert) and records
+/// it in an `Env`; symbolic metric expressions are then evaluated against it
+/// (paper §4.2, "handling data dependencies").
+///
+/// # Examples
+///
+/// ```
+/// use step_symbolic::{Env, Expr, SymbolTable};
+/// let mut t = SymbolTable::new();
+/// let d = t.fresh("D");
+/// let mut env = Env::new();
+/// env.bind(&d, 7);
+/// assert_eq!(Expr::from(d).eval(&env).unwrap(), 7);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Env {
+    bindings: BTreeMap<u64, i64>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `sym` to `value`, replacing any previous binding.
+    pub fn bind(&mut self, sym: &Symbol, value: i64) -> &mut Self {
+        self.bindings.insert(sym.id(), value);
+        self
+    }
+
+    /// Looks up the binding for `sym`, if any.
+    pub fn get(&self, sym: &Symbol) -> Option<i64> {
+        self.bindings.get(&sym.id()).copied()
+    }
+
+    /// Looks up a binding by raw symbol id.
+    pub(crate) fn get_by_id(&self, id: u64) -> Option<i64> {
+        self.bindings.get(&id).copied()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the environment has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Merges all bindings of `other` into `self` (bindings in `other` win).
+    pub fn extend(&mut self, other: &Env) {
+        for (k, v) in &other.bindings {
+            self.bindings.insert(*k, *v);
+        }
+    }
+}
+
+impl<'a> FromIterator<(&'a Symbol, i64)> for Env {
+    fn from_iter<I: IntoIterator<Item = (&'a Symbol, i64)>>(iter: I) -> Self {
+        let mut env = Env::new();
+        for (s, v) in iter {
+            env.bind(s, v);
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    #[test]
+    fn bind_and_get() {
+        let mut t = SymbolTable::new();
+        let a = t.fresh("a");
+        let b = t.fresh("b");
+        let mut env = Env::new();
+        env.bind(&a, 3);
+        assert_eq!(env.get(&a), Some(3));
+        assert_eq!(env.get(&b), None);
+        env.bind(&a, 5);
+        assert_eq!(env.get(&a), Some(5));
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn extend_merges_with_other_winning() {
+        let mut t = SymbolTable::new();
+        let a = t.fresh("a");
+        let b = t.fresh("b");
+        let mut e1 = Env::new();
+        e1.bind(&a, 1).bind(&b, 2);
+        let mut e2 = Env::new();
+        e2.bind(&a, 10);
+        e1.extend(&e2);
+        assert_eq!(e1.get(&a), Some(10));
+        assert_eq!(e1.get(&b), Some(2));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let mut t = SymbolTable::new();
+        let a = t.fresh("a");
+        let env: Env = [(&a, 42)].into_iter().collect();
+        assert_eq!(env.get(&a), Some(42));
+    }
+}

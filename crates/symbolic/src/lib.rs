@@ -1,0 +1,36 @@
+//! Symbolic integer expressions for STeP.
+//!
+//! The STeP paper (§4.2) uses SymPy to express stream shapes, off-chip
+//! memory traffic, and on-chip memory requirements symbolically, so that
+//! data-dependent quantities (dynamic-regular and ragged dimensions) can be
+//! analyzed before running a simulation and substituted with concrete
+//! measurements afterwards. This crate is that symbolic substrate.
+//!
+//! The expression language is deliberately small: the quantities that appear
+//! in shape semantics and the metric equations of the paper are products,
+//! sums, ceiling divisions (`⌈D/4⌉`-style tiling expressions), and max/min
+//! (roofline terms). All values are non-negative integers at evaluation
+//! time, but intermediate coefficients may be negative.
+//!
+//! # Examples
+//!
+//! ```
+//! use step_symbolic::{Expr, SymbolTable, Env};
+//!
+//! let mut syms = SymbolTable::new();
+//! let d = syms.fresh("D");
+//! // ⌈D/4⌉ * 4  — padded row count for static tile size 4.
+//! let padded = Expr::from(d.clone()).ceil_div(4) * Expr::from(4);
+//!
+//! let mut env = Env::new();
+//! env.bind(&d, 10);
+//! assert_eq!(padded.eval(&env).unwrap(), 12);
+//! ```
+
+pub mod env;
+pub mod expr;
+pub mod symbol;
+
+pub use env::Env;
+pub use expr::{EvalError, Expr};
+pub use symbol::{Symbol, SymbolTable};

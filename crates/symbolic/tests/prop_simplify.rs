@@ -1,0 +1,75 @@
+//! Property tests: `simplify` and `subst` preserve `eval` under arbitrary
+//! environments, and simplification is idempotent.
+
+use proptest::prelude::*;
+use step_symbolic::{Env, Expr, Symbol, SymbolTable};
+
+/// A fixed pool of symbols shared by generated expressions.
+fn symbol_pool() -> Vec<Symbol> {
+    let mut t = SymbolTable::new();
+    (0..4).map(|i| t.fresh(&format!("s{i}"))).collect()
+}
+
+fn arb_expr(pool: Vec<Symbol>) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..64).prop_map(Expr::Const),
+        (0usize..4).prop_map(move |i| Expr::Sym(pool[i].clone())),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::Add),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::Mul),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::Max),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::Min),
+            (inner.clone(), 1i64..16).prop_map(|(a, d)| Expr::CeilDiv(
+                Box::new(a),
+                Box::new(Expr::Const(d))
+            )),
+            (inner, 1i64..16).prop_map(|(a, d)| Expr::FloorDiv(
+                Box::new(a),
+                Box::new(Expr::Const(d))
+            )),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn simplify_preserves_eval(
+        (expr, vals) in {
+            let pool = symbol_pool();
+            (arb_expr(pool.clone()), prop::collection::vec(0i64..100, 4))
+                .prop_map(move |(e, v)| {
+                    let env: Env = pool.iter().zip(v.iter().copied()).collect();
+                    (e, env)
+                })
+        }
+    ) {
+        let simplified = expr.simplify();
+        prop_assert_eq!(expr.eval(&vals).unwrap(), simplified.eval(&vals).unwrap());
+    }
+
+    #[test]
+    fn simplify_is_idempotent(
+        expr in arb_expr(symbol_pool())
+    ) {
+        let once = expr.simplify();
+        let twice = once.simplify();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn subst_all_matches_eval(
+        (expr, vals) in {
+            let pool = symbol_pool();
+            (arb_expr(pool.clone()), prop::collection::vec(0i64..100, 4))
+                .prop_map(move |(e, v)| {
+                    let env: Env = pool.iter().zip(v.iter().copied()).collect();
+                    (e, env)
+                })
+        }
+    ) {
+        let substituted = expr.subst(&vals);
+        prop_assert_eq!(substituted.as_const(), Some(expr.eval(&vals).unwrap()));
+    }
+}

@@ -1,0 +1,173 @@
+//! KV-cache length traces (Appendix B.3).
+//!
+//! During decode, each request in a batch attends over its own KV cache,
+//! whose length is the prompt length plus tokens generated so far. The
+//! paper batches requests from the AzureLLMInference trace and studies
+//! three variability classes by per-batch KV-length standard deviation.
+//! This module samples log-normal lengths with a class-controlled sigma —
+//! matching the long-tailed shape of production prompt lengths.
+
+use crate::{std_dev, std_normal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// KV-length variability classes (Fig 14 / Fig 21's Low/Med/High).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variability {
+    /// Tight batch: requests have similar KV lengths.
+    Low,
+    /// Matches the overall trace spread.
+    Medium,
+    /// Top-variability batches (long-tail mixes).
+    High,
+}
+
+impl Variability {
+    /// Log-normal sigma for the class.
+    pub fn sigma(self) -> f64 {
+        match self {
+            Variability::Low => 0.15,
+            Variability::Medium => 0.55,
+            Variability::High => 1.05,
+        }
+    }
+
+    /// All classes, for sweeps.
+    pub fn all() -> [Variability; 3] {
+        [Variability::Low, Variability::Medium, Variability::High]
+    }
+}
+
+impl std::fmt::Display for Variability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variability::Low => write!(f, "low"),
+            Variability::Medium => write!(f, "med"),
+            Variability::High => write!(f, "high"),
+        }
+    }
+}
+
+/// Configuration of a KV-length batch sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvTraceConfig {
+    /// Requests in the batch.
+    pub batch: usize,
+    /// Variability class.
+    pub variability: Variability,
+    /// Median KV length in tokens.
+    pub median_len: f64,
+    /// Clamp range in tokens.
+    pub min_len: u32,
+    /// Maximum length in tokens.
+    pub max_len: u32,
+    /// RNG seed (runs are fully deterministic).
+    pub seed: u64,
+}
+
+impl Default for KvTraceConfig {
+    fn default() -> Self {
+        KvTraceConfig {
+            batch: 64,
+            variability: Variability::Medium,
+            median_len: 1024.0,
+            min_len: 32,
+            max_len: 16_384,
+            seed: 0xA22,
+        }
+    }
+}
+
+/// A sampled batch of KV lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvTrace {
+    /// Per-request KV length in tokens.
+    pub lengths: Vec<u32>,
+}
+
+impl KvTrace {
+    /// Standard deviation of the lengths.
+    pub fn std_dev(&self) -> f64 {
+        std_dev(&self.lengths.iter().map(|&x| x as f64).collect::<Vec<_>>())
+    }
+
+    /// Sum of all lengths.
+    pub fn total(&self) -> u64 {
+        self.lengths.iter().map(|&x| x as u64).sum()
+    }
+
+    /// Maximum length.
+    pub fn max(&self) -> u32 {
+        self.lengths.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Samples a batch of KV lengths.
+pub fn kv_lengths(cfg: &KvTraceConfig) -> KvTrace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mu = cfg.median_len.max(1.0).ln();
+    let sigma = cfg.variability.sigma();
+    let lengths = (0..cfg.batch)
+        .map(|_| {
+            let x = (mu + sigma * std_normal(&mut rng)).exp();
+            (x.round() as u32).clamp(cfg.min_len, cfg.max_len)
+        })
+        .collect();
+    KvTrace { lengths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(v: Variability, seed: u64) -> KvTraceConfig {
+        KvTraceConfig {
+            batch: 256,
+            variability: v,
+            seed,
+            ..KvTraceConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = kv_lengths(&cfg(Variability::Medium, 1));
+        let b = kv_lengths(&cfg(Variability::Medium, 1));
+        assert_eq!(a, b);
+        let c = kv_lengths(&cfg(Variability::Medium, 2));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn variability_classes_are_ordered() {
+        let lo = kv_lengths(&cfg(Variability::Low, 3)).std_dev();
+        let md = kv_lengths(&cfg(Variability::Medium, 3)).std_dev();
+        let hi = kv_lengths(&cfg(Variability::High, 3)).std_dev();
+        assert!(lo < md && md < hi, "{lo} {md} {hi}");
+    }
+
+    #[test]
+    fn lengths_respect_clamps() {
+        let t = kv_lengths(&KvTraceConfig {
+            batch: 1000,
+            variability: Variability::High,
+            min_len: 100,
+            max_len: 2000,
+            ..KvTraceConfig::default()
+        });
+        assert!(t.lengths.iter().all(|&l| (100..=2000).contains(&l)));
+    }
+
+    #[test]
+    fn median_is_near_configured() {
+        let mut t = kv_lengths(&KvTraceConfig {
+            batch: 4001,
+            variability: Variability::Low,
+            median_len: 1024.0,
+            ..KvTraceConfig::default()
+        });
+        t.lengths.sort_unstable();
+        let median = t.lengths[t.lengths.len() / 2] as f64;
+        assert!((median - 1024.0).abs() / 1024.0 < 0.1, "median {median}");
+    }
+}

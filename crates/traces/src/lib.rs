@@ -1,0 +1,65 @@
+//! Deterministic synthetic workload traces.
+//!
+//! The paper's experiments are driven by two datasets:
+//!
+//! 1. **KV-cache lengths** sampled from the AzureLLMInference production
+//!    trace \[32\], where batches are classified by the standard deviation
+//!    of their per-request KV lengths (low/medium/high variability,
+//!    Appendix B.3).
+//! 2. **Expert-routing traces** from running Qwen3-30B-A3B and
+//!    Mixtral-8x7B on the HH-RLHF requests \[10\], selecting iterations
+//!    whose expert-bin-count standard deviation is near the average.
+//!
+//! Neither dataset is redistributable here, so this crate provides
+//! seeded synthetic equivalents that control exactly the statistics the
+//! experiments depend on: the *variance class* of KV lengths (Fig 14/15/
+//! 21) and the *per-expert token histogram skew* (Fig 9/10/12/13). See
+//! DESIGN.md ("Substitutions") for the preservation argument.
+
+pub mod kv;
+pub mod routing;
+
+pub use kv::{kv_lengths, KvTrace, KvTraceConfig, Variability};
+pub use routing::{expert_routing, tokens_per_expert, RoutingConfig, RoutingTrace};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A standard normal sample via Box–Muller (avoids extra dependencies).
+pub(crate) fn std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Population standard deviation of a sequence.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn std_normal_has_roughly_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| std_normal(&mut rng)).collect();
+        let sd = std_dev(&xs);
+        assert!((sd - 1.0).abs() < 0.05, "sd = {sd}");
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn std_dev_of_constants_is_zero() {
+        assert_eq!(std_dev(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+}

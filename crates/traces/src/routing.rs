@@ -1,0 +1,205 @@
+//! MoE expert-routing traces (Appendix B.3).
+//!
+//! A router assigns each token to its top-`k` experts. Real routers are
+//! imbalanced: popular experts receive multiples of the mean load. We
+//! sample per-token expert sets with Gumbel-top-k over log-normal expert
+//! propensities, where `skew` controls the imbalance (skew 0 = uniform).
+//! The statistic the experiments consume is the per-expert token
+//! histogram ("expert bin counts"), whose standard deviation the paper
+//! uses to pick representative iterations.
+
+use crate::{std_dev, std_normal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of an expert-routing sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingConfig {
+    /// Total experts in the layer.
+    pub experts: u32,
+    /// Experts activated per token (top-k).
+    pub top_k: u32,
+    /// Tokens in the batch.
+    pub batch: usize,
+    /// Imbalance of expert popularity (0 = uniform; ~0.8 matches the
+    /// "median skew" regime used in the paper's trace selection).
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RoutingConfig {
+    /// Mixtral-8x7B routing: 8 experts, top-2.
+    pub fn mixtral(batch: usize, seed: u64) -> RoutingConfig {
+        RoutingConfig {
+            experts: 8,
+            top_k: 2,
+            batch,
+            skew: 0.8,
+            seed,
+        }
+    }
+
+    /// Qwen3-30B-A3B routing: 128 experts, top-8.
+    pub fn qwen3(batch: usize, seed: u64) -> RoutingConfig {
+        RoutingConfig {
+            experts: 128,
+            top_k: 8,
+            batch,
+            skew: 0.8,
+            seed,
+        }
+    }
+}
+
+/// A sampled routing: per token, the ascending list of activated experts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTrace {
+    /// Per-token expert sets.
+    pub assignments: Vec<Vec<u32>>,
+    /// Total experts.
+    pub experts: u32,
+}
+
+impl RoutingTrace {
+    /// Tokens routed to each expert.
+    pub fn histogram(&self) -> Vec<u32> {
+        tokens_per_expert(&self.assignments, self.experts)
+    }
+
+    /// Standard deviation of the expert bin counts (the trace-selection
+    /// statistic of Appendix B.3).
+    pub fn bin_std_dev(&self) -> f64 {
+        std_dev(
+            &self
+                .histogram()
+                .iter()
+                .map(|&x| x as f64)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of experts receiving at least one token.
+    pub fn active_experts(&self) -> usize {
+        self.histogram().iter().filter(|&&c| c > 0).count()
+    }
+}
+
+/// Counts tokens routed to each expert.
+pub fn tokens_per_expert(assignments: &[Vec<u32>], experts: u32) -> Vec<u32> {
+    let mut hist = vec![0u32; experts as usize];
+    for token in assignments {
+        for &e in token {
+            hist[e as usize] += 1;
+        }
+    }
+    hist
+}
+
+/// Samples an expert-routing trace.
+///
+/// # Panics
+///
+/// Panics if `top_k > experts` or `experts == 0`.
+pub fn expert_routing(cfg: &RoutingConfig) -> RoutingTrace {
+    assert!(cfg.experts > 0, "need at least one expert");
+    assert!(
+        cfg.top_k <= cfg.experts,
+        "top_k {} exceeds experts {}",
+        cfg.top_k,
+        cfg.experts
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Fixed per-expert propensities for this layer.
+    let logits: Vec<f64> = (0..cfg.experts)
+        .map(|_| cfg.skew * std_normal(&mut rng))
+        .collect();
+    let assignments = (0..cfg.batch)
+        .map(|_| {
+            // Gumbel-top-k: the k largest (logit + Gumbel noise) indices
+            // are a weighted sample without replacement.
+            let mut keyed: Vec<(f64, u32)> = logits
+                .iter()
+                .enumerate()
+                .map(|(e, &l)| {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let gumbel = -(-u.ln()).ln();
+                    (l + gumbel, e as u32)
+                })
+                .collect();
+            keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+            let mut picked: Vec<u32> =
+                keyed[..cfg.top_k as usize].iter().map(|&(_, e)| e).collect();
+            picked.sort_unstable();
+            picked
+        })
+        .collect();
+    RoutingTrace {
+        assignments,
+        experts: cfg.experts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = expert_routing(&RoutingConfig::mixtral(64, 5));
+        let b = expert_routing(&RoutingConfig::mixtral(64, 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn each_token_gets_k_distinct_experts() {
+        let t = expert_routing(&RoutingConfig::qwen3(128, 9));
+        for token in &t.assignments {
+            assert_eq!(token.len(), 8);
+            let mut sorted = token.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 8, "duplicate experts in {token:?}");
+            assert!(token.iter().all(|&e| e < 128));
+        }
+    }
+
+    #[test]
+    fn histogram_sums_to_batch_times_k() {
+        let t = expert_routing(&RoutingConfig::mixtral(100, 3));
+        let total: u32 = t.histogram().iter().sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn skew_increases_bin_variance() {
+        let uniform = expert_routing(&RoutingConfig {
+            skew: 0.0,
+            ..RoutingConfig::qwen3(2000, 11)
+        });
+        let skewed = expert_routing(&RoutingConfig {
+            skew: 1.5,
+            ..RoutingConfig::qwen3(2000, 11)
+        });
+        assert!(
+            skewed.bin_std_dev() > uniform.bin_std_dev() * 1.5,
+            "{} vs {}",
+            skewed.bin_std_dev(),
+            uniform.bin_std_dev()
+        );
+    }
+
+    #[test]
+    fn mixtral_batch64_activates_most_experts() {
+        // §5.5: all Mixtral experts are active at batch 64.
+        let t = expert_routing(&RoutingConfig::mixtral(64, 1));
+        assert_eq!(t.active_experts(), 8);
+    }
+
+    #[test]
+    fn qwen_small_batch_leaves_experts_idle() {
+        // 128 experts, 64 tokens * top-8 = 512 slots: many experts idle
+        // under skew — the headroom time-multiplexing exploits.
+        let t = expert_routing(&RoutingConfig::qwen3(64, 1));
+        assert!(t.active_experts() < 128);
+    }
+}

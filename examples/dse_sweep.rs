@@ -1,0 +1,40 @@
+//! Design-space exploration with the symbolic frontend and simulator
+//! (§5.6).
+//!
+//! Uses the symbolic metric equations to rank SwiGLU tile sizes *before*
+//! simulating, then verifies the ranking with the cycle-approximate
+//! simulator — the DSE workflow the paper describes for hardware that
+//! only supports static tiling.
+//!
+//! Run with: `cargo run --release --example dse_sweep`
+
+use step::core::metrics;
+use step::models::swiglu::{swiglu_graph, SwigluCfg};
+use step::sim::{SimConfig, Simulation};
+use step_symbolic::Env;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:>12} {:>14} {:>14} {:>10}", "tile", "pred traffic", "pred onchip", "cycles");
+    let mut best: Option<(u64, (u64, u64))> = None;
+    for tb in [16u64, 32, 64] {
+        for ti in [64u64, 256] {
+            let cfg = SwigluCfg::validation(tb, ti);
+            let graph = swiglu_graph(&cfg)?;
+            // Symbolic prediction: no simulation required.
+            let (traffic, onchip) = metrics::analyze(&graph).eval(&Env::new())?;
+            // Simulator confirmation.
+            let report = Simulation::new(graph, SimConfig::validation())?.run()?;
+            println!(
+                "{:>12} {traffic:>14} {onchip:>14} {:>10}",
+                format!("({tb},{ti})"),
+                report.cycles
+            );
+            if best.is_none_or(|(c, _)| report.cycles < c) {
+                best = Some((report.cycles, (tb, ti)));
+            }
+        }
+    }
+    let (cycles, (tb, ti)) = best.expect("swept at least one point");
+    println!("\nfastest static tile: ({tb},{ti}) at {cycles} cycles");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Streaming Tensor Programs (STeP) — facade crate.
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! - [`core`]: the streaming abstraction (tokens, shapes, operators,
+//!   graph builder, symbolic metrics);
+//! - [`sim`]: the cycle-approximate simulator;
+//! - [`hdl`]: the fine-grained validation reference;
+//! - [`models`]: SwiGLU / MoE / attention / end-to-end layer builders;
+//! - [`traces`]: synthetic KV-length and expert-routing workloads;
+//! - [`symbolic`]: the symbolic integer-expression engine.
+//!
+//! See the `examples/` directory for runnable walkthroughs, starting
+//! with `quickstart`.
+
+pub use step_core as core;
+pub use step_hdl as hdl;
+pub use step_models as models;
+pub use step_sim as sim;
+pub use step_symbolic as symbolic;
+pub use step_traces as traces;
