@@ -1,16 +1,45 @@
-//! Criterion micro/meso benchmarks: one group per reproduced figure's
-//! core kernel, plus simulator-infrastructure benchmarks. These measure
-//! *host* performance of the harness; the figures themselves report
-//! simulated cycles (see the fig* binaries).
+//! Micro/meso benchmarks: one group per reproduced figure's core kernel,
+//! plus simulator-infrastructure benchmarks. These measure *host*
+//! performance of the harness; the figures themselves report simulated
+//! cycles (see the fig* binaries).
+//!
+//! The build container has no crates.io access, so this is a plain
+//! `harness = false` timing harness instead of Criterion: each benchmark
+//! is warmed up once, then run for a fixed number of iterations with
+//! median/min/max wall-clock reported. Pass a substring argument to run a
+//! subset, e.g. `cargo bench -p step-bench -- fig9`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use step_hdl::{simulate_swiglu, RefConfig};
-use step_models::attention::{attention_graph, AttentionCfg, ParallelStrategy};
-use step_models::moe::{moe_graph, MoeCfg, Tiling};
-use step_models::swiglu::{swiglu_graph, SwigluCfg};
+use std::time::Instant;
+use step_hdl::{RefConfig, simulate_swiglu};
 use step_models::ModelConfig;
+use step_models::attention::{AttentionCfg, ParallelStrategy, attention_graph};
+use step_models::moe::{MoeCfg, Tiling, moe_graph};
+use step_models::swiglu::{SwigluCfg, swiglu_graph};
 use step_sim::{SimConfig, Simulation};
-use step_traces::{expert_routing, kv_lengths, KvTraceConfig, RoutingConfig, Variability};
+use step_traces::{KvTraceConfig, RoutingConfig, Variability, expert_routing, kv_lengths};
+
+const ITERS: usize = 10;
+
+fn bench(filter: &str, name: &str, mut f: impl FnMut()) {
+    if !name.contains(filter) {
+        return;
+    }
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    println!(
+        "{name:<40} median {:>9.3} ms  (min {:>9.3}, max {:>9.3}, n={ITERS})",
+        times[times.len() / 2],
+        times[0],
+        times[times.len() - 1],
+    );
+}
 
 fn small_model() -> ModelConfig {
     ModelConfig {
@@ -26,22 +55,20 @@ fn small_model() -> ModelConfig {
     }
 }
 
-fn bench_fig8_validation(c: &mut Criterion) {
+fn bench_fig8_validation(filter: &str) {
     let cfg = SwigluCfg::validation(32, 64);
-    c.bench_function("fig8/step_sim_swiglu", |b| {
-        b.iter(|| {
-            Simulation::new(swiglu_graph(&cfg).unwrap(), SimConfig::validation())
-                .unwrap()
-                .run()
-                .unwrap()
-        })
+    bench(filter, "fig8/step_sim_swiglu", || {
+        Simulation::new(swiglu_graph(&cfg).unwrap(), SimConfig::validation())
+            .unwrap()
+            .run()
+            .unwrap();
     });
-    c.bench_function("fig8/reference_swiglu", |b| {
-        b.iter(|| simulate_swiglu(&cfg, &RefConfig::default()))
+    bench(filter, "fig8/reference_swiglu", || {
+        simulate_swiglu(&cfg, &RefConfig::default());
     });
 }
 
-fn bench_fig9_tiling(c: &mut Criterion) {
+fn bench_fig9_tiling(filter: &str) {
     let model = small_model();
     let trace = expert_routing(&RoutingConfig {
         experts: model.experts,
@@ -55,19 +82,16 @@ fn bench_fig9_tiling(c: &mut Criterion) {
         ("dynamic", Tiling::Dynamic),
     ] {
         let cfg = MoeCfg::new(model.clone(), tiling);
-        let trace = trace.clone();
-        c.bench_function(&format!("fig9/moe_{label}"), move |b| {
-            b.iter(|| {
-                Simulation::new(moe_graph(&cfg, &trace).unwrap(), SimConfig::default())
-                    .unwrap()
-                    .run()
-                    .unwrap()
-            })
+        bench(filter, &format!("fig9/moe_{label}"), || {
+            Simulation::new(moe_graph(&cfg, &trace).unwrap(), SimConfig::default())
+                .unwrap()
+                .run()
+                .unwrap();
         });
     }
 }
 
-fn bench_fig12_timeshare(c: &mut Criterion) {
+fn bench_fig12_timeshare(filter: &str) {
     let model = small_model();
     let trace = expert_routing(&RoutingConfig {
         experts: model.experts,
@@ -77,17 +101,15 @@ fn bench_fig12_timeshare(c: &mut Criterion) {
         seed: 7,
     });
     let cfg = MoeCfg::new(model.clone(), Tiling::Static { tile: 8 }).with_regions(2);
-    c.bench_function("fig12/moe_timeshare_2regions", |b| {
-        b.iter(|| {
-            Simulation::new(moe_graph(&cfg, &trace).unwrap(), SimConfig::default())
-                .unwrap()
-                .run()
-                .unwrap()
-        })
+    bench(filter, "fig12/moe_timeshare_2regions", || {
+        Simulation::new(moe_graph(&cfg, &trace).unwrap(), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
     });
 }
 
-fn bench_fig14_attention(c: &mut Criterion) {
+fn bench_fig14_attention(filter: &str) {
     let model = small_model();
     let kv = kv_lengths(&KvTraceConfig {
         batch: 32,
@@ -102,23 +124,24 @@ fn bench_fig14_attention(c: &mut Criterion) {
         ("dynamic", ParallelStrategy::Dynamic),
     ] {
         let cfg = AttentionCfg::new(model.clone(), strategy);
-        let kv = kv.clone();
-        c.bench_function(&format!("fig14/attention_{label}"), move |b| {
-            b.iter(|| {
-                Simulation::new(attention_graph(&cfg, &kv).unwrap(), SimConfig::default())
-                    .unwrap()
-                    .run()
-                    .unwrap()
-            })
+        bench(filter, &format!("fig14/attention_{label}"), || {
+            Simulation::new(attention_graph(&cfg, &kv).unwrap(), SimConfig::default())
+                .unwrap()
+                .run()
+                .unwrap();
         });
     }
 }
 
-criterion_group!(
-    benches,
-    bench_fig8_validation,
-    bench_fig9_tiling,
-    bench_fig12_timeshare,
-    bench_fig14_attention
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes flags like `--bench`; the first non-flag
+    // argument is treated as a name filter.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+    bench_fig8_validation(&filter);
+    bench_fig9_tiling(&filter);
+    bench_fig12_timeshare(&filter);
+    bench_fig14_attention(&filter);
+}

@@ -1,7 +1,7 @@
 //! Runs the full experiment suite (every table and figure).
 use step_bench::experiments as ex;
-use step_models::moe::Tiling;
 use step_models::ModelConfig;
+use step_models::moe::Tiling;
 
 fn main() {
     ex::landscape();
@@ -15,8 +15,14 @@ fn main() {
     ex::report_tiling("fig10_mixtral_b1024", &m10);
     let q10 = ex::tiling_sweep(ModelConfig::qwen3_30b_a3b(), 1024, &[16, 64, 256, 1024], 7);
     ex::report_tiling("fig10_qwen_b1024", &q10);
-    ex::report_timeshare("fig12_static_tiling", &ex::timeshare_sweep(Tiling::Static { tile: 32 }, 7));
-    ex::report_timeshare("fig12_dynamic_tiling", &ex::timeshare_sweep(Tiling::Dynamic, 7));
+    ex::report_timeshare(
+        "fig12_static_tiling",
+        &ex::timeshare_sweep(Tiling::Static { tile: 32 }, 7),
+    );
+    ex::report_timeshare(
+        "fig12_dynamic_tiling",
+        &ex::timeshare_sweep(Tiling::Dynamic, 7),
+    );
     ex::fig14();
     ex::fig15();
     ex::fig17();

@@ -1,0 +1,47 @@
+//! Scheduler microbenchmark: engine overhead on the MoE graph.
+//!
+//! Reports scheduler rounds, node fires, and wall-clock for the MoE layer
+//! at a few batch sizes — the workload whose many-expert graphs stress
+//! the engine most. Used to track the event-driven scheduler against the
+//! round-robin baseline recorded in CHANGES.md.
+//!
+//! Run with: `cargo run --release -p step-bench --bin sched_bench`
+
+use std::time::Instant;
+use step_models::ModelConfig;
+use step_models::moe::{MoeCfg, Tiling, moe_graph};
+use step_sim::{SimConfig, Simulation};
+use step_traces::{RoutingConfig, expert_routing};
+
+fn main() {
+    let model = ModelConfig::qwen3_30b_a3b();
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "batch", "tiling", "cycles", "rounds", "fires", "wall (ms)"
+    );
+    for batch in [16usize, 64] {
+        let trace = expert_routing(&RoutingConfig {
+            experts: model.experts,
+            top_k: model.top_k,
+            batch,
+            skew: 0.8,
+            seed: 7,
+        });
+        for tiling in [Tiling::Static { tile: 8 }, Tiling::Dynamic] {
+            let cfg = MoeCfg::new(model.clone(), tiling);
+            let graph = moe_graph(&cfg, &trace).expect("moe graph");
+            let t0 = Instant::now();
+            let report = Simulation::new(graph, SimConfig::default())
+                .expect("simulation")
+                .run()
+                .expect("run");
+            let wall = t0.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "{batch:>6} {tiling:>10} {:>12} {:>12} {:>12} {wall:>10.1}",
+                report.cycles,
+                report.rounds,
+                report.total_fires()
+            );
+        }
+    }
+}

@@ -4,19 +4,17 @@
 //! table, writes a CSV under `results/`, and returns its rows so
 //! integration tests can assert the paper's qualitative claims.
 
-use crate::pareto::{pareto_front, pid, Point};
+use crate::pareto::{Point, pareto_front, pid};
 use crate::roofline::fig1_bars;
 use crate::table::{f2, f3, print_table, write_csv};
-use step_hdl::{pearson, simulate_swiglu, RefConfig};
-use step_models::attention::{attention_graph, AttentionCfg, ParallelStrategy};
-use step_models::e2e::{run_e2e, E2eVariant};
-use step_models::moe::{moe_graph, MoeCfg, Tiling};
-use step_models::swiglu::{swiglu_graph, SwigluCfg};
+use step_hdl::{RefConfig, pearson, simulate_swiglu};
 use step_models::ModelConfig;
+use step_models::attention::{AttentionCfg, ParallelStrategy, attention_graph};
+use step_models::e2e::{E2eVariant, run_e2e};
+use step_models::moe::{MoeCfg, Tiling, moe_graph};
+use step_models::swiglu::{SwigluCfg, swiglu_graph};
 use step_sim::{SimConfig, SimReport, Simulation};
-use step_traces::{
-    expert_routing, kv_lengths, KvTraceConfig, RoutingConfig, Variability,
-};
+use step_traces::{KvTraceConfig, RoutingConfig, Variability, expert_routing, kv_lengths};
 
 fn run(graph: step_core::Graph, cfg: SimConfig) -> SimReport {
     Simulation::new(graph, cfg)
@@ -54,7 +52,13 @@ pub fn fig1() -> Vec<Vec<String>> {
             ]
         })
         .collect();
-    let header = ["workload", "platform", "peak TB/s", "% of peak", "effective TB/s"];
+    let header = [
+        "workload",
+        "platform",
+        "peak TB/s",
+        "% of peak",
+        "effective TB/s",
+    ];
     print_table("Fig 1: SDA vs GPU effective bandwidth", &header, &rows);
     let _ = write_csv("fig1", &header, &rows);
     rows
@@ -157,7 +161,10 @@ pub fn tiling_sweep(model: ModelConfig, batch: usize, tiles: &[u64], seed: u64) 
     schedules.push(Tiling::Dynamic);
     for tiling in schedules {
         let cfg = MoeCfg::new(model.clone(), tiling);
-        let report = run(moe_graph(&cfg, &trace).expect("valid MoE"), moe_sim_config());
+        let report = run(
+            moe_graph(&cfg, &trace).expect("valid MoE"),
+            moe_sim_config(),
+        );
         rows.push(TilingRow {
             model: model.name,
             schedule: tiling.to_string(),
@@ -197,7 +204,10 @@ pub fn report_tiling(figname: &str, rows: &[TilingRow]) -> f64 {
         .iter()
         .find(|r| r.schedule == "dynamic")
         .expect("dynamic row present");
-    let v = pid(Point::new(dynamic.cycles as f64, dynamic.onchip as f64), &front);
+    let v = pid(
+        Point::new(dynamic.cycles as f64, dynamic.onchip as f64),
+        &front,
+    );
     println!("PID(dynamic vs static frontier) = {}", f2(v));
     v
 }
@@ -241,7 +251,10 @@ pub fn timeshare_sweep(tiling: Tiling, seed: u64) -> Vec<TimeshareRow> {
         } else {
             MoeCfg::new(model.clone(), tiling).with_regions(regions)
         };
-        let report = run(moe_graph(&cfg, &trace).expect("valid MoE"), moe_sim_config());
+        let report = run(
+            moe_graph(&cfg, &trace).expect("valid MoE"),
+            moe_sim_config(),
+        );
         rows.push(TimeshareRow {
             regions,
             cycles: report.cycles,
@@ -303,7 +316,11 @@ pub fn attention_latency(
         ..KvTraceConfig::default()
     });
     let cfg = AttentionCfg::new(model.clone(), strategy);
-    run(attention_graph(&cfg, &kv).expect("valid attention"), SimConfig::default()).cycles
+    run(
+        attention_graph(&cfg, &kv).expect("valid attention"),
+        SimConfig::default(),
+    )
+    .cycles
 }
 
 /// Fig 14: dynamic vs static interleaved across KV-length variability
@@ -315,8 +332,7 @@ pub fn fig14() -> Vec<(Variability, f64)> {
         let mut ratio = 1.0f64;
         let seeds = [11u64, 23, 37];
         for &s in &seeds {
-            let inter =
-                attention_latency(&model, ParallelStrategy::StaticInterleaved, 64, v, s);
+            let inter = attention_latency(&model, ParallelStrategy::StaticInterleaved, 64, v, s);
             let dynamic = attention_latency(&model, ParallelStrategy::Dynamic, 64, v, s);
             ratio *= inter as f64 / dynamic as f64;
         }
@@ -327,7 +343,11 @@ pub fn fig14() -> Vec<(Variability, f64)> {
         .map(|(v, s)| vec![v.to_string(), f2(*s)])
         .collect();
     let header = ["KV var", "dyn speedup vs interleaved"];
-    print_table("Fig 14: dynamic parallelization vs interleaved", &header, &table);
+    print_table(
+        "Fig 14: dynamic parallelization vs interleaved",
+        &header,
+        &table,
+    );
     let _ = write_csv("fig14", &header, &table);
     out
 }
@@ -345,8 +365,13 @@ pub fn fig15() -> Vec<(usize, u64, u64)> {
             Variability::Medium,
             42,
         );
-        let dynamic =
-            attention_latency(&model, ParallelStrategy::Dynamic, batch, Variability::Medium, 42);
+        let dynamic = attention_latency(
+            &model,
+            ParallelStrategy::Dynamic,
+            batch,
+            Variability::Medium,
+            42,
+        );
         out.push((batch, coarse, dynamic));
     }
     let table: Vec<Vec<String>> = out
@@ -387,13 +412,8 @@ pub fn fig21() -> Vec<Vec<String>> {
                     s,
                 ) as f64
                     / d;
-                inter *= attention_latency(
-                    &model,
-                    ParallelStrategy::StaticInterleaved,
-                    batch,
-                    v,
-                    s,
-                ) as f64
+                inter *= attention_latency(&model, ParallelStrategy::StaticInterleaved, batch, v, s)
+                    as f64
                     / d;
             }
             let n = seeds.len() as f64;
@@ -413,7 +433,11 @@ pub fn fig21() -> Vec<Vec<String>> {
         "interleave (norm)",
         "dynamic",
     ];
-    print_table("Fig 21: parallelization ablation (cycles / dynamic)", &header, &rows);
+    print_table(
+        "Fig 21: parallelization ablation (cycles / dynamic)",
+        &header,
+        &rows,
+    );
     let _ = write_csv("fig21", &header, &rows);
     rows
 }

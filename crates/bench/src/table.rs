@@ -65,12 +65,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        write_csv(
-            "test_table",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        )
-        .unwrap();
+        write_csv("test_table", &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
         let txt = std::fs::read_to_string("results/test_table.csv").unwrap();
         assert_eq!(txt, "a,b\n1,2\n");
         std::fs::remove_file("results/test_table.csv").unwrap();

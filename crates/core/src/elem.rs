@@ -7,10 +7,10 @@
 //! descriptor used by the graph builder for type checking and by the
 //! symbolic metric equations for byte sizes.
 
+use crate::DTYPE_BYTES;
 use crate::error::{Result, StepError};
 use crate::shape::{Dim, StreamShape};
 use crate::tile::Tile;
-use crate::DTYPE_BYTES;
 use std::fmt;
 use step_symbolic::Expr;
 
@@ -260,9 +260,7 @@ impl ElemKind {
     /// metric equations of §4.2).
     pub fn bytes(&self) -> Expr {
         match self {
-            ElemKind::Tile { rows, cols } => {
-                rows.expr() * cols.expr() * Expr::from(DTYPE_BYTES)
-            }
+            ElemKind::Tile { rows, cols } => rows.expr() * cols.expr() * Expr::from(DTYPE_BYTES),
             ElemKind::Selector { .. } => Expr::from(8u64),
             ElemKind::Buffer { .. } => Expr::from(8u64),
             ElemKind::Addr => Expr::from(8u64),
@@ -303,12 +301,8 @@ impl ElemKind {
     pub fn admits(&self, elem: &Elem) -> bool {
         match (self, elem) {
             (ElemKind::Tile { rows, cols }, Elem::Tile(t)) => {
-                let row_ok = rows
-                    .as_static()
-                    .is_none_or(|r| r == t.rows() as u64);
-                let col_ok = cols
-                    .as_static()
-                    .is_none_or(|c| c == t.cols() as u64);
+                let row_ok = rows.as_static().is_none_or(|r| r == t.rows() as u64);
+                let col_ok = cols.as_static().is_none_or(|c| c == t.cols() as u64);
                 row_ok && col_ok
             }
             (ElemKind::Selector { num_targets }, Elem::Sel(s)) => {

@@ -300,7 +300,10 @@ mod tests {
 
     #[test]
     fn matmul_map_fn() {
-        let e = pair(Tile::identity(2), Tile::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let e = pair(
+            Tile::identity(2),
+            Tile::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]),
+        );
         let out = MapFn::Matmul.apply(&e).unwrap();
         assert_eq!(
             out.as_tile().unwrap().values().unwrap(),
@@ -361,16 +364,15 @@ mod tests {
     #[test]
     fn accum_add_tiles() {
         let a = Tile::splat(2, 2, 1.0);
-        let acc = AccumFn::AddTiles.update(None, &Elem::Tile(a.clone())).unwrap();
+        let acc = AccumFn::AddTiles
+            .update(None, &Elem::Tile(a.clone()))
+            .unwrap();
         let acc = AccumFn::AddTiles
             .update(Some(acc), &Elem::Tile(a.clone()))
             .unwrap();
         assert_eq!(acc.values().unwrap(), &[2.0; 4]);
         assert_eq!(AccumFn::AddTiles.flops(&Elem::Tile(a)), 4);
-        assert_eq!(
-            AccumFn::RetileRow.flops(&Elem::Tile(Tile::zeros(2, 2))),
-            0
-        );
+        assert_eq!(AccumFn::RetileRow.flops(&Elem::Tile(Tile::zeros(2, 2))), 0);
     }
 
     #[test]

@@ -9,12 +9,10 @@
 //! ([`StreamRef`]) exposes its symbolic shape for inspection, like
 //! `print(output.stream.shape)` in Listing 1.
 
-use crate::elem::{buffer_kind, Elem, ElemKind};
+use crate::elem::{Elem, ElemKind, buffer_kind};
 use crate::error::{Result, StepError};
 use crate::func::{AccumFn, FlatMapFn, MapFn};
-use crate::ops::{
-    LinearLoadCfg, OpKind, RandomAccessCfg, SinkCfg, SourceCfg, StreamifyCfg,
-};
+use crate::ops::{LinearLoadCfg, OpKind, RandomAccessCfg, SinkCfg, SourceCfg, StreamifyCfg};
 use crate::shape::{Dim, StreamShape};
 use crate::token::{self, Token};
 use step_symbolic::SymbolTable;
@@ -126,10 +124,7 @@ impl Graph {
     /// Total compute bandwidth allocated across all compute nodes, in
     /// FLOPs/cycle (the "allocated compute" resource metric of §5.3).
     pub fn allocated_compute(&self) -> u64 {
-        self.nodes
-            .iter()
-            .filter_map(|n| n.op.compute_bw())
-            .sum()
+        self.nodes.iter().filter_map(|n| n.op.compute_bw()).sum()
     }
 }
 
@@ -462,7 +457,7 @@ impl GraphBuilder {
             _ => {
                 return Err(StepError::ElemType(
                     "Streamify needs a buffer stream".into(),
-                ))
+                ));
             }
         };
         if reference.shape.rank() < bufs.shape.rank() {
@@ -505,12 +500,12 @@ impl GraphBuilder {
             ElemKind::Selector { num_targets } => {
                 return Err(StepError::Config(format!(
                     "selector targets {num_targets} != consumers {num_consumers}"
-                )))
+                )));
             }
             _ => {
                 return Err(StepError::ElemType(
                     "Partition needs a selector stream".into(),
-                ))
+                ));
             }
         }
         if rank == 0 || rank > s.shape.rank() {
@@ -527,7 +522,13 @@ impl GraphBuilder {
                 s.shape.rank()
             )));
         }
-        let node = self.add_node(OpKind::Partition { rank, num_consumers }, &[s, sel])?;
+        let node = self.add_node(
+            OpKind::Partition {
+                rank,
+                num_consumers,
+            },
+            &[s, sel],
+        )?;
         let has_outer = s.shape.rank() > rank;
         let mut outs = Vec::with_capacity(num_consumers as usize);
         for _ in 0..num_consumers {
@@ -566,12 +567,12 @@ impl GraphBuilder {
                 return Err(StepError::Config(format!(
                     "selector targets {num_targets} != inputs {}",
                     inputs.len()
-                )))
+                )));
             }
             _ => {
                 return Err(StepError::ElemType(
                     "Reassemble needs a selector stream".into(),
-                ))
+                ));
             }
         }
         let first = inputs[0];
@@ -826,7 +827,14 @@ impl GraphBuilder {
         }
         let mut dims = s.shape.dims().to_vec();
         dims.push(Dim::fixed(count));
-        let node = self.add_node(OpKind::AddrGen { count, stride, base }, &[s])?;
+        let node = self.add_node(
+            OpKind::AddrGen {
+                count,
+                stride,
+                base,
+            },
+            &[s],
+        )?;
         Ok(self.add_output(node, StreamShape::new(dims), ElemKind::Addr))
     }
 
@@ -871,12 +879,12 @@ impl GraphBuilder {
                 "reshape of dim {innermost} by {chunk} requires a pad value"
             )));
         }
-        if let Some(p) = &pad {
-            if !s.kind.admits(p) {
-                return Err(StepError::Config(
-                    "pad value not admissible for stream element kind".into(),
-                ));
-            }
+        if let Some(p) = &pad
+            && !s.kind.admits(p)
+        {
+            return Err(StepError::Config(
+                "pad value not admissible for stream element kind".into(),
+            ));
         }
         let new_outer = s.shape.dim_at_level(0).ceil_div(chunk, &mut self.syms);
         let mut dims = s.shape.dims().to_vec();
@@ -929,12 +937,12 @@ impl GraphBuilder {
             )));
         }
         for l in 0..level {
-            if let Some(n) = s.shape.dim_at_level(l).as_static() {
-                if n != 1 {
-                    return Err(StepError::Shape(format!(
-                        "expand: input dim at level {l} must be 1, got {n}"
-                    )));
-                }
+            if let Some(n) = s.shape.dim_at_level(l).as_static()
+                && n != 1
+            {
+                return Err(StepError::Shape(format!(
+                    "expand: input dim at level {l} must be 1, got {n}"
+                )));
             }
         }
         let shape = reference.shape.clone();
@@ -969,10 +977,7 @@ impl GraphBuilder {
     /// Returns [`StepError::Shape`] if the shapes are incompatible.
     pub fn zip(&mut self, a: &StreamRef, b: &StreamRef) -> Result<StreamRef> {
         if !shapes_compatible(&a.shape, &b.shape) {
-            return Err(StepError::Shape(format!(
-                "zip: {} vs {}",
-                a.shape, b.shape
-            )));
+            return Err(StepError::Shape(format!("zip: {} vs {}", a.shape, b.shape)));
         }
         let kind = ElemKind::Tuple(vec![a.kind.clone(), b.kind.clone()]);
         let shape = a.shape.clone();
@@ -1102,9 +1107,7 @@ fn infer_map_kind(func: &MapFn, input: &ElemKind) -> Result<ElemKind> {
             let (ar, ac) = a.as_tile_dims()?;
             let (br, bc) = b.as_tile_dims()?;
             if !dims_compatible(ac, br) {
-                return Err(StepError::Shape(format!(
-                    "matmul inner dims {ac} vs {br}"
-                )));
+                return Err(StepError::Shape(format!("matmul inner dims {ac} vs {br}")));
             }
             Ok(ElemKind::Tile {
                 rows: ar.clone(),
@@ -1248,11 +1251,7 @@ mod tests {
         let s = g
             .source(
                 tokens,
-                StreamShape::new(vec![
-                    Dim::fixed(2),
-                    Dim::ragged(drag),
-                    Dim::fixed(2),
-                ]),
+                StreamShape::new(vec![Dim::fixed(2), Dim::ragged(drag), Dim::fixed(2)]),
                 ElemKind::tile(16, 16),
             )
             .unwrap();
@@ -1281,18 +1280,11 @@ mod tests {
         let s = g
             .source(
                 vec![Token::Done],
-                StreamShape::new(vec![
-                    Dim::fixed(2),
-                    Dim::fixed(2),
-                    Dim::ragged(drag),
-                ]),
+                StreamShape::new(vec![Dim::fixed(2), Dim::fixed(2), Dim::ragged(drag)]),
                 ElemKind::tile(16, 16),
             )
             .unwrap();
-        assert!(matches!(
-            g.bufferize(&s, 2),
-            Err(StepError::Shape(_))
-        ));
+        assert!(matches!(g.bufferize(&s, 2), Err(StepError::Shape(_))));
     }
 
     #[test]
@@ -1327,24 +1319,19 @@ mod tests {
     fn partition_rank_and_selector_checks() {
         let mut g = GraphBuilder::new();
         let s = tile_source(&mut g, 4, 1, 64);
-        let sel = g
-            .selector_source(vec![Selector::one(0); 4], 2)
-            .unwrap();
+        let sel = g.selector_source(vec![Selector::one(0); 4], 2).unwrap();
         // rank 1 on a rank-0 stream is invalid
         assert!(g.partition(&s, &sel, 1, 2).is_err());
         // selector target count mismatch
         let s2 = tile_source(&mut g, 4, 1, 64);
-        let sel3 = g
-            .selector_source(vec![Selector::one(0); 4], 3)
-            .unwrap();
+        let sel3 = g.selector_source(vec![Selector::one(0); 4], 3).unwrap();
         assert!(g.partition(&s2, &sel3, 1, 2).is_err());
     }
 
     #[test]
     fn reassemble_shape_adds_dim() {
         let mut g = GraphBuilder::new();
-        let groups: Vec<Vec<Elem>> =
-            vec![vec![Elem::Tile(crate::tile::Tile::phantom(1, 64))]; 2];
+        let groups: Vec<Vec<Elem>> = vec![vec![Elem::Tile(crate::tile::Tile::phantom(1, 64))]; 2];
         let a = g
             .source(
                 token::rank1_from_groups(&groups),
@@ -1370,8 +1357,7 @@ mod tests {
     #[test]
     fn eager_merge_outputs_data_and_selector() {
         let mut g = GraphBuilder::new();
-        let groups: Vec<Vec<Elem>> =
-            vec![vec![Elem::Tile(crate::tile::Tile::phantom(1, 64))]; 2];
+        let groups: Vec<Vec<Elem>> = vec![vec![Elem::Tile(crate::tile::Tile::phantom(1, 64))]; 2];
         let a = g
             .source(
                 token::rank1_from_groups(&groups),
@@ -1454,11 +1440,7 @@ mod tests {
         let flat = g.flatten(&s, 0, 1).unwrap();
         assert_eq!(flat.shape().rank(), 0);
         let (data, padding) = g
-            .reshape(
-                &flat,
-                4,
-                Some(Elem::Tile(crate::tile::Tile::zeros(1, 64))),
-            )
+            .reshape(&flat, 4, Some(Elem::Tile(crate::tile::Tile::zeros(1, 64))))
             .unwrap();
         assert_eq!(data.shape().rank(), 1);
         assert_eq!(data.shape().dim_at_level(0), &Dim::fixed(4));
@@ -1479,9 +1461,10 @@ mod tests {
     fn reshape_rejects_inadmissible_pad() {
         let mut g = GraphBuilder::new();
         let s = tile_source(&mut g, 10, 1, 64);
-        assert!(g
-            .reshape(&s, 4, Some(Elem::Tile(crate::tile::Tile::zeros(2, 2))))
-            .is_err());
+        assert!(
+            g.reshape(&s, 4, Some(Elem::Tile(crate::tile::Tile::zeros(2, 2))))
+                .is_err()
+        );
     }
 
     #[test]

@@ -16,11 +16,11 @@
 //!   `Map`/`Accum` (the 16 mirrors the decomposition into the hardware's
 //!   16x16 compute tiles).
 
+use crate::DTYPE_BYTES;
 use crate::elem::ElemKind;
 use crate::func::MapFn;
 use crate::graph::{Graph, Node};
 use crate::ops::OpKind;
-use crate::DTYPE_BYTES;
 use step_symbolic::{Env, Expr};
 
 /// Symbolic metrics of a single node.
@@ -70,8 +70,7 @@ pub fn analyze(graph: &Graph) -> GraphMetrics {
         .iter()
         .map(|n| node_metrics(graph, n))
         .collect();
-    let offchip_traffic =
-        Expr::sum_of(per_node.iter().map(|m| m.offchip_traffic.clone()));
+    let offchip_traffic = Expr::sum_of(per_node.iter().map(|m| m.offchip_traffic.clone()));
     let onchip_memory = Expr::sum_of(per_node.iter().map(|m| m.onchip_memory.clone()));
     GraphMetrics {
         per_node,
@@ -81,21 +80,17 @@ pub fn analyze(graph: &Graph) -> GraphMetrics {
 }
 
 fn out_edge(graph: &Graph, node: &Node, port: usize) -> Option<(Expr, ElemKind)> {
-    node.outputs
-        .get(port)
-        .map(|e| {
-            let edge = graph.edge(*e);
-            (edge.shape.cardinality(), edge.kind.clone())
-        })
+    node.outputs.get(port).map(|e| {
+        let edge = graph.edge(*e);
+        (edge.shape.cardinality(), edge.kind.clone())
+    })
 }
 
 fn in_edge(graph: &Graph, node: &Node, port: usize) -> Option<(Expr, ElemKind)> {
-    node.inputs
-        .get(port)
-        .map(|e| {
-            let edge = graph.edge(*e);
-            (edge.shape.cardinality(), edge.kind.clone())
-        })
+    node.inputs.get(port).map(|e| {
+        let edge = graph.edge(*e);
+        (edge.shape.cardinality(), edge.kind.clone())
+    })
 }
 
 /// Matmul on-chip footprint: `16 * in_tile_col * bytes + |weight tile| +
@@ -237,7 +232,9 @@ mod tests {
     fn bufferize_memory_includes_double_buffered_capacity() {
         let mut g = GraphBuilder::new();
         let tokens = crate::token::rank1_from_groups(&[vec![
-            crate::elem::Elem::Tile(crate::tile::Tile::phantom(16, 16));
+            crate::elem::Elem::Tile(
+                crate::tile::Tile::phantom(16, 16)
+            );
             4
         ]]);
         let s = g
@@ -292,7 +289,9 @@ mod tests {
     fn accum_memory_is_output_dtype() {
         let mut g = GraphBuilder::new();
         let tokens = crate::token::rank1_from_groups(&[vec![
-            crate::elem::Elem::Tile(crate::tile::Tile::phantom(1, 64));
+            crate::elem::Elem::Tile(
+                crate::tile::Tile::phantom(1, 64)
+            );
             4
         ]]);
         let s = g
@@ -302,9 +301,7 @@ mod tests {
                 ElemKind::tile(1, 64),
             )
             .unwrap();
-        let _ = g
-            .accum(&s, 1, crate::func::AccumFn::RetileRow, 0)
-            .unwrap();
+        let _ = g.accum(&s, 1, crate::func::AccumFn::RetileRow, 0).unwrap();
         let graph = g.finish();
         let m = analyze(&graph);
         let (_, mem) = m.eval(&Env::new()).unwrap();

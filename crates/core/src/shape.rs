@@ -86,9 +86,7 @@ impl Dim {
     pub fn multiply(&self, other: &Dim, syms: &mut SymbolTable) -> Dim {
         match (self, other) {
             (Dim::Static(a), Dim::Static(b)) => Dim::Static(a * b),
-            (a, b) if a.is_ragged() || b.is_ragged() => {
-                Dim::Ragged(Expr::Sym(syms.fresh("Drag")))
-            }
+            (a, b) if a.is_ragged() || b.is_ragged() => Dim::Ragged(Expr::Sym(syms.fresh("Drag"))),
             (a, b) => Dim::DynRegular((a.expr() * b.expr()).simplify()),
         }
     }
@@ -344,7 +342,11 @@ mod tests {
     fn flatten_dynamic_regular_multiplies() {
         let mut syms = SymbolTable::new();
         let d = syms.fresh("D");
-        let s = StreamShape::new(vec![Dim::fixed(2), Dim::dyn_regular(d.clone()), Dim::fixed(4)]);
+        let s = StreamShape::new(vec![
+            Dim::fixed(2),
+            Dim::dyn_regular(d.clone()),
+            Dim::fixed(4),
+        ]);
         let f = s.flatten(0, 1, &mut syms).unwrap();
         let mut env = Env::new();
         env.bind(&d, 5);

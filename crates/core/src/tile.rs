@@ -8,8 +8,8 @@
 //! routing decisions come from trace-driven selector streams, never from
 //! tile values, which keeps phantom simulations faithful.
 
-use crate::error::{Result, StepError};
 use crate::DTYPE_BYTES;
+use crate::error::{Result, StepError};
 use std::fmt;
 
 /// Payload of a [`Tile`].

@@ -98,9 +98,7 @@ pub fn validate(tokens: &[Token], rank: u8) -> Result<StreamStats> {
     let mut done_seen = false;
     for (i, t) in tokens.iter().enumerate() {
         if done_seen {
-            return Err(StepError::Malformed(format!(
-                "token {i} after Done: {t}"
-            )));
+            return Err(StepError::Malformed(format!("token {i} after Done: {t}")));
         }
         match t {
             Token::Val(_) => {
@@ -140,14 +138,14 @@ pub fn validate(tokens: &[Token], rank: u8) -> Result<StreamStats> {
     if !done_seen {
         return Err(StepError::Malformed("stream missing Done".into()));
     }
-    if rank > 0 {
-        if let Some(&top) = stats.stops.get(rank as usize) {
-            if stats.values > 0 && top == 0 {
-                return Err(StepError::Malformed(format!(
-                    "non-empty rank-{rank} stream has no Stop({rank})"
-                )));
-            }
-        }
+    if rank > 0
+        && let Some(&top) = stats.stops.get(rank as usize)
+        && stats.values > 0
+        && top == 0
+    {
+        return Err(StepError::Malformed(format!(
+            "non-empty rank-{rank} stream has no Stop({rank})"
+        )));
     }
     Ok(stats)
 }
@@ -346,10 +344,7 @@ mod tests {
 
     #[test]
     fn rank1_builder_roundtrip() {
-        let groups = vec![
-            vec![Elem::Addr(1), Elem::Addr(2)],
-            vec![Elem::Addr(3)],
-        ];
+        let groups = vec![vec![Elem::Addr(1), Elem::Addr(2)], vec![Elem::Addr(3)]];
         let s = rank1_from_groups(&groups);
         let stats = validate(&s, 1).unwrap();
         assert_eq!(stats.tensors, 2);

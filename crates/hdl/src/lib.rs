@@ -24,8 +24,8 @@
 //! r = 0.99; see EXPERIMENTS.md for ours).
 
 use step_models::swiglu::SwigluCfg;
-use step_sim::hbm::Hbm;
 use step_sim::HbmConfig;
+use step_sim::hbm::Hbm;
 
 /// Physical compute-tile edge length (16x16 BF16 tiles, §4.5).
 pub const PHYS: u64 = 16;
@@ -98,7 +98,9 @@ impl Unit {
 /// not divide the layer dimensions.
 pub fn simulate_swiglu(cfg: &SwigluCfg, hw: &RefConfig) -> RefReport {
     assert!(
-        cfg.tile_batch.is_multiple_of(PHYS) && cfg.tile_inter.is_multiple_of(PHYS) && cfg.hidden.is_multiple_of(PHYS),
+        cfg.tile_batch.is_multiple_of(PHYS)
+            && cfg.tile_inter.is_multiple_of(PHYS)
+            && cfg.hidden.is_multiple_of(PHYS),
         "tile sizes must be multiples of the physical tile edge"
     );
     assert!(

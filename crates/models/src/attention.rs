@@ -227,7 +227,7 @@ pub fn request_bytes(cfg: &AttentionCfg, len: u32) -> u64 {
 mod tests {
     use super::*;
     use step_sim::{SimConfig, Simulation};
-    use step_traces::{kv_lengths, KvTraceConfig, Variability};
+    use step_traces::{KvTraceConfig, Variability, kv_lengths};
 
     fn small_cfg(strategy: ParallelStrategy) -> AttentionCfg {
         AttentionCfg {
@@ -289,7 +289,10 @@ mod tests {
     fn dynamic_beats_coarse_at_small_batch() {
         // With batch == quota, coarse packs everything into region 0.
         let kv = trace(16, Variability::Medium, 11);
-        let coarse = run(&small_cfg(ParallelStrategy::StaticCoarse { quota: 16 }), &kv);
+        let coarse = run(
+            &small_cfg(ParallelStrategy::StaticCoarse { quota: 16 }),
+            &kv,
+        );
         let dynamic = run(&small_cfg(ParallelStrategy::Dynamic), &kv);
         assert!(
             dynamic.cycles * 2 < coarse.cycles,

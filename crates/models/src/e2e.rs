@@ -9,14 +9,14 @@
 //! conservative) composition that affects every variant identically —
 //! the *relative* comparisons of Fig 17 are what the figure reports.
 
-use crate::attention::{attention_graph, AttentionCfg, ParallelStrategy};
+use crate::attention::{AttentionCfg, ParallelStrategy, attention_graph};
 use crate::config::ModelConfig;
-use crate::moe::{moe_graph, MoeCfg, Tiling};
-use crate::swiglu::{build_gemm, GemmCfg};
-use step_core::graph::GraphBuilder;
+use crate::moe::{MoeCfg, Tiling, moe_graph};
+use crate::swiglu::{GemmCfg, build_gemm};
 use step_core::Result;
+use step_core::graph::GraphBuilder;
 use step_sim::{SimConfig, SimReport, Simulation};
-use step_traces::{expert_routing, kv_lengths, KvTraceConfig, RoutingConfig, Variability};
+use step_traces::{KvTraceConfig, RoutingConfig, Variability, expert_routing, kv_lengths};
 
 /// One end-to-end schedule variant (a column of Fig 17).
 #[derive(Debug, Clone)]
@@ -156,9 +156,7 @@ pub fn run_e2e(
         layer_cycles,
         total_cycles: layer_cycles * model.layers,
         onchip_bytes: qkv.onchip_memory + attn.onchip_memory + moe.onchip_memory,
-        allocated_compute: qkv.allocated_compute
-            + attn.allocated_compute
-            + moe.allocated_compute,
+        allocated_compute: qkv.allocated_compute + attn.allocated_compute + moe.allocated_compute,
         offchip_traffic: (qkv.offchip_traffic + attn.offchip_traffic + moe.offchip_traffic)
             * model.layers,
     })

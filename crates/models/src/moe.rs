@@ -24,7 +24,7 @@ use step_core::ops::{LinearLoadCfg, RandomAccessCfg, StreamifyCfg};
 use step_core::shape::StreamShape;
 use step_core::tile::Tile;
 use step_core::token;
-use step_core::{Result, StepError, DTYPE_BYTES};
+use step_core::{DTYPE_BYTES, Result, StepError};
 use step_traces::RoutingTrace;
 
 /// Batch-dimension tiling strategy (§5.2).
@@ -70,11 +70,12 @@ impl MoeCfg {
     pub fn new(model: ModelConfig, tiling: Tiling) -> MoeCfg {
         // Wider layers stream at a coarser tile edge: same traffic, far
         // fewer simulation events.
-        let phys_tile = if model.moe_intermediate.is_multiple_of(256) && model.moe_intermediate >= 4096 {
-            256
-        } else {
-            PT
-        };
+        let phys_tile =
+            if model.moe_intermediate.is_multiple_of(256) && model.moe_intermediate >= 4096 {
+                256
+            } else {
+                PT
+            };
         MoeCfg {
             model,
             tiling,
@@ -211,7 +212,9 @@ pub fn build_moe(g: &mut GraphBuilder, cfg: &MoeCfg, trace: &RoutingTrace) -> Re
             trace.experts, model.experts
         )));
     }
-    if !model.moe_intermediate.is_multiple_of(cfg.phys_tile) || !model.hidden.is_multiple_of(cfg.phys_tile) {
+    if !model.moe_intermediate.is_multiple_of(cfg.phys_tile)
+        || !model.hidden.is_multiple_of(cfg.phys_tile)
+    {
         return Err(StepError::Config(format!(
             "hidden and intermediate must be multiples of the {}-element physical tile",
             cfg.phys_tile
@@ -272,8 +275,7 @@ pub fn build_moe(g: &mut GraphBuilder, cfg: &MoeCfg, trace: &RoutingTrace) -> Re
                 let down_view = LinearLoadCfg::new(layout::W2 + e * w_bytes, (i, h), (pt, pt))
                     .with_view((1, hchunks), (hchunks, strips));
                 let w2 = g.linear_offchip_load(&trig[2], down_view)?;
-                let out =
-                    swiglu_core(g, &fk[1], &fk[2], &w1, &w3, &w2, model, pt, cfg.compute_bw)?;
+                let out = swiglu_core(g, &fk[1], &fk[2], &w1, &w3, &w2, model, pt, cfg.compute_bw)?;
                 g.linear_offchip_store(&out, layout::OUT + e * layout::OUT_STRIDE)?;
             }
         }
@@ -320,8 +322,7 @@ pub fn build_moe(g: &mut GraphBuilder, cfg: &MoeCfg, trace: &RoutingTrace) -> Re
                     RandomAccessCfg::new(layout::W2 + self0 * w_bytes, (pt, pt)),
                 )?;
                 let (w2, _) = g.reshape(&w2, strips, None)?;
-                let out =
-                    swiglu_core(g, &tf[0], &tf[1], &w1, &w3, &w2, model, pt, cfg.compute_bw)?;
+                let out = swiglu_core(g, &tf[0], &tf[1], &w1, &w3, &w2, model, pt, cfg.compute_bw)?;
                 g.linear_offchip_store(&out, layout::OUT + (r as u64) * layout::OUT_STRIDE)?;
             }
         }
@@ -354,7 +355,7 @@ pub fn expected_weight_traffic(cfg: &MoeCfg, trace: &RoutingTrace) -> u64 {
 mod tests {
     use super::*;
     use step_sim::{SimConfig, Simulation};
-    use step_traces::{expert_routing, RoutingConfig};
+    use step_traces::{RoutingConfig, expert_routing};
 
     fn tiny_model() -> ModelConfig {
         ModelConfig {
@@ -425,7 +426,10 @@ mod tests {
     #[test]
     fn dynamic_uses_less_onchip_memory_than_large_static() {
         let trace = tiny_trace(16);
-        let stat = run(&MoeCfg::new(tiny_model(), Tiling::Static { tile: 16 }), &trace);
+        let stat = run(
+            &MoeCfg::new(tiny_model(), Tiling::Static { tile: 16 }),
+            &trace,
+        );
         let dy = run(&MoeCfg::new(tiny_model(), Tiling::Dynamic), &trace);
         assert!(dy.onchip_memory < stat.onchip_memory);
         assert!(dy.cycles <= stat.cycles);

@@ -10,10 +10,10 @@
 //! reload the weights more often (off-chip traffic ∝ `⌈B/Tb⌉`); larger
 //! tiles cost more on-chip memory — the trade-off swept in Fig 8.
 
+use step_core::Result;
 use step_core::func::{AccumFn, BinOp, MapFn};
 use step_core::graph::{GraphBuilder, NodeId, StreamRef};
 use step_core::ops::LinearLoadCfg;
-use step_core::Result;
 
 /// Base addresses used by the standalone SwiGLU graph.
 pub mod layout {
@@ -176,7 +176,11 @@ pub fn build_gemm(g: &mut GraphBuilder, cfg: &GemmCfg) -> Result<StreamRef> {
     let trigger = g.unit_source(1);
     let x = g.linear_offchip_load(
         &trigger,
-        LinearLoadCfg::new(cfg.x_addr, (cfg.batch, cfg.hidden), (cfg.tile_batch, cfg.hidden)),
+        LinearLoadCfg::new(
+            cfg.x_addr,
+            (cfg.batch, cfg.hidden),
+            (cfg.tile_batch, cfg.hidden),
+        ),
     )?;
     let x = g.flatten(&x, 0, 2)?;
     let xf = g.fork(&x, 2)?;

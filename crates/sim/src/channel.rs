@@ -6,9 +6,32 @@
 //! slots; a slot is reclaimed at the moment the receiver dequeues, so a
 //! sender that finds the queue full resumes no earlier than that dequeue
 //! time. Ports sustain at most one token per cycle in each direction.
+//!
+//! Channels also drive the engine's event-driven scheduler: every
+//! mutation records an [`event`] bit (token enqueued, slot freed,
+//! receiver closed, producer finished) that the engine drains after each
+//! fire to wake exactly the endpoint that can now progress. Floor raises
+//! record no event — floors are conservative metadata about *future*
+//! tokens, and the tokens themselves generate [`event::ENQUEUED`] when
+//! they arrive.
 
 use std::collections::VecDeque;
 use step_core::token::Token;
+
+/// Channel events accumulated for the engine's wake lists. The engine
+/// drains these after every node fire (a node only ever mutates its own
+/// channels) and wakes the endpoint that can now make progress.
+pub mod event {
+    /// A token was enqueued: the reader may progress.
+    pub const ENQUEUED: u8 = 1 << 0;
+    /// A slot was freed by a dequeue: a blocked writer may progress.
+    pub const FREED: u8 = 1 << 1;
+    /// The receiver closed the channel: sends now succeed (and drop), so
+    /// a blocked writer may progress.
+    pub const CLOSED: u8 = 1 << 2;
+    /// The producer finished (emitted `Done`).
+    pub const SRC_FINISHED: u8 = 1 << 3;
+}
 
 /// A bounded FIFO carrying `(ready_time, token)` pairs.
 #[derive(Debug)]
@@ -29,6 +52,8 @@ pub struct Channel {
     sent_tokens: u64,
     /// Maximum element payload in bytes observed on this channel.
     max_elem_bytes: u64,
+    /// Pending [`event`] bits since the engine last drained them.
+    events: u8,
 }
 
 impl Channel {
@@ -51,7 +76,13 @@ impl Channel {
             floor: 0,
             sent_tokens: 0,
             max_elem_bytes: 0,
+            events: 0,
         }
+    }
+
+    /// Drains and returns the pending [`event`] bits.
+    pub fn take_events(&mut self) -> u8 {
+        std::mem::take(&mut self.events)
     }
 
     /// Whether a send would succeed right now.
@@ -85,6 +116,7 @@ impl Channel {
             self.max_elem_bytes = self.max_elem_bytes.max(e.bytes());
         }
         self.queue.push_back((t + self.latency, token));
+        self.events |= event::ENQUEUED;
         t
     }
 
@@ -108,6 +140,7 @@ impl Channel {
         }
         self.last_pop = Some(t);
         self.slots.push_back(t);
+        self.events |= event::FREED;
         (t, token)
     }
 
@@ -116,11 +149,13 @@ impl Channel {
         self.closed = true;
         self.queue.clear();
         // Slots are irrelevant once closed, but keep the invariant simple.
+        self.events |= event::CLOSED;
     }
 
     /// Marks the producer as finished (it has emitted `Done`).
     pub fn finish_src(&mut self) {
         self.src_finished = true;
+        self.events |= event::SRC_FINISHED;
     }
 
     /// Whether the producer has emitted all its tokens.
@@ -221,7 +256,10 @@ mod tests {
     #[test]
     fn tracks_max_elem_bytes() {
         let mut c = Channel::new(4, 0);
-        c.send(0, Token::Val(Elem::Tile(step_core::tile::Tile::phantom(4, 4))));
+        c.send(
+            0,
+            Token::Val(Elem::Tile(step_core::tile::Tile::phantom(4, 4))),
+        );
         c.send(0, Token::Stop(1));
         assert_eq!(c.max_elem_bytes(), 32);
         assert_eq!(c.sent_tokens(), 2);
@@ -233,5 +271,70 @@ mod tests {
         let mut c = Channel::new(1, 0);
         c.send(0, val(1));
         c.send(0, val(2));
+    }
+
+    #[test]
+    fn full_queue_resume_time_is_the_dequeue_time() {
+        // A sender stalled on a full 2-slot queue resumes exactly at the
+        // time the receiver's dequeue freed a slot, even when its own
+        // clock is far behind.
+        let mut c = Channel::new(2, 0);
+        c.send(0, val(1));
+        c.send(0, val(2));
+        assert!(!c.can_send());
+        let (t1, _) = c.pop(50);
+        assert_eq!(t1, 50);
+        assert_eq!(c.send(3, val(3)), 50); // resumes at the slot's free time
+        let (t2, _) = c.pop(0);
+        assert_eq!(t2, 51); // one pop per cycle after t1
+        assert_eq!(c.send(3, val(4)), 51); // next freed slot
+    }
+
+    #[test]
+    fn floor_raises_monotonically_and_includes_latency() {
+        let mut c = Channel::new(4, 3);
+        assert_eq!(c.time_floor(), 3); // floor 0 + latency
+        c.raise_floor(10);
+        assert_eq!(c.time_floor(), 13);
+        // Raising to an earlier time is a no-op (monotone).
+        c.raise_floor(5);
+        assert_eq!(c.time_floor(), 13);
+        c.raise_floor(20);
+        assert_eq!(c.time_floor(), 23);
+    }
+
+    #[test]
+    fn events_record_sends_pops_close_and_finish() {
+        let mut c = Channel::new(2, 0);
+        assert_eq!(c.take_events(), 0);
+        c.send(0, val(1));
+        assert_eq!(c.take_events(), event::ENQUEUED);
+        assert_eq!(c.take_events(), 0); // draining clears
+        c.pop(0);
+        assert_eq!(c.take_events(), event::FREED);
+        c.send(0, val(2));
+        c.pop(0);
+        assert_eq!(c.take_events(), event::ENQUEUED | event::FREED);
+        c.finish_src();
+        assert_eq!(c.take_events(), event::SRC_FINISHED);
+        c.close();
+        assert_eq!(c.take_events(), event::CLOSED);
+        // Sends into a closed channel are dropped and record no event.
+        c.send(0, val(3));
+        assert_eq!(c.take_events(), 0);
+    }
+
+    #[test]
+    fn queue_ready_times_are_strictly_increasing() {
+        // The calendar's stale-entry rule relies on per-channel head ready
+        // times strictly increasing.
+        let mut c = Channel::new(8, 2);
+        c.send(5, val(1));
+        c.send(5, val(2));
+        c.send(0, val(3));
+        let (r1, _) = c.pop(0);
+        let (r2, _) = c.pop(0);
+        let (r3, _) = c.pop(0);
+        assert!(r1 < r2 && r2 < r3, "{r1} {r2} {r3}");
     }
 }

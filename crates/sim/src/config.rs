@@ -39,7 +39,9 @@ pub struct SimConfig {
     pub channel_latency: u64,
     /// HBM timing model.
     pub hbm: HbmConfig,
-    /// Scheduler iteration limit (guards against runaway programs).
+    /// Scheduler wave limit (guards against runaway programs). A wave is
+    /// one generation of the engine's wake list; the bound plays the same
+    /// watchdog role the round-robin engine's round limit did.
     pub max_rounds: u64,
     /// Width of the conservative execution window in cycles: nodes only
     /// consume tokens ready within the window, keeping host execution

@@ -1,12 +1,32 @@
-//! The simulation engine: scheduler, termination, and reporting.
+//! The simulation engine: event-driven scheduler, termination, and
+//! reporting.
+//!
+//! The scheduler is a ready-set loop over *waves* (generations of the
+//! wake list) rather than a round-robin poll of every node. A node is
+//! fired only when one of its channels signals that progress may be
+//! possible: a token arrived for it, one of its full output queues freed
+//! a slot, or a downstream consumer closed. Within a wave, nodes fire in
+//! index order, and a wake targeting a node ahead of the sweep joins the
+//! current wave while one behind it joins the next — which reproduces
+//! the round-robin engine's host execution order exactly, minus the
+//! no-op fires, so cycle and traffic results are bit-identical while
+//! large mostly-idle graphs (MoE with many experts) schedule in time
+//! proportional to actual work.
+//!
+//! Time advances the same way it always did: nodes only consume tokens
+//! ready within the current `horizon` window, and when the wake list
+//! drains with work still pending the engine advances the horizon
+//! directly to the earliest pending channel event and wakes exactly the
+//! readers whose heads became visible.
 
 use crate::arena::{Arena, BackingStore};
-use crate::channel::Channel;
+use crate::channel::{Channel, event};
 use crate::config::SimConfig;
 use crate::hbm::Hbm;
 use crate::nodes::{self, Ctx, SimNode};
 use crate::stats::NodeStats;
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use step_core::error::{Result, StepError};
 use step_core::graph::{Graph, NodeId};
 use step_core::token::Token;
@@ -35,7 +55,8 @@ pub struct SimReport {
     pub allocated_compute: u64,
     /// Peak off-chip bandwidth (bytes/cycle) for utilization.
     pub offchip_peak_bw: u64,
-    /// Scheduler rounds executed.
+    /// Scheduler waves executed (generations of the wake list; the
+    /// round-robin engine's equivalent was full passes over all nodes).
     pub rounds: u64,
     /// Per-node statistics, indexed like `graph.nodes()`.
     pub node_stats: Vec<NodeStats>,
@@ -52,6 +73,18 @@ impl SimReport {
         } else {
             self.total_flops as f64 / (self.allocated_compute as f64 * self.cycles as f64)
         }
+    }
+
+    /// Total `fire` invocations across all nodes — the work the scheduler
+    /// actually did. Round-robin polling made this O(nodes × rounds);
+    /// event-driven scheduling keeps it proportional to progress.
+    pub fn total_fires(&self) -> u64 {
+        self.node_stats.iter().map(|s| s.fires).sum()
+    }
+
+    /// Total fires that made no progress (wasted polls).
+    pub fn idle_fires(&self) -> u64 {
+        self.node_stats.iter().map(|s| s.idle_fires).sum()
     }
 
     /// Fraction of peak off-chip bandwidth used (Fig 13).
@@ -130,14 +163,52 @@ impl Simulation {
 
     /// Runs the graph to completion.
     ///
+    /// The scheduler keeps a wake list: after each fire it drains the
+    /// fired node's channel events (a node only mutates channels it is
+    /// connected to) and wakes the endpoint that can now progress —
+    /// readers of channels that received tokens, writers of channels
+    /// that freed a slot or closed. When the list drains with nodes
+    /// still unfinished, the horizon advances directly to the earliest
+    /// pending channel event, waking the readers whose heads became
+    /// visible; if no event is pending the graph is deadlocked.
+    ///
     /// # Errors
     ///
     /// Returns [`StepError::Deadlock`] if the graph stops making progress
     /// before finishing, or the first functional error raised by a node.
     pub fn run(mut self) -> Result<SimReport> {
+        let n = self.nodes.len();
+        // Edge endpoint tables: who to wake when a channel changes.
+        let mut reader_of = vec![u32::MAX; self.channels.len()];
+        let mut writer_of = vec![u32::MAX; self.channels.len()];
+        for (i, node) in self.graph.nodes().iter().enumerate() {
+            for e in &node.inputs {
+                reader_of[e.0 as usize] = i as u32;
+            }
+            for e in &node.outputs {
+                writer_of[e.0 as usize] = i as u32;
+            }
+        }
+
         let mut rounds: u64 = 0;
         let mut horizon: u64 = self.cfg.horizon_step;
-        loop {
+        let mut undone = self.nodes.iter().filter(|nd| !nd.done()).count();
+
+        // The current wave, swept in node-index order (a min-heap so
+        // wakes ahead of the sweep join it), and the next wave.
+        let mut wave: BinaryHeap<Reverse<usize>> = (0..n).map(Reverse).collect();
+        let mut in_wave = vec![true; n];
+        let mut next: Vec<usize> = Vec::new();
+        let mut in_next = vec![false; n];
+
+        // Time calendar: `(ready_time, edge)` for channel heads beyond
+        // the horizon, maintained lazily. Invariant: every channel whose
+        // head is beyond the horizon has an entry with exactly its head
+        // ready time (per-channel ready times strictly increase, so a
+        // mismatched entry is stale and the real head has its own).
+        let mut calendar: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+
+        while undone > 0 {
             rounds += 1;
             if rounds > self.cfg.max_rounds {
                 return Err(StepError::Exec(format!(
@@ -145,13 +216,11 @@ impl Simulation {
                     self.cfg.max_rounds
                 )));
             }
-            let mut progress = false;
-            let mut all_done = true;
-            for (i, node) in self.nodes.iter_mut().enumerate() {
-                if node.done() {
+            while let Some(Reverse(i)) = wave.pop() {
+                in_wave[i] = false;
+                if self.nodes[i].done() {
                     continue;
                 }
-                all_done = false;
                 let mut ctx = Ctx {
                     channels: &mut self.channels,
                     hbm: &mut self.hbm,
@@ -160,62 +229,157 @@ impl Simulation {
                     cfg: &self.cfg,
                     horizon,
                 };
-                let p = node.fire(&mut ctx).map_err(|e| {
-                    let n = &self.graph.nodes()[i];
-                    let label = if n.label.is_empty() {
-                        n.op.name().to_string()
+                let p = self.nodes[i].fire(&mut ctx).map_err(|e| {
+                    let g = &self.graph.nodes()[i];
+                    let label = if g.label.is_empty() {
+                        g.op.name().to_string()
                     } else {
-                        format!("{} ({})", n.op.name(), n.label)
+                        format!("{} ({})", g.op.name(), g.label)
                     };
                     StepError::Exec(format!("node {i} [{label}]: {e}"))
                 })?;
-                progress |= p;
-                // Publish a conservative lower bound on this node's future
-                // token times so arrival-order merges can commit safely.
-                let t = node.local_time();
-                for e in &self.graph.nodes()[i].outputs {
-                    self.channels[e.0 as usize].raise_floor(t);
+                let g_node = &self.graph.nodes()[i];
+                if p {
+                    // Publish a conservative lower bound on this node's
+                    // future token times so arrival-order merges can
+                    // commit safely.
+                    let t = self.nodes[i].local_time();
+                    for e in &g_node.outputs {
+                        self.channels[e.0 as usize].raise_floor(t);
+                    }
+                }
+                // Drain this node's channel events into wakes. A wake
+                // ahead of the sweep joins the current wave (round-robin
+                // would reach it later this round); one behind joins the
+                // next wave.
+                let mut wake = |j: u32| {
+                    let j = j as usize;
+                    if j == u32::MAX as usize {
+                        return;
+                    }
+                    if j > i {
+                        if !in_wave[j] {
+                            in_wave[j] = true;
+                            wave.push(Reverse(j));
+                        }
+                    } else if !in_next[j] {
+                        in_next[j] = true;
+                        next.push(j);
+                    }
+                };
+                for e in g_node.inputs.iter().chain(g_node.outputs.iter()) {
+                    let idx = e.0 as usize;
+                    let ev = self.channels[idx].take_events();
+                    if ev == 0 {
+                        continue;
+                    }
+                    if ev & (event::FREED | event::CLOSED) != 0 {
+                        wake(writer_of[idx]);
+                    }
+                    if ev & event::SRC_FINISHED != 0 {
+                        wake(reader_of[idx]);
+                    }
+                    if ev & (event::ENQUEUED | event::FREED) != 0 {
+                        // A new head may have appeared (token enqueued on
+                        // an empty queue, or the old head popped). Wake
+                        // the reader if it is visible in the current
+                        // window; otherwise file it in the calendar for
+                        // the horizon advance.
+                        if let Some(&(ready, _)) = self.channels[idx].peek() {
+                            if ready <= horizon {
+                                if ev & event::ENQUEUED != 0 {
+                                    wake(reader_of[idx]);
+                                }
+                            } else {
+                                calendar.push(Reverse((ready, idx)));
+                            }
+                        }
+                    }
+                }
+                if self.nodes[i].done() {
+                    undone -= 1;
+                    if undone == 0 {
+                        break;
+                    }
+                } else if p && !in_next[i] {
+                    // Progress with work possibly remaining (budget cap,
+                    // more queued input): poll again next wave.
+                    in_next[i] = true;
+                    next.push(i);
                 }
             }
-            if all_done {
+            if undone == 0 {
                 break;
             }
-            if !progress {
+            if next.is_empty() {
                 // Quiescent within the current window: advance the horizon
-                // to the next pending event.
-                let next_event = self
-                    .channels
-                    .iter()
-                    .filter_map(|c| c.peek().map(|(t, _)| *t))
-                    .filter(|&t| t > horizon)
-                    .min();
-                if let Some(t) = next_event {
-                    horizon = t + self.cfg.horizon_step;
-                    continue;
+                // to the next pending channel event and wake the readers
+                // whose heads just became visible. The first valid
+                // calendar entry is the earliest beyond-horizon head;
+                // every valid entry within a window of it wakes too.
+                let mut new_horizon: Option<u64> = None;
+                while let Some(&Reverse((t, idx))) = calendar.peek() {
+                    if new_horizon.is_some_and(|h| t > h) {
+                        break;
+                    }
+                    calendar.pop();
+                    // Stale entries: the head was consumed (its channel's
+                    // current head, if any, carries a later entry) or is
+                    // already visible.
+                    let live = self.channels[idx]
+                        .peek()
+                        .is_some_and(|&(ready, _)| ready == t && ready > horizon);
+                    if !live {
+                        continue;
+                    }
+                    if new_horizon.is_none() {
+                        new_horizon = Some(t + self.cfg.horizon_step);
+                    }
+                    let j = reader_of[idx] as usize;
+                    if j != u32::MAX as usize && !in_next[j] {
+                        in_next[j] = true;
+                        next.push(j);
+                    }
                 }
-                let blocked: Vec<String> = self
-                    .nodes
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, n)| !n.done())
-                    .map(|(i, n)| {
-                        let g = &self.graph.nodes()[i];
-                        format!("{i}:{} t={}", g.op.name(), n.local_time())
-                    })
-                    .collect();
-                return Err(StepError::Deadlock(format!(
-                    "no progress with {} nodes blocked: {}",
-                    blocked.len(),
-                    blocked.join(", ")
-                )));
+                let Some(h) = new_horizon else {
+                    return Err(self.deadlock_error());
+                };
+                horizon = h;
+            }
+            for j in next.drain(..) {
+                in_next[j] = false;
+                if !in_wave[j] {
+                    in_wave[j] = true;
+                    wave.push(Reverse(j));
+                }
             }
         }
         Ok(self.into_report(rounds))
     }
 
+    fn deadlock_error(&self) -> StepError {
+        let blocked: Vec<String> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, nd)| !nd.done())
+            .map(|(i, nd)| {
+                let g = &self.graph.nodes()[i];
+                let why = nd
+                    .blocked_on()
+                    .map_or_else(String::new, |b| format!(" ({b})"));
+                format!("{i}:{} t={}{why}", g.op.name(), nd.local_time())
+            })
+            .collect();
+        StepError::Deadlock(format!(
+            "no progress with {} nodes blocked: {}",
+            blocked.len(),
+            blocked.join(", ")
+        ))
+    }
+
     fn into_report(self, rounds: u64) -> SimReport {
-        let node_stats: Vec<NodeStats> =
-            self.nodes.iter().map(|n| n.stats().clone()).collect();
+        let node_stats: Vec<NodeStats> = self.nodes.iter().map(|n| n.stats().clone()).collect();
         let cycles = node_stats
             .iter()
             .map(|s| s.finish_time)

@@ -32,6 +32,11 @@ pub struct Hbm {
     cfg: HbmConfig,
     /// Remaining transfer capacity (bytes) per time window.
     windows: HashMap<u64, u64>,
+    /// Skip pointers past exhausted windows (`w -> first window >= w that
+    /// may still have capacity`), path-compressed. A window never regains
+    /// capacity, so a saturated stretch is crossed in amortized O(1)
+    /// instead of rescanned by every access.
+    skip: HashMap<u64, u64>,
     open_rows: Vec<Option<u64>>,
     total_bytes: u64,
     read_bytes: u64,
@@ -49,6 +54,7 @@ impl Hbm {
         Hbm {
             cfg,
             windows: HashMap::new(),
+            skip: HashMap::new(),
             open_rows: vec![None; banks],
             total_bytes: 0,
             read_bytes: 0,
@@ -62,6 +68,23 @@ impl Hbm {
 
     fn window_capacity(&self) -> u64 {
         WINDOW * self.cfg.bytes_per_cycle.max(1)
+    }
+
+    /// First window at or after `w` that may still hold capacity,
+    /// following (and compressing) the skip chain over exhausted windows.
+    fn first_open(&mut self, start: u64) -> u64 {
+        let mut w = start;
+        while let Some(&nxt) = self.skip.get(&w) {
+            w = nxt;
+        }
+        // Path compression: point the whole chain at the open window.
+        let mut c = start;
+        while c != w {
+            let nxt = self.skip[&c];
+            self.skip.insert(c, w);
+            c = nxt;
+        }
+        w
     }
 
     /// Issues an access of `bytes` at `addr` at time `now`, returning the
@@ -82,13 +105,14 @@ impl Hbm {
         let start = now + latency;
         let bpc = self.cfg.bytes_per_cycle.max(1);
         let cap = self.window_capacity();
-        let mut w = start / WINDOW;
+        let mut w = self.first_open(start / WINDOW);
         let mut remaining = bytes;
         let mut done = start;
         loop {
             let avail = self.windows.entry(w).or_insert(cap);
             if *avail == 0 {
-                w += 1;
+                self.skip.insert(w, w + 1);
+                w = self.first_open(w + 1);
                 continue;
             }
             let take = remaining.min(*avail);
@@ -100,9 +124,13 @@ impl Hbm {
             let within = w * WINDOW + used.div_ceil(bpc);
             done = done.max(within.min((w + 1) * WINDOW));
             if remaining == 0 {
+                if *avail == 0 {
+                    self.skip.insert(w, w + 1);
+                }
                 break;
             }
-            w += 1;
+            self.skip.insert(w, w + 1);
+            w = self.first_open(w + 1);
         }
         done = done.max(start + bytes.div_ceil(bpc));
 

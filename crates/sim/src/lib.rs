@@ -19,10 +19,21 @@
 //! - [`arena::BackingStore`] — optional dense off-chip contents so that
 //!   loads return real data in functional tests (phantom otherwise);
 //! - [`nodes`] — an executor per STeP operator implementing both the
-//!   functional token semantics of §3.2 and the timing model of §4.3;
-//! - [`engine::Simulation`] — the round-robin scheduler with deadlock
-//!   detection, and [`engine::SimReport`] with cycles, off-chip traffic,
-//!   measured on-chip memory, utilization, and recorded sink streams.
+//!   functional token semantics of §3.2 and the timing model of §4.3,
+//!   with a readiness surface ([`nodes::SimNode::blocked_on`]) reporting
+//!   which edge blocked a stalled node;
+//! - [`engine::Simulation`] — the event-driven scheduler: channels
+//!   record wake events (token arrivals, freed slots, closes) that the
+//!   engine drains into a ready set, so only nodes that can progress are
+//!   fired, and a time calendar advances the execution horizon directly
+//!   to the next pending channel event instead of probing every node for
+//!   quiescence. Host execution order (and therefore every cycle and
+//!   traffic figure) is identical to the earlier round-robin poller —
+//!   waves fire in node-index order, minus the no-op fires. Deadlocks
+//!   are detected and reported with each blocked node's blocking edge.
+//!   [`engine::SimReport`] carries cycles, off-chip traffic, measured
+//!   on-chip memory, utilization, scheduler-efficiency counters
+//!   ([`engine::SimReport::total_fires`]), and recorded sink streams.
 //!
 //! # Example
 //!

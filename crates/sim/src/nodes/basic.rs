@@ -1,6 +1,6 @@
 //! Sources, sinks, fan-out, zip, and the shape operators (Table 7).
 
-use super::{Ctx, Io, SimNode, BUDGET};
+use super::{BUDGET, Ctx, Io, SimNode};
 use crate::stats::NodeStats;
 use step_core::elem::Elem;
 use step_core::error::{Result, StepError};
@@ -10,18 +10,31 @@ use step_core::token::Token;
 
 macro_rules! impl_simnode_common {
     ($ty:ty) => {
+        impl_simnode_common!($ty,);
+    };
+    ($ty:ty, $($extra:item)*) => {
         impl SimNode for $ty {
             fn fire(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+                self.io.stats.fires += 1;
+                self.io.blocked = None;
                 let mut progress = false;
                 for _ in 0..BUDGET {
                     let (sent, drained) = self.io.flush(ctx);
                     progress |= sent;
                     if !drained || self.io.done || self.io.finishing {
+                        if !progress {
+                            self.io.stats.idle_fires += 1;
+                        }
                         return Ok(progress);
                     }
                     match self.step(ctx)? {
                         true => progress = true,
-                        false => return Ok(progress),
+                        false => {
+                            if !progress {
+                                self.io.stats.idle_fires += 1;
+                            }
+                            return Ok(progress);
+                        }
                     }
                 }
                 Ok(progress)
@@ -38,6 +51,12 @@ macro_rules! impl_simnode_common {
             fn local_time(&self) -> u64 {
                 self.io.time
             }
+
+            fn blocked_on(&self) -> Option<super::Blocked> {
+                self.io.blocked
+            }
+
+            $($extra)*
         }
     };
 }
@@ -109,39 +128,12 @@ impl SinkNode {
     }
 }
 
-impl SimNode for SinkNode {
-    fn fire(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
-        let mut progress = false;
-        for _ in 0..BUDGET {
-            let (sent, drained) = self.io.flush(ctx);
-            progress |= sent;
-            if !drained || self.io.done || self.io.finishing {
-                return Ok(progress);
-            }
-            match self.step(ctx)? {
-                true => progress = true,
-                false => return Ok(progress),
-            }
-        }
-        Ok(progress)
-    }
-
-    fn done(&self) -> bool {
-        self.io.done
-    }
-
-    fn stats(&self) -> &NodeStats {
-        &self.io.stats
-    }
-
-    fn local_time(&self) -> u64 {
-        self.io.time
-    }
-
+impl_simnode_common!(
+    SinkNode,
     fn recorded(&self) -> Option<&[Token]> {
         self.record.then_some(self.recorded.as_slice())
     }
-}
+);
 
 /// Replicates the input stream to every output.
 pub struct ForkNode {
@@ -196,11 +188,7 @@ impl ZipNode {
                 self.io.push(0, Token::Stop(s1));
             }
             (Token::Done, Token::Done) => self.io.push_done_all(),
-            (x, y) => {
-                return Err(StepError::Exec(format!(
-                    "zip misalignment: {x} vs {y}"
-                )))
-            }
+            (x, y) => return Err(StepError::Exec(format!("zip misalignment: {x} vs {y}"))),
         }
         Ok(true)
     }
@@ -392,7 +380,7 @@ impl ExpandNode {
                         Some((_, other)) => {
                             return Err(StepError::Exec(format!(
                                 "expand: expected input value, got {other}"
-                            )))
+                            )));
                         }
                         None => return Ok(false),
                     }

@@ -4,14 +4,14 @@
 //! ports.
 
 use super::basic::impl_simnode_common;
-use super::{compute_cycles, BlockEmitter, Ctx, Io, SimNode, BUDGET};
+use super::{BUDGET, BlockEmitter, Ctx, Io, SimNode, compute_cycles};
 use crate::stats::NodeStats;
 use step_core::error::{Result, StepError};
 use step_core::func::{AccumFn, FlatMapFn, MapFn};
 use step_core::graph::Node;
 use step_core::tile::Tile;
 use step_core::token::Token;
-use step_core::{Elem, DTYPE_BYTES};
+use step_core::{DTYPE_BYTES, Elem};
 
 /// `Map`: elementwise application of a hardware function.
 pub struct MapNode {
@@ -30,14 +30,13 @@ impl MapNode {
     }
 
     fn track_memory(&mut self, e: &Elem) {
-        if matches!(self.func, MapFn::Matmul | MapFn::MatmulBt) {
-            if let Ok(pair) = e.as_tuple() {
-                if let (Ok(a), Ok(b)) = (pair[0].as_tile(), pair[1].as_tile()) {
-                    // 16 * in_tile_col * bytes + |weight tile| (§4.2).
-                    let mem = 16 * a.cols() as u64 * DTYPE_BYTES + b.bytes();
-                    self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(mem);
-                }
-            }
+        if matches!(self.func, MapFn::Matmul | MapFn::MatmulBt)
+            && let Ok(pair) = e.as_tuple()
+            && let (Ok(a), Ok(b)) = (pair[0].as_tile(), pair[1].as_tile())
+        {
+            // 16 * in_tile_col * bytes + |weight tile| (§4.2).
+            let mem = 16 * a.cols() as u64 * DTYPE_BYTES + b.bytes();
+            self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(mem);
         }
     }
 
@@ -243,16 +242,16 @@ impl AddrGenNode {
         match self.io.pop(ctx, 0) {
             Token::Val(e) => {
                 let index = match &e {
-                    Elem::Sel(s) => {
-                        *s.targets().first().ok_or_else(|| {
-                            StepError::Exec("addr-gen on empty selector".into())
-                        })? as u64
-                    }
+                    Elem::Sel(s) => *s
+                        .targets()
+                        .first()
+                        .ok_or_else(|| StepError::Exec("addr-gen on empty selector".into()))?
+                        as u64,
                     Elem::Addr(a) => *a,
                     other => {
                         return Err(StepError::ElemType(format!(
                             "addr-gen needs selector or address, got {other}"
-                        )))
+                        )));
                     }
                 };
                 self.emitter.before_block(&mut self.io, 0, 1);

@@ -3,8 +3,10 @@
 //! Each STeP operator is executed by a node implementing [`SimNode`]:
 //! a state machine with a local clock that consumes timed tokens from its
 //! input channels, performs the operator's functional semantics (§3.2),
-//! charges its timing model (§4.3), and produces timed tokens. Nodes are
-//! fired round-robin by the engine until the graph drains.
+//! charges its timing model (§4.3), and produces timed tokens. The engine
+//! fires a node only when one of its channels signals that progress is
+//! possible (event-driven wake lists); a node that returns without
+//! progress reports the edge that blocked it via [`SimNode::blocked_on`].
 
 mod basic;
 mod compute;
@@ -48,9 +50,29 @@ impl Ctx<'_> {
     }
 }
 
-/// Steps a node can take per `fire` call, bounding per-round work so the
+/// Steps a node can take per `fire` call, bounding per-wave work so the
 /// scheduler interleaves nodes fairly.
 pub(crate) const BUDGET: usize = 256;
+
+/// What a node was waiting on when its last `fire` made no progress —
+/// the readiness surface the event-driven engine and its deadlock
+/// diagnostics consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Blocked {
+    /// Waiting for a token (ready within the horizon) on this input edge.
+    Input(EdgeId),
+    /// Waiting for free space on this output edge's channel.
+    Output(EdgeId),
+}
+
+impl std::fmt::Display for Blocked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Blocked::Input(e) => write!(f, "awaiting input on edge {}", e.0),
+            Blocked::Output(e) => write!(f, "output edge {} full", e.0),
+        }
+    }
+}
 
 /// A simulated operator.
 pub trait SimNode {
@@ -71,6 +93,13 @@ pub trait SimNode {
 
     /// The node's local clock.
     fn local_time(&self) -> u64;
+
+    /// The edge the node's most recent no-progress `fire` was blocked on,
+    /// if it recorded one (diagnostics; the wake lists are authoritative
+    /// for scheduling).
+    fn blocked_on(&self) -> Option<Blocked> {
+        None
+    }
 
     /// Recorded tokens, for recording sinks.
     fn recorded(&self) -> Option<&[Token]> {
@@ -94,6 +123,8 @@ pub(crate) struct Io {
     outbox: Vec<VecDeque<(u64, Token)>>,
     pub finishing: bool,
     pub done: bool,
+    /// The last edge a peek or flush found blocking (readiness surface).
+    pub blocked: Option<Blocked>,
 }
 
 impl Io {
@@ -106,6 +137,7 @@ impl Io {
             outbox: vec![VecDeque::new(); node.outputs.len()],
             finishing: false,
             done: false,
+            blocked: None,
         }
     }
 
@@ -143,6 +175,7 @@ impl Io {
             while let Some((t, tok)) = q.front().cloned() {
                 let ch = ctx.ch(self.outs[port]);
                 if !ch.can_send() {
+                    self.blocked = Some(Blocked::Output(self.outs[port]));
                     break;
                 }
                 ch.send(t, tok);
@@ -178,11 +211,16 @@ impl Io {
     }
 
     /// Peeks input `port`'s head token, if it is ready within the
-    /// engine's current time horizon.
-    pub fn peek<'c>(&self, ctx: &'c Ctx<'_>, port: usize) -> Option<&'c (u64, Token)> {
-        ctx.channels[self.ins[port].0 as usize]
+    /// engine's current time horizon. A miss records the port as the
+    /// node's blocker.
+    pub fn peek<'c>(&mut self, ctx: &'c Ctx<'_>, port: usize) -> Option<&'c (u64, Token)> {
+        let head = ctx.channels[self.ins[port].0 as usize]
             .peek()
-            .filter(|(ready, _)| *ready <= ctx.horizon)
+            .filter(|(ready, _)| *ready <= ctx.horizon);
+        if head.is_none() {
+            self.blocked = Some(Blocked::Input(self.ins[port]));
+        }
+        head
     }
 
     /// Pops input `port`, advancing the local clock to the dequeue time
@@ -272,9 +310,7 @@ pub fn build_node(graph: &Graph, index: usize) -> Result<Box<dyn SimNode>> {
             let rank = rank_of(node.inputs[0]);
             Box::new(basic::PromoteNode::new(node, rank))
         }
-        OpKind::ExpandStatic { factor } => {
-            Box::new(basic::ExpandStaticNode::new(node, *factor))
-        }
+        OpKind::ExpandStatic { factor } => Box::new(basic::ExpandStaticNode::new(node, *factor)),
         OpKind::Expand { level } => Box::new(basic::ExpandNode::new(node, *level)),
         OpKind::Reshape { level, chunk, pad } => {
             if *level != 0 {
@@ -303,7 +339,11 @@ pub fn build_node(graph: &Graph, index: usize) -> Result<Box<dyn SimNode>> {
         OpKind::Partition {
             rank,
             num_consumers,
-        } => Box::new(routing_partition::PartitionNode::new(node, *rank, *num_consumers)),
+        } => Box::new(routing_partition::PartitionNode::new(
+            node,
+            *rank,
+            *num_consumers,
+        )),
         OpKind::Reassemble {
             rank,
             num_producers,
@@ -334,3 +374,117 @@ pub fn build_node(graph: &Graph, index: usize) -> Result<Box<dyn SimNode>> {
     })
 }
 
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hbm::Hbm;
+    use step_core::elem::Elem;
+    use step_core::graph::EdgeId;
+    use step_core::ops::OpKind;
+
+    fn harness(capacities: &[usize]) -> (Io, Vec<Channel>, Hbm, Arena, BackingStore, SimConfig) {
+        let cfg = SimConfig::default();
+        let node = Node {
+            op: OpKind::Zip,
+            inputs: vec![],
+            outputs: (0..capacities.len() as u32).map(EdgeId).collect(),
+            label: String::new(),
+        };
+        let channels: Vec<Channel> = capacities.iter().map(|&c| Channel::new(c, 0)).collect();
+        (
+            Io::new(&node),
+            channels,
+            Hbm::new(cfg.hbm.clone()),
+            Arena::new(),
+            BackingStore::new(),
+            cfg,
+        )
+    }
+
+    fn val(x: u64) -> Token {
+        Token::Val(Elem::Addr(x))
+    }
+
+    #[test]
+    fn full_port_does_not_block_other_ports() {
+        // Port 0's channel holds one token; port 1's holds plenty. Port 1
+        // must drain fully even while port 0 is backed up.
+        let (mut io, mut channels, mut hbm, mut arena, mut store, cfg) = harness(&[1, 8]);
+        for k in 0..5 {
+            io.push(0, val(k));
+            io.push(1, val(k));
+        }
+        let mut ctx = Ctx {
+            channels: &mut channels,
+            hbm: &mut hbm,
+            arena: &mut arena,
+            store: &mut store,
+            cfg: &cfg,
+            horizon: u64::MAX,
+        };
+        let (progress, may_step) = io.flush(&mut ctx);
+        assert!(progress);
+        // Port 0 staged 4 tokens, beyond PORT_STAGING: the node stalls.
+        assert!(!may_step);
+        assert_eq!(ctx.channels[0].len(), 1);
+        assert_eq!(ctx.channels[1].len(), 5);
+        assert_eq!(io.blocked, Some(Blocked::Output(EdgeId(0))));
+    }
+
+    #[test]
+    fn staging_allowance_lets_a_port_run_slightly_ahead() {
+        // With exactly PORT_STAGING tokens staged beyond the channel, the
+        // node may still step; one more and it stalls.
+        let (mut io, mut channels, mut hbm, mut arena, mut store, cfg) = harness(&[1]);
+        for k in 0..(1 + PORT_STAGING as u64) {
+            io.push(0, val(k));
+        }
+        let mut ctx = Ctx {
+            channels: &mut channels,
+            hbm: &mut hbm,
+            arena: &mut arena,
+            store: &mut store,
+            cfg: &cfg,
+            horizon: u64::MAX,
+        };
+        let (_, may_step) = io.flush(&mut ctx);
+        assert!(may_step, "PORT_STAGING staged tokens must not stall");
+        io.push(0, val(99));
+        let (_, may_step) = io.flush(&mut ctx);
+        assert!(!may_step, "beyond the staging allowance the node stalls");
+        // Draining the channel lets the staged tokens through again.
+        ctx.channels[0].pop(0);
+        let (progress, _) = io.flush(&mut ctx);
+        assert!(progress);
+        assert_eq!(ctx.channels[0].len(), 1);
+    }
+
+    #[test]
+    fn peek_records_the_blocking_edge() {
+        let cfg = SimConfig::default();
+        let node = Node {
+            op: OpKind::Zip,
+            inputs: vec![EdgeId(0), EdgeId(1)],
+            outputs: vec![],
+            label: String::new(),
+        };
+        let mut io = Io::new(&node);
+        let mut channels = vec![Channel::new(2, 0), Channel::new(2, 0)];
+        // A token beyond the horizon is invisible and counts as blocking.
+        channels[1].send(500, val(1));
+        let mut hbm = Hbm::new(cfg.hbm.clone());
+        let (mut arena, mut store) = (Arena::new(), BackingStore::new());
+        let ctx = Ctx {
+            channels: &mut channels,
+            hbm: &mut hbm,
+            arena: &mut arena,
+            store: &mut store,
+            cfg: &cfg,
+            horizon: 64,
+        };
+        assert!(io.peek(&ctx, 0).is_none());
+        assert_eq!(io.blocked, Some(Blocked::Input(EdgeId(0))));
+        assert!(io.peek(&ctx, 1).is_none(), "head beyond horizon");
+        assert_eq!(io.blocked, Some(Blocked::Input(EdgeId(1))));
+    }
+}

@@ -1,13 +1,13 @@
 //! Off-chip memory operators (Table 3) wired to the HBM timing node.
 
 use super::basic::impl_simnode_common;
-use super::{BlockEmitter, Ctx, Io, SimNode, BUDGET};
+use super::{BUDGET, BlockEmitter, Ctx, Io, SimNode};
 use crate::stats::NodeStats;
+use step_core::Elem;
 use step_core::error::{Result, StepError};
 use step_core::graph::Node;
 use step_core::ops::{LinearLoadCfg, RandomAccessCfg};
 use step_core::token::Token;
-use step_core::Elem;
 
 /// `LinearOffChipLoad` (Fig 2): per reference element, an affine tiled
 /// read of the stored tensor, adding two dimensions to the stream.
@@ -110,9 +110,12 @@ impl LinearStoreNode {
             Token::Val(e) => {
                 let tile = e.as_tile()?;
                 let bytes = tile.bytes();
-                let done =
-                    ctx.hbm
-                        .access(self.base_addr + self.offset_bytes, bytes, self.io.time, true);
+                let done = ctx.hbm.access(
+                    self.base_addr + self.offset_bytes,
+                    bytes,
+                    self.io.time,
+                    true,
+                );
                 ctx.store
                     .write_tile(self.base_addr, self.row_offset, 0, tile);
                 self.row_offset += tile.rows();
@@ -210,7 +213,8 @@ impl RandomStoreNode {
                 let bytes = tile.bytes();
                 let done = ctx.hbm.access(addr, bytes, self.io.time, true);
                 let (tr, _) = self.cfg.tile_shape;
-                let tile_idx = addr.saturating_sub(self.cfg.base_addr) / self.cfg.tile_bytes().max(1);
+                let tile_idx =
+                    addr.saturating_sub(self.cfg.base_addr) / self.cfg.tile_bytes().max(1);
                 ctx.store
                     .write_tile(self.cfg.base_addr, (tile_idx * tr) as usize, 0, tile);
                 self.io.push_at(0, done, Token::Val(Elem::Bool(true)));
@@ -223,7 +227,7 @@ impl RandomStoreNode {
             (x, y) => {
                 return Err(StepError::Exec(format!(
                     "random store misalignment: {x} vs {y}"
-                )))
+                )));
             }
         }
         Ok(true)

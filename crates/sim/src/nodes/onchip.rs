@@ -1,15 +1,15 @@
 //! On-chip memory operators (Table 4): `Bufferize` and `Streamify`.
 
 use super::basic::impl_simnode_common;
-use super::{mem_cycles, BlockEmitter, Ctx, Io, SimNode, BUDGET};
+use super::{BUDGET, BlockEmitter, Ctx, Io, SimNode, mem_cycles};
 use crate::arena::StoredBuffer;
 use crate::stats::NodeStats;
+use step_core::Elem;
 use step_core::elem::BufRef;
 use step_core::error::{Result, StepError};
 use step_core::graph::Node;
 use step_core::ops::StreamifyCfg;
 use step_core::token::Token;
-use step_core::Elem;
 
 /// `Bufferize` (Fig 3): captures the `rank` innermost dims into an on-chip
 /// buffer, emitting a reference per buffer.
@@ -143,10 +143,10 @@ impl StreamifyNode {
                 let buf = e.as_buf()?;
                 // Reuse of the same reference (e.g. after ExpandStatic)
                 // keeps the buffer resident.
-                if self.current_id != Some(buf.id) {
-                    if let Some(prev) = self.current_id.take() {
-                        let _ = ctx.arena.free(prev);
-                    }
+                if self.current_id != Some(buf.id)
+                    && let Some(prev) = self.current_id.take()
+                {
+                    let _ = ctx.arena.free(prev);
                 }
                 let stored = ctx.arena.get(buf.id)?.clone();
                 self.block_rank = if self.cfg.shape.is_some() {
@@ -238,8 +238,7 @@ impl StreamifyNode {
             }
             Some(&(_, Token::Stop(s))) => {
                 let _ = self.io.pop(ctx, 1);
-                self.emitter
-                    .on_stop(&mut self.io, 0, s, self.block_rank);
+                self.emitter.on_stop(&mut self.io, 0, s, self.block_rank);
                 if s >= self.c && self.c > 0 {
                     self.current = None;
                     // Consume the aligned buffer-stream stop, if any.
@@ -251,7 +250,7 @@ impl StreamifyNode {
                             _ => {
                                 return Err(StepError::Exec(
                                     "streamify: buffer stream out of sync".into(),
-                                ))
+                                ));
                             }
                         }
                     }

@@ -1,13 +1,13 @@
 //! Dynamic routing and merging operators (Table 6, §3.2.3).
 
 use super::basic::impl_simnode_common;
-use super::{Ctx, Io, SimNode, BUDGET};
+use super::{BUDGET, Ctx, Io, SimNode};
 use crate::stats::NodeStats;
+use step_core::Elem;
 use step_core::elem::Selector;
 use step_core::error::{Result, StepError};
 use step_core::graph::Node;
 use step_core::token::Token;
-use step_core::Elem;
 
 /// `Reassemble` (Fig 4): per selector element, drains one rank-`rank`
 /// tensor from each selected input in arrival order (never interleaving),
@@ -44,10 +44,10 @@ impl ReassembleNode {
         // head token is ready earliest (ties broken by index).
         let mut best: Option<(u64, u32)> = None;
         for &i in &self.remaining {
-            if let Some(&(t, _)) = self.io.peek(ctx, i as usize) {
-                if best.is_none_or(|(bt, bi)| t < bt || (t == bt && i < bi)) {
-                    best = Some((t, i));
-                }
+            if let Some(&(t, _)) = self.io.peek(ctx, i as usize)
+                && best.is_none_or(|(bt, bi)| t < bt || (t == bt && i < bi))
+            {
+                best = Some((t, i));
             }
         }
         best.map(|(_, i)| i)
@@ -74,7 +74,7 @@ impl ReassembleNode {
                 other => {
                     return Err(StepError::Exec(format!(
                         "reassemble: input {i} ended mid-chunk with {other}"
-                    )))
+                    )));
                 }
             }
             return Ok(true);
@@ -170,13 +170,13 @@ impl EagerMergeNode {
                 Token::Done => {
                     return Err(StepError::Exec(format!(
                         "eager-merge: input {i} ended mid-chunk"
-                    )))
+                    )));
                 }
                 Token::Stop(s) => {
                     return Err(StepError::Exec(format!(
                         "eager-merge: stop {s} above chunk rank {}",
                         self.rank
-                    )))
+                    )));
                 }
             }
             return Ok(true);

@@ -1,7 +1,7 @@
 //! `Partition` executor (split out of `routing` for readability).
 
 use super::basic::impl_simnode_common;
-use super::{Ctx, Io, SimNode, BUDGET};
+use super::{BUDGET, Ctx, Io, SimNode};
 use crate::stats::NodeStats;
 use step_core::error::{Result, StepError};
 use step_core::graph::Node;

@@ -16,6 +16,11 @@ pub struct NodeStats {
     /// Measured on-chip memory requirement in bytes, per the §4.2
     /// equations with dynamic quantities observed at runtime.
     pub onchip_bytes: u64,
+    /// Times the scheduler invoked this node's `fire`.
+    pub fires: u64,
+    /// Fires that made no progress (wasted polls; the event-driven
+    /// scheduler keeps this near zero).
+    pub idle_fires: u64,
 }
 
 impl NodeStats {
@@ -28,6 +33,8 @@ impl NodeStats {
         self.busy_cycles += other.busy_cycles;
         self.finish_time = self.finish_time.max(other.finish_time);
         self.onchip_bytes = self.onchip_bytes.max(other.onchip_bytes);
+        self.fires += other.fires;
+        self.idle_fires += other.idle_fires;
     }
 }
 

@@ -2,6 +2,7 @@
 //! paper's §3.3 simplified-MoE walkthrough executed end-to-end with dense
 //! data.
 
+use step_core::StepError;
 use step_core::elem::{Elem, ElemKind, Selector};
 use step_core::func::{AccumFn, EwOp, FlatMapFn, MapFn};
 use step_core::graph::GraphBuilder;
@@ -9,7 +10,6 @@ use step_core::ops::{LinearLoadCfg, StreamifyCfg};
 use step_core::shape::{Dim, StreamShape};
 use step_core::tile::Tile;
 use step_core::token::{self, Token};
-use step_core::StepError;
 use step_sim::{SimConfig, Simulation};
 
 fn tile1(v: f32) -> Elem {
@@ -84,10 +84,7 @@ fn linear_load_repeats_per_reference_and_shifts_stops() {
     // Rank-1 reference: two groups of sizes 2 and 1.
     let r = g
         .source(
-            token::rank1_from_groups(&[
-                vec![Elem::Unit, Elem::Unit],
-                vec![Elem::Unit],
-            ]),
+            token::rank1_from_groups(&[vec![Elem::Unit, Elem::Unit], vec![Elem::Unit]]),
             StreamShape::fixed(&[2, 2]),
             ElemKind::Unit,
         )
@@ -120,10 +117,7 @@ fn map_matmul_computes_dense_values() {
         .unwrap();
     let b = g
         .source(
-            token::rank0_from_values([Elem::Tile(Tile::from_rows(&[
-                &[1.0, 0.0],
-                &[0.0, 2.0],
-            ]))]),
+            token::rank0_from_values([Elem::Tile(Tile::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]))]),
             StreamShape::fixed(&[1]),
             ElemKind::tile(2, 2),
         )
@@ -199,7 +193,10 @@ fn partition_reassemble_roundtrip() {
         .unwrap();
     let toks = report.sink_tokens(sink).unwrap();
     // Chunks come back in the original order.
-    assert_eq!(values_of(toks), (0..n).map(|i| i as f32).collect::<Vec<_>>());
+    assert_eq!(
+        values_of(toks),
+        (0..n).map(|i| i as f32).collect::<Vec<_>>()
+    );
     token::validate(toks, 2).unwrap();
 }
 
@@ -260,10 +257,7 @@ fn bufferize_streamify_rereads_buffers() {
     // Two rank-1 groups of 2 tiles each -> 2 buffers.
     let s = g
         .source(
-            token::rank1_from_groups(&[
-                vec![tile1(1.0), tile1(2.0)],
-                vec![tile1(3.0), tile1(4.0)],
-            ]),
+            token::rank1_from_groups(&[vec![tile1(1.0), tile1(2.0)], vec![tile1(3.0), tile1(4.0)]]),
             StreamShape::fixed(&[2, 2]),
             ElemKind::tile(1, 1),
         )
@@ -395,10 +389,7 @@ fn accum_retile_row_packs_dynamic_groups() {
     let mut g = GraphBuilder::new();
     let s = g
         .source(
-            token::rank1_from_groups(&[
-                vec![tile1(1.0), tile1(2.0), tile1(3.0)],
-                vec![tile1(4.0)],
-            ]),
+            token::rank1_from_groups(&[vec![tile1(1.0), tile1(2.0), tile1(3.0)], vec![tile1(4.0)]]),
             StreamShape::fixed(&[2, 3]),
             ElemKind::tile(1, 1),
         )
@@ -430,10 +421,7 @@ fn scan_emits_running_state_and_resets() {
     let mut g = GraphBuilder::new();
     let s = g
         .source(
-            token::rank1_from_groups(&[
-                vec![tile1(1.0), tile1(2.0)],
-                vec![tile1(5.0)],
-            ]),
+            token::rank1_from_groups(&[vec![tile1(1.0), tile1(2.0)], vec![tile1(5.0)]]),
             StreamShape::fixed(&[2, 2]),
             ElemKind::tile(1, 1),
         )
@@ -453,11 +441,7 @@ fn flat_map_splits_rows() {
     let mut g = GraphBuilder::new();
     let s = g
         .source(
-            token::rank0_from_values([Elem::Tile(Tile::from_rows(&[
-                &[1.0],
-                &[2.0],
-                &[3.0],
-            ]))]),
+            token::rank0_from_values([Elem::Tile(Tile::from_rows(&[&[1.0], &[2.0], &[3.0]]))]),
             StreamShape::fixed(&[1]),
             ElemKind::tile(3, 1),
         )
@@ -636,7 +620,11 @@ fn simplified_moe_matches_reference() {
 
     // Deterministic input and weights.
     let xs: Vec<Vec<f32>> = (0..BATCH)
-        .map(|i| (0..HIDDEN).map(|j| ((i * 7 + j * 3) % 5) as f32 - 2.0).collect())
+        .map(|i| {
+            (0..HIDDEN)
+                .map(|j| ((i * 7 + j * 3) % 5) as f32 - 2.0)
+                .collect()
+        })
         .collect();
     let w = |e: usize| -> Vec<f32> {
         (0..HIDDEN * OUT)
@@ -678,21 +666,25 @@ fn simplified_moe_matches_reference() {
         let fk = g.fork(&packed, 2).unwrap();
         // Broadcast each packed tile across the weight's column tiles.
         let (ones, _) = g.reshape(&fk[0], 1, None).unwrap();
-        let bcast = g
-            .expand_static(&ones, (OUT / COL_TILE) as u64)
-            .unwrap();
+        let bcast = g.expand_static(&ones, (OUT / COL_TILE) as u64).unwrap();
         // Load the expert weight once per packed tile.
         let wtiles = g
             .linear_offchip_load(
                 &fk[1],
-                LinearLoadCfg::new(base, (HIDDEN as u64, OUT as u64), (HIDDEN as u64, COL_TILE as u64)),
+                LinearLoadCfg::new(
+                    base,
+                    (HIDDEN as u64, OUT as u64),
+                    (HIDDEN as u64, COL_TILE as u64),
+                ),
             )
             .unwrap();
         let wflat = g.flatten(&wtiles, 0, 1).unwrap();
         // Compute and repack: [ceil(D/T), OUT/CT] partials -> row tiles.
         let prod = g.map2(&bcast, &wflat, MapFn::Matmul, 1024).unwrap();
         let full = g.accum(&prod, 1, AccumFn::RetileCol, 1024).unwrap();
-        let rows = g.flat_map(&full, FlatMapFn::SplitRows { chunk: 1 }).unwrap();
+        let rows = g
+            .flat_map(&full, FlatMapFn::SplitRows { chunk: 1 })
+            .unwrap();
         // Rechunk to single-row rank-1 tensors for per-row reassembly.
         let rows_flat = g.flatten(&rows, 0, 1).unwrap();
         let (row_chunks, _) = g.reshape(&rows_flat, 1, None).unwrap();
@@ -730,9 +722,6 @@ fn simplified_moe_matches_reference() {
         }
     }
     // Each expert loads its weight ceil(4/4) = 1 time.
-    assert_eq!(
-        report.offchip_read,
-        2 * (HIDDEN * OUT * 2) as u64
-    );
+    assert_eq!(report.offchip_read, 2 * (HIDDEN * OUT * 2) as u64);
     assert!(report.compute_utilization() > 0.0);
 }

@@ -218,14 +218,12 @@ impl Expr {
             },
             Expr::Add(v) => Expr::Add(v.iter().map(|e| e.subst_inner(env)).collect()),
             Expr::Mul(v) => Expr::Mul(v.iter().map(|e| e.subst_inner(env)).collect()),
-            Expr::CeilDiv(a, b) => Expr::CeilDiv(
-                Box::new(a.subst_inner(env)),
-                Box::new(b.subst_inner(env)),
-            ),
-            Expr::FloorDiv(a, b) => Expr::FloorDiv(
-                Box::new(a.subst_inner(env)),
-                Box::new(b.subst_inner(env)),
-            ),
+            Expr::CeilDiv(a, b) => {
+                Expr::CeilDiv(Box::new(a.subst_inner(env)), Box::new(b.subst_inner(env)))
+            }
+            Expr::FloorDiv(a, b) => {
+                Expr::FloorDiv(Box::new(a.subst_inner(env)), Box::new(b.subst_inner(env)))
+            }
             Expr::Max(v) => Expr::Max(v.iter().map(|e| e.subst_inner(env)).collect()),
             Expr::Min(v) => Expr::Min(v.iter().map(|e| e.subst_inner(env)).collect()),
         }
@@ -554,10 +552,7 @@ mod tests {
 
     #[test]
     fn max_min_fold() {
-        assert_eq!(
-            Expr::max_of([Expr::from(3), Expr::from(7)]),
-            Expr::Const(7)
-        );
+        assert_eq!(Expr::max_of([Expr::from(3), Expr::from(7)]), Expr::Const(7));
         assert_eq!(Expr::min_of([Expr::from(3), Expr::from(7)]), Expr::Const(3));
         let (d, env) = sym();
         let e = Expr::max_of([Expr::from(&d), Expr::from(4)]);

@@ -1,8 +1,8 @@
 //! Symbols and symbol tables.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide counter so that symbols minted by independent
 /// [`SymbolTable`]s never collide. Symbol identity is the numeric id; the

@@ -7,9 +7,8 @@
 //! This module samples log-normal lengths with a class-controlled sigma —
 //! matching the long-tailed shape of production prompt lengths.
 
+use crate::rng::StdRng;
 use crate::{std_dev, std_normal};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// KV-length variability classes (Fig 14 / Fig 21's Low/Med/High).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

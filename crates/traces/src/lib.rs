@@ -17,13 +17,13 @@
 //! DESIGN.md ("Substitutions") for the preservation argument.
 
 pub mod kv;
+pub mod rng;
 pub mod routing;
 
-pub use kv::{kv_lengths, KvTrace, KvTraceConfig, Variability};
-pub use routing::{expert_routing, tokens_per_expert, RoutingConfig, RoutingTrace};
+pub use kv::{KvTrace, KvTraceConfig, Variability, kv_lengths};
+pub use routing::{RoutingConfig, RoutingTrace, expert_routing, tokens_per_expert};
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use rng::StdRng;
 
 /// A standard normal sample via Box–Muller (avoids extra dependencies).
 pub(crate) fn std_normal(rng: &mut StdRng) -> f64 {
@@ -45,7 +45,6 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn std_normal_has_roughly_unit_variance() {

@@ -8,9 +8,8 @@
 //! histogram ("expert bin counts"), whose standard deviation the paper
 //! uses to pick representative iterations.
 
+use crate::rng::StdRng;
 use crate::{std_dev, std_normal};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of an expert-routing sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,8 +127,10 @@ pub fn expert_routing(cfg: &RoutingConfig) -> RoutingTrace {
                 })
                 .collect();
             keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
-            let mut picked: Vec<u32> =
-                keyed[..cfg.top_k as usize].iter().map(|&(_, e)| e).collect();
+            let mut picked: Vec<u32> = keyed[..cfg.top_k as usize]
+                .iter()
+                .map(|&(_, e)| e)
+                .collect();
             picked.sort_unstable();
             picked
         })

@@ -8,10 +8,10 @@
 //!
 //! Run with: `cargo run --release --example attention_dynamic_parallel`
 
-use step::models::attention::{attention_graph, AttentionCfg, ParallelStrategy};
 use step::models::ModelConfig;
+use step::models::attention::{AttentionCfg, ParallelStrategy, attention_graph};
 use step::sim::{SimConfig, Simulation};
-use step::traces::{kv_lengths, KvTraceConfig, Variability};
+use step::traces::{KvTraceConfig, Variability, kv_lengths};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ModelConfig::qwen3_30b_a3b();

@@ -9,12 +9,15 @@
 //! Run with: `cargo run --release --example dse_sweep`
 
 use step::core::metrics;
-use step::models::swiglu::{swiglu_graph, SwigluCfg};
+use step::models::swiglu::{SwigluCfg, swiglu_graph};
 use step::sim::{SimConfig, Simulation};
 use step_symbolic::Env;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:>12} {:>14} {:>14} {:>10}", "tile", "pred traffic", "pred onchip", "cycles");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "tile", "pred traffic", "pred onchip", "cycles"
+    );
     let mut best: Option<(u64, (u64, u64))> = None;
     for tb in [16u64, 32, 64] {
         for ti in [64u64, 256] {

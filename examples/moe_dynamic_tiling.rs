@@ -8,10 +8,10 @@
 //!
 //! Run with: `cargo run --release --example moe_dynamic_tiling`
 
-use step::models::moe::{expected_weight_traffic, moe_graph, MoeCfg, Tiling};
 use step::models::ModelConfig;
+use step::models::moe::{MoeCfg, Tiling, expected_weight_traffic, moe_graph};
 use step::sim::{SimConfig, Simulation};
-use step::traces::{expert_routing, RoutingConfig};
+use step::traces::{RoutingConfig, expert_routing};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ModelConfig::qwen3_30b_a3b();
@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.bin_std_dev()
     );
 
-    for tiling in [Tiling::Static { tile: 8 }, Tiling::Static { tile: 64 }, Tiling::Dynamic] {
+    for tiling in [
+        Tiling::Static { tile: 8 },
+        Tiling::Static { tile: 64 },
+        Tiling::Dynamic,
+    ] {
         let cfg = MoeCfg::new(model.clone(), tiling);
         let predicted = expected_weight_traffic(&cfg, &trace);
         let graph = moe_graph(&cfg, &trace)?;

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = sim.run()?;
     println!("cycles: {}", report.cycles);
-    println!("measured off-chip traffic: {} bytes", report.offchip_traffic);
+    println!(
+        "measured off-chip traffic: {} bytes",
+        report.offchip_traffic
+    );
 
     // The sink recorded the ReLU'd tiles: all values non-negative.
     let tokens = report.sink_tokens(sink)?;

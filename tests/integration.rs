@@ -3,13 +3,13 @@
 //! the cycle-approximate simulator, and the fine-grained reference.
 
 use step::core::metrics;
-use step::hdl::{pearson, simulate_swiglu, RefConfig};
-use step::models::attention::{attention_graph, AttentionCfg, ParallelStrategy};
-use step::models::moe::{expected_weight_traffic, moe_graph, MoeCfg, Tiling};
-use step::models::swiglu::{swiglu_graph, SwigluCfg};
+use step::hdl::{RefConfig, pearson, simulate_swiglu};
 use step::models::ModelConfig;
+use step::models::attention::{AttentionCfg, ParallelStrategy, attention_graph};
+use step::models::moe::{MoeCfg, Tiling, expected_weight_traffic, moe_graph};
+use step::models::swiglu::{SwigluCfg, swiglu_graph};
 use step::sim::{SimConfig, Simulation};
-use step::traces::{expert_routing, kv_lengths, KvTraceConfig, RoutingConfig, Variability};
+use step::traces::{KvTraceConfig, RoutingConfig, Variability, expert_routing, kv_lengths};
 use step_symbolic::Env;
 
 fn small_model() -> ModelConfig {
@@ -175,7 +175,12 @@ fn dynamic_parallelization_orders_as_in_fig14_and_15() {
     let dynamic = run_one(ParallelStrategy::Dynamic, 16, Variability::Medium, 11);
     assert!(dynamic * 2 < coarse, "dynamic {dynamic} vs coarse {coarse}");
     // Fig 14: under high variance, dynamic beats interleaved.
-    let inter = run_one(ParallelStrategy::StaticInterleaved, 32, Variability::High, 13);
+    let inter = run_one(
+        ParallelStrategy::StaticInterleaved,
+        32,
+        Variability::High,
+        13,
+    );
     let dyn_hi = run_one(ParallelStrategy::Dynamic, 32, Variability::High, 13);
     assert!(dyn_hi < inter, "dynamic {dyn_hi} vs interleaved {inter}");
 }
@@ -199,4 +204,36 @@ fn reports_are_reproducible_across_runs() {
         (r.cycles, r.offchip_traffic, r.onchip_memory, r.rounds)
     };
     assert_eq!(go(), go());
+}
+
+#[test]
+fn scheduler_fires_far_fewer_than_polling_would() {
+    // The event-driven engine only fires nodes with a wake reason. A
+    // round-robin poller would have fired every live node every round
+    // (`nodes × rounds`); require at least a 10x reduction on the MoE
+    // graph, whose many mostly-idle expert pipelines are the worst case
+    // for polling.
+    let model = small_model();
+    let trace = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch: 32,
+        skew: 0.8,
+        seed: 7,
+    });
+    let cfg = MoeCfg::new(model.clone(), Tiling::Static { tile: 8 });
+    let graph = moe_graph(&cfg, &trace).unwrap();
+    let nodes = graph.nodes().len() as u64;
+    let report = Simulation::new(graph, SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let poll_equivalent = nodes * report.rounds;
+    assert!(
+        report.total_fires() * 10 < poll_equivalent,
+        "fires {} vs poll-equivalent {poll_equivalent}",
+        report.total_fires()
+    );
+    // Wasted polls stay a minority of the work done.
+    assert!(report.idle_fires() * 2 < report.total_fires());
 }

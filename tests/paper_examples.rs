@@ -107,7 +107,9 @@ fn fig3_bufferize_streamify() {
             ElemKind::Unit,
         )
         .unwrap();
-    let out = g.streamify(&bufs, &reference, StreamifyCfg::default()).unwrap();
+    let out = g
+        .streamify(&bufs, &reference, StreamifyCfg::default())
+        .unwrap();
     assert_eq!(out.shape().rank(), 3);
     let sink = g.sink(&out).unwrap();
     let report = Simulation::new(g.finish(), SimConfig::default())
