@@ -1,23 +1,44 @@
-//! Scheduler microbenchmark: engine overhead on the MoE graph.
+//! Scheduler microbenchmark: engine overhead and parallel scaling on the
+//! MoE graph.
 //!
-//! Reports scheduler rounds, node fires, and wall-clock for the MoE layer
-//! at a few batch sizes — the workload whose many-expert graphs stress
-//! the engine most. Used to track the event-driven scheduler against the
-//! round-robin baseline recorded in CHANGES.md.
+//! Reports cycles, scheduler rounds, node fires, and wall-clock for the
+//! MoE layer at a few batch sizes — the workload whose many-expert graphs
+//! stress the engine most — first on the monolithic (single-shard)
+//! engine, then on the sharded engine across a thread-count axis. The
+//! sharded rows must agree bit-for-bit on cycles and off-chip traffic at
+//! every thread count (the determinism contract); the bench asserts it.
 //!
 //! Run with: `cargo run --release -p step-bench --bin sched_bench`
+//! Optionally `THREADS="1 2 4 8"` to pick the thread axis.
 
 use std::time::Instant;
 use step_models::ModelConfig;
 use step_models::moe::{MoeCfg, Tiling, moe_graph};
-use step_sim::{SimConfig, Simulation};
-use step_traces::{RoutingConfig, expert_routing};
+use step_sim::{SimConfig, SimReport, Simulation};
+use step_traces::{RoutingConfig, RoutingTrace, expert_routing};
+
+fn run_once(cfg: &MoeCfg, trace: &RoutingTrace, sim_cfg: SimConfig) -> (SimReport, f64) {
+    let graph = moe_graph(cfg, trace).expect("moe graph");
+    let t0 = Instant::now();
+    let report = Simulation::new(graph, sim_cfg)
+        .expect("simulation")
+        .run()
+        .expect("run");
+    (report, t0.elapsed().as_secs_f64() * 1e3)
+}
 
 fn main() {
     let model = ModelConfig::qwen3_30b_a3b();
+    let threads_axis: Vec<usize> = std::env::var("THREADS")
+        .map(|s| {
+            s.split_whitespace()
+                .map(|t| t.parse().expect("THREADS entries are integers"))
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![1, 2, 4, 8]);
     println!(
-        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
-        "batch", "tiling", "cycles", "rounds", "fires", "wall (ms)"
+        "{:>6} {:>10} {:>6} {:>8} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "batch", "tiling", "mode", "threads", "cycles", "rounds", "fires", "wall (ms)", "speedup"
     );
     for batch in [16usize, 64] {
         let trace = expert_routing(&RoutingConfig {
@@ -29,19 +50,56 @@ fn main() {
         });
         for tiling in [Tiling::Static { tile: 8 }, Tiling::Dynamic] {
             let cfg = MoeCfg::new(model.clone(), tiling);
-            let graph = moe_graph(&cfg, &trace).expect("moe graph");
-            let t0 = Instant::now();
-            let report = Simulation::new(graph, SimConfig::default())
-                .expect("simulation")
-                .run()
-                .expect("run");
-            let wall = t0.elapsed().as_secs_f64() * 1e3;
-            println!(
-                "{batch:>6} {tiling:>10} {:>12} {:>12} {:>12} {wall:>10.1}",
-                report.cycles,
-                report.rounds,
-                report.total_fires()
+            // Monolithic reference (the legacy engine, bit for bit).
+            let (mono, mono_wall) = run_once(
+                &cfg,
+                &trace,
+                SimConfig {
+                    shards: 1,
+                    ..SimConfig::default()
+                },
             );
+            println!(
+                "{batch:>6} {tiling:>10} {:>6} {:>8} {:>12} {:>12} {:>12} {mono_wall:>10.1} {:>8}",
+                "mono",
+                1,
+                mono.cycles,
+                mono.rounds,
+                mono.total_fires(),
+                "-"
+            );
+            // Sharded engine across the thread axis: identical results
+            // required at every thread count.
+            let mut base: Option<(u64, u64, f64)> = None;
+            for &threads in &threads_axis {
+                let (r, wall) = run_once(
+                    &cfg,
+                    &trace,
+                    SimConfig {
+                        threads,
+                        ..SimConfig::default()
+                    },
+                );
+                match base {
+                    None => base = Some((r.cycles, r.offchip_traffic, wall)),
+                    Some((c, t, _)) => {
+                        assert_eq!(
+                            (r.cycles, r.offchip_traffic),
+                            (c, t),
+                            "thread count changed results at threads={threads}"
+                        );
+                    }
+                }
+                let speedup = base.map(|(_, _, w)| w / wall).unwrap_or(1.0);
+                println!(
+                    "{batch:>6} {tiling:>10} {:>6} {threads:>8} {:>12} {:>12} {:>12} {wall:>10.1} {speedup:>7.2}x",
+                    format!("x{}", r.shards),
+                    r.cycles,
+                    r.rounds,
+                    r.total_fires(),
+                );
+            }
         }
     }
+    println!("\nresults identical across all thread counts: ok");
 }

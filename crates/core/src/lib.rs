@@ -19,7 +19,9 @@
 //! - [`graph`] — the program graph builder with build-time shape
 //!   verification mirroring the symbolic frontend (§4.1),
 //! - [`metrics`] — the symbolic off-chip-traffic and on-chip-memory
-//!   equations of §4.2.
+//!   equations of §4.2,
+//! - [`partition`] — slack-guided partitioning of program graphs into
+//!   connected shards for the parallel simulator.
 //!
 //! Execution (functional semantics + cycle-approximate timing) lives in the
 //! `step-sim` crate; `step-hdl` provides the fine-grained reference
@@ -51,6 +53,7 @@ pub mod func;
 pub mod graph;
 pub mod metrics;
 pub mod ops;
+pub mod partition;
 pub mod shape;
 pub mod tile;
 pub mod token;

@@ -17,17 +17,55 @@ pub struct StoredBuffer {
     pub bytes: u64,
 }
 
+/// One allocation or release in simulated time, for computing a global
+/// peak across shard-local arenas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaEvent {
+    /// Simulated time of the event (the node's local clock).
+    pub time: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Allocation (`true`) or release (`false`).
+    pub alloc: bool,
+}
+
+/// Peak resident bytes of a set of [`ArenaEvent`] timelines, merged in
+/// simulated-time order (allocations before releases at equal times, so
+/// the estimate is conservative). Order-independent: the result depends
+/// only on the multiset of events, never on which shard or worker
+/// produced them.
+pub fn peak_of_events(mut events: Vec<ArenaEvent>) -> u64 {
+    events.sort_by_key(|e| (e.time, !e.alloc));
+    let (mut live, mut peak) = (0u64, 0u64);
+    for e in events {
+        if e.alloc {
+            live += e.bytes;
+            peak = peak.max(live);
+        } else {
+            live = live.saturating_sub(e.bytes);
+        }
+    }
+    peak
+}
+
 /// The on-chip scratchpad arena shared by `Bufferize`/`Streamify` nodes.
 ///
 /// Tracks live and peak byte usage, which provides the *measured* on-chip
 /// memory requirement for dynamically-sized buffers (§4.2, "handling data
-/// dependencies").
+/// dependencies"). In sharded simulations each shard owns an arena; the
+/// per-shard [`ArenaEvent`] logs are merged by simulated time at report
+/// time so the whole-accelerator peak is deterministic regardless of how
+/// shards interleave on the host.
 #[derive(Debug, Default)]
 pub struct Arena {
     buffers: HashMap<u64, StoredBuffer>,
     next_id: u64,
     live_bytes: u64,
     peak_bytes: u64,
+    /// Timestamped alloc/free log, kept only when enabled (sharded runs).
+    events: Option<Vec<ArenaEvent>>,
+    /// Simulated time of the most recent alloc/free, stamped by callers.
+    last_time: u64,
 }
 
 impl Arena {
@@ -36,12 +74,40 @@ impl Arena {
         Arena::default()
     }
 
+    /// Creates an arena that records timestamped alloc/free events for a
+    /// cross-shard peak merge.
+    pub fn with_event_log() -> Arena {
+        Arena {
+            events: Some(Vec::new()),
+            ..Arena::default()
+        }
+    }
+
+    /// Stamps the simulated time of the next alloc/free (callers set this
+    /// to their local clock right before mutating).
+    pub fn set_time(&mut self, t: u64) {
+        self.last_time = t;
+    }
+
+    /// Drains the recorded event log (empty unless created with
+    /// [`Arena::with_event_log`]).
+    pub fn take_events(&mut self) -> Vec<ArenaEvent> {
+        self.events.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
     /// Allocates a buffer, returning its id.
     pub fn alloc(&mut self, buf: StoredBuffer) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.live_bytes += buf.bytes;
         self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        if let Some(ev) = &mut self.events {
+            ev.push(ArenaEvent {
+                time: self.last_time,
+                bytes: buf.bytes,
+                alloc: true,
+            });
+        }
         self.buffers.insert(id, buf);
         id
     }
@@ -67,6 +133,13 @@ impl Arena {
         match self.buffers.remove(&id) {
             Some(b) => {
                 self.live_bytes -= b.bytes;
+                if let Some(ev) = &mut self.events {
+                    ev.push(ArenaEvent {
+                        time: self.last_time,
+                        bytes: b.bytes,
+                        alloc: false,
+                    });
+                }
                 Ok(())
             }
             None => Err(StepError::Exec(format!("double free of buffer {id}"))),
@@ -168,6 +241,100 @@ impl BackingStore {
             .get(&base_addr)
             .map(|t| (t.rows, t.cols, t.data.as_slice()))
     }
+
+    /// Whether any tensor is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+}
+
+/// A [`BackingStore`] shareable across shard workers.
+///
+/// Timing-only runs (no preloaded tensors) never take the lock: reads
+/// return phantom tiles and writes are accounted but not materialized, so
+/// the hot path is a single relaxed atomic load.
+///
+/// **Functional-determinism caveat:** accesses are serialized but not
+/// *ordered* across shards within a sub-round. Reads and writes of the
+/// same registered tensor are deterministic only when the program orders
+/// them through dataflow (a load consuming a token produced after the
+/// store's acknowledgement) or when they live in the same shard. A
+/// sharded program whose shards race unordered reads against writes of
+/// one tensor is outside the engine's determinism contract — the same
+/// caveat the monolithic engine has for programs racing through off-chip
+/// memory, widened to host scheduling. Every current model builder only
+/// reads preloaded (read-only) tensors and writes disjoint output
+/// regions.
+#[derive(Debug, Default)]
+pub struct SharedStore {
+    has_data: std::sync::atomic::AtomicBool,
+    inner: std::sync::RwLock<BackingStore>,
+}
+
+impl SharedStore {
+    /// Creates an empty store.
+    pub fn new() -> SharedStore {
+        SharedStore::default()
+    }
+
+    /// Registers a dense row-major tensor at `base_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or the lock is poisoned.
+    pub fn register(&self, base_addr: u64, rows: usize, cols: usize, data: Vec<f32>) {
+        self.inner
+            .write()
+            .expect("store lock")
+            .register(base_addr, rows, cols, data);
+        self.has_data
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    fn backed(&self) -> bool {
+        self.has_data.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// See [`BackingStore::read_tile`].
+    pub fn read_tile(
+        &self,
+        base_addr: u64,
+        r0: usize,
+        c0: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Tile {
+        if !self.backed() {
+            return Tile::phantom(rows, cols);
+        }
+        self.inner
+            .read()
+            .expect("store lock")
+            .read_tile(base_addr, r0, c0, rows, cols)
+    }
+
+    /// See [`BackingStore::write_tile`].
+    pub fn write_tile(&self, base_addr: u64, r0: usize, c0: usize, tile: &Tile) {
+        if !self.backed() {
+            return;
+        }
+        self.inner
+            .write()
+            .expect("store lock")
+            .write_tile(base_addr, r0, c0, tile);
+    }
+
+    /// Reads back a registered tensor's dense contents, if present.
+    pub fn tensor(&self, base_addr: u64) -> Option<(usize, usize, Vec<f32>)> {
+        if !self.backed() {
+            return None;
+        }
+        self.inner
+            .read()
+            .expect("store lock")
+            .tensor(base_addr)
+            .map(|(r, c, d)| (r, c, d.to_vec()))
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +360,69 @@ mod tests {
         assert_eq!(a.peak_bytes(), 150);
         a.free(id2).unwrap();
         assert!(a.free(id2).is_err());
+    }
+
+    #[test]
+    fn event_log_peak_is_time_ordered_not_host_ordered() {
+        // Two shard-local arenas whose host-order interleaving is unknown:
+        // the merged peak depends only on simulated timestamps.
+        let mut a = Arena::with_event_log();
+        let mut b = Arena::with_event_log();
+        a.set_time(10);
+        let ia = a.alloc(StoredBuffer {
+            elems: vec![],
+            dims: vec![],
+            bytes: 100,
+        });
+        a.set_time(30);
+        a.free(ia).unwrap();
+        b.set_time(20);
+        let ib = b.alloc(StoredBuffer {
+            elems: vec![],
+            dims: vec![],
+            bytes: 60,
+        });
+        b.set_time(40);
+        b.free(ib).unwrap();
+        let mut ev = a.take_events();
+        ev.extend(b.take_events());
+        // Overlap in [20, 30): 100 + 60.
+        assert_eq!(peak_of_events(ev), 160);
+    }
+
+    #[test]
+    fn event_peak_allocs_before_frees_at_equal_time() {
+        let ev = vec![
+            ArenaEvent {
+                time: 5,
+                bytes: 10,
+                alloc: true,
+            },
+            ArenaEvent {
+                time: 7,
+                bytes: 10,
+                alloc: false,
+            },
+            ArenaEvent {
+                time: 7,
+                bytes: 4,
+                alloc: true,
+            },
+        ];
+        assert_eq!(peak_of_events(ev), 14);
+    }
+
+    #[test]
+    fn shared_store_phantom_fast_path_and_roundtrip() {
+        let s = SharedStore::new();
+        assert!(s.read_tile(0, 0, 0, 2, 2).is_phantom());
+        s.register(0x10, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            s.read_tile(0x10, 0, 0, 2, 2).values().unwrap(),
+            &[1.0, 2.0, 3.0, 4.0]
+        );
+        s.write_tile(0x10, 0, 0, &Tile::splat(1, 1, 9.0));
+        assert_eq!(s.tensor(0x10).unwrap().2[0], 9.0);
     }
 
     #[test]

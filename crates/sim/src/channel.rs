@@ -80,6 +80,59 @@ impl Channel {
         }
     }
 
+    /// Creates the *reader half* of a cross-shard channel: it starts with
+    /// zero free slots because all send credits live on the writer half
+    /// (the writer-side [`Channel`] created with [`Channel::new`], whose
+    /// queue acts as the in-flight mailbox). The sharded engine shuttles
+    /// tokens (writer queue → [`Channel::inject`]) and freed slots
+    /// ([`Channel::drain_freed_slots`] → [`Channel::grant_slots`]) between
+    /// the halves at deterministic barriers.
+    pub fn cross_reader(capacity: usize, latency: u64) -> Channel {
+        let mut c = Channel::new(capacity, latency);
+        c.slots.clear();
+        c
+    }
+
+    /// Delivers a token whose effective send time was already computed by
+    /// the writer half (`ready` includes transit latency). Dropped if the
+    /// receiver closed.
+    pub fn inject(&mut self, ready: u64, token: Token) {
+        if self.closed {
+            return;
+        }
+        self.queue.push_back((ready, token));
+        self.events |= event::ENQUEUED;
+    }
+
+    /// Returns freed slot times accumulated by pops since the last drain
+    /// (reader half of a cross-shard channel; its own sends never consume
+    /// them).
+    pub fn drain_freed_slots(&mut self) -> Vec<u64> {
+        self.slots.drain(..).collect()
+    }
+
+    /// Returns send credits to the writer half. Records
+    /// [`event::FREED`] so a blocked writer is woken.
+    pub fn grant_slots(&mut self, times: impl IntoIterator<Item = u64>) {
+        let before = self.slots.len();
+        self.slots.extend(times);
+        if self.slots.len() > before {
+            self.events |= event::FREED;
+        }
+    }
+
+    /// Drains the queued tokens (writer half of a cross-shard channel:
+    /// the in-flight mailbox).
+    pub fn drain_queue(&mut self) -> std::collections::vec_deque::Drain<'_, (u64, Token)> {
+        self.queue.drain(..)
+    }
+
+    /// The raw floor value (without transit latency), for mirroring onto
+    /// the reader half of a cross-shard channel.
+    pub fn floor_raw(&self) -> u64 {
+        self.floor
+    }
+
     /// Drains and returns the pending [`event`] bits.
     pub fn take_events(&mut self) -> u8 {
         std::mem::take(&mut self.events)
@@ -322,6 +375,38 @@ mod tests {
         // Sends into a closed channel are dropped and record no event.
         c.send(0, val(3));
         assert_eq!(c.take_events(), 0);
+    }
+
+    #[test]
+    fn cross_halves_shuttle_tokens_and_credits() {
+        // Writer half holds all credits; reader half starts with none.
+        let mut w = Channel::new(2, 3);
+        let mut r = Channel::cross_reader(2, 3);
+        assert_eq!(w.send(10, val(1)), 10);
+        assert_eq!(w.send(10, val(2)), 11);
+        assert!(!w.can_send());
+        // Barrier: tokens move with their precomputed ready times.
+        for (t, tok) in w.drain_queue().collect::<Vec<_>>() {
+            r.inject(t, tok);
+        }
+        assert_eq!(r.take_events() & event::ENQUEUED, event::ENQUEUED);
+        let (t1, tok) = r.pop(0);
+        assert_eq!((t1, tok), (13, val(1))); // 10 + latency 3
+        // Barrier: freed slots return as credits and wake the writer.
+        let freed = r.drain_freed_slots();
+        assert_eq!(freed, vec![13]);
+        w.grant_slots(freed);
+        assert_eq!(w.take_events() & event::FREED, event::FREED);
+        assert!(w.can_send());
+        assert_eq!(w.send(0, val(3)), 13); // resumes at the credit time
+    }
+
+    #[test]
+    fn inject_into_closed_reader_drops() {
+        let mut r = Channel::cross_reader(2, 0);
+        r.close();
+        r.inject(5, val(1));
+        assert!(r.is_empty());
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub struct SimConfig {
     /// order aligned with simulated time (arrival-order operators are
     /// faithful to within one window).
     pub horizon_step: u64,
+    /// Worker threads for sharded execution. Results are **independent of
+    /// this knob**: it only maps shards onto workers. Default 1.
+    pub threads: usize,
+    /// Shard plan: `0` = automatic (partition large graphs, keep small
+    /// ones monolithic), `1` = force monolithic, `n > 1` = target `n`
+    /// shards regardless of graph size. The plan — and therefore every
+    /// reported metric — is a pure function of the graph and this value.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -58,6 +66,8 @@ impl Default for SimConfig {
             hbm: HbmConfig::default(),
             max_rounds: 50_000_000,
             horizon_step: 64,
+            threads: 1,
+            shards: 0,
         }
     }
 }

@@ -1,34 +1,51 @@
-//! The simulation engine: event-driven scheduler, termination, and
-//! reporting.
+//! The simulation engine: sharded event-driven scheduling, deterministic
+//! parallel execution, termination, and reporting.
 //!
-//! The scheduler is a ready-set loop over *waves* (generations of the
-//! wake list) rather than a round-robin poll of every node. A node is
-//! fired only when one of its channels signals that progress may be
-//! possible: a token arrived for it, one of its full output queues freed
-//! a slot, or a downstream consumer closed. Within a wave, nodes fire in
-//! index order, and a wake targeting a node ahead of the sweep joins the
-//! current wave while one behind it joins the next — which reproduces
-//! the round-robin engine's host execution order exactly, minus the
-//! no-op fires, so cycle and traffic results are bit-identical while
-//! large mostly-idle graphs (MoE with many experts) schedule in time
-//! proportional to actual work.
+//! # Execution model
 //!
-//! Time advances the same way it always did: nodes only consume tokens
-//! ready within the current `horizon` window, and when the wake list
-//! drains with work still pending the engine advances the horizon
-//! directly to the earliest pending channel event and wakes exactly the
-//! readers whose heads became visible.
+//! The graph is split into connected **shards** by
+//! [`step_core::partition`] (cut at high-slack channels; single shard for
+//! small graphs or `SimConfig::shards == 1`). Each shard runs the
+//! event-driven wake-list scheduler over its own nodes: a node fires only
+//! when one of its channels signals that progress may be possible, waves
+//! fire in node-index order, and tokens are visible only within the
+//! global execution horizon.
+//!
+//! Shards synchronize at **barriers**. Between barriers a shard sees no
+//! external mutation: cross-shard channels are split into a writer half
+//! (send credits + in-flight mailbox) and a reader half (the receiving
+//! FIFO), and the coordinator shuttles tokens, freed-slot credits, close
+//! and finish flags between the halves at each barrier in edge-id order.
+//! Off-chip accesses are issued as requests during a sub-round and
+//! committed against the HBM ledger at the barrier in `(time, node, seq)`
+//! order. When the whole system is quiescent the coordinator advances the
+//! horizon to the earliest pending channel event, exactly like the
+//! monolithic engine.
+//!
+//! # Determinism contract
+//!
+//! Every reported metric is a pure function of `(graph, SimConfig minus
+//! threads)`. A shard's sub-round execution depends only on its own state
+//! plus what previous barriers delivered, and every barrier action is
+//! ordered by stable keys (edge id, request `(time, node, seq)`), so
+//! `threads` — and host scheduling generally — can never change the
+//! committed execution order. Parallel runs are bit-identical to running
+//! the same plan on one thread. Single-shard plans take the legacy
+//! immediate-commitment path, which the sharded path generalizes.
 
-use crate::arena::{Arena, BackingStore};
+use crate::arena::{Arena, ArenaEvent, SharedStore, peak_of_events};
 use crate::channel::{Channel, event};
 use crate::config::SimConfig;
-use crate::hbm::Hbm;
-use crate::nodes::{self, Ctx, SimNode};
+use crate::hbm::{Hbm, HbmRequest};
+use crate::nodes::{self, Chans, Ctx, HbmPort, HbmSink, SimNode};
 use crate::stats::NodeStats;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 use step_core::error::{Result, StepError};
 use step_core::graph::{Graph, NodeId};
+use step_core::partition::{Partition, PartitionCfg, partition};
 use step_core::token::Token;
 
 /// The outcome of a simulation run.
@@ -46,7 +63,8 @@ pub struct SimReport {
     /// Measured on-chip memory requirement in bytes (per-node §4.2
     /// equations with runtime-observed dynamic quantities).
     pub onchip_memory: u64,
-    /// Peak bytes resident in the buffer arena.
+    /// Peak bytes resident in the buffer arenas, merged across shards in
+    /// simulated-time order.
     pub arena_peak: u64,
     /// Total FLOPs executed by higher-order operators.
     pub total_flops: u64,
@@ -55,9 +73,11 @@ pub struct SimReport {
     pub allocated_compute: u64,
     /// Peak off-chip bandwidth (bytes/cycle) for utilization.
     pub offchip_peak_bw: u64,
-    /// Scheduler waves executed (generations of the wake list; the
-    /// round-robin engine's equivalent was full passes over all nodes).
+    /// Scheduler waves executed, summed across shards (generations of the
+    /// wake lists).
     pub rounds: u64,
+    /// Shards the graph was partitioned into.
+    pub shards: usize,
     /// Per-node statistics, indexed like `graph.nodes()`.
     pub node_stats: Vec<NodeStats>,
     /// Recorded token streams per recording sink.
@@ -110,148 +130,188 @@ impl SimReport {
     }
 }
 
-/// A configured simulation of one STeP graph.
-pub struct Simulation {
-    graph: Graph,
-    cfg: SimConfig,
+/// One shard of the simulation: a connected subgraph with its own nodes,
+/// channels (including its halves of cross-shard edges), scratchpad
+/// arena, wake lists, and time calendar. A shard's sub-round execution is
+/// a pure function of its state — it touches nothing outside itself
+/// except the (lock-free for timing runs) backing store.
+struct Shard {
+    /// Global node ids, ascending; local index ↔ position here.
+    node_ids: Vec<u32>,
+    nodes: Vec<Box<dyn SimNode + Send>>,
     channels: Vec<Channel>,
-    nodes: Vec<Box<dyn SimNode>>,
-    hbm: Hbm,
+    /// Global edge id → local channel index (`u32::MAX` = not here).
+    edge_map: Vec<u32>,
+    /// Local channel → local reader/writer node (`u32::MAX` = remote or
+    /// none).
+    reader_of: Vec<u32>,
+    writer_of: Vec<u32>,
+    /// Local edge lists per local node (inputs then outputs, local
+    /// channel indices), mirroring the graph's port order.
+    ins_of: Vec<Vec<u32>>,
+    outs_of: Vec<Vec<u32>>,
     arena: Arena,
-    store: BackingStore,
+    // Scheduling state (local node indices).
+    wave: BinaryHeap<Reverse<usize>>,
+    in_wave: Vec<bool>,
+    next: Vec<usize>,
+    in_next: Vec<bool>,
+    /// `(ready_time, local channel)` for heads beyond the horizon.
+    calendar: BinaryHeap<Reverse<(u64, usize)>>,
+    undone: usize,
+    rounds: u64,
+    // Off-chip request plumbing (per local node).
+    hbm_reqs: Vec<HbmRequest>,
+    hbm_seq: Vec<u64>,
+    hbm_resp: Vec<VecDeque<(u64, u64)>>,
 }
 
-impl Simulation {
-    /// Builds executors and channels for `graph`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StepError::Config`] if an operator cannot be executed.
-    pub fn new(graph: Graph, cfg: SimConfig) -> Result<Simulation> {
-        let channels: Vec<Channel> = graph
-            .edges()
-            .iter()
-            .map(|e| Channel::new(e.capacity, cfg.channel_latency))
-            .collect();
-        let nodes: Result<Vec<_>> = (0..graph.nodes().len())
-            .map(|i| nodes::build_node(&graph, i))
-            .collect();
-        let hbm = Hbm::new(cfg.hbm.clone());
-        Ok(Simulation {
-            graph,
-            cfg,
-            channels,
-            nodes: nodes?,
-            hbm,
-            arena: Arena::new(),
-            store: BackingStore::new(),
-        })
+impl Shard {
+    /// Wakes local node `j` into the current wave (barrier-time wakes:
+    /// both wake lists are empty between sub-rounds). Done nodes are
+    /// never woken — a stale wave entry would read as pending work and
+    /// stall the global horizon.
+    fn wake(&mut self, j: u32) {
+        let j = j as usize;
+        if j != u32::MAX as usize && !self.in_wave[j] && !self.nodes[j].done() {
+            self.in_wave[j] = true;
+            self.wave.push(Reverse(j));
+        }
     }
 
-    /// Registers a dense tensor in off-chip memory so loads return real
-    /// data (functional runs).
-    pub fn preload(&mut self, base_addr: u64, rows: usize, cols: usize, data: Vec<f32>) {
-        self.store.register(base_addr, rows, cols, data);
-    }
-
-    /// Reads back a preloaded/stored tensor.
-    pub fn offchip_tensor(&self, base_addr: u64) -> Option<(usize, usize, Vec<f32>)> {
-        self.store
-            .tensor(base_addr)
-            .map(|(r, c, d)| (r, c, d.to_vec()))
-    }
-
-    /// Runs the graph to completion.
-    ///
-    /// The scheduler keeps a wake list: after each fire it drains the
-    /// fired node's channel events (a node only mutates channels it is
-    /// connected to) and wakes the endpoint that can now progress —
-    /// readers of channels that received tokens, writers of channels
-    /// that freed a slot or closed. When the list drains with nodes
-    /// still unfinished, the horizon advances directly to the earliest
-    /// pending channel event, waking the readers whose heads became
-    /// visible; if no event is pending the graph is deadlocked.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StepError::Deadlock`] if the graph stops making progress
-    /// before finishing, or the first functional error raised by a node.
-    pub fn run(mut self) -> Result<SimReport> {
-        let n = self.nodes.len();
-        // Edge endpoint tables: who to wake when a channel changes.
-        let mut reader_of = vec![u32::MAX; self.channels.len()];
-        let mut writer_of = vec![u32::MAX; self.channels.len()];
-        for (i, node) in self.graph.nodes().iter().enumerate() {
-            for e in &node.inputs {
-                reader_of[e.0 as usize] = i as u32;
+    /// Pops stale calendar entries and returns the earliest live
+    /// beyond-horizon event time, leaving the live entry queued.
+    fn next_event(&mut self, horizon: u64) -> Option<u64> {
+        while let Some(&Reverse((t, idx))) = self.calendar.peek() {
+            let live = self.channels[idx]
+                .peek()
+                .is_some_and(|&(ready, _)| ready == t && ready > horizon);
+            if live {
+                return Some(t);
             }
-            for e in &node.outputs {
-                writer_of[e.0 as usize] = i as u32;
+            self.calendar.pop();
+        }
+        None
+    }
+
+    /// Wakes the readers of every head that became visible when the
+    /// horizon advanced from `old` to `new` (the monolithic engine's
+    /// calendar drain).
+    fn wake_visible(&mut self, old: u64, new: u64) {
+        while let Some(&Reverse((t, idx))) = self.calendar.peek() {
+            if t > new {
+                break;
+            }
+            self.calendar.pop();
+            let live = self.channels[idx]
+                .peek()
+                .is_some_and(|&(ready, _)| ready == t && ready > old);
+            if live {
+                let j = self.reader_of[idx];
+                self.wake(j);
             }
         }
+    }
 
-        let mut rounds: u64 = 0;
-        let mut horizon: u64 = self.cfg.horizon_step;
-        let mut undone = self.nodes.iter().filter(|nd| !nd.done()).count();
+    /// Diagnostic lines for this shard's blocked nodes.
+    fn blocked_lines(&self, graph: &Graph, out: &mut Vec<(u32, String)>) {
+        for (i, nd) in self.nodes.iter().enumerate() {
+            if nd.done() {
+                continue;
+            }
+            let gid = self.node_ids[i];
+            let g = &graph.nodes()[gid as usize];
+            let why = nd
+                .blocked_on()
+                .map_or_else(String::new, |b| format!(" ({b})"));
+            out.push((
+                gid,
+                format!("{gid}:{} t={}{why}", g.op.name(), nd.local_time()),
+            ));
+        }
+    }
 
-        // The current wave, swept in node-index order (a min-heap so
-        // wakes ahead of the sweep join it), and the next wave.
-        let mut wave: BinaryHeap<Reverse<usize>> = (0..n).map(Reverse).collect();
-        let mut in_wave = vec![true; n];
-        let mut next: Vec<usize> = Vec::new();
-        let mut in_next = vec![false; n];
-
-        // Time calendar: `(ready_time, edge)` for channel heads beyond
-        // the horizon, maintained lazily. Invariant: every channel whose
-        // head is beyond the horizon has an entry with exactly its head
-        // ready time (per-channel ready times strictly increase, so a
-        // mismatched entry is stale and the real head has its own).
-        let mut calendar: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-
-        while undone > 0 {
-            rounds += 1;
-            if rounds > self.cfg.max_rounds {
+    /// Runs this shard's wave scheduler to quiescence under `horizon`.
+    /// `hbm` is the immediate ledger for single-shard plans; sharded
+    /// plans queue requests for the barrier commit.
+    fn run_to_quiescence(
+        &mut self,
+        horizon: u64,
+        cfg: &SimConfig,
+        store: &SharedStore,
+        graph: &Graph,
+        mut hbm: Option<&mut Hbm>,
+    ) -> Result<()> {
+        let Shard {
+            node_ids,
+            nodes,
+            channels,
+            edge_map,
+            reader_of,
+            writer_of,
+            ins_of,
+            outs_of,
+            arena,
+            wave,
+            in_wave,
+            next,
+            in_next,
+            calendar,
+            undone,
+            rounds,
+            hbm_reqs,
+            hbm_seq,
+            hbm_resp,
+        } = self;
+        while *undone > 0 && !wave.is_empty() {
+            *rounds += 1;
+            if *rounds > cfg.max_rounds {
                 return Err(StepError::Exec(format!(
                     "exceeded {} scheduler rounds",
-                    self.cfg.max_rounds
+                    cfg.max_rounds
                 )));
             }
             while let Some(Reverse(i)) = wave.pop() {
                 in_wave[i] = false;
-                if self.nodes[i].done() {
+                if nodes[i].done() {
                     continue;
                 }
+                let sink = match &mut hbm {
+                    Some(h) => HbmSink::Immediate(h),
+                    None => HbmSink::Queued(hbm_reqs),
+                };
                 let mut ctx = Ctx {
-                    channels: &mut self.channels,
-                    hbm: &mut self.hbm,
-                    arena: &mut self.arena,
-                    store: &mut self.store,
-                    cfg: &self.cfg,
+                    chans: Chans::mapped(channels, edge_map),
+                    hbm: HbmPort::new(sink, node_ids[i], &mut hbm_seq[i], &mut hbm_resp[i]),
+                    arena,
+                    store,
+                    cfg,
                     horizon,
                 };
-                let p = self.nodes[i].fire(&mut ctx).map_err(|e| {
-                    let g = &self.graph.nodes()[i];
+                let p = nodes[i].fire(&mut ctx).map_err(|e| {
+                    let gid = node_ids[i] as usize;
+                    let g = &graph.nodes()[gid];
                     let label = if g.label.is_empty() {
                         g.op.name().to_string()
                     } else {
                         format!("{} ({})", g.op.name(), g.label)
                     };
-                    StepError::Exec(format!("node {i} [{label}]: {e}"))
+                    StepError::Exec(format!("node {gid} [{label}]: {e}"))
                 })?;
-                let g_node = &self.graph.nodes()[i];
                 if p {
                     // Publish a conservative lower bound on this node's
                     // future token times so arrival-order merges can
                     // commit safely.
-                    let t = self.nodes[i].local_time();
-                    for e in &g_node.outputs {
-                        self.channels[e.0 as usize].raise_floor(t);
+                    let t = nodes[i].local_time();
+                    for &c in &outs_of[i] {
+                        channels[c as usize].raise_floor(t);
                     }
                 }
                 // Drain this node's channel events into wakes. A wake
                 // ahead of the sweep joins the current wave (round-robin
                 // would reach it later this round); one behind joins the
-                // next wave.
+                // next wave. Remote endpoints (u32::MAX) are handled by
+                // the barrier coordinator.
                 let mut wake = |j: u32| {
                     let j = j as usize;
                     if j == u32::MAX as usize {
@@ -267,9 +327,9 @@ impl Simulation {
                         next.push(j);
                     }
                 };
-                for e in g_node.inputs.iter().chain(g_node.outputs.iter()) {
-                    let idx = e.0 as usize;
-                    let ev = self.channels[idx].take_events();
+                for &c in ins_of[i].iter().chain(outs_of[i].iter()) {
+                    let idx = c as usize;
+                    let ev = channels[idx].take_events();
                     if ev == 0 {
                         continue;
                     }
@@ -285,7 +345,7 @@ impl Simulation {
                         // the reader if it is visible in the current
                         // window; otherwise file it in the calendar for
                         // the horizon advance.
-                        if let Some(&(ready, _)) = self.channels[idx].peek() {
+                        if let Some(&(ready, _)) = channels[idx].peek() {
                             if ready <= horizon {
                                 if ev & event::ENQUEUED != 0 {
                                     wake(reader_of[idx]);
@@ -296,9 +356,9 @@ impl Simulation {
                         }
                     }
                 }
-                if self.nodes[i].done() {
-                    undone -= 1;
-                    if undone == 0 {
+                if nodes[i].done() {
+                    *undone -= 1;
+                    if *undone == 0 {
                         break;
                     }
                 } else if p && !in_next[i] {
@@ -308,44 +368,6 @@ impl Simulation {
                     next.push(i);
                 }
             }
-            if undone == 0 {
-                break;
-            }
-            if next.is_empty() {
-                // Quiescent within the current window: advance the horizon
-                // to the next pending channel event and wake the readers
-                // whose heads just became visible. The first valid
-                // calendar entry is the earliest beyond-horizon head;
-                // every valid entry within a window of it wakes too.
-                let mut new_horizon: Option<u64> = None;
-                while let Some(&Reverse((t, idx))) = calendar.peek() {
-                    if new_horizon.is_some_and(|h| t > h) {
-                        break;
-                    }
-                    calendar.pop();
-                    // Stale entries: the head was consumed (its channel's
-                    // current head, if any, carries a later entry) or is
-                    // already visible.
-                    let live = self.channels[idx]
-                        .peek()
-                        .is_some_and(|&(ready, _)| ready == t && ready > horizon);
-                    if !live {
-                        continue;
-                    }
-                    if new_horizon.is_none() {
-                        new_horizon = Some(t + self.cfg.horizon_step);
-                    }
-                    let j = reader_of[idx] as usize;
-                    if j != u32::MAX as usize && !in_next[j] {
-                        in_next[j] = true;
-                        next.push(j);
-                    }
-                }
-                let Some(h) = new_horizon else {
-                    return Err(self.deadlock_error());
-                };
-                horizon = h;
-            }
             for j in next.drain(..) {
                 in_next[j] = false;
                 if !in_wave[j] {
@@ -354,44 +376,442 @@ impl Simulation {
                 }
             }
         }
-        Ok(self.into_report(rounds))
+        if *undone == 0 {
+            // A finished shard must read as quiescent: stale wave entries
+            // for done nodes would stall the global horizon forever.
+            wave.clear();
+            in_wave.fill(false);
+            for j in next.drain(..) {
+                in_next[j] = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A cross-shard edge: writer half `w_ch` in shard `w_shard`, reader half
+/// `r_ch` in shard `r_shard`.
+struct CrossEdge {
+    w_shard: u32,
+    w_ch: u32,
+    r_shard: u32,
+    r_ch: u32,
+}
+
+/// A configured simulation of one STeP graph.
+pub struct Simulation {
+    graph: Graph,
+    cfg: SimConfig,
+    shards: Vec<Mutex<Shard>>,
+    cross: Vec<CrossEdge>,
+    /// Node (global id) → owning shard / local index.
+    shard_of: Vec<u32>,
+    local_of: Vec<u32>,
+    hbm: Hbm,
+    store: SharedStore,
+}
+
+impl Simulation {
+    /// Builds executors, channels, and the shard plan for `graph`.
+    ///
+    /// The partition is derived from the graph and
+    /// [`SimConfig::shards`] only — never from `threads` — so reported
+    /// results are independent of worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Config`] if an operator cannot be executed.
+    pub fn new(graph: Graph, cfg: SimConfig) -> Result<Simulation> {
+        let plan = match cfg.shards {
+            1 => Partition::monolithic(&graph),
+            0 => partition(&graph, &PartitionCfg::default()),
+            n => partition(
+                &graph,
+                &PartitionCfg {
+                    target_shards: n,
+                    min_nodes: 0,
+                    ..PartitionCfg::default()
+                },
+            ),
+        };
+        let k = plan.shards;
+        let n = graph.nodes().len();
+        let e = graph.edges().len();
+        let sharded = k > 1;
+
+        // Local node ids per shard, ascending.
+        let mut node_ids: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut local_node = vec![u32::MAX; n];
+        for (i, &s) in plan.shard_of.iter().enumerate() {
+            local_node[i] = node_ids[s as usize].len() as u32;
+            node_ids[s as usize].push(i as u32);
+        }
+
+        // Channels: intra-shard edges get one channel in their shard;
+        // cut edges get a writer half and a reader half.
+        let mut channels: Vec<Vec<Channel>> = (0..k).map(|_| Vec::new()).collect();
+        let mut edge_map: Vec<Vec<u32>> = vec![vec![u32::MAX; e]; k];
+        let mut reader_of: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut writer_of: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut cross = Vec::new();
+        for (ei, edge) in graph.edges().iter().enumerate() {
+            let src = edge.src.0.0 as usize;
+            let dst = edge
+                .dst
+                .expect("finished graphs have no dangling edges")
+                .0
+                .0 as usize;
+            let (ws, rs) = (plan.shard_of[src] as usize, plan.shard_of[dst] as usize);
+            if ws == rs {
+                let s = ws;
+                edge_map[s][ei] = channels[s].len() as u32;
+                channels[s].push(Channel::new(edge.capacity, cfg.channel_latency));
+                writer_of[s].push(local_node[src]);
+                reader_of[s].push(local_node[dst]);
+            } else {
+                let w_ch = channels[ws].len() as u32;
+                edge_map[ws][ei] = w_ch;
+                channels[ws].push(Channel::new(edge.capacity, cfg.channel_latency));
+                writer_of[ws].push(local_node[src]);
+                reader_of[ws].push(u32::MAX);
+                let r_ch = channels[rs].len() as u32;
+                edge_map[rs][ei] = r_ch;
+                channels[rs].push(Channel::cross_reader(edge.capacity, cfg.channel_latency));
+                writer_of[rs].push(u32::MAX);
+                reader_of[rs].push(local_node[dst]);
+                cross.push(CrossEdge {
+                    w_shard: ws as u32,
+                    w_ch,
+                    r_shard: rs as u32,
+                    r_ch,
+                });
+            }
+        }
+
+        let mut shards = Vec::with_capacity(k);
+        for s in 0..k {
+            let ids = std::mem::take(&mut node_ids[s]);
+            let m = ids.len();
+            let nodes: Result<Vec<_>> = ids
+                .iter()
+                .map(|&gid| nodes::build_node(&graph, gid as usize))
+                .collect();
+            let nodes = nodes?;
+            let map = std::mem::take(&mut edge_map[s]);
+            let ins_of: Vec<Vec<u32>> = ids
+                .iter()
+                .map(|&gid| {
+                    graph.nodes()[gid as usize]
+                        .inputs
+                        .iter()
+                        .map(|e| map[e.0 as usize])
+                        .collect()
+                })
+                .collect();
+            let outs_of: Vec<Vec<u32>> = ids
+                .iter()
+                .map(|&gid| {
+                    graph.nodes()[gid as usize]
+                        .outputs
+                        .iter()
+                        .map(|e| map[e.0 as usize])
+                        .collect()
+                })
+                .collect();
+            let undone = nodes.iter().filter(|nd| !nd.done()).count();
+            shards.push(Mutex::new(Shard {
+                node_ids: ids,
+                nodes,
+                channels: std::mem::take(&mut channels[s]),
+                edge_map: map,
+                reader_of: std::mem::take(&mut reader_of[s]),
+                writer_of: std::mem::take(&mut writer_of[s]),
+                ins_of,
+                outs_of,
+                arena: if sharded {
+                    Arena::with_event_log()
+                } else {
+                    Arena::new()
+                },
+                wave: (0..m).map(Reverse).collect(),
+                in_wave: vec![true; m],
+                next: Vec::new(),
+                in_next: vec![false; m],
+                calendar: BinaryHeap::new(),
+                undone,
+                rounds: 0,
+                hbm_reqs: Vec::new(),
+                hbm_seq: vec![0; m],
+                hbm_resp: vec![VecDeque::new(); m],
+            }));
+        }
+        let hbm = Hbm::new(cfg.hbm.clone());
+        Ok(Simulation {
+            graph,
+            cfg,
+            shards,
+            cross,
+            shard_of: plan.shard_of,
+            local_of: local_node,
+            hbm,
+            store: SharedStore::new(),
+        })
     }
 
-    fn deadlock_error(&self) -> StepError {
-        let blocked: Vec<String> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, nd)| !nd.done())
-            .map(|(i, nd)| {
-                let g = &self.graph.nodes()[i];
-                let why = nd
-                    .blocked_on()
-                    .map_or_else(String::new, |b| format!(" ({b})"));
-                format!("{i}:{} t={}{why}", g.op.name(), nd.local_time())
-            })
-            .collect();
-        StepError::Deadlock(format!(
-            "no progress with {} nodes blocked: {}",
-            blocked.len(),
-            blocked.join(", ")
-        ))
+    /// Registers a dense tensor in off-chip memory so loads return real
+    /// data (functional runs).
+    pub fn preload(&mut self, base_addr: u64, rows: usize, cols: usize, data: Vec<f32>) {
+        self.store.register(base_addr, rows, cols, data);
     }
 
-    fn into_report(self, rounds: u64) -> SimReport {
-        let node_stats: Vec<NodeStats> = self.nodes.iter().map(|n| n.stats().clone()).collect();
+    /// Reads back a preloaded/stored tensor.
+    pub fn offchip_tensor(&self, base_addr: u64) -> Option<(usize, usize, Vec<f32>)> {
+        self.store.tensor(base_addr)
+    }
+
+    /// Runs the graph to completion.
+    ///
+    /// Single-shard plans run the wave scheduler inline with immediate
+    /// off-chip commitment (the legacy engine, bit for bit). Sharded
+    /// plans run sub-rounds over the shards — on `SimConfig::threads`
+    /// workers when > 1 — separated by deterministic coordination
+    /// barriers; see the module docs for the determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Deadlock`] if the graph stops making progress
+    /// before finishing, or the first functional error raised by a node.
+    pub fn run(mut self) -> Result<SimReport> {
+        let k = self.shards.len();
+        if k == 1 {
+            self.run_single()?;
+        } else {
+            let threads = self.cfg.threads.clamp(1, k);
+            if threads == 1 {
+                self.run_sharded_inline()?;
+            } else {
+                self.run_sharded_threaded(threads)?;
+            }
+        }
+        Ok(self.into_report())
+    }
+
+    /// Monolithic execution: one shard, immediate HBM commitment.
+    fn run_single(&mut self) -> Result<()> {
+        let mut horizon = self.cfg.horizon_step;
+        let shard = self.shards[0].get_mut().expect("shard lock");
+        loop {
+            shard.run_to_quiescence(
+                horizon,
+                &self.cfg,
+                &self.store,
+                &self.graph,
+                Some(&mut self.hbm),
+            )?;
+            if shard.undone == 0 {
+                return Ok(());
+            }
+            // Quiescent within the current window: advance the horizon to
+            // the next pending channel event and wake the readers whose
+            // heads became visible.
+            let Some(t0) = shard.next_event(horizon) else {
+                let mut lines = Vec::new();
+                shard.blocked_lines(&self.graph, &mut lines);
+                return Err(deadlock_error(lines));
+            };
+            let new_horizon = t0 + self.cfg.horizon_step;
+            shard.wake_visible(horizon, new_horizon);
+            horizon = new_horizon;
+        }
+    }
+
+    /// Sharded execution on the calling thread: the reference schedule
+    /// every worker count reproduces.
+    fn run_sharded_inline(&mut self) -> Result<()> {
+        let mut horizon = self.cfg.horizon_step;
+        loop {
+            for s in self.shards.iter() {
+                let mut shard = s.lock().expect("shard lock");
+                if shard.wave.is_empty() {
+                    continue;
+                }
+                shard.run_to_quiescence(horizon, &self.cfg, &self.store, &self.graph, None)?;
+            }
+            let plan = CoordPlan {
+                cross: &self.cross,
+                shard_of: &self.shard_of,
+                local_of: &self.local_of,
+                graph: &self.graph,
+                cfg: &self.cfg,
+            };
+            if !coordinate(&self.shards, &plan, &mut self.hbm, &mut horizon)? {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Sharded execution on `threads` workers. Workers steal quiescence
+    /// runs of whole shards between two barriers per sub-round; worker 0
+    /// coordinates in the exclusive window between sub-rounds. Which
+    /// worker runs a shard can never affect the result, so this is
+    /// bit-identical to [`Simulation::run_sharded_inline`].
+    fn run_sharded_threaded(&mut self, threads: usize) -> Result<()> {
+        let horizon = AtomicU64::new(self.cfg.horizon_step);
+        let barrier = Barrier::new(threads);
+        let stop = AtomicBool::new(false);
+        let cursor = AtomicUsize::new(0);
+        let active: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        let failure: Mutex<Option<StepError>> = Mutex::new(None);
+
+        let Simulation {
+            graph,
+            cfg,
+            shards,
+            cross,
+            shard_of,
+            local_of,
+            hbm,
+            store,
+        } = self;
+        let shards: &[Mutex<Shard>] = shards;
+        let plan = CoordPlan {
+            cross,
+            shard_of,
+            local_of,
+            graph,
+            cfg,
+        };
+
+        // Every fallible step — including panics, which would otherwise
+        // leave the other threads waiting at a barrier forever — funnels
+        // into `failure`, so a crash surfaces as an error, not a hang.
+        let work = || {
+            let body = || -> Result<()> {
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let id = {
+                        let a = active.lock().expect("active list");
+                        match a.get(k) {
+                            Some(&id) => id as usize,
+                            None => return Ok(()),
+                        }
+                    };
+                    let mut shard = shards[id].lock().expect("shard lock");
+                    let h = horizon.load(Ordering::Acquire);
+                    shard.run_to_quiescence(h, cfg, store, graph, None)?;
+                }
+            };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body))
+                .unwrap_or_else(|p| {
+                    Err(StepError::Exec(format!(
+                        "worker panicked: {}",
+                        panic_message(&p)
+                    )))
+                });
+            if let Err(e) = result
+                && let Ok(mut slot) = failure.lock()
+            {
+                slot.get_or_insert(e);
+            }
+        };
+
+        let mut outcome: Result<()> = Ok(());
+        std::thread::scope(|sc| {
+            for _ in 1..threads {
+                let work = &work;
+                let (barrier, stop) = (&barrier, &stop);
+                sc.spawn(move || {
+                    loop {
+                        barrier.wait();
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        work();
+                        barrier.wait();
+                    }
+                });
+            }
+            // Coordinator loop on this thread. Between the second barrier
+            // of one sub-round and the first barrier of the next, workers
+            // are parked, so coordination has exclusive access.
+            let run = loop {
+                let prepared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut a = active.lock().expect("active list");
+                    a.clear();
+                    for (i, s) in shards.iter().enumerate() {
+                        if !s.lock().expect("shard lock").wave.is_empty() {
+                            a.push(i as u32);
+                        }
+                    }
+                }));
+                if let Err(p) = prepared {
+                    break Err(StepError::Exec(format!(
+                        "coordinator panicked: {}",
+                        panic_message(&p)
+                    )));
+                }
+                cursor.store(0, Ordering::Relaxed);
+                barrier.wait();
+                work();
+                barrier.wait();
+                if let Some(e) = failure.lock().expect("failure slot").take() {
+                    break Err(e);
+                }
+                let mut h = horizon.load(Ordering::Acquire);
+                let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    coordinate(shards, &plan, hbm, &mut h)
+                }))
+                .unwrap_or_else(|p| {
+                    Err(StepError::Exec(format!(
+                        "coordinator panicked: {}",
+                        panic_message(&p)
+                    )))
+                });
+                match step {
+                    Ok(true) => horizon.store(h, Ordering::Release),
+                    Ok(false) => break Ok(()),
+                    Err(e) => break Err(e),
+                }
+            };
+            stop.store(true, Ordering::Release);
+            barrier.wait();
+            outcome = run;
+        });
+        outcome
+    }
+
+    fn into_report(mut self) -> SimReport {
+        let n = self.graph.nodes().len();
+        let k = self.shards.len();
+        let mut node_stats = vec![NodeStats::default(); n];
+        let mut sinks = BTreeMap::new();
+        let mut rounds = 0;
+        let mut arena_events: Vec<ArenaEvent> = Vec::new();
+        let mut arena_peak_single = 0;
+        for s in self.shards.iter_mut() {
+            let s = s.get_mut().expect("shard lock");
+            rounds += s.rounds;
+            arena_peak_single = arena_peak_single.max(s.arena.peak_bytes());
+            arena_events.extend(s.arena.take_events());
+            for (i, nd) in s.nodes.iter().enumerate() {
+                let gid = s.node_ids[i] as usize;
+                node_stats[gid] = nd.stats().clone();
+                if let Some(toks) = nd.recorded() {
+                    sinks.insert(NodeId(gid as u32), toks.to_vec());
+                }
+            }
+        }
+        let arena_peak = if k == 1 {
+            arena_peak_single
+        } else {
+            peak_of_events(arena_events)
+        };
         let cycles = node_stats
             .iter()
             .map(|s| s.finish_time)
             .max()
             .unwrap_or(0)
             .max(self.hbm.last_completion());
-        let mut sinks = BTreeMap::new();
-        for (i, n) in self.nodes.iter().enumerate() {
-            if let Some(toks) = n.recorded() {
-                sinks.insert(NodeId(i as u32), toks.to_vec());
-            }
-        }
         let onchip_memory = node_stats.iter().map(|s| s.onchip_bytes).sum();
         let total_flops = node_stats.iter().map(|s| s.flops).sum();
         SimReport {
@@ -400,13 +820,176 @@ impl Simulation {
             offchip_read: self.hbm.read_bytes(),
             offchip_write: self.hbm.write_bytes(),
             onchip_memory,
-            arena_peak: self.arena.peak_bytes(),
+            arena_peak,
             total_flops,
             allocated_compute: self.graph.allocated_compute(),
             offchip_peak_bw: self.hbm.peak_bytes_per_cycle(),
             rounds,
+            shards: k,
             node_stats,
             sinks,
         }
     }
+}
+
+/// Read-only context the coordinator needs besides the shards and HBM.
+struct CoordPlan<'a> {
+    cross: &'a [CrossEdge],
+    shard_of: &'a [u32],
+    local_of: &'a [u32],
+    graph: &'a Graph,
+    cfg: &'a SimConfig,
+}
+
+/// One coordination barrier: shuttles cross-shard state, commits the
+/// off-chip batch, and — if the system is fully quiescent — advances the
+/// horizon. Returns `false` once every node is done.
+///
+/// Runs with exclusive access between sub-rounds (locks are uncontended);
+/// every action is ordered by stable keys (edge order, request `(time,
+/// node, seq)`), so the outcome is a pure function of shard states.
+fn coordinate(
+    shards: &[Mutex<Shard>],
+    plan: &CoordPlan<'_>,
+    hbm: &mut Hbm,
+    horizon: &mut u64,
+) -> Result<bool> {
+    // Cross-shard transfer, in edge order.
+    for x in plan.cross {
+        let (lo, hi) = (x.w_shard.min(x.r_shard), x.w_shard.max(x.r_shard));
+        let g_lo = shards[lo as usize].lock().expect("shard lock");
+        let g_hi = shards[hi as usize].lock().expect("shard lock");
+        let (mut ws, mut rs) = if x.w_shard == lo {
+            (g_lo, g_hi)
+        } else {
+            (g_hi, g_lo)
+        };
+        let (w_ch, r_ch) = (x.w_ch as usize, x.r_ch as usize);
+        // Tokens ride with their writer-computed ready times; inject
+        // drops them if the reader closed.
+        let moved: Vec<(u64, Token)> = ws.channels[w_ch].drain_queue().collect();
+        for (t, tok) in moved {
+            rs.channels[r_ch].inject(t, tok);
+        }
+        // Freed slots return to the writer as send credits.
+        let freed = rs.channels[r_ch].drain_freed_slots();
+        if !freed.is_empty() {
+            ws.channels[w_ch].grant_slots(freed);
+        }
+        // Close / finish / floor propagation.
+        if rs.channels[r_ch].is_closed() && !ws.channels[w_ch].is_closed() {
+            ws.channels[w_ch].close();
+        }
+        if ws.channels[w_ch].src_finished()
+            && !rs.channels[r_ch].src_finished()
+            && ws.channels[w_ch].is_empty()
+        {
+            rs.channels[r_ch].finish_src();
+        }
+        let floor = ws.channels[w_ch].floor_raw();
+        rs.channels[r_ch].raise_floor(floor);
+        // Events → wakes, mirroring the in-shard drain.
+        let wev = ws.channels[w_ch].take_events();
+        if wev & (event::FREED | event::CLOSED) != 0 {
+            let j = ws.writer_of[w_ch];
+            ws.wake(j);
+        }
+        let rev = rs.channels[r_ch].take_events();
+        if rev & event::SRC_FINISHED != 0 {
+            let j = rs.reader_of[r_ch];
+            rs.wake(j);
+        }
+        if rev & (event::ENQUEUED | event::FREED) != 0
+            && let Some(&(ready, _)) = rs.channels[r_ch].peek()
+        {
+            if ready <= *horizon {
+                if rev & event::ENQUEUED != 0 {
+                    let j = rs.reader_of[r_ch];
+                    rs.wake(j);
+                }
+            } else {
+                rs.calendar.push(Reverse((ready, r_ch)));
+            }
+        }
+    }
+
+    // Commit the off-chip batch in (time, node, seq) order and wake the
+    // requesters.
+    let mut batch = Vec::new();
+    for s in shards {
+        batch.append(&mut s.lock().expect("shard lock").hbm_reqs);
+    }
+    if !batch.is_empty() {
+        for (node, seq, done) in hbm.service_batch(batch) {
+            let shard = plan.shard_of[node as usize] as usize;
+            let local = plan.local_of[node as usize] as usize;
+            let mut s = shards[shard].lock().expect("shard lock");
+            // Per-node issue times are monotone, so sorted service
+            // delivers each node's responses in seq order.
+            debug_assert!(s.hbm_resp[local].back().is_none_or(|&(q, _)| q < seq));
+            s.hbm_resp[local].push_back((seq, done));
+            s.wake(local as u32);
+        }
+    }
+
+    let mut undone = 0usize;
+    let mut any_wave = false;
+    for s in shards {
+        let s = s.lock().expect("shard lock");
+        undone += s.undone;
+        any_wave |= !s.wave.is_empty();
+    }
+    if undone == 0 {
+        return Ok(false);
+    }
+    if any_wave {
+        return Ok(true);
+    }
+    // Fully quiescent: advance the horizon to the earliest pending
+    // channel event across all shards.
+    let mut t0: Option<u64> = None;
+    for s in shards {
+        if let Some(t) = s.lock().expect("shard lock").next_event(*horizon) {
+            t0 = Some(t0.map_or(t, |cur| cur.min(t)));
+        }
+    }
+    let Some(t0) = t0 else {
+        let mut lines = Vec::new();
+        for s in shards {
+            s.lock()
+                .expect("shard lock")
+                .blocked_lines(plan.graph, &mut lines);
+        }
+        return Err(deadlock_error(lines));
+    };
+    let new_horizon = t0 + plan.cfg.horizon_step;
+    for s in shards {
+        s.lock()
+            .expect("shard lock")
+            .wake_visible(*horizon, new_horizon);
+    }
+    *horizon = new_horizon;
+    Ok(true)
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Deadlock diagnostics, in global node order.
+fn deadlock_error(mut lines: Vec<(u32, String)>) -> StepError {
+    lines.sort_by_key(|(gid, _)| *gid);
+    let blocked: Vec<String> = lines.into_iter().map(|(_, l)| l).collect();
+    StepError::Deadlock(format!(
+        "no progress with {} nodes blocked: {}",
+        blocked.len(),
+        blocked.join(", ")
+    ))
 }

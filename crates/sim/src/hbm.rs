@@ -26,6 +26,30 @@ use std::collections::HashMap;
 /// Bus-ledger window size in cycles.
 const WINDOW: u64 = 64;
 
+/// One queued off-chip access, issued by a node during a shard sub-round
+/// and committed by the engine at the next barrier.
+///
+/// Ledger outcomes depend on commitment order, so the sharded engine
+/// commits each barrier's batch in `(time, node, seq)` order — a total
+/// order that is a pure function of the simulation plan, never of worker
+/// interleaving. Single-shard plans keep the legacy immediate-commit
+/// path, which is the same thing with batches of one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HbmRequest {
+    /// Issue time (the requesting node's local clock).
+    pub time: u64,
+    /// Requesting node (global id; sort tiebreak and response routing).
+    pub node: u32,
+    /// Per-node issue sequence number (ties requests to responses).
+    pub seq: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Transfer size in bytes.
+    pub bytes: u64,
+    /// Write (`true`) or read.
+    pub write: bool,
+}
+
 /// The shared off-chip memory timing model.
 #[derive(Debug)]
 pub struct Hbm {
@@ -146,6 +170,20 @@ impl Hbm {
         done
     }
 
+    /// Commits a barrier batch of queued requests in deterministic
+    /// `(time, node, seq)` order, returning `(node, seq, completion)` per
+    /// request in that order.
+    pub fn service_batch(&mut self, mut batch: Vec<HbmRequest>) -> Vec<(u32, u64, u64)> {
+        batch.sort_by_key(|r| (r.time, r.node, r.seq));
+        batch
+            .into_iter()
+            .map(|r| {
+                let done = self.access(r.addr, r.bytes, r.time, r.write);
+                (r.node, r.seq, done)
+            })
+            .collect()
+    }
+
     /// Total bytes transferred.
     pub fn total_bytes(&self) -> u64 {
         self.total_bytes
@@ -263,6 +301,53 @@ mod tests {
         assert!(last >= total_bytes / 64, "last={last}");
         // ...but not pathologically serialized (within 2x of ideal).
         assert!(last <= 2 * (total_bytes / 64) + 200, "last={last}");
+    }
+
+    #[test]
+    fn batch_service_is_order_independent() {
+        // The same request multiset in two different arrival orders must
+        // produce identical completion times per (node, seq).
+        let reqs = |shuffle: bool| {
+            let mut v = vec![
+                HbmRequest {
+                    time: 0,
+                    node: 2,
+                    seq: 0,
+                    addr: 0,
+                    bytes: 4096,
+                    write: false,
+                },
+                HbmRequest {
+                    time: 0,
+                    node: 1,
+                    seq: 0,
+                    addr: 8192,
+                    bytes: 4096,
+                    write: false,
+                },
+                HbmRequest {
+                    time: 5,
+                    node: 1,
+                    seq: 1,
+                    addr: 16384,
+                    bytes: 2048,
+                    write: true,
+                },
+            ];
+            if shuffle {
+                v.reverse();
+            }
+            v
+        };
+        let mut h1 = hbm();
+        let mut out1 = h1.service_batch(reqs(false));
+        let mut h2 = hbm();
+        let mut out2 = h2.service_batch(reqs(true));
+        out1.sort();
+        out2.sort();
+        assert_eq!(out1, out2);
+        assert_eq!(h1.total_bytes(), h2.total_bytes());
+        assert_eq!(h1.last_completion(), h2.last_completion());
     }
 
     #[test]

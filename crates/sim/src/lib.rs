@@ -6,31 +6,49 @@
 //! accesses go through an HBM timing node and higher-order operators charge
 //! a roofline cost `max(in_bytes/mem_bw, flops/compute_bw,
 //! out_bytes/mem_bw)` per element. This crate reproduces those semantics
-//! with a deterministic, single-threaded conservative event model:
+//! with a deterministic conservative event model that runs **sharded and
+//! in parallel**:
 //!
 //! - [`channel::Channel`] — bounded FIFOs carrying `(ready_time, token)`
 //!   pairs, modelling backpressure *in time* (a sender blocked on a full
 //!   queue resumes at the receiver's dequeue time) and a one-token-per-
-//!   cycle port rate;
+//!   cycle port rate. A cross-shard edge is a pair of halves: the writer
+//!   half holds send credits and an in-flight mailbox, the reader half
+//!   the receiving FIFO; the engine shuttles tokens and freed-slot
+//!   credits between them at coordination barriers;
 //! - [`hbm::Hbm`] — a bank/row/bus DRAM timing model standing in for
-//!   Ramulator 2.0 (see DESIGN.md for the substitution argument);
-//! - [`arena::Arena`] — the on-chip scratchpad backing `Bufferize` /
-//!   `Streamify`, tracking peak usage for dynamic buffers;
-//! - [`arena::BackingStore`] — optional dense off-chip contents so that
-//!   loads return real data in functional tests (phantom otherwise);
+//!   Ramulator 2.0 (see DESIGN.md for the substitution argument). Sharded
+//!   runs issue [`hbm::HbmRequest`]s that the engine commits at each
+//!   barrier in `(time, node, seq)` order — a total order independent of
+//!   worker scheduling;
+//! - [`arena::Arena`] — the (shard-local) on-chip scratchpad backing
+//!   `Bufferize` / `Streamify`; sharded runs log timestamped alloc/free
+//!   events and the report merges them in simulated-time order, so the
+//!   whole-accelerator peak is host-order-independent;
+//! - [`arena::SharedStore`] — optional dense off-chip contents so that
+//!   loads return real data in functional tests (phantom otherwise,
+//!   lock-free for timing runs);
 //! - [`nodes`] — an executor per STeP operator implementing both the
 //!   functional token semantics of §3.2 and the timing model of §4.3,
 //!   with a readiness surface ([`nodes::SimNode::blocked_on`]) reporting
-//!   which edge blocked a stalled node;
-//! - [`engine::Simulation`] — the event-driven scheduler: channels
-//!   record wake events (token arrivals, freed slots, closes) that the
-//!   engine drains into a ready set, so only nodes that can progress are
-//!   fired, and a time calendar advances the execution horizon directly
-//!   to the next pending channel event instead of probing every node for
-//!   quiescence. Host execution order (and therefore every cycle and
-//!   traffic figure) is identical to the earlier round-robin poller —
-//!   waves fire in node-index order, minus the no-op fires. Deadlocks
-//!   are detected and reported with each blocked node's blocking edge.
+//!   what blocked a stalled node. Off-chip operators are two-phase
+//!   request/response state machines driven through [`nodes::HbmPort`];
+//! - [`engine::Simulation`] — the sharded event-driven scheduler.
+//!   [`step_core::partition`] cuts the graph at high-slack channels into
+//!   connected shards (small graphs stay monolithic); each shard runs the
+//!   wake-list wave scheduler over its nodes, and shards synchronize at
+//!   deterministic barriers that exchange cross-shard tokens, commit the
+//!   off-chip batch, and advance the conservative execution horizon.
+//!   `SimConfig::threads` maps shards onto worker threads.
+//!
+//!   **Determinism contract:** every reported metric is a pure function
+//!   of `(graph, SimConfig minus threads)`. Shard sub-rounds see no
+//!   external mutation and every barrier action is ordered by stable
+//!   keys, so parallel runs are bit-identical to the same plan on one
+//!   thread at any worker count (`crates/sim/tests/conformance.rs` checks
+//!   this across every model builder). Single-shard plans take the legacy
+//!   immediate-commitment path bit for bit. Deadlocks are detected and
+//!   reported with each blocked node's blocking edge.
 //!   [`engine::SimReport`] carries cycles, off-chip traffic, measured
 //!   on-chip memory, utilization, scheduler-efficiency counters
 //!   ([`engine::SimReport::total_fires`]), and recorded sink streams.

@@ -15,10 +15,10 @@ mod onchip;
 mod routing;
 mod routing_partition;
 
-use crate::arena::{Arena, BackingStore};
+use crate::arena::{Arena, SharedStore};
 use crate::channel::Channel;
 use crate::config::SimConfig;
-use crate::hbm::Hbm;
+use crate::hbm::{Hbm, HbmRequest};
 use crate::stats::NodeStats;
 use std::collections::VecDeque;
 use step_core::error::{Result, StepError};
@@ -26,16 +26,154 @@ use step_core::graph::{EdgeId, Graph, Node};
 use step_core::ops::OpKind;
 use step_core::token::Token;
 
+/// A shard's view of the channels, addressed by global [`EdgeId`].
+///
+/// A monolithic simulation owns every channel (identity mapping); a shard
+/// owns only the channels incident to its nodes, plus the writer/reader
+/// halves of its cross-shard edges, and translates edge ids through a
+/// local index table.
+pub struct Chans<'a> {
+    channels: &'a mut [Channel],
+    /// Global edge id → local index; `None` means identity.
+    map: Option<&'a [u32]>,
+}
+
+impl<'a> Chans<'a> {
+    /// A view owning every channel, addressed directly.
+    pub fn identity(channels: &'a mut [Channel]) -> Chans<'a> {
+        Chans {
+            channels,
+            map: None,
+        }
+    }
+
+    /// A shard-local view translating through `map` (u32::MAX = absent).
+    pub fn mapped(channels: &'a mut [Channel], map: &'a [u32]) -> Chans<'a> {
+        Chans {
+            channels,
+            map: Some(map),
+        }
+    }
+
+    fn local(&self, e: EdgeId) -> usize {
+        match self.map {
+            None => e.0 as usize,
+            Some(m) => m[e.0 as usize] as usize,
+        }
+    }
+
+    /// The channel for edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not visible in this view.
+    pub fn get(&self, e: EdgeId) -> &Channel {
+        &self.channels[self.local(e)]
+    }
+
+    /// The channel for edge `e`, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not visible in this view.
+    pub fn get_mut(&mut self, e: EdgeId) -> &mut Channel {
+        let i = self.local(e);
+        &mut self.channels[i]
+    }
+}
+
+/// Where a node's off-chip requests commit: directly against the HBM
+/// ledger (monolithic runs — the legacy immediate path, batches of one)
+/// or into a queue the engine commits at the next barrier in
+/// deterministic `(time, node, seq)` order (sharded runs).
+pub enum HbmSink<'a> {
+    /// Service immediately; responses are available in the same fire.
+    Immediate(&'a mut Hbm),
+    /// Queue for the engine's next barrier commit.
+    Queued(&'a mut Vec<HbmRequest>),
+}
+
+/// A node's port into the off-chip memory subsystem: issue requests, pick
+/// up completions in issue order.
+pub struct HbmPort<'a> {
+    sink: HbmSink<'a>,
+    /// The requesting node's global id (response routing, commit-order
+    /// tiebreak).
+    node: u32,
+    /// Next request sequence number for this node.
+    next_seq: &'a mut u64,
+    /// Completions `(seq, done)` awaiting pickup, in issue order.
+    responses: &'a mut VecDeque<(u64, u64)>,
+}
+
+impl<'a> HbmPort<'a> {
+    /// Creates the port handed to node `node` for one fire.
+    pub fn new(
+        sink: HbmSink<'a>,
+        node: u32,
+        next_seq: &'a mut u64,
+        responses: &'a mut VecDeque<(u64, u64)>,
+    ) -> HbmPort<'a> {
+        HbmPort {
+            sink,
+            node,
+            next_seq,
+            responses,
+        }
+    }
+
+    /// Issues an access of `bytes` at `addr` at local time `time`,
+    /// returning its sequence number. The completion arrives via
+    /// [`HbmPort::take_response`] — in the same fire under an immediate
+    /// sink, after the engine's next commit barrier under a queued one.
+    pub fn request(&mut self, addr: u64, bytes: u64, time: u64, write: bool) -> u64 {
+        let seq = *self.next_seq;
+        *self.next_seq += 1;
+        match &mut self.sink {
+            HbmSink::Immediate(hbm) => {
+                let done = hbm.access(addr, bytes, time, write);
+                self.responses.push_back((seq, done));
+            }
+            HbmSink::Queued(q) => q.push(HbmRequest {
+                time,
+                node: self.node,
+                seq,
+                addr,
+                bytes,
+                write,
+            }),
+        }
+        seq
+    }
+
+    /// The completion time of request `seq`, if it is the oldest pending
+    /// response and has been serviced.
+    pub fn take_response(&mut self, seq: u64) -> Option<u64> {
+        match self.responses.front() {
+            Some(&(s, done)) if s == seq => {
+                self.responses.pop_front();
+                Some(done)
+            }
+            _ => None,
+        }
+    }
+
+    /// The oldest serviced completion `(seq, done)`, if any.
+    pub fn pop_response(&mut self) -> Option<(u64, u64)> {
+        self.responses.pop_front()
+    }
+}
+
 /// Shared mutable simulation state handed to nodes on every fire.
 pub struct Ctx<'a> {
-    /// Channels indexed by [`EdgeId`].
-    pub channels: &'a mut [Channel],
-    /// The shared off-chip memory timing node.
-    pub hbm: &'a mut Hbm,
-    /// The on-chip scratchpad arena.
+    /// Channels visible to the firing node, addressed by [`EdgeId`].
+    pub chans: Chans<'a>,
+    /// The node's port into the off-chip memory subsystem.
+    pub hbm: HbmPort<'a>,
+    /// The (shard-local) on-chip scratchpad arena.
     pub arena: &'a mut Arena,
     /// Dense off-chip contents for functional runs.
-    pub store: &'a mut BackingStore,
+    pub store: &'a SharedStore,
     /// Global configuration.
     pub cfg: &'a SimConfig,
     /// Upper bound (inclusive) on token ready times visible this round:
@@ -46,7 +184,7 @@ pub struct Ctx<'a> {
 
 impl Ctx<'_> {
     fn ch(&mut self, e: EdgeId) -> &mut Channel {
-        &mut self.channels[e.0 as usize]
+        self.chans.get_mut(e)
     }
 }
 
@@ -63,6 +201,8 @@ pub enum Blocked {
     Input(EdgeId),
     /// Waiting for free space on this output edge's channel.
     Output(EdgeId),
+    /// Waiting for an off-chip completion (queued HBM commitment).
+    Hbm,
 }
 
 impl std::fmt::Display for Blocked {
@@ -70,6 +210,7 @@ impl std::fmt::Display for Blocked {
         match self {
             Blocked::Input(e) => write!(f, "awaiting input on edge {}", e.0),
             Blocked::Output(e) => write!(f, "output edge {} full", e.0),
+            Blocked::Hbm => write!(f, "awaiting off-chip completion"),
         }
     }
 }
@@ -201,10 +342,10 @@ impl Io {
     /// Closes all inputs, marks outputs finished, and flags the node done.
     pub fn finish(&mut self, ctx: &mut Ctx<'_>) {
         for e in &self.ins {
-            ctx.channels[e.0 as usize].close();
+            ctx.chans.get_mut(*e).close();
         }
         for e in &self.outs {
-            ctx.channels[e.0 as usize].finish_src();
+            ctx.chans.get_mut(*e).finish_src();
         }
         self.stats.finish_time = self.time;
         self.done = true;
@@ -214,7 +355,9 @@ impl Io {
     /// engine's current time horizon. A miss records the port as the
     /// node's blocker.
     pub fn peek<'c>(&mut self, ctx: &'c Ctx<'_>, port: usize) -> Option<&'c (u64, Token)> {
-        let head = ctx.channels[self.ins[port].0 as usize]
+        let head = ctx
+            .chans
+            .get(self.ins[port])
             .peek()
             .filter(|(ready, _)| *ready <= ctx.horizon);
         if head.is_none() {
@@ -291,13 +434,14 @@ impl BlockEmitter {
     }
 }
 
-/// Builds the executor for a graph node.
+/// Builds the executor for a graph node. Executors are `Send` so shards
+/// can run on worker threads.
 ///
 /// # Errors
 ///
 /// Returns [`StepError::Config`] for operators whose configuration cannot
 /// be executed.
-pub fn build_node(graph: &Graph, index: usize) -> Result<Box<dyn SimNode>> {
+pub fn build_node(graph: &Graph, index: usize) -> Result<Box<dyn SimNode + Send>> {
     let node = &graph.nodes()[index];
     let rank_of = |e: EdgeId| graph.edge(e).shape.rank();
     Ok(match &node.op {
@@ -382,23 +526,55 @@ mod tests {
     use step_core::graph::EdgeId;
     use step_core::ops::OpKind;
 
-    fn harness(capacities: &[usize]) -> (Io, Vec<Channel>, Hbm, Arena, BackingStore, SimConfig) {
-        let cfg = SimConfig::default();
-        let node = Node {
+    /// Test fixture owning everything a `Ctx` borrows.
+    pub(crate) struct Fixture {
+        pub channels: Vec<Channel>,
+        pub hbm: Hbm,
+        pub arena: Arena,
+        pub store: SharedStore,
+        pub cfg: SimConfig,
+        pub seq: u64,
+        pub responses: VecDeque<(u64, u64)>,
+    }
+
+    impl Fixture {
+        pub fn new(capacities: &[usize]) -> Fixture {
+            let cfg = SimConfig::default();
+            Fixture {
+                channels: capacities.iter().map(|&c| Channel::new(c, 0)).collect(),
+                hbm: Hbm::new(cfg.hbm.clone()),
+                arena: Arena::new(),
+                store: SharedStore::new(),
+                cfg,
+                seq: 0,
+                responses: VecDeque::new(),
+            }
+        }
+
+        pub fn ctx(&mut self, horizon: u64) -> Ctx<'_> {
+            Ctx {
+                chans: Chans::identity(&mut self.channels),
+                hbm: HbmPort::new(
+                    HbmSink::Immediate(&mut self.hbm),
+                    0,
+                    &mut self.seq,
+                    &mut self.responses,
+                ),
+                arena: &mut self.arena,
+                store: &self.store,
+                cfg: &self.cfg,
+                horizon,
+            }
+        }
+    }
+
+    fn out_node(ports: u32) -> Node {
+        Node {
             op: OpKind::Zip,
             inputs: vec![],
-            outputs: (0..capacities.len() as u32).map(EdgeId).collect(),
+            outputs: (0..ports).map(EdgeId).collect(),
             label: String::new(),
-        };
-        let channels: Vec<Channel> = capacities.iter().map(|&c| Channel::new(c, 0)).collect();
-        (
-            Io::new(&node),
-            channels,
-            Hbm::new(cfg.hbm.clone()),
-            Arena::new(),
-            BackingStore::new(),
-            cfg,
-        )
+        }
     }
 
     fn val(x: u64) -> Token {
@@ -409,25 +585,19 @@ mod tests {
     fn full_port_does_not_block_other_ports() {
         // Port 0's channel holds one token; port 1's holds plenty. Port 1
         // must drain fully even while port 0 is backed up.
-        let (mut io, mut channels, mut hbm, mut arena, mut store, cfg) = harness(&[1, 8]);
+        let mut fx = Fixture::new(&[1, 8]);
+        let mut io = Io::new(&out_node(2));
         for k in 0..5 {
             io.push(0, val(k));
             io.push(1, val(k));
         }
-        let mut ctx = Ctx {
-            channels: &mut channels,
-            hbm: &mut hbm,
-            arena: &mut arena,
-            store: &mut store,
-            cfg: &cfg,
-            horizon: u64::MAX,
-        };
+        let mut ctx = fx.ctx(u64::MAX);
         let (progress, may_step) = io.flush(&mut ctx);
         assert!(progress);
         // Port 0 staged 4 tokens, beyond PORT_STAGING: the node stalls.
         assert!(!may_step);
-        assert_eq!(ctx.channels[0].len(), 1);
-        assert_eq!(ctx.channels[1].len(), 5);
+        assert_eq!(fx.channels[0].len(), 1);
+        assert_eq!(fx.channels[1].len(), 5);
         assert_eq!(io.blocked, Some(Blocked::Output(EdgeId(0))));
     }
 
@@ -435,33 +605,27 @@ mod tests {
     fn staging_allowance_lets_a_port_run_slightly_ahead() {
         // With exactly PORT_STAGING tokens staged beyond the channel, the
         // node may still step; one more and it stalls.
-        let (mut io, mut channels, mut hbm, mut arena, mut store, cfg) = harness(&[1]);
+        let mut fx = Fixture::new(&[1]);
+        let mut io = Io::new(&out_node(1));
         for k in 0..(1 + PORT_STAGING as u64) {
             io.push(0, val(k));
         }
-        let mut ctx = Ctx {
-            channels: &mut channels,
-            hbm: &mut hbm,
-            arena: &mut arena,
-            store: &mut store,
-            cfg: &cfg,
-            horizon: u64::MAX,
-        };
+        let mut ctx = fx.ctx(u64::MAX);
         let (_, may_step) = io.flush(&mut ctx);
         assert!(may_step, "PORT_STAGING staged tokens must not stall");
         io.push(0, val(99));
         let (_, may_step) = io.flush(&mut ctx);
         assert!(!may_step, "beyond the staging allowance the node stalls");
         // Draining the channel lets the staged tokens through again.
-        ctx.channels[0].pop(0);
+        fx.channels[0].pop(0);
+        let mut ctx = fx.ctx(u64::MAX);
         let (progress, _) = io.flush(&mut ctx);
         assert!(progress);
-        assert_eq!(ctx.channels[0].len(), 1);
+        assert_eq!(fx.channels[0].len(), 1);
     }
 
     #[test]
     fn peek_records_the_blocking_edge() {
-        let cfg = SimConfig::default();
         let node = Node {
             op: OpKind::Zip,
             inputs: vec![EdgeId(0), EdgeId(1)],
@@ -469,19 +633,10 @@ mod tests {
             label: String::new(),
         };
         let mut io = Io::new(&node);
-        let mut channels = vec![Channel::new(2, 0), Channel::new(2, 0)];
+        let mut fx = Fixture::new(&[2, 2]);
         // A token beyond the horizon is invisible and counts as blocking.
-        channels[1].send(500, val(1));
-        let mut hbm = Hbm::new(cfg.hbm.clone());
-        let (mut arena, mut store) = (Arena::new(), BackingStore::new());
-        let ctx = Ctx {
-            channels: &mut channels,
-            hbm: &mut hbm,
-            arena: &mut arena,
-            store: &mut store,
-            cfg: &cfg,
-            horizon: 64,
-        };
+        fx.channels[1].send(500, val(1));
+        let ctx = fx.ctx(64);
         assert!(io.peek(&ctx, 0).is_none());
         assert_eq!(io.blocked, Some(Blocked::Input(EdgeId(0))));
         assert!(io.peek(&ctx, 1).is_none(), "head beyond horizon");

@@ -1,20 +1,92 @@
 //! Off-chip memory operators (Table 3) wired to the HBM timing node.
+//!
+//! Every operator is a two-phase state machine: consuming an input token
+//! *issues* requests through the node's [`super::HbmPort`], and a FIFO of
+//! pending emissions turns *completions* back into timed output tokens in
+//! issue order. Under an immediate sink (monolithic runs) completions are
+//! available within the same fire, so the operator behaves exactly like
+//! the legacy synchronous implementation; under a queued sink (sharded
+//! runs) the node parks between issue and completion and the engine wakes
+//! it after the barrier commit. Interleaved structural tokens (block
+//! separators, pass-through stops) ride the same FIFO so emission order
+//! is preserved while requests pipeline.
 
 use super::basic::impl_simnode_common;
-use super::{BUDGET, BlockEmitter, Ctx, Io, SimNode};
+use super::{BUDGET, Blocked, Ctx, Io, SimNode};
 use crate::stats::NodeStats;
+use std::collections::VecDeque;
 use step_core::Elem;
 use step_core::error::{Result, StepError};
 use step_core::graph::Node;
 use step_core::ops::{LinearLoadCfg, RandomAccessCfg};
 use step_core::token::Token;
 
+/// Soft cap on requests a node keeps in flight under a queued sink: the
+/// check runs before consuming an input token, and one input may issue a
+/// whole block (`LinearOffChipLoad` issues `nr*nc` requests per
+/// reference), so pipelining can overshoot the cap by up to one block.
+/// Immediate sinks drain within the fire, so the cap never binds there.
+const HBM_PIPELINE: usize = 2 * BUDGET;
+
+/// A pending emission: either a tile awaiting its completion or a
+/// structural token already stamped at issue time.
+enum PendingEmit {
+    /// Response `seq` will carry the completion time; `gr`/`gc` locate
+    /// the tile in the stored tensor's grid and `row_stop` appends a
+    /// level-1 stop after it.
+    Tile {
+        seq: u64,
+        gr: u64,
+        gc: u64,
+        row_stop: bool,
+    },
+    /// A token emitted as-is at a time fixed at issue.
+    Mark { time: u64, token: Token },
+}
+
+/// The shared drain loop over a node's pending-emission FIFO: marks emit
+/// eagerly at their issue-time stamps, tiles wait for their completion
+/// (recording [`Blocked::Hbm`] when it has not arrived), and the closure
+/// materializes a completed tile entry as output tokens.
+macro_rules! drain_pending {
+    ($self:ident, $ctx:ident, |$done:ident, $gr:ident, $gc:ident, $row_stop:ident| $emit:block) => {{
+        let mut progress = false;
+        while let Some(front) = $self.pending.front() {
+            match *front {
+                PendingEmit::Mark { time, ref token } => {
+                    let token = token.clone();
+                    $self.io.push_at(0, time, token);
+                    $self.pending.pop_front();
+                }
+                PendingEmit::Tile {
+                    seq,
+                    gr: $gr,
+                    gc: $gc,
+                    row_stop: $row_stop,
+                } => {
+                    let Some($done) = $ctx.hbm.take_response(seq) else {
+                        $self.io.blocked = Some(Blocked::Hbm);
+                        break;
+                    };
+                    $emit
+                    $self.pending.pop_front();
+                }
+            }
+            progress = true;
+        }
+        progress
+    }};
+}
+
 /// `LinearOffChipLoad` (Fig 2): per reference element, an affine tiled
 /// read of the stored tensor, adding two dimensions to the stream.
 pub struct LinearLoadNode {
     io: Io,
     cfg: LinearLoadCfg,
-    emitter: BlockEmitter,
+    pending: VecDeque<PendingEmit>,
+    /// A completed block awaits its separator stop (the block-emitter
+    /// rule shared by every block-expanding operator).
+    sep_pending: bool,
 }
 
 impl LinearLoadNode {
@@ -22,17 +94,26 @@ impl LinearLoadNode {
         LinearLoadNode {
             io: Io::new(node),
             cfg,
-            emitter: BlockEmitter::default(),
+            pending: VecDeque::new(),
+            sep_pending: false,
         }
     }
 
-    fn emit_block(&mut self, ctx: &mut Ctx<'_>) {
+    /// Issues one block of tile requests; emission happens as completions
+    /// drain through the FIFO.
+    fn issue_block(&mut self, ctx: &mut Ctx<'_>) {
         let (nr, nc) = self.cfg.shape_tiled;
         let (sr, sc) = self.cfg.stride_tiled;
-        let (tr, tc) = self.cfg.tile_shape;
         let grid_cols = self.cfg.grid().1.max(1);
         let tile_bytes = self.cfg.tile_bytes();
         let issue = self.io.time;
+        if self.sep_pending {
+            self.pending.push_back(PendingEmit::Mark {
+                time: issue,
+                token: Token::Stop(2),
+            });
+        }
+        self.sep_pending = true;
         let mut k = 0u64;
         for i in 0..nr {
             for j in 0..nc {
@@ -40,20 +121,14 @@ impl LinearLoadNode {
                 let addr = self.cfg.base_addr + idx * tile_bytes;
                 // Requests issue pipelined at one per cycle; completions
                 // are bounded by the shared HBM bus.
-                let done = ctx.hbm.access(addr, tile_bytes, issue + k, false);
+                let seq = ctx.hbm.request(addr, tile_bytes, issue + k, false);
                 k += 1;
-                let (gr, gc) = (idx / grid_cols, idx % grid_cols);
-                let tile = ctx.store.read_tile(
-                    self.cfg.base_addr,
-                    (gr * tr) as usize,
-                    (gc * tc) as usize,
-                    tr as usize,
-                    tc as usize,
-                );
-                self.io.push_at(0, done, Token::Val(Elem::Tile(tile)));
-                if j + 1 == nc && i + 1 < nr {
-                    self.io.push_at(0, done, Token::Stop(1));
-                }
+                self.pending.push_back(PendingEmit::Tile {
+                    seq,
+                    gr: idx / grid_cols,
+                    gc: idx % grid_cols,
+                    row_stop: j + 1 == nc && i + 1 < nr,
+                });
             }
         }
         self.io.time = issue + k;
@@ -61,18 +136,56 @@ impl LinearLoadNode {
         self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(2 * tile_bytes);
     }
 
+    /// Emits every pending entry whose completion has arrived.
+    fn drain(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let (tr, tc) = self.cfg.tile_shape;
+        drain_pending!(self, ctx, |done, gr, gc, row_stop| {
+            let tile = ctx.store.read_tile(
+                self.cfg.base_addr,
+                (gr * tr) as usize,
+                (gc * tc) as usize,
+                tr as usize,
+                tc as usize,
+            );
+            self.io.push_at(0, done, Token::Val(Elem::Tile(tile)));
+            if row_stop {
+                self.io.push_at(0, done, Token::Stop(1));
+            }
+        })
+    }
+
     fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
-        if self.io.peek(ctx, 0).is_none() {
+        // A draining step ends before the next issue so the flush between
+        // steps applies output backpressure exactly like the synchronous
+        // implementation did (the staging gate must see the emissions
+        // before the node consumes further input).
+        if self.drain(ctx) {
+            return Ok(true);
+        }
+        if self.pending.len() >= HBM_PIPELINE {
+            return Ok(false);
+        }
+        // Structural reference tokens wait for in-flight blocks so the
+        // separator algebra observes emissions in order.
+        let head_is_val = match self.io.peek(ctx, 0) {
+            None => return Ok(false),
+            Some((_, tok)) => tok.is_val(),
+        };
+        if !head_is_val && !self.pending.is_empty() {
+            self.io.blocked = Some(Blocked::Hbm);
             return Ok(false);
         }
         match self.io.pop(ctx, 0) {
-            Token::Val(_) => {
-                self.emitter.before_block(&mut self.io, 0, 2);
-                self.emit_block(ctx);
+            Token::Val(_) => self.issue_block(ctx),
+            Token::Stop(k) => {
+                self.io.push(0, Token::Stop(k + 2));
+                self.sep_pending = false;
             }
-            Token::Stop(k) => self.emitter.on_stop(&mut self.io, 0, k, 2),
             Token::Done => {
-                self.emitter.on_done(&mut self.io, 0, 2);
+                if self.sep_pending {
+                    self.io.push(0, Token::Stop(2));
+                    self.sep_pending = false;
+                }
                 self.io.push_done_all();
             }
         }
@@ -89,6 +202,7 @@ pub struct LinearStoreNode {
     offset_bytes: u64,
     row_offset: usize,
     last_done: u64,
+    outstanding: usize,
 }
 
 impl LinearStoreNode {
@@ -99,29 +213,51 @@ impl LinearStoreNode {
             offset_bytes: 0,
             row_offset: 0,
             last_done: 0,
+            outstanding: 0,
         }
     }
 
+    fn drain(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let mut progress = false;
+        while let Some((_, done)) = ctx.hbm.pop_response() {
+            self.last_done = self.last_done.max(done);
+            self.outstanding -= 1;
+            progress = true;
+        }
+        progress
+    }
+
     fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
-        if self.io.peek(ctx, 0).is_none() {
-            return Ok(false);
+        let drained = self.drain(ctx);
+        if self.outstanding >= HBM_PIPELINE {
+            return Ok(drained);
+        }
+        let head_is_done = match self.io.peek(ctx, 0) {
+            None => return Ok(drained),
+            Some((_, tok)) => matches!(tok, Token::Done),
+        };
+        if head_is_done && self.outstanding > 0 {
+            // The finish time folds in every write completion.
+            self.io.blocked = Some(Blocked::Hbm);
+            return Ok(drained);
         }
         match self.io.pop(ctx, 0) {
             Token::Val(e) => {
                 let tile = e.as_tile()?;
                 let bytes = tile.bytes();
-                let done = ctx.hbm.access(
+                ctx.hbm.request(
                     self.base_addr + self.offset_bytes,
                     bytes,
                     self.io.time,
                     true,
                 );
+                self.outstanding += 1;
                 ctx.store
                     .write_tile(self.base_addr, self.row_offset, 0, tile);
                 self.row_offset += tile.rows();
                 self.offset_bytes += bytes;
-                self.last_done = self.last_done.max(done);
                 self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(2 * bytes);
+                self.drain(ctx);
             }
             Token::Stop(_) => {}
             Token::Done => {
@@ -139,6 +275,7 @@ impl_simnode_common!(LinearStoreNode);
 pub struct RandomLoadNode {
     io: Io,
     cfg: RandomAccessCfg,
+    pending: VecDeque<PendingEmit>,
 }
 
 impl RandomLoadNode {
@@ -146,11 +283,39 @@ impl RandomLoadNode {
         RandomLoadNode {
             io: Io::new(node),
             cfg,
+            pending: VecDeque::new(),
         }
     }
 
+    fn drain(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let (tr, tc) = self.cfg.tile_shape;
+        drain_pending!(self, ctx, |done, gr, _gc, _row_stop| {
+            // Functional payload: tiles are addressed as a vertical stack
+            // below the configured base.
+            let tile = ctx.store.read_tile(
+                self.cfg.base_addr,
+                (gr * tr) as usize,
+                0,
+                tr as usize,
+                tc as usize,
+            );
+            self.io.push_at(0, done, Token::Val(Elem::Tile(tile)));
+        })
+    }
+
     fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
-        if self.io.peek(ctx, 0).is_none() {
+        if self.drain(ctx) {
+            return Ok(true);
+        }
+        if self.pending.len() >= HBM_PIPELINE {
+            return Ok(false);
+        }
+        let head_is_done = match self.io.peek(ctx, 0) {
+            None => return Ok(false),
+            Some((_, tok)) => matches!(tok, Token::Done),
+        };
+        if head_is_done && !self.pending.is_empty() {
+            self.io.blocked = Some(Blocked::Hbm);
             return Ok(false);
         }
         match self.io.pop(ctx, 0) {
@@ -161,22 +326,20 @@ impl RandomLoadNode {
                 // one address per cycle); the token carries the completion
                 // time, and the bounded output channel caps requests in
                 // flight.
-                let done = ctx.hbm.access(addr, bytes, self.io.time, false);
-                // Functional payload: tiles are addressed as a vertical
-                // stack below the configured base.
-                let (tr, tc) = self.cfg.tile_shape;
+                let seq = ctx.hbm.request(addr, bytes, self.io.time, false);
                 let tile_idx = addr.saturating_sub(self.cfg.base_addr) / bytes.max(1);
-                let tile = ctx.store.read_tile(
-                    self.cfg.base_addr,
-                    (tile_idx * tr) as usize,
-                    0,
-                    tr as usize,
-                    tc as usize,
-                );
-                self.io.push_at(0, done, Token::Val(Elem::Tile(tile)));
+                self.pending.push_back(PendingEmit::Tile {
+                    seq,
+                    gr: tile_idx,
+                    gc: 0,
+                    row_stop: false,
+                });
                 self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(2 * bytes);
             }
-            Token::Stop(k) => self.io.push(0, Token::Stop(k)),
+            Token::Stop(k) => self.pending.push_back(PendingEmit::Mark {
+                time: self.io.time,
+                token: Token::Stop(k),
+            }),
             Token::Done => self.io.push_done_all(),
         }
         Ok(true)
@@ -190,6 +353,7 @@ impl_simnode_common!(RandomLoadNode);
 pub struct RandomStoreNode {
     io: Io,
     cfg: RandomAccessCfg,
+    pending: VecDeque<PendingEmit>,
 }
 
 impl RandomStoreNode {
@@ -197,11 +361,29 @@ impl RandomStoreNode {
         RandomStoreNode {
             io: Io::new(node),
             cfg,
+            pending: VecDeque::new(),
         }
     }
 
+    fn drain(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        drain_pending!(self, ctx, |done, _gr, _gc, _row_stop| {
+            self.io.push_at(0, done, Token::Val(Elem::Bool(true)));
+        })
+    }
+
     fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        if self.drain(ctx) {
+            return Ok(true);
+        }
+        if self.pending.len() >= HBM_PIPELINE {
+            return Ok(false);
+        }
         if self.io.peek(ctx, 0).is_none() || self.io.peek(ctx, 1).is_none() {
+            return Ok(false);
+        }
+        let heads_done = matches!(self.io.peek(ctx, 0), Some(&(_, Token::Done)));
+        if heads_done && !self.pending.is_empty() {
+            self.io.blocked = Some(Blocked::Hbm);
             return Ok(false);
         }
         let a = self.io.pop(ctx, 0);
@@ -211,17 +393,25 @@ impl RandomStoreNode {
                 let addr = a.as_addr()?;
                 let tile = d.as_tile()?;
                 let bytes = tile.bytes();
-                let done = ctx.hbm.access(addr, bytes, self.io.time, true);
+                let seq = ctx.hbm.request(addr, bytes, self.io.time, true);
                 let (tr, _) = self.cfg.tile_shape;
                 let tile_idx =
                     addr.saturating_sub(self.cfg.base_addr) / self.cfg.tile_bytes().max(1);
                 ctx.store
                     .write_tile(self.cfg.base_addr, (tile_idx * tr) as usize, 0, tile);
-                self.io.push_at(0, done, Token::Val(Elem::Bool(true)));
+                self.pending.push_back(PendingEmit::Tile {
+                    seq,
+                    gr: 0,
+                    gc: 0,
+                    row_stop: false,
+                });
                 self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(2 * bytes);
             }
             (Token::Stop(s1), Token::Stop(s2)) if s1 == s2 => {
-                self.io.push(0, Token::Stop(s1));
+                self.pending.push_back(PendingEmit::Mark {
+                    time: self.io.time,
+                    token: Token::Stop(s1),
+                });
             }
             (Token::Done, Token::Done) => self.io.push_done_all(),
             (x, y) => {

@@ -51,6 +51,7 @@ impl BufferizeNode {
     fn seal_buffer(&mut self, ctx: &mut Ctx<'_>) {
         let dims: Vec<u64> = self.extents.iter().rev().copied().collect();
         let bytes = self.bytes;
+        ctx.arena.set_time(self.io.time);
         let id = ctx.arena.alloc(StoredBuffer {
             elems: std::mem::take(&mut self.elems),
             dims: dims.clone(),
@@ -146,6 +147,7 @@ impl StreamifyNode {
                 if self.current_id != Some(buf.id)
                     && let Some(prev) = self.current_id.take()
                 {
+                    ctx.arena.set_time(self.io.time);
                     let _ = ctx.arena.free(prev);
                 }
                 let stored = ctx.arena.get(buf.id)?.clone();
@@ -262,6 +264,7 @@ impl StreamifyNode {
                     let _ = self.io.pop(ctx, 0);
                 }
                 if let Some(prev) = self.current_id.take() {
+                    ctx.arena.set_time(self.io.time);
                     let _ = ctx.arena.free(prev);
                 }
                 let _ = self.io.pop(ctx, 1);

@@ -1,0 +1,51 @@
+//! Minimal sharded-engine smoke tests (small graphs, forced shards).
+
+use step_core::graph::GraphBuilder;
+use step_core::ops::LinearLoadCfg;
+use step_sim::{SimConfig, Simulation};
+
+fn cfg(threads: usize, shards: usize) -> SimConfig {
+    SimConfig {
+        threads,
+        shards,
+        max_rounds: 200_000,
+        ..SimConfig::default()
+    }
+}
+
+fn fanout_graph(ways: u32) -> step_core::Graph {
+    let mut g = GraphBuilder::new();
+    let trig = g.unit_source(1);
+    let forks = g.fork(&trig, ways).unwrap();
+    for (k, f) in forks.iter().enumerate() {
+        let tiles = g
+            .linear_offchip_load(
+                f,
+                LinearLoadCfg::new(k as u64 * 0x100000, (64, 256), (64, 64)),
+            )
+            .unwrap();
+        g.linear_offchip_store(&tiles, 0x10_000_000 + k as u64 * 0x100000)
+            .unwrap();
+    }
+    g.finish()
+}
+
+#[test]
+fn sharded_fanout_completes_and_matches_across_threads() {
+    let mono = Simulation::new(fanout_graph(8), cfg(1, 1))
+        .unwrap()
+        .run()
+        .unwrap();
+    let seq = Simulation::new(fanout_graph(8), cfg(1, 4))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(seq.shards > 1, "shards {}", seq.shards);
+    let par = Simulation::new(fanout_graph(8), cfg(4, 4))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(seq.cycles, par.cycles);
+    assert_eq!(seq.offchip_traffic, par.offchip_traffic);
+    assert_eq!(mono.offchip_traffic, seq.offchip_traffic);
+}

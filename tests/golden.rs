@@ -1,0 +1,78 @@
+//! Golden snapshot tests for the example programs.
+//!
+//! Each example prints a deterministic report (the engine's determinism
+//! contract makes this exact across machines and thread counts); the
+//! snapshots under `tests/golden/` pin those numbers so refactors
+//! cannot silently drift the paper-facing figures. After an intentional
+//! change, regenerate with:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The example binaries live next to the test binary's profile directory
+/// (`target/<profile>/examples/`); cargo builds them before running
+/// integration tests.
+fn example_bin(name: &str) -> PathBuf {
+    let exe = std::env::current_exe().expect("test binary path");
+    let profile_dir = exe
+        .parent() // deps/
+        .and_then(|p| p.parent()) // target/<profile>/
+        .expect("target profile dir");
+    profile_dir.join("examples").join(name)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn check(name: &str) {
+    let bin = example_bin(name);
+    let out = Command::new(&bin)
+        .output()
+        .unwrap_or_else(|e| panic!("running {}: {e}", bin.display()));
+    assert!(
+        out.status.success(),
+        "{name} exited with {:?}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = String::from_utf8(out.stdout).expect("utf-8 example output");
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run `BLESS=1 cargo test --test golden`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{name} output drifted from its golden snapshot; if intentional, \
+         regenerate with `BLESS=1 cargo test --test golden`"
+    );
+}
+
+#[test]
+fn quickstart_matches_golden() {
+    check("quickstart");
+}
+
+#[test]
+fn moe_dynamic_tiling_matches_golden() {
+    check("moe_dynamic_tiling");
+}
+
+#[test]
+fn dse_sweep_matches_golden() {
+    check("dse_sweep");
+}
