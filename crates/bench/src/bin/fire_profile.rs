@@ -1,0 +1,76 @@
+//! Engine-overhead profiler: per-operator fire breakdown, mono vs
+//! sharded, across horizon-step settings.
+//!
+//! The companion tool to `sched_bench` for *diagnosing* scheduler
+//! overhead rather than guarding it: it attributes fires and idle fires
+//! to operator kinds so a regression flagged by the fire budget can be
+//! localized. The horizon-step sweep shows how sensitive the schedule
+//! still is to window granularity (with barrier elision it should be
+//! nearly flat).
+//!
+//! Run with: `cargo run --release -p step-bench --bin fire_profile`
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+use step_models::ModelConfig;
+use step_models::moe::{MoeCfg, Tiling, moe_graph};
+use step_sim::{SimConfig, Simulation};
+use step_traces::{RoutingConfig, expert_routing};
+
+fn main() {
+    let model = ModelConfig::qwen3_30b_a3b();
+    let trace = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch: 64,
+        skew: 0.8,
+        seed: 7,
+    });
+    let cfg = MoeCfg::new(model.clone(), Tiling::Static { tile: 8 });
+    for (shards, horizon_step) in [(1usize, 64u64), (0, 64), (0, 1024)] {
+        let graph = moe_graph(&cfg, &trace).expect("moe graph");
+        let names: Vec<String> = graph
+            .nodes()
+            .iter()
+            .map(|n| n.op.name().to_string())
+            .collect();
+        let t0 = Instant::now();
+        let report = Simulation::new(
+            graph,
+            SimConfig {
+                shards,
+                horizon_step,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let mut fires: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        for (i, s) in report.node_stats.iter().enumerate() {
+            let e = fires.entry(names[i].as_str()).or_default();
+            e.0 += s.fires;
+            e.1 += s.idle_fires;
+            e.2 += 1;
+        }
+        println!(
+            "== shards={shards} hstep={horizon_step} -> {} shards, cycles {}, rounds {}, \
+             fires {}, idle {}, sub_rounds {}, solo {}, elided {}, dedup {}, wall {wall:.0}ms",
+            report.shards,
+            report.cycles,
+            report.rounds,
+            report.total_fires(),
+            report.idle_fires(),
+            report.sched.sub_rounds,
+            report.sched.solo_runs,
+            report.sched.elided_runs,
+            report.sched.wake_dedup,
+        );
+        let mut rows: Vec<_> = fires.into_iter().collect();
+        rows.sort_by_key(|(_, (f, _, _))| std::cmp::Reverse(*f));
+        for (op, (f, idle, n)) in rows {
+            println!("  {op:>22} x{n:<5} fires {f:>9}  idle {idle:>9}");
+        }
+    }
+}

@@ -1,21 +1,37 @@
 //! Scheduler microbenchmark: engine overhead and parallel scaling on the
 //! MoE graph.
 //!
-//! Reports cycles, scheduler rounds, node fires, and wall-clock for the
-//! MoE layer at a few batch sizes — the workload whose many-expert graphs
-//! stress the engine most — first on the monolithic (single-shard)
-//! engine, then on the sharded engine across a thread-count axis. The
-//! sharded rows must agree bit-for-bit on cycles and off-chip traffic at
-//! every thread count (the determinism contract); the bench asserts it.
+//! Reports cycles, scheduler rounds, node fires, coordination counters,
+//! and wall-clock for the MoE layer at a few batch sizes — the workload
+//! whose many-expert graphs stress the engine most — first on the
+//! monolithic (single-shard) engine, then on the sharded engine across a
+//! thread-count axis. The sharded rows must agree bit-for-bit on cycles
+//! and off-chip traffic at every thread count (the determinism contract);
+//! the bench asserts it.
+//!
+//! The bench is also the perf-regression guard for the sharded engine's
+//! overhead: on every config it asserts that sharded single-thread total
+//! fires stay within [`FIRE_BUDGET`] of the monolithic engine's. Fires,
+//! sub-rounds, and the elision/dedup counters are pure functions of the
+//! plan — unlike wall-clock they can never flake, so CI runs this as a
+//! hard check.
 //!
 //! Run with: `cargo run --release -p step-bench --bin sched_bench`
-//! Optionally `THREADS="1 2 4 8"` to pick the thread axis.
+//! Optionally `THREADS="1 2 4 8"` to pick the thread axis, and `--json`
+//! to emit one JSON object per run (machine-readable counters) instead
+//! of the table.
 
 use std::time::Instant;
 use step_models::ModelConfig;
 use step_models::moe::{MoeCfg, Tiling, moe_graph};
 use step_sim::{SimConfig, SimReport, Simulation};
 use step_traces::{RoutingConfig, RoutingTrace, expert_routing};
+
+/// Maximum allowed ratio of sharded single-thread total fires to
+/// monolithic total fires, per config. The two-phase off-chip protocol
+/// once inflated this to 2.4x; barrier elision and wake dedup hold it
+/// well below 1 (the deduped ready set out-schedules the legacy waves).
+const FIRE_BUDGET: f64 = 1.5;
 
 fn run_once(cfg: &MoeCfg, trace: &RoutingTrace, sim_cfg: SimConfig) -> (SimReport, f64) {
     let graph = moe_graph(cfg, trace).expect("moe graph");
@@ -27,7 +43,27 @@ fn run_once(cfg: &MoeCfg, trace: &RoutingTrace, sim_cfg: SimConfig) -> (SimRepor
     (report, t0.elapsed().as_secs_f64() * 1e3)
 }
 
+fn json_line(batch: usize, tiling: &str, mode: &str, threads: usize, r: &SimReport, wall: f64) {
+    println!(
+        "{{\"batch\":{batch},\"tiling\":\"{tiling}\",\"mode\":\"{mode}\",\"threads\":{threads},\
+         \"shards\":{},\"cycles\":{},\"rounds\":{},\"fires\":{},\"idle_fires\":{},\
+         \"sub_rounds\":{},\"shard_runs\":{},\"solo_runs\":{},\"elided_runs\":{},\
+         \"wake_dedup\":{},\"wall_ms\":{wall:.1}}}",
+        r.shards,
+        r.cycles,
+        r.rounds,
+        r.total_fires(),
+        r.idle_fires(),
+        r.sched.sub_rounds,
+        r.sched.shard_runs,
+        r.sched.solo_runs,
+        r.sched.elided_runs,
+        r.sched.wake_dedup,
+    );
+}
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let model = ModelConfig::qwen3_30b_a3b();
     let threads_axis: Vec<usize> = std::env::var("THREADS")
         .map(|s| {
@@ -36,10 +72,22 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|_| vec![1, 2, 4, 8]);
-    println!(
-        "{:>6} {:>10} {:>6} {:>8} {:>12} {:>12} {:>12} {:>10} {:>8}",
-        "batch", "tiling", "mode", "threads", "cycles", "rounds", "fires", "wall (ms)", "speedup"
-    );
+    if !json {
+        println!(
+            "{:>6} {:>10} {:>6} {:>8} {:>12} {:>12} {:>12} {:>11} {:>11} {:>10} {:>8}",
+            "batch",
+            "tiling",
+            "mode",
+            "threads",
+            "cycles",
+            "rounds",
+            "fires",
+            "sub_rounds",
+            "wake_dedup",
+            "wall (ms)",
+            "speedup"
+        );
+    }
     for batch in [16usize, 64] {
         let trace = expert_routing(&RoutingConfig {
             experts: model.experts,
@@ -50,6 +98,7 @@ fn main() {
         });
         for tiling in [Tiling::Static { tile: 8 }, Tiling::Dynamic] {
             let cfg = MoeCfg::new(model.clone(), tiling);
+            let tiling_name = format!("{tiling}");
             // Monolithic reference (the legacy engine, bit for bit).
             let (mono, mono_wall) = run_once(
                 &cfg,
@@ -59,15 +108,21 @@ fn main() {
                     ..SimConfig::default()
                 },
             );
-            println!(
-                "{batch:>6} {tiling:>10} {:>6} {:>8} {:>12} {:>12} {:>12} {mono_wall:>10.1} {:>8}",
-                "mono",
-                1,
-                mono.cycles,
-                mono.rounds,
-                mono.total_fires(),
-                "-"
-            );
+            if json {
+                json_line(batch, &tiling_name, "mono", 1, &mono, mono_wall);
+            } else {
+                println!(
+                    "{batch:>6} {tiling:>10} {:>6} {:>8} {:>12} {:>12} {:>12} {:>11} {:>11} {mono_wall:>10.1} {:>8}",
+                    "mono",
+                    1,
+                    mono.cycles,
+                    mono.rounds,
+                    mono.total_fires(),
+                    mono.sched.sub_rounds,
+                    mono.sched.wake_dedup,
+                    "-"
+                );
+            }
             // Sharded engine across the thread axis: identical results
             // required at every thread count.
             let mut base: Option<(u64, u64, f64)> = None;
@@ -81,7 +136,19 @@ fn main() {
                     },
                 );
                 match base {
-                    None => base = Some((r.cycles, r.offchip_traffic, wall)),
+                    None => {
+                        base = Some((r.cycles, r.offchip_traffic, wall));
+                        // Perf-regression guard: sharded fire inflation
+                        // over the monolithic engine must stay bounded.
+                        let ratio = r.total_fires() as f64 / mono.total_fires() as f64;
+                        assert!(
+                            ratio <= FIRE_BUDGET,
+                            "fire budget blown on batch{batch}/{tiling_name}: \
+                             sharded {} vs mono {} fires ({ratio:.2}x > {FIRE_BUDGET}x)",
+                            r.total_fires(),
+                            mono.total_fires(),
+                        );
+                    }
                     Some((c, t, _)) => {
                         assert_eq!(
                             (r.cycles, r.offchip_traffic),
@@ -91,15 +158,24 @@ fn main() {
                     }
                 }
                 let speedup = base.map(|(_, _, w)| w / wall).unwrap_or(1.0);
-                println!(
-                    "{batch:>6} {tiling:>10} {:>6} {threads:>8} {:>12} {:>12} {:>12} {wall:>10.1} {speedup:>7.2}x",
-                    format!("x{}", r.shards),
-                    r.cycles,
-                    r.rounds,
-                    r.total_fires(),
-                );
+                if json {
+                    json_line(batch, &tiling_name, "sharded", threads, &r, wall);
+                } else {
+                    println!(
+                        "{batch:>6} {tiling:>10} {:>6} {threads:>8} {:>12} {:>12} {:>12} {:>11} {:>11} {wall:>10.1} {speedup:>7.2}x",
+                        format!("x{}", r.shards),
+                        r.cycles,
+                        r.rounds,
+                        r.total_fires(),
+                        r.sched.sub_rounds,
+                        r.sched.wake_dedup,
+                    );
+                }
             }
         }
     }
-    println!("\nresults identical across all thread counts: ok");
+    if !json {
+        println!("\nresults identical across all thread counts: ok");
+        println!("sharded/mono fire ratio <= {FIRE_BUDGET} on every config: ok");
+    }
 }

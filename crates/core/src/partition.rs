@@ -53,7 +53,7 @@ impl Default for PartitionCfg {
 }
 
 /// A partition of a graph's nodes into connected shards.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     /// Shard index per node, indexed like `graph.nodes()`.
     pub shard_of: Vec<u32>,
@@ -61,6 +61,19 @@ pub struct Partition {
     pub shards: usize,
     /// Edges whose endpoints live in different shards, ascending.
     pub cut_edges: Vec<EdgeId>,
+    /// Per shard, the cut edges whose *reader* (destination) lives in
+    /// that shard, ascending. These are the only channels on which a
+    /// shard can receive tokens from outside, so their time floors bound
+    /// how far the shard may run ahead of the global horizon without a
+    /// coordination barrier (the engine's barrier-elision check).
+    pub cut_ins_of: Vec<Vec<EdgeId>>,
+    /// Per shard, the cut edges whose *writer* (source) lives in that
+    /// shard, ascending.
+    pub cut_outs_of: Vec<Vec<EdgeId>>,
+    /// Estimated token volume per entry of [`Partition::cut_edges`] (the
+    /// agglomeration key): low volume = high slack = a cheap cut. Kept
+    /// for diagnostics and scheduling heuristics.
+    pub cut_volume: Vec<u64>,
 }
 
 impl Partition {
@@ -70,6 +83,9 @@ impl Partition {
             shard_of: vec![0; graph.nodes().len()],
             shards: 1,
             cut_edges: Vec::new(),
+            cut_ins_of: vec![Vec::new()],
+            cut_outs_of: vec![Vec::new()],
+            cut_volume: Vec::new(),
         }
     }
 }
@@ -87,6 +103,83 @@ fn volume_estimate(shape: &StreamShape) -> u64 {
         v = v.saturating_mul(extent);
     }
     v
+}
+
+/// FNV-1a accumulation (explicitly seeded — `DefaultHasher` is randomly
+/// keyed per process and would break run-to-run determinism).
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Canonical structural ranks per node: Weisfeiler–Leman-style
+/// refinement seeded with each node's operator fingerprint (its `Debug`
+/// form, which includes configuration such as base addresses) and folded
+/// over `log n` rounds of port-ordered neighborhood hashes. Two nodes get
+/// the same rank only if their rooted neighborhoods are indistinguishable
+/// — so ranks are invariant under graph-isomorphic reorderings of node
+/// insertion, and the partitioner's tie-breaks on them make the whole
+/// partition a function of the *abstract* graph, not its encoding.
+/// (Genuinely automorphic nodes share a rank and fall back to node-id
+/// order — no structural comparison can observe that choice.)
+fn structural_ranks(graph: &Graph) -> Vec<u32> {
+    let n = graph.nodes().len();
+    let seed = 0xCBF2_9CE4_8422_2325u64;
+    let mut h: Vec<u64> = graph
+        .nodes()
+        .iter()
+        .map(|nd| {
+            let mut x = seed;
+            // The operator fingerprint: its configuration's Debug form —
+            // except sources, whose config embeds the whole
+            // pre-materialized token stream (a routing trace can be the
+            // bulk of the graph); their stream length is fingerprint
+            // enough, and the refinement rounds fold in their consumers'
+            // fingerprints anyway.
+            match &nd.op {
+                crate::ops::OpKind::Source(cfg) => {
+                    fnv(&mut x, b"Source");
+                    fnv(&mut x, &(cfg.tokens.len() as u64).to_le_bytes());
+                    fnv(&mut x, &cfg.tokens_per_cycle.to_le_bytes());
+                }
+                op => fnv(&mut x, format!("{op:?}").as_bytes()),
+            }
+            x
+        })
+        .collect();
+    let rounds = (usize::BITS - n.leading_zeros()) as usize + 1;
+    for _ in 0..rounds {
+        let mut next = vec![0u64; n];
+        for (i, nd) in graph.nodes().iter().enumerate() {
+            let mut x = h[i];
+            for (dir, edges) in [(0u8, &nd.inputs), (1u8, &nd.outputs)] {
+                for (port, e) in edges.iter().enumerate() {
+                    let edge = graph.edge(*e);
+                    let peer = if dir == 0 {
+                        h[edge.src.0.0 as usize]
+                    } else {
+                        edge.dst.map_or(0, |(d, _)| h[d.0 as usize])
+                    };
+                    let mut t = seed;
+                    fnv(&mut t, &[dir]);
+                    fnv(&mut t, &(port as u64).to_le_bytes());
+                    fnv(&mut t, &peer.to_le_bytes());
+                    fnv(&mut t, &volume_estimate(&edge.shape).to_le_bytes());
+                    x = x.wrapping_mul(0x0000_0100_0000_01B3) ^ t;
+                }
+            }
+            next[i] = x;
+        }
+        h = next;
+    }
+    let mut sorted = h.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    h.iter()
+        .map(|x| sorted.binary_search(x).expect("own hash") as u32)
+        .collect()
 }
 
 struct Dsu {
@@ -134,10 +227,13 @@ impl Dsu {
 /// (low-volume) channels.
 ///
 /// Greedy agglomeration: edges are processed in descending volume order
-/// (ties by edge id) and merged subject to the balance cap, so the cut
-/// set ends up on the lowest-volume channels. Buffer-reference edges are
-/// merged unconditionally first. Shard ids are assigned in order of each
-/// shard's minimum node index.
+/// (ties by structural rank of the endpoints, then port, then edge id)
+/// and merged subject to the balance cap, so the cut set ends up on the
+/// lowest-volume channels. Buffer-reference edges are merged
+/// unconditionally first. Shard ids are assigned in order of each
+/// shard's minimum node index. Tie-breaking on [`structural_ranks`]
+/// makes the node-grouping invariant under permuted node insertion
+/// order (for graphs without non-trivial automorphisms).
 pub fn partition(graph: &Graph, cfg: &PartitionCfg) -> Partition {
     let n = graph.nodes().len();
     if n < cfg.min_nodes || cfg.target_shards <= 1 {
@@ -156,16 +252,31 @@ pub fn partition(graph: &Graph, cfg: &PartitionCfg) -> Partition {
         }
     }
 
-    // Phase 2: agglomerate along high-volume edges under the balance cap.
-    let mut order: Vec<(u64, u32)> = graph
+    // Phase 2: agglomerate along high-volume edges under the balance cap,
+    // in an insertion-order-invariant total order.
+    type EdgeKey = (u32, u16, u32, u16);
+    let ranks = structural_ranks(graph);
+    let mut order: Vec<(u64, EdgeKey, u32)> = graph
         .edges()
         .iter()
         .enumerate()
         .filter(|(_, e)| e.dst.is_some())
-        .map(|(i, e)| (volume_estimate(&e.shape), i as u32))
+        .map(|(i, e)| {
+            let (dst, dport) = e.dst.expect("filtered");
+            (
+                volume_estimate(&e.shape),
+                (
+                    ranks[e.src.0.0 as usize],
+                    e.src.1,
+                    ranks[dst.0 as usize],
+                    dport,
+                ),
+                i as u32,
+            )
+        })
         .collect();
-    order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-    for (_, idx) in order {
+    order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    for (_, _, idx) in order {
         let e = &graph.edges()[idx as usize];
         let (a, b) = (e.src.0.0, e.dst.expect("filtered").0.0);
         let (ra, rb) = (dsu.find(a), dsu.find(b));
@@ -188,20 +299,28 @@ pub fn partition(graph: &Graph, cfg: &PartitionCfg) -> Partition {
     if shards == 1 {
         return Partition::monolithic(graph);
     }
-    let cut_edges = graph
-        .edges()
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| {
-            e.dst
-                .is_some_and(|(d, _)| shard_of[e.src.0.0 as usize] != shard_of[d.0 as usize])
-        })
-        .map(|(i, _)| EdgeId(i as u32))
-        .collect();
+    let mut cut_edges = Vec::new();
+    let mut cut_volume = Vec::new();
+    let mut cut_ins_of = vec![Vec::new(); shards as usize];
+    let mut cut_outs_of = vec![Vec::new(); shards as usize];
+    for (i, e) in graph.edges().iter().enumerate() {
+        let Some((dst, _)) = e.dst else { continue };
+        let (ws, rs) = (shard_of[e.src.0.0 as usize], shard_of[dst.0 as usize]);
+        if ws == rs {
+            continue;
+        }
+        cut_edges.push(EdgeId(i as u32));
+        cut_volume.push(volume_estimate(&e.shape));
+        cut_outs_of[ws as usize].push(EdgeId(i as u32));
+        cut_ins_of[rs as usize].push(EdgeId(i as u32));
+    }
     Partition {
         shard_of,
         shards: shards as usize,
         cut_edges,
+        cut_ins_of,
+        cut_outs_of,
+        cut_volume,
     }
 }
 
@@ -264,6 +383,36 @@ mod tests {
                 {
                     assert_eq!(p.shard_of[i], p.shard_of[dst.0 as usize]);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn cut_metadata_is_consistent_with_cut_edges() {
+        let g = fanout_graph(128);
+        let cfg = PartitionCfg {
+            min_nodes: 16,
+            ..PartitionCfg::default()
+        };
+        let p = partition(&g, &cfg);
+        assert_eq!(p.cut_volume.len(), p.cut_edges.len());
+        assert_eq!(p.cut_ins_of.len(), p.shards);
+        assert_eq!(p.cut_outs_of.len(), p.shards);
+        let mut ins: Vec<EdgeId> = p.cut_ins_of.iter().flatten().copied().collect();
+        let mut outs: Vec<EdgeId> = p.cut_outs_of.iter().flatten().copied().collect();
+        ins.sort();
+        outs.sort();
+        assert_eq!(ins, p.cut_edges);
+        assert_eq!(outs, p.cut_edges);
+        for (s, edges) in p.cut_ins_of.iter().enumerate() {
+            for e in edges {
+                let (dst, _) = g.edge(*e).dst.unwrap();
+                assert_eq!(p.shard_of[dst.0 as usize] as usize, s);
+            }
+        }
+        for (s, edges) in p.cut_outs_of.iter().enumerate() {
+            for e in edges {
+                assert_eq!(p.shard_of[g.edge(*e).src.0.0 as usize] as usize, s);
             }
         }
     }

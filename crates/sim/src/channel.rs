@@ -127,6 +127,13 @@ impl Channel {
         self.queue.drain(..)
     }
 
+    /// Whether any freed slots have accumulated since the last drain
+    /// (reader half of a cross-shard channel). Lets the barrier
+    /// coordinator skip idle cut edges without draining them.
+    pub fn has_freed_slots(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
     /// The raw floor value (without transit latency), for mirroring onto
     /// the reader half of a cross-shard channel.
     pub fn floor_raw(&self) -> u64 {

@@ -9,7 +9,7 @@
 //! event-driven wake-list scheduler over its own nodes: a node fires only
 //! when one of its channels signals that progress may be possible, waves
 //! fire in node-index order, and tokens are visible only within the
-//! global execution horizon.
+//! shard's effective execution horizon.
 //!
 //! Shards synchronize at **barriers**. Between barriers a shard sees no
 //! external mutation: cross-shard channels are split into a writer half
@@ -22,12 +22,45 @@
 //! horizon to the earliest pending channel event, exactly like the
 //! monolithic engine.
 //!
+//! Three optimizations keep the barrier protocol off the hot path, all
+//! plan knobs with no effect on thread-count independence:
+//!
+//! - **Barrier elision** ([`SimConfig::elide_barriers`]): each shard owns
+//!   an *effective horizon* `eff ≥` the global horizon. At every barrier
+//!   the coordinator raises it to the *cut-slack allowance* — one cycle
+//!   below the minimum time floor of the shard's incoming cut channels,
+//!   the earliest instant a cross-shard token could still arrive
+//!   (channels whose producer finished or whose reader closed no longer
+//!   constrain it). Until simulated time reaches that bound the shard's
+//!   execution is a pure local function, so it runs windows back-to-back
+//!   without coordination; shards with no unfinished incoming cuts run
+//!   dark until credits or off-chip responses stall them. The global
+//!   horizon still advances by `horizon_step` at full quiescence, so
+//!   arrival-order faithfulness is never *worse* than barrier-stepped
+//!   execution — within the allowance it is exact.
+//! - **Wake deduplication**: sharded shards schedule with a
+//!   generation-stamped ready set (`cur`/`nxt` + per-node wave stamps)
+//!   instead of the monolithic engine's round-robin-faithful wake lists.
+//!   Every wake targets the next wave and a node is queued at most once
+//!   per wave no matter how many channel events it receives — the
+//!   absorbed wakes are reported as
+//!   [`step::stats::SchedCounters::wake_dedup`](crate::stats::SchedCounters).
+//! - **Off-chip fast path** ([`SimConfig::offchip_fast_path`]): when a
+//!   sub-round's schedule has exactly one runnable shard, that shard is
+//!   the sole accessor of the HBM ledger in the window. The coordinator
+//!   runs it inline with the monolithic engine's immediate-commit sink —
+//!   request/response collapses back to single-fire, and in threaded mode
+//!   the two worker barrier waits are skipped entirely (workers stay
+//!   parked).
+//!
 //! # Determinism contract
 //!
 //! Every reported metric is a pure function of `(graph, SimConfig minus
 //! threads)`. A shard's sub-round execution depends only on its own state
-//! plus what previous barriers delivered, and every barrier action is
-//! ordered by stable keys (edge id, request `(time, node, seq)`), so
+//! plus what previous barriers delivered; every barrier action is ordered
+//! by stable keys (edge id, request `(time, node, seq)`); and the elision
+//! allowance, solo-shard schedule, and wake stamps are all computed from
+//! barrier-time shard state in the coordinator's exclusive window. So
 //! `threads` — and host scheduling generally — can never change the
 //! committed execution order. Parallel runs are bit-identical to running
 //! the same plan on one thread. Single-shard plans take the legacy
@@ -38,11 +71,11 @@ use crate::channel::{Channel, event};
 use crate::config::SimConfig;
 use crate::hbm::{Hbm, HbmRequest};
 use crate::nodes::{self, Chans, Ctx, HbmPort, HbmSink, SimNode};
-use crate::stats::NodeStats;
+use crate::stats::{NodeStats, SchedCounters};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
 use step_core::error::{Result, StepError};
 use step_core::graph::{Graph, NodeId};
 use step_core::partition::{Partition, PartitionCfg, partition};
@@ -78,6 +111,9 @@ pub struct SimReport {
     pub rounds: u64,
     /// Shards the graph was partitioned into.
     pub shards: usize,
+    /// Coordination counters of the sharded engine (all zero for
+    /// monolithic plans).
+    pub sched: SchedCounters,
     /// Per-node statistics, indexed like `graph.nodes()`.
     pub node_stats: Vec<NodeStats>,
     /// Recorded token streams per recording sink.
@@ -130,6 +166,63 @@ impl SimReport {
     }
 }
 
+/// A shard's wake-list scheduler state.
+enum Sched {
+    /// The monolithic engine's wake lists, kept bit-for-bit for
+    /// single-shard plans (the legacy PR-1 schedule): a wake ahead of the
+    /// sweep joins the *current* wave (round-robin would reach it later
+    /// this round), one behind joins the next.
+    Legacy {
+        wave: BinaryHeap<Reverse<usize>>,
+        in_wave: Vec<bool>,
+        next: Vec<usize>,
+        in_next: Vec<bool>,
+    },
+    /// Generation-stamped ready set for sharded plans: all wakes target
+    /// the next wave (`nxt`), a node is queued at most once per wave
+    /// (`stamp[j] == wave_gen` means already queued), and each wave is sorted
+    /// into node-index order before firing.
+    Dedup {
+        cur: Vec<usize>,
+        nxt: Vec<usize>,
+        stamp: Vec<u64>,
+        wave_gen: u64,
+        dedup_hits: u64,
+    },
+}
+
+impl Default for Sched {
+    fn default() -> Sched {
+        Sched::Legacy {
+            wave: BinaryHeap::new(),
+            in_wave: Vec::new(),
+            next: Vec::new(),
+            in_next: Vec::new(),
+        }
+    }
+}
+
+impl Sched {
+    fn legacy(m: usize) -> Sched {
+        Sched::Legacy {
+            wave: (0..m).map(Reverse).collect(),
+            in_wave: vec![true; m],
+            next: Vec::new(),
+            in_next: vec![false; m],
+        }
+    }
+
+    fn dedup(m: usize) -> Sched {
+        Sched::Dedup {
+            cur: Vec::new(),
+            nxt: (0..m).collect(),
+            stamp: vec![0; m],
+            wave_gen: 0,
+            dedup_hits: 0,
+        }
+    }
+}
+
 /// One shard of the simulation: a connected subgraph with its own nodes,
 /// channels (including its halves of cross-shard edges), scratchpad
 /// arena, wake lists, and time calendar. A shard's sub-round execution is
@@ -150,12 +243,16 @@ struct Shard {
     /// channel indices), mirroring the graph's port order.
     ins_of: Vec<Vec<u32>>,
     outs_of: Vec<Vec<u32>>,
+    /// Reader halves of this shard's incoming cut edges (local channel
+    /// indices): the only channels that can carry tokens in from outside,
+    /// whose time floors bound the barrier-elision allowance.
+    cut_ins: Vec<u32>,
     arena: Arena,
-    // Scheduling state (local node indices).
-    wave: BinaryHeap<Reverse<usize>>,
-    in_wave: Vec<bool>,
-    next: Vec<usize>,
-    in_next: Vec<bool>,
+    sched: Sched,
+    /// Effective execution horizon: the global horizon, possibly raised
+    /// by the cut-slack allowance (barrier elision). Monotone; set by the
+    /// coordinator in its exclusive window.
+    eff: u64,
     /// `(ready_time, local channel)` for heads beyond the horizon.
     calendar: BinaryHeap<Reverse<(u64, usize)>>,
     undone: usize,
@@ -167,15 +264,72 @@ struct Shard {
 }
 
 impl Shard {
-    /// Wakes local node `j` into the current wave (barrier-time wakes:
-    /// both wake lists are empty between sub-rounds). Done nodes are
-    /// never woken — a stale wave entry would read as pending work and
-    /// stall the global horizon.
+    /// Wakes local node `j` into the pending wave (barrier-time wakes:
+    /// the engine is between sub-rounds). Done nodes are never woken — a
+    /// stale entry would read as pending work and stall the global
+    /// horizon.
     fn wake(&mut self, j: u32) {
         let j = j as usize;
-        if j != u32::MAX as usize && !self.in_wave[j] && !self.nodes[j].done() {
-            self.in_wave[j] = true;
-            self.wave.push(Reverse(j));
+        if j == u32::MAX as usize || self.nodes[j].done() {
+            return;
+        }
+        match &mut self.sched {
+            Sched::Legacy { wave, in_wave, .. } => {
+                if !in_wave[j] {
+                    in_wave[j] = true;
+                    wave.push(Reverse(j));
+                }
+            }
+            Sched::Dedup {
+                nxt,
+                stamp,
+                wave_gen,
+                dedup_hits,
+                ..
+            } => {
+                if stamp[j] == *wave_gen {
+                    *dedup_hits += 1;
+                } else {
+                    stamp[j] = *wave_gen;
+                    nxt.push(j);
+                }
+            }
+        }
+    }
+
+    /// Whether any node is queued to fire in the next sub-round.
+    fn has_ready(&self) -> bool {
+        match &self.sched {
+            Sched::Legacy { wave, .. } => !wave.is_empty(),
+            Sched::Dedup { nxt, .. } => !nxt.is_empty(),
+        }
+    }
+
+    /// One cycle below the earliest simulated time at which a token
+    /// could still arrive on an incoming cut channel — how far this
+    /// shard may run ahead of the global horizon with no barrier (its
+    /// execution up to the bound is a pure local function). Channels
+    /// whose producer finished or whose reader closed carry nothing
+    /// further and do not constrain the bound.
+    fn allowance(&self) -> u64 {
+        let mut bound = u64::MAX;
+        for &c in &self.cut_ins {
+            let ch = &self.channels[c as usize];
+            if ch.src_finished() || ch.is_closed() {
+                continue;
+            }
+            bound = bound.min(ch.time_floor());
+        }
+        bound.saturating_sub(1)
+    }
+
+    /// Raises the effective horizon to `new` (if higher), waking readers
+    /// of heads that became visible.
+    fn raise_eff(&mut self, new: u64) {
+        if new > self.eff {
+            let old = self.eff;
+            self.eff = new;
+            self.wake_visible(old, new);
         }
     }
 
@@ -231,41 +385,142 @@ impl Shard {
         }
     }
 
-    /// Runs this shard's wave scheduler to quiescence under `horizon`.
-    /// `hbm` is the immediate ledger for single-shard plans; sharded
-    /// plans queue requests for the barrier commit.
+    /// Fires local node `i` under horizon `eff`, raises the floors of its
+    /// outputs on progress, and drains its channel events into `wakes`
+    /// (local node indices, `u32::MAX` for remote endpoints, in event
+    /// order). Returns whether the node made progress.
+    #[allow(clippy::too_many_arguments)]
+    fn fire_node(
+        &mut self,
+        i: usize,
+        eff: u64,
+        cfg: &SimConfig,
+        store: &SharedStore,
+        graph: &Graph,
+        hbm: &mut Option<&mut Hbm>,
+        wakes: &mut Vec<u32>,
+    ) -> Result<bool> {
+        let sink = match hbm {
+            Some(h) => HbmSink::Immediate(h),
+            None => HbmSink::Queued(&mut self.hbm_reqs),
+        };
+        let mut ctx = Ctx {
+            chans: Chans::mapped(&mut self.channels, &self.edge_map),
+            hbm: HbmPort::new(
+                sink,
+                self.node_ids[i],
+                &mut self.hbm_seq[i],
+                &mut self.hbm_resp[i],
+            ),
+            arena: &mut self.arena,
+            store,
+            cfg,
+            horizon: eff,
+        };
+        let p = self.nodes[i].fire(&mut ctx).map_err(|e| {
+            let gid = self.node_ids[i] as usize;
+            let g = &graph.nodes()[gid];
+            let label = if g.label.is_empty() {
+                g.op.name().to_string()
+            } else {
+                format!("{} ({})", g.op.name(), g.label)
+            };
+            StepError::Exec(format!("node {gid} [{label}]: {e}"))
+        })?;
+        if p {
+            // Publish a conservative lower bound on this node's future
+            // token times so arrival-order merges can commit safely.
+            let t = self.nodes[i].local_time();
+            for &c in &self.outs_of[i] {
+                self.channels[c as usize].raise_floor(t);
+            }
+        }
+        // Drain this node's channel events into wakes. Remote endpoints
+        // (u32::MAX) are handled by the barrier coordinator.
+        for &c in self.ins_of[i].iter().chain(self.outs_of[i].iter()) {
+            let idx = c as usize;
+            let ev = self.channels[idx].take_events();
+            if ev == 0 {
+                continue;
+            }
+            if ev & (event::FREED | event::CLOSED) != 0 {
+                wakes.push(self.writer_of[idx]);
+            }
+            if ev & event::SRC_FINISHED != 0 {
+                wakes.push(self.reader_of[idx]);
+            }
+            if ev & (event::ENQUEUED | event::FREED) != 0 {
+                // A new head may have appeared (token enqueued on an
+                // empty queue, or the old head popped). Wake the reader
+                // if it is visible in the current window; otherwise file
+                // it in the calendar for the horizon advance.
+                if let Some(&(ready, _)) = self.channels[idx].peek() {
+                    if ready <= eff {
+                        if ev & event::ENQUEUED != 0 {
+                            wakes.push(self.reader_of[idx]);
+                        }
+                    } else {
+                        self.calendar.push(Reverse((ready, idx)));
+                    }
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    /// Runs this shard's wave scheduler to quiescence under `eff`.
+    /// `hbm` is the immediate ledger for single-shard plans and the
+    /// solo-shard fast path; otherwise requests queue for the barrier
+    /// commit.
     fn run_to_quiescence(
         &mut self,
-        horizon: u64,
+        eff: u64,
+        cfg: &SimConfig,
+        store: &SharedStore,
+        graph: &Graph,
+        hbm: Option<&mut Hbm>,
+    ) -> Result<()> {
+        let mut sched = std::mem::take(&mut self.sched);
+        let result = match &mut sched {
+            Sched::Legacy {
+                wave,
+                in_wave,
+                next,
+                in_next,
+            } => self.run_legacy(wave, in_wave, next, in_next, eff, cfg, store, graph, hbm),
+            Sched::Dedup {
+                cur,
+                nxt,
+                stamp,
+                wave_gen,
+                dedup_hits,
+            } => self.run_dedup(
+                cur, nxt, stamp, wave_gen, dedup_hits, eff, cfg, store, graph, hbm,
+            ),
+        };
+        self.sched = sched;
+        result
+    }
+
+    /// The legacy (PR 1) wave loop, bit-for-bit: ahead-of-sweep wakes
+    /// join the current wave, a node can re-fire within a wave.
+    #[allow(clippy::too_many_arguments)]
+    fn run_legacy(
+        &mut self,
+        wave: &mut BinaryHeap<Reverse<usize>>,
+        in_wave: &mut [bool],
+        next: &mut Vec<usize>,
+        in_next: &mut [bool],
+        eff: u64,
         cfg: &SimConfig,
         store: &SharedStore,
         graph: &Graph,
         mut hbm: Option<&mut Hbm>,
     ) -> Result<()> {
-        let Shard {
-            node_ids,
-            nodes,
-            channels,
-            edge_map,
-            reader_of,
-            writer_of,
-            ins_of,
-            outs_of,
-            arena,
-            wave,
-            in_wave,
-            next,
-            in_next,
-            calendar,
-            undone,
-            rounds,
-            hbm_reqs,
-            hbm_seq,
-            hbm_resp,
-        } = self;
-        while *undone > 0 && !wave.is_empty() {
-            *rounds += 1;
-            if *rounds > cfg.max_rounds {
+        let mut wakes: Vec<u32> = Vec::new();
+        while self.undone > 0 && !wave.is_empty() {
+            self.rounds += 1;
+            if self.rounds > cfg.max_rounds {
                 return Err(StepError::Exec(format!(
                     "exceeded {} scheduler rounds",
                     cfg.max_rounds
@@ -273,49 +528,15 @@ impl Shard {
             }
             while let Some(Reverse(i)) = wave.pop() {
                 in_wave[i] = false;
-                if nodes[i].done() {
+                if self.nodes[i].done() {
                     continue;
                 }
-                let sink = match &mut hbm {
-                    Some(h) => HbmSink::Immediate(h),
-                    None => HbmSink::Queued(hbm_reqs),
-                };
-                let mut ctx = Ctx {
-                    chans: Chans::mapped(channels, edge_map),
-                    hbm: HbmPort::new(sink, node_ids[i], &mut hbm_seq[i], &mut hbm_resp[i]),
-                    arena,
-                    store,
-                    cfg,
-                    horizon,
-                };
-                let p = nodes[i].fire(&mut ctx).map_err(|e| {
-                    let gid = node_ids[i] as usize;
-                    let g = &graph.nodes()[gid];
-                    let label = if g.label.is_empty() {
-                        g.op.name().to_string()
-                    } else {
-                        format!("{} ({})", g.op.name(), g.label)
-                    };
-                    StepError::Exec(format!("node {gid} [{label}]: {e}"))
-                })?;
-                if p {
-                    // Publish a conservative lower bound on this node's
-                    // future token times so arrival-order merges can
-                    // commit safely.
-                    let t = nodes[i].local_time();
-                    for &c in &outs_of[i] {
-                        channels[c as usize].raise_floor(t);
-                    }
-                }
-                // Drain this node's channel events into wakes. A wake
-                // ahead of the sweep joins the current wave (round-robin
-                // would reach it later this round); one behind joins the
-                // next wave. Remote endpoints (u32::MAX) are handled by
-                // the barrier coordinator.
-                let mut wake = |j: u32| {
+                wakes.clear();
+                let p = self.fire_node(i, eff, cfg, store, graph, &mut hbm, &mut wakes)?;
+                for &j in &wakes {
                     let j = j as usize;
                     if j == u32::MAX as usize {
-                        return;
+                        continue;
                     }
                     if j > i {
                         if !in_wave[j] {
@@ -326,39 +547,10 @@ impl Shard {
                         in_next[j] = true;
                         next.push(j);
                     }
-                };
-                for &c in ins_of[i].iter().chain(outs_of[i].iter()) {
-                    let idx = c as usize;
-                    let ev = channels[idx].take_events();
-                    if ev == 0 {
-                        continue;
-                    }
-                    if ev & (event::FREED | event::CLOSED) != 0 {
-                        wake(writer_of[idx]);
-                    }
-                    if ev & event::SRC_FINISHED != 0 {
-                        wake(reader_of[idx]);
-                    }
-                    if ev & (event::ENQUEUED | event::FREED) != 0 {
-                        // A new head may have appeared (token enqueued on
-                        // an empty queue, or the old head popped). Wake
-                        // the reader if it is visible in the current
-                        // window; otherwise file it in the calendar for
-                        // the horizon advance.
-                        if let Some(&(ready, _)) = channels[idx].peek() {
-                            if ready <= horizon {
-                                if ev & event::ENQUEUED != 0 {
-                                    wake(reader_of[idx]);
-                                }
-                            } else {
-                                calendar.push(Reverse((ready, idx)));
-                            }
-                        }
-                    }
                 }
-                if nodes[i].done() {
-                    *undone -= 1;
-                    if *undone == 0 {
+                if self.nodes[i].done() {
+                    self.undone -= 1;
+                    if self.undone == 0 {
                         break;
                     }
                 } else if p && !in_next[i] {
@@ -376,7 +568,7 @@ impl Shard {
                 }
             }
         }
-        if *undone == 0 {
+        if self.undone == 0 {
             // A finished shard must read as quiescent: stale wave entries
             // for done nodes would stall the global horizon forever.
             wave.clear();
@@ -384,6 +576,72 @@ impl Shard {
             for j in next.drain(..) {
                 in_next[j] = false;
             }
+        }
+        Ok(())
+    }
+
+    /// The deduplicated wave loop for sharded plans: each wave is the
+    /// sorted generation-stamped ready set, and every wake (including a
+    /// node's own progress re-poll) targets the next wave at most once.
+    #[allow(clippy::too_many_arguments)]
+    fn run_dedup(
+        &mut self,
+        cur: &mut Vec<usize>,
+        nxt: &mut Vec<usize>,
+        stamp: &mut [u64],
+        wave_gen: &mut u64,
+        dedup_hits: &mut u64,
+        eff: u64,
+        cfg: &SimConfig,
+        store: &SharedStore,
+        graph: &Graph,
+        mut hbm: Option<&mut Hbm>,
+    ) -> Result<()> {
+        let mut wakes: Vec<u32> = Vec::new();
+        while self.undone > 0 && !nxt.is_empty() {
+            self.rounds += 1;
+            if self.rounds > cfg.max_rounds {
+                return Err(StepError::Exec(format!(
+                    "exceeded {} scheduler rounds",
+                    cfg.max_rounds
+                )));
+            }
+            std::mem::swap(cur, nxt);
+            *wave_gen += 1;
+            cur.sort_unstable();
+            for &i in cur.iter() {
+                if self.nodes[i].done() {
+                    continue;
+                }
+                wakes.clear();
+                let p = self.fire_node(i, eff, cfg, store, graph, &mut hbm, &mut wakes)?;
+                let mut enqueue = |j: usize| {
+                    if stamp[j] == *wave_gen {
+                        *dedup_hits += 1;
+                    } else {
+                        stamp[j] = *wave_gen;
+                        nxt.push(j);
+                    }
+                };
+                for &j in &wakes {
+                    let j = j as usize;
+                    if j != u32::MAX as usize && !self.nodes[j].done() {
+                        enqueue(j);
+                    }
+                }
+                if self.nodes[i].done() {
+                    self.undone -= 1;
+                    if self.undone == 0 {
+                        break;
+                    }
+                } else if p {
+                    enqueue(i);
+                }
+            }
+            cur.clear();
+        }
+        if self.undone == 0 {
+            nxt.clear();
         }
         Ok(())
     }
@@ -409,6 +667,7 @@ pub struct Simulation {
     local_of: Vec<u32>,
     hbm: Hbm,
     store: SharedStore,
+    counters: SchedCounters,
 }
 
 impl Simulation {
@@ -518,6 +777,10 @@ impl Simulation {
                         .collect()
                 })
                 .collect();
+            let cut_ins: Vec<u32> = plan.cut_ins_of[s]
+                .iter()
+                .map(|e| map[e.0 as usize])
+                .collect();
             let undone = nodes.iter().filter(|nd| !nd.done()).count();
             shards.push(Mutex::new(Shard {
                 node_ids: ids,
@@ -528,15 +791,18 @@ impl Simulation {
                 writer_of: std::mem::take(&mut writer_of[s]),
                 ins_of,
                 outs_of,
+                cut_ins,
                 arena: if sharded {
                     Arena::with_event_log()
                 } else {
                     Arena::new()
                 },
-                wave: (0..m).map(Reverse).collect(),
-                in_wave: vec![true; m],
-                next: Vec::new(),
-                in_next: vec![false; m],
+                sched: if sharded {
+                    Sched::dedup(m)
+                } else {
+                    Sched::legacy(m)
+                },
+                eff: cfg.horizon_step,
                 calendar: BinaryHeap::new(),
                 undone,
                 rounds: 0,
@@ -555,6 +821,7 @@ impl Simulation {
             local_of: local_node,
             hbm,
             store: SharedStore::new(),
+            counters: SchedCounters::default(),
         })
     }
 
@@ -629,13 +896,29 @@ impl Simulation {
     /// every worker count reproduces.
     fn run_sharded_inline(&mut self) -> Result<()> {
         let mut horizon = self.cfg.horizon_step;
+        let mut active: Vec<u32> = (0..self.shards.len() as u32).collect();
+        self.counters.shard_runs += active.len() as u64;
+        let mut solo: Option<u32> = None;
         loop {
-            for s in self.shards.iter() {
-                let mut shard = s.lock().expect("shard lock");
-                if shard.wave.is_empty() {
-                    continue;
+            if let Some(id) = solo {
+                // Off-chip fast path: the sole runnable shard commits
+                // against the ledger immediately, like the monolithic
+                // engine.
+                let mut shard = self.shards[id as usize].lock().expect("shard lock");
+                let eff = shard.eff;
+                shard.run_to_quiescence(
+                    eff,
+                    &self.cfg,
+                    &self.store,
+                    &self.graph,
+                    Some(&mut self.hbm),
+                )?;
+            } else {
+                for &id in &active {
+                    let mut shard = self.shards[id as usize].lock().expect("shard lock");
+                    let eff = shard.eff;
+                    shard.run_to_quiescence(eff, &self.cfg, &self.store, &self.graph, None)?;
                 }
-                shard.run_to_quiescence(horizon, &self.cfg, &self.store, &self.graph, None)?;
             }
             let plan = CoordPlan {
                 cross: &self.cross,
@@ -644,23 +927,33 @@ impl Simulation {
                 graph: &self.graph,
                 cfg: &self.cfg,
             };
-            if !coordinate(&self.shards, &plan, &mut self.hbm, &mut horizon)? {
-                return Ok(());
+            match coordinate(
+                &self.shards,
+                &plan,
+                &mut self.hbm,
+                &mut horizon,
+                &mut active,
+                &mut self.counters,
+            )? {
+                CoordStep::Done => return Ok(()),
+                CoordStep::Run => solo = None,
+                CoordStep::Solo(id) => solo = Some(id),
             }
         }
     }
 
     /// Sharded execution on `threads` workers. Workers steal quiescence
     /// runs of whole shards between two barriers per sub-round; worker 0
-    /// coordinates in the exclusive window between sub-rounds. Which
-    /// worker runs a shard can never affect the result, so this is
-    /// bit-identical to [`Simulation::run_sharded_inline`].
+    /// coordinates in the exclusive window between sub-rounds, and runs
+    /// solo-shard sub-rounds itself without waking the workers (barrier
+    /// waits elided). Which worker runs a shard can never affect the
+    /// result, so this is bit-identical to
+    /// [`Simulation::run_sharded_inline`].
     fn run_sharded_threaded(&mut self, threads: usize) -> Result<()> {
-        let horizon = AtomicU64::new(self.cfg.horizon_step);
         let barrier = Barrier::new(threads);
         let stop = AtomicBool::new(false);
         let cursor = AtomicUsize::new(0);
-        let active: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        let active: Mutex<Vec<u32>> = Mutex::new((0..self.shards.len() as u32).collect());
         let failure: Mutex<Option<StepError>> = Mutex::new(None);
 
         let Simulation {
@@ -672,6 +965,7 @@ impl Simulation {
             local_of,
             hbm,
             store,
+            counters,
         } = self;
         let shards: &[Mutex<Shard>] = shards;
         let plan = CoordPlan {
@@ -681,6 +975,7 @@ impl Simulation {
             graph,
             cfg,
         };
+        counters.shard_runs += shards.len() as u64;
 
         // Every fallible step — including panics, which would otherwise
         // leave the other threads waiting at a barrier forever — funnels
@@ -697,8 +992,8 @@ impl Simulation {
                         }
                     };
                     let mut shard = shards[id].lock().expect("shard lock");
-                    let h = horizon.load(Ordering::Acquire);
-                    shard.run_to_quiescence(h, cfg, store, graph, None)?;
+                    let eff = shard.eff;
+                    shard.run_to_quiescence(eff, cfg, store, graph, None)?;
                 }
             };
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body))
@@ -733,33 +1028,44 @@ impl Simulation {
             }
             // Coordinator loop on this thread. Between the second barrier
             // of one sub-round and the first barrier of the next, workers
-            // are parked, so coordination has exclusive access.
+            // are parked, so coordination has exclusive access. Solo
+            // sub-rounds never touch the barrier at all — the workers
+            // stay parked and the coordinator runs the shard with the
+            // immediate-commit sink.
+            let mut horizon = cfg.horizon_step;
+            let mut step = CoordStep::Run;
             let run = loop {
-                let prepared = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let mut a = active.lock().expect("active list");
-                    a.clear();
-                    for (i, s) in shards.iter().enumerate() {
-                        if !s.lock().expect("shard lock").wave.is_empty() {
-                            a.push(i as u32);
+                match step {
+                    CoordStep::Done => break Ok(()),
+                    CoordStep::Solo(id) => {
+                        let solo = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut shard = shards[id as usize].lock().expect("shard lock");
+                            let eff = shard.eff;
+                            shard.run_to_quiescence(eff, cfg, store, graph, Some(hbm))
+                        }))
+                        .unwrap_or_else(|p| {
+                            Err(StepError::Exec(format!(
+                                "coordinator panicked: {}",
+                                panic_message(&p)
+                            )))
+                        });
+                        if let Err(e) = solo {
+                            break Err(e);
                         }
                     }
-                }));
-                if let Err(p) = prepared {
-                    break Err(StepError::Exec(format!(
-                        "coordinator panicked: {}",
-                        panic_message(&p)
-                    )));
+                    CoordStep::Run => {
+                        cursor.store(0, Ordering::Relaxed);
+                        barrier.wait();
+                        work();
+                        barrier.wait();
+                        if let Some(e) = failure.lock().expect("failure slot").take() {
+                            break Err(e);
+                        }
+                    }
                 }
-                cursor.store(0, Ordering::Relaxed);
-                barrier.wait();
-                work();
-                barrier.wait();
-                if let Some(e) = failure.lock().expect("failure slot").take() {
-                    break Err(e);
-                }
-                let mut h = horizon.load(Ordering::Acquire);
-                let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    coordinate(shards, &plan, hbm, &mut h)
+                let next = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut a = active.lock().expect("active list");
+                    coordinate(shards, &plan, hbm, &mut horizon, &mut a, counters)
                 }))
                 .unwrap_or_else(|p| {
                     Err(StepError::Exec(format!(
@@ -767,9 +1073,8 @@ impl Simulation {
                         panic_message(&p)
                     )))
                 });
-                match step {
-                    Ok(true) => horizon.store(h, Ordering::Release),
-                    Ok(false) => break Ok(()),
+                match next {
+                    Ok(s) => step = s,
                     Err(e) => break Err(e),
                 }
             };
@@ -788,9 +1093,13 @@ impl Simulation {
         let mut rounds = 0;
         let mut arena_events: Vec<ArenaEvent> = Vec::new();
         let mut arena_peak_single = 0;
+        let mut counters = self.counters.clone();
         for s in self.shards.iter_mut() {
             let s = s.get_mut().expect("shard lock");
             rounds += s.rounds;
+            if let Sched::Dedup { dedup_hits, .. } = &s.sched {
+                counters.wake_dedup += dedup_hits;
+            }
             arena_peak_single = arena_peak_single.max(s.arena.peak_bytes());
             arena_events.extend(s.arena.take_events());
             for (i, nd) in s.nodes.iter().enumerate() {
@@ -826,6 +1135,7 @@ impl Simulation {
             offchip_peak_bw: self.hbm.peak_bytes_per_cycle(),
             rounds,
             shards: k,
+            sched: counters,
             node_stats,
             sinks,
         }
@@ -841,30 +1151,61 @@ struct CoordPlan<'a> {
     cfg: &'a SimConfig,
 }
 
+/// What the engine should run after a coordination barrier.
+enum CoordStep {
+    /// Every node is done.
+    Done,
+    /// Dispatch the active list to the workers.
+    Run,
+    /// Exactly one shard is runnable: run it on the coordinator with the
+    /// immediate-commit HBM sink (off-chip fast path, no barrier waits).
+    Solo(u32),
+}
+
 /// One coordination barrier: shuttles cross-shard state, commits the
-/// off-chip batch, and — if the system is fully quiescent — advances the
-/// horizon. Returns `false` once every node is done.
+/// off-chip batch, raises each shard's effective horizon to its
+/// cut-slack allowance (barrier elision), and — if the system is fully
+/// quiescent — advances the global horizon. Fills `active` with the
+/// shards to run next.
 ///
-/// Runs with exclusive access between sub-rounds (locks are uncontended);
-/// every action is ordered by stable keys (edge order, request `(time,
-/// node, seq)`), so the outcome is a pure function of shard states.
+/// Runs with exclusive access between sub-rounds (every shard guard is
+/// taken once up front); every action is ordered by stable keys (edge
+/// order, request `(time, node, seq)`), so the outcome is a pure
+/// function of shard states.
 fn coordinate(
     shards: &[Mutex<Shard>],
     plan: &CoordPlan<'_>,
     hbm: &mut Hbm,
     horizon: &mut u64,
-) -> Result<bool> {
-    // Cross-shard transfer, in edge order.
+    active: &mut Vec<u32>,
+    counters: &mut SchedCounters,
+) -> Result<CoordStep> {
+    counters.sub_rounds += 1;
+    let mut gs: Vec<MutexGuard<'_, Shard>> = shards
+        .iter()
+        .map(|s| s.lock().expect("shard lock"))
+        .collect();
+
+    // Cross-shard transfer, in edge order. Idle edges — nothing queued,
+    // no credits to return, flags and floor already mirrored — are
+    // skipped without mutating either half.
     for x in plan.cross {
-        let (lo, hi) = (x.w_shard.min(x.r_shard), x.w_shard.max(x.r_shard));
-        let g_lo = shards[lo as usize].lock().expect("shard lock");
-        let g_hi = shards[hi as usize].lock().expect("shard lock");
-        let (mut ws, mut rs) = if x.w_shard == lo {
-            (g_lo, g_hi)
-        } else {
-            (g_hi, g_lo)
-        };
+        let [ws, rs] = gs
+            .get_disjoint_mut([x.w_shard as usize, x.r_shard as usize])
+            .expect("cross edge joins two distinct shards");
         let (w_ch, r_ch) = (x.w_ch as usize, x.r_ch as usize);
+        {
+            let w = &ws.channels[w_ch];
+            let r = &rs.channels[r_ch];
+            let idle = w.is_empty()
+                && !r.has_freed_slots()
+                && (!r.is_closed() || w.is_closed())
+                && (r.src_finished() || !(w.src_finished() && w.is_empty()))
+                && r.floor_raw() >= w.floor_raw();
+            if idle {
+                continue;
+            }
+        }
         // Tokens ride with their writer-computed ready times; inject
         // drops them if the reader closed.
         let moved: Vec<(u64, Token)> = ws.channels[w_ch].drain_queue().collect();
@@ -902,7 +1243,7 @@ fn coordinate(
         if rev & (event::ENQUEUED | event::FREED) != 0
             && let Some(&(ready, _)) = rs.channels[r_ch].peek()
         {
-            if ready <= *horizon {
+            if ready <= rs.eff {
                 if rev & event::ENQUEUED != 0 {
                     let j = rs.reader_of[r_ch];
                     rs.wake(j);
@@ -916,14 +1257,14 @@ fn coordinate(
     // Commit the off-chip batch in (time, node, seq) order and wake the
     // requesters.
     let mut batch = Vec::new();
-    for s in shards {
-        batch.append(&mut s.lock().expect("shard lock").hbm_reqs);
+    for s in gs.iter_mut() {
+        batch.append(&mut s.hbm_reqs);
     }
     if !batch.is_empty() {
         for (node, seq, done) in hbm.service_batch(batch) {
             let shard = plan.shard_of[node as usize] as usize;
             let local = plan.local_of[node as usize] as usize;
-            let mut s = shards[shard].lock().expect("shard lock");
+            let s = &mut gs[shard];
             // Per-node issue times are monotone, so sorted service
             // delivers each node's responses in seq order.
             debug_assert!(s.hbm_resp[local].back().is_none_or(|&(q, _)| q < seq));
@@ -932,44 +1273,65 @@ fn coordinate(
         }
     }
 
-    let mut undone = 0usize;
-    let mut any_wave = false;
-    for s in shards {
-        let s = s.lock().expect("shard lock");
-        undone += s.undone;
-        any_wave |= !s.wave.is_empty();
-    }
+    let undone: usize = gs.iter().map(|s| s.undone).sum();
     if undone == 0 {
-        return Ok(false);
+        return Ok(CoordStep::Done);
     }
-    if any_wave {
-        return Ok(true);
-    }
-    // Fully quiescent: advance the horizon to the earliest pending
-    // channel event across all shards.
-    let mut t0: Option<u64> = None;
-    for s in shards {
-        if let Some(t) = s.lock().expect("shard lock").next_event(*horizon) {
-            t0 = Some(t0.map_or(t, |cur| cur.min(t)));
+
+    // Barrier elision: raise each shard's effective horizon to its
+    // cut-slack allowance, waking readers of newly visible heads.
+    if plan.cfg.elide_barriers {
+        for s in gs.iter_mut() {
+            let allow = s.allowance();
+            s.raise_eff(allow);
         }
     }
-    let Some(t0) = t0 else {
-        let mut lines = Vec::new();
-        for s in shards {
-            s.lock()
-                .expect("shard lock")
-                .blocked_lines(plan.graph, &mut lines);
+
+    let fill = |gs: &[MutexGuard<'_, Shard>], active: &mut Vec<u32>| {
+        active.clear();
+        for (i, s) in gs.iter().enumerate() {
+            if s.has_ready() {
+                active.push(i as u32);
+            }
         }
-        return Err(deadlock_error(lines));
     };
-    let new_horizon = t0 + plan.cfg.horizon_step;
-    for s in shards {
-        s.lock()
-            .expect("shard lock")
-            .wake_visible(*horizon, new_horizon);
+    fill(&gs, active);
+    if active.is_empty() {
+        // Fully quiescent: advance the global horizon to the earliest
+        // pending channel event across all shards.
+        let mut t0: Option<u64> = None;
+        for s in gs.iter_mut() {
+            let eff = s.eff;
+            if let Some(t) = s.next_event(eff) {
+                t0 = Some(t0.map_or(t, |cur| cur.min(t)));
+            }
+        }
+        let Some(t0) = t0 else {
+            let mut lines = Vec::new();
+            for s in gs.iter() {
+                s.blocked_lines(plan.graph, &mut lines);
+            }
+            return Err(deadlock_error(lines));
+        };
+        *horizon = t0 + plan.cfg.horizon_step;
+        for s in gs.iter_mut() {
+            s.raise_eff(*horizon);
+        }
+        fill(&gs, active);
     }
-    *horizon = new_horizon;
-    Ok(true)
+    for &id in active.iter() {
+        if gs[id as usize].eff > *horizon {
+            counters.elided_runs += 1;
+        }
+    }
+    if let [only] = active[..]
+        && plan.cfg.offchip_fast_path
+    {
+        counters.solo_runs += 1;
+        return Ok(CoordStep::Solo(only));
+    }
+    counters.shard_runs += active.len() as u64;
+    Ok(CoordStep::Run)
 }
 
 /// Best-effort text of a caught panic payload.

@@ -33,7 +33,10 @@ const WINDOW: u64 = 64;
 /// commits each barrier's batch in `(time, node, seq)` order — a total
 /// order that is a pure function of the simulation plan, never of worker
 /// interleaving. Single-shard plans keep the legacy immediate-commit
-/// path, which is the same thing with batches of one.
+/// path, which is the same thing with batches of one; a sharded
+/// sub-round with exactly one runnable shard also commits immediately
+/// (the off-chip fast path) — the sole accessor's host order is itself
+/// a pure function of the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HbmRequest {
     /// Issue time (the requesting node's local clock).

@@ -35,22 +35,46 @@
 //!   request/response state machines driven through [`nodes::HbmPort`];
 //! - [`engine::Simulation`] — the sharded event-driven scheduler.
 //!   [`step_core::partition`] cuts the graph at high-slack channels into
-//!   connected shards (small graphs stay monolithic); each shard runs the
+//!   connected shards (small graphs stay monolithic); each shard runs a
 //!   wake-list wave scheduler over its nodes, and shards synchronize at
 //!   deterministic barriers that exchange cross-shard tokens, commit the
 //!   off-chip batch, and advance the conservative execution horizon.
 //!   `SimConfig::threads` maps shards onto worker threads.
 //!
+//!   The barrier protocol stays off the hot path. **Barrier elision**
+//!   (`SimConfig::elide_barriers`): each shard owns an effective horizon
+//!   that the coordinator raises to the shard's *cut-slack allowance* —
+//!   one cycle below the minimum time floor of its incoming cut
+//!   channels, the earliest instant a cross-shard token could still
+//!   arrive — so shards whose cut channels all have slack run many
+//!   horizon windows back-to-back between barriers (within the
+//!   allowance, arrival-order execution is *exact*, tighter than the
+//!   ±`horizon_step` faithfulness of barrier stepping). **Wake
+//!   deduplication**: sharded shards use a generation-stamped ready set
+//!   — every wake targets the next wave and a node is queued at most
+//!   once per wave however many channel events it receives. **Off-chip
+//!   fast path** (`SimConfig::offchip_fast_path`): a sub-round with
+//!   exactly one runnable shard runs on the coordinator with the
+//!   monolithic immediate-commit HBM sink — single-fire off-chip
+//!   operators, no barrier waits. [`stats::SchedCounters`] reports
+//!   sub-rounds, elided and solo runs, and absorbed wakes; `sched_bench
+//!   --json` asserts a fire budget on them in CI.
+//!
 //!   **Determinism contract:** every reported metric is a pure function
 //!   of `(graph, SimConfig minus threads)`. Shard sub-rounds see no
-//!   external mutation and every barrier action is ordered by stable
-//!   keys, so parallel runs are bit-identical to the same plan on one
-//!   thread at any worker count (`crates/sim/tests/conformance.rs` checks
-//!   this across every model builder). Single-shard plans take the legacy
-//!   immediate-commitment path bit for bit. Deadlocks are detected and
-//!   reported with each blocked node's blocking edge.
-//!   [`engine::SimReport`] carries cycles, off-chip traffic, measured
-//!   on-chip memory, utilization, scheduler-efficiency counters
+//!   external mutation; every barrier action is ordered by stable keys;
+//!   and the elision allowances, solo-shard schedule, and wake stamps
+//!   are computed from barrier-time shard state in the coordinator's
+//!   exclusive window — so parallel runs are bit-identical to the same
+//!   plan on one thread at any worker count
+//!   (`crates/sim/tests/conformance.rs` checks this across every model
+//!   builder, plus the full elision/fast-path flag matrix on the most
+//!   arrival-order-sensitive builders). Single-shard
+//!   plans take the legacy immediate-commitment path bit for bit.
+//!   Deadlocks are detected and reported with each blocked node's
+//!   blocking edge. [`engine::SimReport`] carries cycles, off-chip
+//!   traffic, measured on-chip memory, utilization,
+//!   scheduler-efficiency counters
 //!   ([`engine::SimReport::total_fires`]), and recorded sink streams.
 //!
 //! # Example

@@ -3,13 +3,15 @@
 //! Every operator is a two-phase state machine: consuming an input token
 //! *issues* requests through the node's [`super::HbmPort`], and a FIFO of
 //! pending emissions turns *completions* back into timed output tokens in
-//! issue order. Under an immediate sink (monolithic runs) completions are
-//! available within the same fire, so the operator behaves exactly like
-//! the legacy synchronous implementation; under a queued sink (sharded
-//! runs) the node parks between issue and completion and the engine wakes
-//! it after the barrier commit. Interleaved structural tokens (block
-//! separators, pass-through stops) ride the same FIFO so emission order
-//! is preserved while requests pipeline.
+//! issue order. Under an immediate sink (monolithic runs, and sharded
+//! sub-rounds whose sole runnable shard takes the engine's off-chip fast
+//! path) completions are available within the same fire, so the operator
+//! collapses back to single-fire exactly like the legacy synchronous
+//! implementation; under a queued sink (sharded runs) the node parks
+//! between issue and completion and the engine wakes it after the
+//! barrier commit. Interleaved structural tokens (block separators,
+//! pass-through stops) ride the same FIFO so emission order is preserved
+//! while requests pipeline.
 
 use super::basic::impl_simnode_common;
 use super::{BUDGET, Blocked, Ctx, Io, SimNode};

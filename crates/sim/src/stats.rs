@@ -1,4 +1,28 @@
-//! Per-node execution statistics.
+//! Per-node execution statistics and engine scheduling counters.
+
+/// Counters for the sharded engine's coordination work: how many global
+/// barriers ran, how much of the schedule they carried, and how much work
+/// the barrier-elision / wake-dedup machinery saved. All are pure
+/// functions of `(graph, SimConfig minus threads)` — the perf-regression
+/// guard in `sched_bench --json` asserts on them because, unlike
+/// wall-clock, they can never flake.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Coordination barriers executed (sub-rounds of the sharded engine;
+    /// zero for monolithic plans).
+    pub sub_rounds: u64,
+    /// Shard quiescence runs dispatched across all sub-rounds.
+    pub shard_runs: u64,
+    /// Sub-rounds with exactly one runnable shard that took the off-chip
+    /// fast path (immediate HBM commit, no barrier waits).
+    pub solo_runs: u64,
+    /// Shard runs dispatched with an elided horizon — an effective
+    /// horizon beyond the global one, granted by cut-channel floor slack.
+    pub elided_runs: u64,
+    /// Wakes absorbed by the generation-stamped ready set (a node already
+    /// scheduled for the next wave was woken again).
+    pub wake_dedup: u64,
+}
 
 /// Statistics collected by each node during simulation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

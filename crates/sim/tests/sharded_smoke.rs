@@ -30,6 +30,44 @@ fn fanout_graph(ways: u32) -> step_core::Graph {
     g.finish()
 }
 
+/// A feedback dispatch loop with no initial selector: the `Partition`
+/// waits on the fed-back selector, the merge waits on the regions, the
+/// regions wait on the `Partition` — a genuine startup deadlock.
+fn starved_feedback_graph() -> step_core::Graph {
+    use step_core::elem::ElemKind;
+    use step_core::shape::{Dim, StreamShape};
+    let mut g = GraphBuilder::new();
+    let requests = g.unit_source(4);
+    let requests = g.promote(&requests).unwrap();
+    let avail = Dim::dyn_regular(g.symbols().fresh("Avail"));
+    let (fb, key) = g.feedback(
+        StreamShape::new(vec![avail]),
+        ElemKind::Selector { num_targets: 2 },
+    );
+    let routed = g.partition(&requests, &fb, 1, 2).unwrap();
+    let refs: Vec<&step_core::StreamRef> = routed.iter().collect();
+    let (_junk, prov) = g.eager_merge(&refs).unwrap();
+    g.fulfill_feedback(key, &prov).unwrap();
+    g.finish()
+}
+
+#[test]
+fn deadlock_is_detected_not_hung_at_any_thread_count() {
+    // The barrier-elision/fast-path engine must still diagnose a stuck
+    // graph — inline and with parked workers — rather than spin or hang.
+    for (threads, shards) in [(1, 1), (1, 4), (4, 4)] {
+        let err = Simulation::new(starved_feedback_graph(), cfg(threads, shards))
+            .unwrap()
+            .run()
+            .unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("blocked"),
+            "threads={threads} shards={shards}: expected deadlock diagnostics, got: {msg}"
+        );
+    }
+}
+
 #[test]
 fn sharded_fanout_completes_and_matches_across_threads() {
     let mono = Simulation::new(fanout_graph(8), cfg(1, 1))

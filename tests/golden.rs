@@ -76,3 +76,8 @@ fn moe_dynamic_tiling_matches_golden() {
 fn dse_sweep_matches_golden() {
     check("dse_sweep");
 }
+
+#[test]
+fn attention_dynamic_parallel_matches_golden() {
+    check("attention_dynamic_parallel");
+}
