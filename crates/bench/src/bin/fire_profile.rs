@@ -1,14 +1,19 @@
-//! Engine-overhead profiler: per-operator fire breakdown, mono vs
-//! sharded, across horizon-step settings.
+//! Engine-overhead profiler: per-operator fire and wall-clock breakdown,
+//! mono vs sharded, across horizon-step settings.
 //!
-//! The companion tool to `sched_bench` for *diagnosing* scheduler
-//! overhead rather than guarding it: it attributes fires and idle fires
-//! to operator kinds so a regression flagged by the fire budget can be
-//! localized. The horizon-step sweep shows how sensitive the schedule
+//! The companion tool to `sched_bench` for *diagnosing* scheduler and
+//! transport overhead rather than guarding it: it attributes fires, idle
+//! fires, and — with `SimConfig::profile_fires` — host wall-clock to
+//! operator kinds, so a regression flagged by the fire or channel-op
+//! budget can be localized to the operator whose run-length rewrite
+//! misbehaves. The horizon-step sweep shows how sensitive the schedule
 //! still is to window granularity (with barrier elision it should be
 //! nearly flat).
 //!
 //! Run with: `cargo run --release -p step-bench --bin fire_profile`
+//! `--json` emits one JSON object per configuration (run summary plus
+//! the per-op table); `TOPK=n` bounds the table to the n operator kinds
+//! with the largest wall share (default 10, 0 = all).
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -17,7 +22,21 @@ use step_models::moe::{MoeCfg, Tiling, moe_graph};
 use step_sim::{SimConfig, Simulation};
 use step_traces::{RoutingConfig, expert_routing};
 
+#[derive(Default)]
+struct OpRow {
+    fires: u64,
+    idle: u64,
+    wall_ns: u64,
+    nodes: u64,
+    tokens: u64,
+}
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let topk: usize = std::env::var("TOPK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let model = ModelConfig::qwen3_30b_a3b();
     let trace = expert_routing(&RoutingConfig {
         experts: model.experts,
@@ -40,6 +59,7 @@ fn main() {
             SimConfig {
                 shards,
                 horizon_step,
+                profile_fires: true,
                 ..SimConfig::default()
             },
         )
@@ -47,30 +67,84 @@ fn main() {
         .run()
         .unwrap();
         let wall = t0.elapsed().as_secs_f64() * 1e3;
-        let mut fires: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        let mut ops: BTreeMap<&str, OpRow> = BTreeMap::new();
         for (i, s) in report.node_stats.iter().enumerate() {
-            let e = fires.entry(names[i].as_str()).or_default();
-            e.0 += s.fires;
-            e.1 += s.idle_fires;
-            e.2 += 1;
+            let e = ops.entry(names[i].as_str()).or_default();
+            e.fires += s.fires;
+            e.idle += s.idle_fires;
+            e.wall_ns += s.wall_ns;
+            e.nodes += 1;
+            e.tokens += s.values_in;
         }
-        println!(
-            "== shards={shards} hstep={horizon_step} -> {} shards, cycles {}, rounds {}, \
-             fires {}, idle {}, sub_rounds {}, solo {}, elided {}, dedup {}, wall {wall:.0}ms",
-            report.shards,
-            report.cycles,
-            report.rounds,
-            report.total_fires(),
-            report.idle_fires(),
-            report.sched.sub_rounds,
-            report.sched.solo_runs,
-            report.sched.elided_runs,
-            report.sched.wake_dedup,
-        );
-        let mut rows: Vec<_> = fires.into_iter().collect();
-        rows.sort_by_key(|(_, (f, _, _))| std::cmp::Reverse(*f));
-        for (op, (f, idle, n)) in rows {
-            println!("  {op:>22} x{n:<5} fires {f:>9}  idle {idle:>9}");
+        let mut rows: Vec<_> = ops.into_iter().collect();
+        // Top K by wall: the measured cost, not the fire count, names the
+        // operator to optimize.
+        rows.sort_by_key(|(_, r)| std::cmp::Reverse(r.wall_ns));
+        let shown = if topk == 0 {
+            rows.len()
+        } else {
+            topk.min(rows.len())
+        };
+        if json {
+            let ops_json: Vec<String> = rows[..shown]
+                .iter()
+                .map(|(op, r)| {
+                    format!(
+                        "{{\"op\":\"{op}\",\"nodes\":{},\"fires\":{},\"idle\":{},\
+                         \"tokens_in\":{},\"wall_ms\":{:.2}}}",
+                        r.nodes,
+                        r.fires,
+                        r.idle,
+                        r.tokens,
+                        r.wall_ns as f64 / 1e6,
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"shards_cfg\":{shards},\"horizon_step\":{horizon_step},\"shards\":{},\
+                 \"cycles\":{},\"rounds\":{},\"fires\":{},\"idle_fires\":{},\
+                 \"chan_tokens\":{},\"chan_runs\":{},\"wall_ms\":{wall:.1},\"ops\":[{}]}}",
+                report.shards,
+                report.cycles,
+                report.rounds,
+                report.total_fires(),
+                report.idle_fires(),
+                report.chan_tokens,
+                report.chan_runs,
+                ops_json.join(","),
+            );
+        } else {
+            println!(
+                "== shards={shards} hstep={horizon_step} -> {} shards, cycles {}, rounds {}, \
+                 fires {}, idle {}, sub_rounds {}, solo {}, elided {}, dedup {}, \
+                 chan {} tokens / {} runs ({:.1}x), wall {wall:.0}ms",
+                report.shards,
+                report.cycles,
+                report.rounds,
+                report.total_fires(),
+                report.idle_fires(),
+                report.sched.sub_rounds,
+                report.sched.solo_runs,
+                report.sched.elided_runs,
+                report.sched.wake_dedup,
+                report.chan_tokens,
+                report.chan_runs,
+                report.chan_tokens as f64 / report.chan_runs.max(1) as f64,
+            );
+            println!(
+                "  {:>22} {:>6} {:>10} {:>10} {:>11} {:>9}",
+                "op (top-K by wall)", "nodes", "fires", "idle", "tokens_in", "wall(ms)"
+            );
+            for (op, r) in &rows[..shown] {
+                println!(
+                    "  {op:>22} {:>6} {:>10} {:>10} {:>11} {:>9.2}",
+                    r.nodes,
+                    r.fires,
+                    r.idle,
+                    r.tokens,
+                    r.wall_ns as f64 / 1e6,
+                );
+            }
         }
     }
 }

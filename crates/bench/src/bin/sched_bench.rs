@@ -9,17 +9,22 @@
 //! and off-chip traffic at every thread count (the determinism contract);
 //! the bench asserts it.
 //!
-//! The bench is also the perf-regression guard for the sharded engine's
-//! overhead: on every config it asserts that sharded single-thread total
-//! fires stay within [`FIRE_BUDGET`] of the monolithic engine's. Fires,
-//! sub-rounds, and the elision/dedup counters are pure functions of the
-//! plan — unlike wall-clock they can never flake, so CI runs this as a
-//! hard check.
+//! The bench is also the perf-regression guard for the engine: on every
+//! config it asserts that sharded single-thread total fires stay within
+//! [`FIRE_BUDGET`] of the monolithic engine's, and on the heaviest
+//! config (batch 64 / static 8) that fires and channel run operations
+//! stay under pinned absolute budgets ([`B64_STATIC_FIRES`],
+//! [`B64_STATIC_CHAN_RUNS`]) — the run-length transport's compression
+//! cannot silently regress. All of these are pure functions of the plan;
+//! unlike wall-clock they can never flake, so CI runs them as hard
+//! checks.
 //!
 //! Run with: `cargo run --release -p step-bench --bin sched_bench`
 //! Optionally `THREADS="1 2 4 8"` to pick the thread axis, and `--json`
 //! to emit one JSON object per run (machine-readable counters) instead
-//! of the table.
+//! of the table; `--json` also writes the rows to `BENCH_sched.json`
+//! (path override: `BENCH_SCHED_OUT`), the perf-trajectory artifact CI
+//! uploads.
 
 use std::time::Instant;
 use step_models::ModelConfig;
@@ -33,6 +38,15 @@ use step_traces::{RoutingConfig, RoutingTrace, expert_routing};
 /// well below 1 (the deduped ready set out-schedules the legacy waves).
 const FIRE_BUDGET: f64 = 1.5;
 
+/// Counters-only perf budgets for the heaviest config (batch 64, static
+/// tile 8), pinned ~5% above the run-length transport's measured values
+/// (sharded: 76,202 fires / 162,654 channel run ops for 728,988 tokens;
+/// mono: 452,819 / 307,378). Fires and channel ops are pure functions of
+/// the plan — unlike wall-clock they cannot flake — so CI fails hard if
+/// a regression undoes the bulk-transport or scheduling work.
+const B64_STATIC_FIRES: (u64, u64) = (476_000, 80_000); // (mono, sharded)
+const B64_STATIC_CHAN_RUNS: (u64, u64) = (323_000, 171_000);
+
 fn run_once(cfg: &MoeCfg, trace: &RoutingTrace, sim_cfg: SimConfig) -> (SimReport, f64) {
     let graph = moe_graph(cfg, trace).expect("moe graph");
     let t0 = Instant::now();
@@ -43,12 +57,20 @@ fn run_once(cfg: &MoeCfg, trace: &RoutingTrace, sim_cfg: SimConfig) -> (SimRepor
     (report, t0.elapsed().as_secs_f64() * 1e3)
 }
 
-fn json_line(batch: usize, tiling: &str, mode: &str, threads: usize, r: &SimReport, wall: f64) {
-    println!(
+fn json_line(
+    batch: usize,
+    tiling: &str,
+    mode: &str,
+    threads: usize,
+    r: &SimReport,
+    wall: f64,
+) -> String {
+    format!(
         "{{\"batch\":{batch},\"tiling\":\"{tiling}\",\"mode\":\"{mode}\",\"threads\":{threads},\
          \"shards\":{},\"cycles\":{},\"rounds\":{},\"fires\":{},\"idle_fires\":{},\
          \"sub_rounds\":{},\"shard_runs\":{},\"solo_runs\":{},\"elided_runs\":{},\
-         \"wake_dedup\":{},\"wall_ms\":{wall:.1}}}",
+         \"wake_dedup\":{},\"chan_tokens\":{},\"chan_runs\":{},\"tokens_per_sec\":{:.0},\
+         \"wall_ms\":{wall:.1}}}",
         r.shards,
         r.cycles,
         r.rounds,
@@ -59,6 +81,24 @@ fn json_line(batch: usize, tiling: &str, mode: &str, threads: usize, r: &SimRepo
         r.sched.solo_runs,
         r.sched.elided_runs,
         r.sched.wake_dedup,
+        r.chan_tokens,
+        r.chan_runs,
+        r.chan_tokens as f64 / (wall / 1e3).max(1e-9),
+    )
+}
+
+/// Counters-only regression guard on the heaviest config: wall-time-free,
+/// so stable in CI.
+fn guard_counters(mode: &str, r: &SimReport, fires_budget: u64, chan_budget: u64) {
+    assert!(
+        r.total_fires() <= fires_budget,
+        "{mode} batch64/static8 fires regressed: {} > budget {fires_budget}",
+        r.total_fires(),
+    );
+    assert!(
+        r.chan_runs <= chan_budget,
+        "{mode} batch64/static8 channel run ops regressed: {} > budget {chan_budget}",
+        r.chan_runs,
     );
 }
 
@@ -72,6 +112,9 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|_| vec![1, 2, 4, 8]);
+    // `--json` also writes the rows to a JSON-lines artifact (the perf
+    // trajectory CI uploads; override the path with BENCH_SCHED_OUT).
+    let mut artifact: Vec<String> = Vec::new();
     if !json {
         println!(
             "{:>6} {:>10} {:>6} {:>8} {:>12} {:>12} {:>12} {:>11} {:>11} {:>10} {:>8}",
@@ -108,8 +151,13 @@ fn main() {
                     ..SimConfig::default()
                 },
             );
+            if batch == 64 && matches!(tiling, Tiling::Static { .. }) {
+                guard_counters("mono", &mono, B64_STATIC_FIRES.0, B64_STATIC_CHAN_RUNS.0);
+            }
             if json {
-                json_line(batch, &tiling_name, "mono", 1, &mono, mono_wall);
+                let line = json_line(batch, &tiling_name, "mono", 1, &mono, mono_wall);
+                println!("{line}");
+                artifact.push(line);
             } else {
                 println!(
                     "{batch:>6} {tiling:>10} {:>6} {:>8} {:>12} {:>12} {:>12} {:>11} {:>11} {mono_wall:>10.1} {:>8}",
@@ -148,6 +196,14 @@ fn main() {
                             r.total_fires(),
                             mono.total_fires(),
                         );
+                        if batch == 64 && matches!(tiling, Tiling::Static { .. }) {
+                            guard_counters(
+                                "sharded",
+                                &r,
+                                B64_STATIC_FIRES.1,
+                                B64_STATIC_CHAN_RUNS.1,
+                            );
+                        }
                     }
                     Some((c, t, _)) => {
                         assert_eq!(
@@ -159,7 +215,9 @@ fn main() {
                 }
                 let speedup = base.map(|(_, _, w)| w / wall).unwrap_or(1.0);
                 if json {
-                    json_line(batch, &tiling_name, "sharded", threads, &r, wall);
+                    let line = json_line(batch, &tiling_name, "sharded", threads, &r, wall);
+                    println!("{line}");
+                    artifact.push(line);
                 } else {
                     println!(
                         "{batch:>6} {tiling:>10} {:>6} {threads:>8} {:>12} {:>12} {:>12} {:>11} {:>11} {wall:>10.1} {speedup:>7.2}x",
@@ -174,8 +232,15 @@ fn main() {
             }
         }
     }
-    if !json {
+    if json {
+        let path = std::env::var("BENCH_SCHED_OUT").unwrap_or_else(|_| "BENCH_sched.json".into());
+        let mut body = artifact.join("\n");
+        body.push('\n');
+        std::fs::write(&path, body).expect("write bench artifact");
+        eprintln!("wrote {path}");
+    } else {
         println!("\nresults identical across all thread counts: ok");
         println!("sharded/mono fire ratio <= {FIRE_BUDGET} on every config: ok");
+        println!("batch64/static8 fires and channel-op budgets: ok");
     }
 }

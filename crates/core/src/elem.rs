@@ -176,6 +176,28 @@ impl Elem {
         }
     }
 
+    /// O(1)-per-level conservative equality for run coalescing: `true`
+    /// only when the two elements are provably interchangeable (tiles
+    /// defer to [`Tile::coalesces_with`] — same shape and phantom or
+    /// payload-aliased; everything else compares by value, which is
+    /// cheap for the scalar variants). False negatives are allowed and
+    /// merely prevent coalescing; false positives would corrupt streams
+    /// and are never produced.
+    pub fn coalesces_with(&self, other: &Elem) -> bool {
+        match (self, other) {
+            (Elem::Tile(a), Elem::Tile(b)) => a.coalesces_with(b),
+            (Elem::Sel(a), Elem::Sel(b)) => a == b,
+            (Elem::Buf(a), Elem::Buf(b)) => a == b,
+            (Elem::Addr(a), Elem::Addr(b)) => a == b,
+            (Elem::Bool(a), Elem::Bool(b)) => a == b,
+            (Elem::Unit, Elem::Unit) => true,
+            (Elem::Tuple(a), Elem::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.coalesces_with(y))
+            }
+            _ => false,
+        }
+    }
+
     /// Unwraps a tuple.
     ///
     /// # Errors

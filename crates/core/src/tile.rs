@@ -11,14 +11,33 @@
 use crate::DTYPE_BYTES;
 use crate::error::{Result, StepError};
 use std::fmt;
+use std::sync::Arc;
 
 /// Payload of a [`Tile`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Dense payloads sit behind an [`Arc`], so cloning a tile — the
+/// per-token operation of every broadcast, fork, and routing fan-out in
+/// the simulator — is O(1) and never copies the values. The sharing is
+/// invisible to users: tiles are immutable once built, and every
+/// operation producing new values allocates a fresh payload.
+#[derive(Debug, Clone)]
 pub enum TileData {
-    /// Row-major dense values.
-    Dense(Vec<f32>),
+    /// Row-major dense values (shared, immutable).
+    Dense(Arc<Vec<f32>>),
     /// Shape-only payload: values are not materialized.
     Phantom,
+}
+
+impl PartialEq for TileData {
+    fn eq(&self, other: &TileData) -> bool {
+        match (self, other) {
+            // Pointer equality first: aliased payloads (fan-out clones)
+            // compare in O(1).
+            (TileData::Dense(a), TileData::Dense(b)) => Arc::ptr_eq(a, b) || a == b,
+            (TileData::Phantom, TileData::Phantom) => true,
+            _ => false,
+        }
+    }
 }
 
 /// A two-dimensional tile of `rows x cols` elements.
@@ -50,7 +69,7 @@ impl Tile {
         Tile {
             rows,
             cols,
-            data: TileData::Dense(data),
+            data: TileData::Dense(Arc::new(data)),
         }
     }
 
@@ -77,13 +96,11 @@ impl Tile {
 
     /// A dense identity matrix.
     pub fn identity(n: usize) -> Tile {
-        let mut t = Tile::zeros(n, n);
-        if let TileData::Dense(d) = &mut t.data {
-            for i in 0..n {
-                d[i * n + i] = 1.0;
-            }
+        let mut d = vec![0.0f32; n * n];
+        for i in 0..n {
+            d[i * n + i] = 1.0;
         }
-        t
+        Tile::dense(n, n, d)
     }
 
     /// A dense tile filled with `value`.
@@ -141,9 +158,24 @@ impl Tile {
     /// Dense values in row-major order, if dense.
     pub fn values(&self) -> Option<&[f32]> {
         match &self.data {
-            TileData::Dense(d) => Some(d),
+            TileData::Dense(d) => Some(d.as_slice()),
             TileData::Phantom => None,
         }
+    }
+
+    /// O(1) conservative equality for run coalescing: `true` only when
+    /// the two tiles are *provably* interchangeable — same shape and
+    /// either both phantom or sharing the same dense payload allocation.
+    /// May return `false` for value-equal tiles with distinct payloads;
+    /// never `true` for tiles that could behave differently.
+    pub fn coalesces_with(&self, other: &Tile) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && match (&self.data, &other.data) {
+                (TileData::Phantom, TileData::Phantom) => true,
+                (TileData::Dense(a), TileData::Dense(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
     }
 
     fn binary_shape_check(&self, other: &Tile, what: &str) -> Result<()> {
@@ -161,7 +193,7 @@ impl Tile {
             (TileData::Dense(a), TileData::Dense(b)) => Tile::dense(
                 self.rows,
                 self.cols,
-                a.iter().zip(b).map(|(x, y)| f(*x, *y)).collect(),
+                a.iter().zip(b.iter()).map(|(x, y)| f(*x, *y)).collect(),
             ),
             _ => Tile::phantom(self.rows, self.cols),
         }

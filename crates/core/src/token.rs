@@ -39,6 +39,18 @@ impl Token {
         }
     }
 
+    /// Conservative O(1)-ish equality for run-length coalescing: two
+    /// value tokens coalesce when their elements are provably
+    /// interchangeable ([`Elem::coalesces_with`]). Structural tokens
+    /// never coalesce — stop-token discipline forbids adjacent stops, so
+    /// runs of length > 1 only ever carry repeated values.
+    pub fn coalesces_with(&self, other: &Token) -> bool {
+        match (self, other) {
+            (Token::Val(a), Token::Val(b)) => a.coalesces_with(b),
+            _ => false,
+        }
+    }
+
     /// Unwraps the value.
     ///
     /// # Errors

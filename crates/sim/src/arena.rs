@@ -295,6 +295,13 @@ impl SharedStore {
         self.has_data.load(std::sync::atomic::Ordering::Acquire)
     }
 
+    /// Whether no tensor is registered: every read returns a phantom
+    /// tile, so bulk emitters may collapse whole completion runs into
+    /// one repeated shape-only payload.
+    pub fn is_empty(&self) -> bool {
+        !self.backed()
+    }
+
     /// See [`BackingStore::read_tile`].
     pub fn read_tile(
         &self,

@@ -1,11 +1,21 @@
-//! Timed bounded FIFOs.
+//! Timed bounded FIFOs with run-length bulk transport.
 //!
-//! Channels model the hardware queues connecting SDA units. Each entry
-//! carries the simulation time at which it becomes visible to the
-//! receiver. Backpressure is modeled *in time*: a channel has `capacity`
-//! slots; a slot is reclaimed at the moment the receiver dequeues, so a
-//! sender that finds the queue full resumes no earlier than that dequeue
-//! time. Ports sustain at most one token per cycle in each direction.
+//! Channels model the hardware queues connecting SDA units. Each queued
+//! entry is a *run*: a repeated token paired with a [`TimeRun`] of ready
+//! times, so a burst of identical tokens costs one entry, one payload
+//! clone, and O(1) arithmetic instead of per-token queue traffic. Free
+//! slots are stored the same way. Backpressure is modeled *in time*: a
+//! channel has `capacity` slots; a slot is reclaimed at the moment the
+//! receiver dequeues, so a sender that finds the queue full resumes no
+//! earlier than that dequeue time. Ports sustain at most one token per
+//! cycle in each direction.
+//!
+//! Every bulk API ([`Channel::send_run`], [`Channel::pop_run`]) is
+//! defined as the exact per-token loop it replaces — a run of `n` tokens
+//! sent at production time `t` occupies `n` slots with send times
+//! `t..t+n` by the one-token-per-cycle port rule, never materialized —
+//! and `tests/prop_channel_runs.rs` checks the equivalence against a
+//! per-token reference channel.
 //!
 //! Channels also drive the engine's event-driven scheduler: every
 //! mutation records an [`event`] bit (token enqueued, slot freed,
@@ -15,6 +25,7 @@
 //! tokens, and the tokens themselves generate [`event::ENQUEUED`] when
 //! they arrive.
 
+use crate::run::{TimeRun, envelope_range};
 use std::collections::VecDeque;
 use step_core::token::Token;
 
@@ -33,13 +44,18 @@ pub mod event {
     pub const SRC_FINISHED: u8 = 1 << 3;
 }
 
-/// A bounded FIFO carrying `(ready_time, token)` pairs.
+/// A bounded FIFO carrying `(ready_times, token)` runs.
 #[derive(Debug)]
 pub struct Channel {
     latency: u64,
-    queue: VecDeque<(u64, Token)>,
-    /// Times at which free slots became (or were initially) available.
-    slots: VecDeque<u64>,
+    queue: VecDeque<(TimeRun, Token)>,
+    /// Total queued tokens (sum of run counts).
+    queued: u64,
+    /// Times at which free slots became (or were initially) available,
+    /// as runs.
+    slots: VecDeque<TimeRun>,
+    /// Total free slots (sum of slot-run counts).
+    free: u64,
     last_send: Option<u64>,
     last_pop: Option<u64>,
     closed: bool,
@@ -50,6 +66,10 @@ pub struct Channel {
     floor: u64,
     /// Total tokens ever enqueued (for edge statistics).
     sent_tokens: u64,
+    /// Total run entries ever enqueued — the number of bulk channel
+    /// operations actually performed; `sent_tokens / sent_runs` is the
+    /// transport compression ratio.
+    sent_runs: u64,
     /// Maximum element payload in bytes observed on this channel.
     max_elem_bytes: u64,
     /// Pending [`event`] bits since the engine last drained them.
@@ -67,14 +87,17 @@ impl Channel {
         assert!(capacity > 0, "channel capacity must be positive");
         Channel {
             latency,
-            queue: VecDeque::with_capacity(capacity),
-            slots: std::iter::repeat_n(0, capacity).collect(),
+            queue: VecDeque::new(),
+            queued: 0,
+            slots: VecDeque::from([TimeRun::new(0, 0, capacity as u64)]),
+            free: capacity as u64,
             last_send: None,
             last_pop: None,
             closed: false,
             src_finished: false,
             floor: 0,
             sent_tokens: 0,
+            sent_runs: 0,
             max_elem_bytes: 0,
             events: 0,
         }
@@ -84,46 +107,57 @@ impl Channel {
     /// zero free slots because all send credits live on the writer half
     /// (the writer-side [`Channel`] created with [`Channel::new`], whose
     /// queue acts as the in-flight mailbox). The sharded engine shuttles
-    /// tokens (writer queue → [`Channel::inject`]) and freed slots
-    /// ([`Channel::drain_freed_slots`] → [`Channel::grant_slots`]) between
-    /// the halves at deterministic barriers.
+    /// token runs (writer queue → [`Channel::inject`]) and freed slot
+    /// runs ([`Channel::drain_freed_slots`] → [`Channel::grant_slots`])
+    /// between the halves at deterministic barriers.
     pub fn cross_reader(capacity: usize, latency: u64) -> Channel {
         let mut c = Channel::new(capacity, latency);
         c.slots.clear();
+        c.free = 0;
         c
     }
 
-    /// Delivers a token whose effective send time was already computed by
-    /// the writer half (`ready` includes transit latency). Dropped if the
-    /// receiver closed.
-    pub fn inject(&mut self, ready: u64, token: Token) {
+    /// Delivers a run of tokens whose effective send times were already
+    /// computed by the writer half (`ready` includes transit latency).
+    /// Dropped if the receiver closed.
+    pub fn inject(&mut self, ready: TimeRun, token: Token) {
         if self.closed {
             return;
         }
-        self.queue.push_back((ready, token));
+        self.queued += ready.count;
+        self.push_queue(ready, token);
         self.events |= event::ENQUEUED;
     }
 
-    /// Returns freed slot times accumulated by pops since the last drain
+    /// Returns freed slot runs accumulated by pops since the last drain
     /// (reader half of a cross-shard channel; its own sends never consume
     /// them).
-    pub fn drain_freed_slots(&mut self) -> Vec<u64> {
+    pub fn drain_freed_slots(&mut self) -> Vec<TimeRun> {
+        self.free = 0;
         self.slots.drain(..).collect()
     }
 
     /// Returns send credits to the writer half. Records
     /// [`event::FREED`] so a blocked writer is woken.
-    pub fn grant_slots(&mut self, times: impl IntoIterator<Item = u64>) {
-        let before = self.slots.len();
-        self.slots.extend(times);
-        if self.slots.len() > before {
+    pub fn grant_slots(&mut self, runs: impl IntoIterator<Item = TimeRun>) {
+        let mut granted = 0;
+        for r in runs {
+            granted += r.count;
+            let merged = self.slots.back_mut().is_some_and(|back| back.try_extend(r));
+            if !merged {
+                self.slots.push_back(r);
+            }
+        }
+        self.free += granted;
+        if granted > 0 {
             self.events |= event::FREED;
         }
     }
 
-    /// Drains the queued tokens (writer half of a cross-shard channel:
-    /// the in-flight mailbox).
-    pub fn drain_queue(&mut self) -> std::collections::vec_deque::Drain<'_, (u64, Token)> {
+    /// Drains the queued token runs (writer half of a cross-shard
+    /// channel: the in-flight mailbox).
+    pub fn drain_queue(&mut self) -> std::collections::vec_deque::Drain<'_, (TimeRun, Token)> {
+        self.queued = 0;
         self.queue.drain(..)
     }
 
@@ -147,7 +181,39 @@ impl Channel {
 
     /// Whether a send would succeed right now.
     pub fn can_send(&self) -> bool {
-        self.closed || !self.slots.is_empty()
+        self.closed || self.free > 0
+    }
+
+    /// Free send slots available right now (∞-equivalent when closed:
+    /// sends into a closed channel always succeed and drop).
+    pub fn free_slots(&self) -> u64 {
+        if self.closed { u64::MAX } else { self.free }
+    }
+
+    /// Consumes the head slot, returning its availability time.
+    #[inline]
+    fn take_slot(&mut self) -> u64 {
+        let head = self.slots.front_mut().expect("send on full channel");
+        let t = head.start;
+        if head.count == 1 {
+            self.slots.pop_front();
+        } else {
+            *head = head.advance(1);
+        }
+        self.free -= 1;
+        t
+    }
+
+    /// Appends a ready-time run to the queue, coalescing with the tail
+    /// entry when the token repeats and the times continue arithmetically.
+    fn push_queue(&mut self, ready: TimeRun, token: Token) {
+        if let Some((ts, tok)) = self.queue.back_mut()
+            && tok.coalesces_with(&token)
+            && ts.try_extend(ready)
+        {
+            return;
+        }
+        self.queue.push_back((ready, token));
     }
 
     /// Enqueues `token` from a sender whose local clock reads `now`,
@@ -162,27 +228,78 @@ impl Channel {
         if self.closed {
             return now;
         }
-        let slot = self
-            .slots
-            .pop_front()
-            .expect("send on full channel; check can_send()");
-        let mut t = now.max(slot);
-        if let Some(last) = self.last_send {
-            t = t.max(last + 1); // one token per cycle per port
+        assert!(self.free > 0, "send on full channel; check can_send()");
+        self.send_run(TimeRun::single(now), token)
+    }
+
+    /// Bulk send: enqueues `prod.count` copies of `token` with production
+    /// times `prod` (the sender's local clock per token; stride 0 means
+    /// the whole burst was produced at one instant). Each copy occupies
+    /// one slot and the one-token-per-cycle port rule applies exactly as
+    /// if the tokens were sent one at a time; returns the last effective
+    /// send time. If the receiver is gone the run is dropped and the last
+    /// production time is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `prod.count` slots are free — check
+    /// [`Channel::free_slots`] and split the run first.
+    pub fn send_run(&mut self, prod: TimeRun, token: Token) -> u64 {
+        if self.closed {
+            return prod.last();
         }
-        self.last_send = Some(t);
-        self.sent_tokens += 1;
+        assert!(
+            self.free >= prod.count,
+            "send_run of {} on channel with {} free slots",
+            prod.count,
+            self.free
+        );
         if let Token::Val(e) = &token {
             self.max_elem_bytes = self.max_elem_bytes.max(e.bytes());
         }
-        self.queue.push_back((t + self.latency, token));
+        self.sent_tokens += prod.count;
+        self.sent_runs += 1;
+        self.queued += prod.count;
+        // Chase the per-token send-time recurrence
+        //   t_i = max(prod_i, slot_i, t_{i-1} + 1)
+        // coalescing the resulting ready times into queue runs on the fly.
+        let mut last = self.last_send;
+        let mut pending: Option<TimeRun> = None;
+        for i in 0..prod.count {
+            let slot = self.take_slot();
+            let mut t = prod.at(i).max(slot);
+            if let Some(l) = last {
+                t = t.max(l + 1);
+            }
+            last = Some(t);
+            let ready = TimeRun::single(t + self.latency);
+            match &mut pending {
+                Some(p) => {
+                    if !p.try_extend(ready) {
+                        let done = *p;
+                        *p = ready;
+                        self.push_queue(done, token.clone());
+                    }
+                }
+                None => pending = Some(ready),
+            }
+        }
+        self.last_send = last;
+        if let Some(p) = pending {
+            self.push_queue(p, token);
+        }
         self.events |= event::ENQUEUED;
-        t
+        last.expect("non-empty run")
     }
 
-    /// The head entry, if any.
-    pub fn peek(&self) -> Option<&(u64, Token)> {
-        self.queue.front()
+    /// The head token's ready time and a reference to it, if any.
+    pub fn peek(&self) -> Option<(u64, &Token)> {
+        self.queue.front().map(|(ts, tok)| (ts.start, tok))
+    }
+
+    /// The head run, if any: `(ready_times, token)`.
+    pub fn peek_run(&self) -> Option<(TimeRun, &Token)> {
+        self.queue.front().map(|(ts, tok)| (*ts, tok))
     }
 
     /// Dequeues the head token for a receiver whose clock reads `now`,
@@ -193,21 +310,113 @@ impl Channel {
     ///
     /// Panics if the channel is empty — call [`Channel::peek`] first.
     pub fn pop(&mut self, now: u64) -> (u64, Token) {
-        let (ready, token) = self.queue.pop_front().expect("pop on empty channel");
+        let (ts, _) = self.queue.front().expect("pop on empty channel");
+        let ready = ts.start;
         let mut t = now.max(ready);
         if let Some(last) = self.last_pop {
             t = t.max(last + 1);
         }
+        let token = self.advance_head(1);
         self.last_pop = Some(t);
-        self.slots.push_back(t);
+        self.free_slot(TimeRun::single(t));
+        self.queued -= 1;
         self.events |= event::FREED;
         (t, token)
+    }
+
+    /// Bulk pop: dequeues up to `max` tokens of the head run whose ready
+    /// times are within `horizon`, for a receiver whose clock reads `now`
+    /// and advances by `pace` cycles after each dequeue (its per-token
+    /// processing cost). Dequeue times follow the exact per-token
+    /// recurrence
+    ///   `t_i = max(now_i, ready_i, t_{i-1} + 1)`, `now_i = t_{i-1} + pace`,
+    /// and are appended to `times` as coalesced runs. Returns the token
+    /// and how many copies were popped, or `None` if nothing is visible.
+    pub fn pop_run(
+        &mut self,
+        now: u64,
+        pace: u64,
+        horizon: u64,
+        max: u64,
+        times: &mut Vec<TimeRun>,
+    ) -> Option<(Token, u64)> {
+        let (ts, _) = self.queue.front()?;
+        let k = ts.visible_until(horizon).min(max);
+        if k == 0 {
+            return None;
+        }
+        let ready = *ts;
+        // First dequeue: the receiver's current clock applies; afterwards
+        // the clock is the previous dequeue plus the processing pace.
+        let mut t = now.max(ready.start);
+        if let Some(last) = self.last_pop {
+            t = t.max(last + 1);
+        }
+        let step = pace.max(1);
+        let mut piece = TimeRun::single(t);
+        for i in 1..k {
+            let next = (t + step).max(ready.at(i));
+            t = next;
+            if !piece.try_extend(TimeRun::single(next)) {
+                self.free_slot(piece);
+                times.push(piece);
+                piece = TimeRun::single(next);
+            }
+        }
+        self.free_slot(piece);
+        times.push(piece);
+        let token = self.advance_head(k);
+        self.last_pop = Some(t);
+        self.queued -= k;
+        self.events |= event::FREED;
+        Some((token, k))
+    }
+
+    /// Applies a bulk pop whose dequeue times were computed externally
+    /// (`pieces` must be the exact per-token dequeue sequence): frees the
+    /// slots, advances the head, and returns the token.
+    fn apply_pop(&mut self, pieces: &[TimeRun], k: u64) -> Token {
+        debug_assert_eq!(pieces.iter().map(|p| p.count).sum::<u64>(), k);
+        for &p in pieces {
+            self.free_slot(p);
+        }
+        self.last_pop = Some(pieces.last().expect("non-empty pop").last());
+        let token = self.advance_head(k);
+        self.queued -= k;
+        self.events |= event::FREED;
+        token
+    }
+
+    /// Removes `k` tokens from the head run, returning the token (moved
+    /// out when the run is exhausted, cloned otherwise).
+    fn advance_head(&mut self, k: u64) -> Token {
+        let (ts, tok) = self.queue.front_mut().expect("advance on empty channel");
+        if ts.count == k {
+            self.queue.pop_front().expect("head exists").1
+        } else {
+            *ts = ts.advance(k);
+            tok.clone()
+        }
+    }
+
+    /// Returns a slot run freed by dequeues, coalescing with the tail.
+    #[inline]
+    fn free_slot(&mut self, run: TimeRun) {
+        self.free += run.count;
+        let merged = self
+            .slots
+            .back_mut()
+            .is_some_and(|back| back.try_extend(run));
+        if !merged {
+            self.slots.push_back(run);
+        }
     }
 
     /// Marks the receiver as gone: pending and future tokens are dropped.
     pub fn close(&mut self) {
         self.closed = true;
         self.queue.clear();
+        self.queued = 0;
         // Slots are irrelevant once closed, but keep the invariant simple.
         self.events |= event::CLOSED;
     }
@@ -240,12 +449,18 @@ impl Channel {
 
     /// Queued token count.
     pub fn len(&self) -> usize {
+        self.queued as usize
+    }
+
+    /// Queued run-entry count (`len() / runs()` ≥ 1 is the coalescing
+    /// ratio of what is currently in flight).
+    pub fn runs(&self) -> usize {
         self.queue.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.queued == 0
     }
 
     /// Total tokens ever enqueued.
@@ -253,10 +468,103 @@ impl Channel {
         self.sent_tokens
     }
 
+    /// Total run entries ever enqueued (bulk channel operations).
+    pub fn sent_runs(&self) -> u64 {
+        self.sent_runs
+    }
+
     /// Largest element payload observed, in bytes.
     pub fn max_elem_bytes(&self) -> u64 {
         self.max_elem_bytes
     }
+}
+
+/// Bulk pop of `max` *pairs* from two channels whose dequeues alternate
+/// and feed each other's clocks (`Zip`: pop `a`, then pop `b` at `a`'s
+/// dequeue time, then the pair's output time is `b`'s). The per-token
+/// recurrences
+///
+/// ```text
+/// ta_i = max(tb_{i-1}, ready_a_i, ta_{i-1} + 1)   (tb_{-1} = now)
+/// tb_i = max(ta_i,     ready_b_i, tb_{i-1} + 1)
+/// ```
+///
+/// resolve in closed form — `tb_i = max(tb_0 + i, ready_a_i, ready_b_i)`
+/// and `ta_i = max(ta_0 + i, tb_{i-1}, ready_a_i)` — so the whole run
+/// costs O(1) envelope arithmetic instead of a scalar chase. Dequeue
+/// times are written to `a_times` / `b_times` (cleared first — they are
+/// pure out-params, unlike [`Channel::pop_run`]'s appending `times`);
+/// returns the two tokens and the pair count, or `None` when either
+/// head is missing or beyond `horizon`.
+pub fn pop_zip_runs(
+    ca: &mut Channel,
+    cb: &mut Channel,
+    now: u64,
+    horizon: u64,
+    max: u64,
+    a_times: &mut Vec<TimeRun>,
+    b_times: &mut Vec<TimeRun>,
+) -> Option<(Token, Token, u64)> {
+    a_times.clear();
+    b_times.clear();
+    let ra = ca.queue.front().map(|(ts, _)| *ts)?;
+    let rb = cb.queue.front().map(|(ts, _)| *ts)?;
+    let k = ra
+        .visible_until(horizon)
+        .min(rb.visible_until(horizon))
+        .min(max);
+    if k == 0 {
+        return None;
+    }
+    let mut ta0 = now.max(ra.start);
+    if let Some(last) = ca.last_pop {
+        ta0 = ta0.max(last + 1);
+    }
+    let mut tb0 = ta0.max(rb.start);
+    if let Some(last) = cb.last_pop {
+        tb0 = tb0.max(last + 1);
+    }
+    let arm_a = (ra.start as i128, ra.stride as i128);
+    let arm_b = (rb.start as i128, rb.stride as i128);
+    envelope_range(&[(tb0 as i128, 1), arm_a, arm_b], 0, k, b_times);
+    // `ta` depends on `tb` shifted one index back: handle index 0
+    // exactly, then run the envelope segment-wise per `tb` piece.
+    a_times.push(TimeRun::single(ta0));
+    let mut idx = 1u64;
+    for piece in b_times.iter() {
+        // tb indices [idx-1, idx-1+count) feed ta indices [idx, ...).
+        let hi = (idx + piece.count).min(k);
+        if idx >= hi {
+            idx += piece.count;
+            continue;
+        }
+        // Value of tb at index (i - 1), as an affine function of i: the
+        // piece covers tb indices starting at `idx - 1` with value
+        // `piece.start`, so tb_{i-1} = piece.start + (i - idx) * stride.
+        let tb_arm = (
+            piece.start as i128 - idx as i128 * piece.stride as i128,
+            piece.stride as i128,
+        );
+        envelope_range(&[(ta0 as i128, 1), tb_arm, arm_a], idx, hi, a_times);
+        idx = hi;
+        if idx >= k {
+            break;
+        }
+    }
+    // Coalesce adjacent a-pieces the segment-wise build left split
+    // (in place: read cursor walks ahead of the write cursor).
+    let mut w = 0;
+    for r in 1..a_times.len() {
+        let piece = a_times[r];
+        if !a_times[w].try_extend(piece) {
+            w += 1;
+            a_times[w] = piece;
+        }
+    }
+    a_times.truncate(w + 1);
+    let tok_a = ca.apply_pop(a_times, k);
+    let tok_b = cb.apply_pop(b_times, k);
+    Some((tok_a, tok_b, k))
 }
 
 #[cfg(test)]
@@ -392,16 +700,16 @@ mod tests {
         assert_eq!(w.send(10, val(1)), 10);
         assert_eq!(w.send(10, val(2)), 11);
         assert!(!w.can_send());
-        // Barrier: tokens move with their precomputed ready times.
-        for (t, tok) in w.drain_queue().collect::<Vec<_>>() {
-            r.inject(t, tok);
+        // Barrier: token runs move with their precomputed ready times.
+        for (ts, tok) in w.drain_queue().collect::<Vec<_>>() {
+            r.inject(ts, tok);
         }
         assert_eq!(r.take_events() & event::ENQUEUED, event::ENQUEUED);
         let (t1, tok) = r.pop(0);
         assert_eq!((t1, tok), (13, val(1))); // 10 + latency 3
         // Barrier: freed slots return as credits and wake the writer.
         let freed = r.drain_freed_slots();
-        assert_eq!(freed, vec![13]);
+        assert_eq!(freed, vec![TimeRun::single(13)]);
         w.grant_slots(freed);
         assert_eq!(w.take_events() & event::FREED, event::FREED);
         assert!(w.can_send());
@@ -412,7 +720,7 @@ mod tests {
     fn inject_into_closed_reader_drops() {
         let mut r = Channel::cross_reader(2, 0);
         r.close();
-        r.inject(5, val(1));
+        r.inject(TimeRun::single(5), val(1));
         assert!(r.is_empty());
     }
 
@@ -428,5 +736,144 @@ mod tests {
         let (r2, _) = c.pop(0);
         let (r3, _) = c.pop(0);
         assert!(r1 < r2 && r2 < r3, "{r1} {r2} {r3}");
+    }
+
+    #[test]
+    fn identical_sends_coalesce_into_one_run() {
+        let mut c = Channel::new(8, 1);
+        for _ in 0..5 {
+            c.send(10, val(7));
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.runs(), 1, "identical back-to-back sends form one run");
+        let (ts, tok) = c.peek_run().unwrap();
+        assert_eq!(ts, TimeRun::new(11, 1, 5)); // 10..15 + latency 1
+        assert_eq!(tok, &val(7));
+        // Distinct value breaks the run.
+        c.send(10, val(8));
+        assert_eq!(c.runs(), 2);
+    }
+
+    #[test]
+    fn send_run_matches_per_token_sends() {
+        // The bulk API must produce exactly the per-token send times,
+        // including the port-rate chain and slot constraints.
+        let mut a = Channel::new(4, 2);
+        let mut b = Channel::new(4, 2);
+        for i in 0..4 {
+            a.send(20, val(9));
+            let _ = i;
+        }
+        b.send_run(TimeRun::new(20, 0, 4), val(9));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.peek_run().unwrap().0, b.peek_run().unwrap().0);
+        for _ in 0..4 {
+            assert_eq!(a.pop(0), b.pop(0));
+        }
+    }
+
+    #[test]
+    fn pop_run_respects_horizon_pace_and_port_rate() {
+        let mut c = Channel::new(8, 0);
+        c.send_run(TimeRun::new(10, 0, 6), val(3)); // ready 10..16
+        let mut times = Vec::new();
+        // Only the entries ready by 12 are visible: 10, 11, 12.
+        let (tok, k) = c.pop_run(0, 4, 12, 8, &mut times).unwrap();
+        assert_eq!((tok, k), (val(3), 3));
+        // t0 = 10, then +pace(4): 14, 18 — pace dominates readiness,
+        // and the whole sequence coalesces into one stride-4 run.
+        assert_eq!(times, vec![TimeRun::new(10, 4, 3)]);
+        // Remaining head advanced to the first invisible entry.
+        assert_eq!(c.peek().unwrap().0, 13);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn pop_zip_runs_matches_per_token_alternating_pops() {
+        // The closed-form coupled pop must reproduce the exact scalar
+        // recurrence: pop a at the running clock, pop b at a's dequeue
+        // time, pair time = b's dequeue time.
+        let cases: Vec<((u64, u64, u64), (u64, u64, u64), u64)> = vec![
+            ((0, 1, 6), (0, 1, 6), 0),    // both ready, lockstep
+            ((10, 8, 5), (0, 1, 5), 3),   // slow weights vs fast acts
+            ((0, 1, 7), (100, 16, 7), 0), // other side slow
+            ((5, 3, 4), (7, 2, 4), 50),   // consumer far ahead
+            ((0, 0, 5), (0, 0, 5), 0),    // degenerate stride-0 ready
+        ];
+        for ((sa, ka, na), (sb, kb, nb), now) in cases {
+            let mk = |s, k, n| {
+                let mut c = Channel::new(16, 0);
+                c.send_run(TimeRun::new(s, k, n), val(1));
+                c
+            };
+            // Scalar reference.
+            let (mut ra, mut rb) = (mk(sa, ka, na), mk(sb, kb, nb));
+            let mut m = now;
+            let mut want = Vec::new();
+            for _ in 0..na.min(nb) {
+                let (ta, _) = ra.pop(m);
+                let (tb, _) = rb.pop(ta);
+                m = tb;
+                want.push((ta, tb));
+            }
+            // Closed form.
+            let (mut ca, mut cb) = (mk(sa, ka, na), mk(sb, kb, nb));
+            let (mut at, mut bt) = (Vec::new(), Vec::new());
+            let (_, _, k) =
+                pop_zip_runs(&mut ca, &mut cb, now, u64::MAX, u64::MAX, &mut at, &mut bt).unwrap();
+            assert_eq!(k, na.min(nb));
+            let flat = |v: &Vec<TimeRun>| {
+                v.iter()
+                    .flat_map(|r| (0..r.count).map(|i| r.at(i)))
+                    .collect::<Vec<u64>>()
+            };
+            let (got_a, got_b) = (flat(&at), flat(&bt));
+            let want_a: Vec<u64> = want.iter().map(|&(a, _)| a).collect();
+            let want_b: Vec<u64> = want.iter().map(|&(_, b)| b).collect();
+            assert_eq!(got_a, want_a, "a times for {:?}", ((sa, ka, na), now));
+            assert_eq!(got_b, want_b, "b times for {:?}", ((sb, kb, nb), now));
+            // Channel state (slots, last_pop) must match the reference:
+            // identical resume times for a subsequent sender burst.
+            for _ in 0..3 {
+                assert_eq!(ca.send(0, val(2)), ra.send(0, val(2)));
+                assert_eq!(cb.send(0, val(2)), rb.send(0, val(2)));
+            }
+        }
+    }
+
+    #[test]
+    fn pop_run_matches_per_token_pops() {
+        let mk = || {
+            let mut c = Channel::new(8, 1);
+            c.send_run(TimeRun::new(5, 3, 5), val(1));
+            c
+        };
+        let mut a = mk();
+        let mut b = mk();
+        // Per-token: pop with the clock advancing by `pace` after each.
+        let pace = 2;
+        let mut now = 0;
+        let mut want = Vec::new();
+        for _ in 0..5 {
+            let (t, _) = a.pop(now);
+            want.push(t);
+            now = t + pace;
+        }
+        let mut times = Vec::new();
+        let (_, k) = b.pop_run(0, pace, u64::MAX, u64::MAX, &mut times).unwrap();
+        assert_eq!(k, 5);
+        let got: Vec<u64> = times
+            .iter()
+            .flat_map(|r| (0..r.count).map(|i| r.at(i)))
+            .collect();
+        assert_eq!(got, want);
+        // And the freed-slot state matches: a sender sees identical
+        // resume times afterwards.
+        for _ in 0..5 {
+            a.send(0, val(2));
+            b.send(0, val(2));
+        }
+        assert_eq!(a.peek_run().unwrap().0, b.peek_run().unwrap().0);
     }
 }

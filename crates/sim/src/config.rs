@@ -72,6 +72,12 @@ pub struct SimConfig {
     /// to single-fire. A plan knob like [`SimConfig::elide_barriers`];
     /// default `true`.
     pub offchip_fast_path: bool,
+    /// Accumulate host wall-clock per node fire into
+    /// [`crate::stats::NodeStats::wall_ns`] (the `fire_profile`
+    /// diagnosis tool). Off by default: the timestamp calls cost more
+    /// than a cheap fire, and the measured values are host-dependent —
+    /// never part of the determinism contract.
+    pub profile_fires: bool,
 }
 
 impl Default for SimConfig {
@@ -86,6 +92,7 @@ impl Default for SimConfig {
             shards: 0,
             elide_barriers: true,
             offchip_fast_path: true,
+            profile_fires: false,
         }
     }
 }

@@ -71,6 +71,7 @@ use crate::channel::{Channel, event};
 use crate::config::SimConfig;
 use crate::hbm::{Hbm, HbmRequest};
 use crate::nodes::{self, Chans, Ctx, HbmPort, HbmSink, SimNode};
+use crate::run::TimeRun;
 use crate::stats::{NodeStats, SchedCounters};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -109,6 +110,12 @@ pub struct SimReport {
     /// Scheduler waves executed, summed across shards (generations of the
     /// wake lists).
     pub rounds: u64,
+    /// Tokens ever enqueued across all channels (the transported volume).
+    pub chan_tokens: u64,
+    /// Run entries ever enqueued across all channels — the bulk channel
+    /// operations actually performed. `chan_tokens / chan_runs` is the
+    /// run-length transport compression ratio.
+    pub chan_runs: u64,
     /// Shards the graph was partitioned into.
     pub shards: usize,
     /// Coordination counters of the sharded engine (all zero for
@@ -171,10 +178,17 @@ enum Sched {
     /// The monolithic engine's wake lists, kept bit-for-bit for
     /// single-shard plans (the legacy PR-1 schedule): a wake ahead of the
     /// sweep joins the *current* wave (round-robin would reach it later
-    /// this round), one behind joins the next.
+    /// this round), one behind joins the next. The wave is a bitset
+    /// swept in ascending node order — the exact order the old binary
+    /// heap popped, at a fraction of the per-fire cost (wakes within a
+    /// wave always target indices ahead of the sweep cursor).
     Legacy {
-        wave: BinaryHeap<Reverse<usize>>,
-        in_wave: Vec<bool>,
+        /// Current-wave membership, one bit per local node.
+        bits: Vec<u64>,
+        /// Set-bit count (the wave's pending size).
+        ready: usize,
+        /// Sweep position: all set bits of the running wave are >= this.
+        cursor: usize,
         next: Vec<usize>,
         in_next: Vec<bool>,
     },
@@ -194,19 +208,49 @@ enum Sched {
 impl Default for Sched {
     fn default() -> Sched {
         Sched::Legacy {
-            wave: BinaryHeap::new(),
-            in_wave: Vec::new(),
+            bits: Vec::new(),
+            ready: 0,
+            cursor: 0,
             next: Vec::new(),
             in_next: Vec::new(),
         }
     }
 }
 
+/// Finds the lowest set bit at index >= `from`, or `None`.
+fn bits_next(bits: &[u64], from: usize) -> Option<usize> {
+    let mut w = from / 64;
+    if w >= bits.len() {
+        return None;
+    }
+    let mut word = bits[w] & (u64::MAX << (from % 64));
+    loop {
+        if word != 0 {
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+        w += 1;
+        if w >= bits.len() {
+            return None;
+        }
+        word = bits[w];
+    }
+}
+
 impl Sched {
     fn legacy(m: usize) -> Sched {
+        let mut bits = vec![u64::MAX; m.div_ceil(64)];
+        if !m.is_multiple_of(64)
+            && let Some(last) = bits.last_mut()
+        {
+            *last = (1u64 << (m % 64)) - 1;
+        }
+        if m == 0 {
+            bits.clear();
+        }
         Sched::Legacy {
-            wave: (0..m).map(Reverse).collect(),
-            in_wave: vec![true; m],
+            bits,
+            ready: m,
+            cursor: 0,
             next: Vec::new(),
             in_next: vec![false; m],
         }
@@ -249,6 +293,9 @@ struct Shard {
     cut_ins: Vec<u32>,
     arena: Arena,
     sched: Sched,
+    /// Host nanoseconds per local node's fires (only filled under
+    /// `SimConfig::profile_fires`).
+    fire_ns: Vec<u64>,
     /// Effective execution horizon: the global horizon, possibly raised
     /// by the cut-slack allowance (barrier elision). Monotone; set by the
     /// coordinator in its exclusive window.
@@ -260,7 +307,7 @@ struct Shard {
     // Off-chip request plumbing (per local node).
     hbm_reqs: Vec<HbmRequest>,
     hbm_seq: Vec<u64>,
-    hbm_resp: Vec<VecDeque<(u64, u64)>>,
+    hbm_resp: Vec<VecDeque<nodes::RespRun>>,
 }
 
 impl Shard {
@@ -274,10 +321,16 @@ impl Shard {
             return;
         }
         match &mut self.sched {
-            Sched::Legacy { wave, in_wave, .. } => {
-                if !in_wave[j] {
-                    in_wave[j] = true;
-                    wave.push(Reverse(j));
+            Sched::Legacy {
+                bits,
+                ready,
+                cursor,
+                ..
+            } => {
+                if bits[j / 64] & (1 << (j % 64)) == 0 {
+                    bits[j / 64] |= 1 << (j % 64);
+                    *ready += 1;
+                    *cursor = (*cursor).min(j);
                 }
             }
             Sched::Dedup {
@@ -300,7 +353,7 @@ impl Shard {
     /// Whether any node is queued to fire in the next sub-round.
     fn has_ready(&self) -> bool {
         match &self.sched {
-            Sched::Legacy { wave, .. } => !wave.is_empty(),
+            Sched::Legacy { ready, .. } => *ready > 0,
             Sched::Dedup { nxt, .. } => !nxt.is_empty(),
         }
     }
@@ -339,7 +392,7 @@ impl Shard {
         while let Some(&Reverse((t, idx))) = self.calendar.peek() {
             let live = self.channels[idx]
                 .peek()
-                .is_some_and(|&(ready, _)| ready == t && ready > horizon);
+                .is_some_and(|(ready, _)| ready == t && ready > horizon);
             if live {
                 return Some(t);
             }
@@ -359,7 +412,7 @@ impl Shard {
             self.calendar.pop();
             let live = self.channels[idx]
                 .peek()
-                .is_some_and(|&(ready, _)| ready == t && ready > old);
+                .is_some_and(|(ready, _)| ready == t && ready > old);
             if live {
                 let j = self.reader_of[idx];
                 self.wake(j);
@@ -417,6 +470,7 @@ impl Shard {
             cfg,
             horizon: eff,
         };
+        let t0 = cfg.profile_fires.then(std::time::Instant::now);
         let p = self.nodes[i].fire(&mut ctx).map_err(|e| {
             let gid = self.node_ids[i] as usize;
             let g = &graph.nodes()[gid];
@@ -427,6 +481,9 @@ impl Shard {
             };
             StepError::Exec(format!("node {gid} [{label}]: {e}"))
         })?;
+        if let Some(t0) = t0 {
+            self.fire_ns[i] += t0.elapsed().as_nanos() as u64;
+        }
         if p {
             // Publish a conservative lower bound on this node's future
             // token times so arrival-order merges can commit safely.
@@ -454,7 +511,7 @@ impl Shard {
                 // empty queue, or the old head popped). Wake the reader
                 // if it is visible in the current window; otherwise file
                 // it in the calendar for the horizon advance.
-                if let Some(&(ready, _)) = self.channels[idx].peek() {
+                if let Some((ready, _)) = self.channels[idx].peek() {
                     if ready <= eff {
                         if ev & event::ENQUEUED != 0 {
                             wakes.push(self.reader_of[idx]);
@@ -483,11 +540,14 @@ impl Shard {
         let mut sched = std::mem::take(&mut self.sched);
         let result = match &mut sched {
             Sched::Legacy {
-                wave,
-                in_wave,
+                bits,
+                ready,
+                cursor,
                 next,
                 in_next,
-            } => self.run_legacy(wave, in_wave, next, in_next, eff, cfg, store, graph, hbm),
+            } => self.run_legacy(
+                bits, ready, cursor, next, in_next, eff, cfg, store, graph, hbm,
+            ),
             Sched::Dedup {
                 cur,
                 nxt,
@@ -503,12 +563,16 @@ impl Shard {
     }
 
     /// The legacy (PR 1) wave loop, bit-for-bit: ahead-of-sweep wakes
-    /// join the current wave, a node can re-fire within a wave.
+    /// join the current wave, a node can re-fire within a wave. The wave
+    /// bitset is swept in ascending node order — exactly the order the
+    /// old min-heap popped, since in-wave wakes always target indices
+    /// ahead of the sweep.
     #[allow(clippy::too_many_arguments)]
     fn run_legacy(
         &mut self,
-        wave: &mut BinaryHeap<Reverse<usize>>,
-        in_wave: &mut [bool],
+        bits: &mut [u64],
+        ready: &mut usize,
+        cursor: &mut usize,
         next: &mut Vec<usize>,
         in_next: &mut [bool],
         eff: u64,
@@ -518,7 +582,7 @@ impl Shard {
         mut hbm: Option<&mut Hbm>,
     ) -> Result<()> {
         let mut wakes: Vec<u32> = Vec::new();
-        while self.undone > 0 && !wave.is_empty() {
+        while self.undone > 0 && *ready > 0 {
             self.rounds += 1;
             if self.rounds > cfg.max_rounds {
                 return Err(StepError::Exec(format!(
@@ -526,8 +590,10 @@ impl Shard {
                     cfg.max_rounds
                 )));
             }
-            while let Some(Reverse(i)) = wave.pop() {
-                in_wave[i] = false;
+            while let Some(i) = bits_next(bits, *cursor) {
+                bits[i / 64] &= !(1 << (i % 64));
+                *ready -= 1;
+                *cursor = i + 1;
                 if self.nodes[i].done() {
                     continue;
                 }
@@ -539,9 +605,9 @@ impl Shard {
                         continue;
                     }
                     if j > i {
-                        if !in_wave[j] {
-                            in_wave[j] = true;
-                            wave.push(Reverse(j));
+                        if bits[j / 64] & (1 << (j % 64)) == 0 {
+                            bits[j / 64] |= 1 << (j % 64);
+                            *ready += 1;
                         }
                     } else if !in_next[j] {
                         in_next[j] = true;
@@ -562,17 +628,19 @@ impl Shard {
             }
             for j in next.drain(..) {
                 in_next[j] = false;
-                if !in_wave[j] {
-                    in_wave[j] = true;
-                    wave.push(Reverse(j));
+                if bits[j / 64] & (1 << (j % 64)) == 0 {
+                    bits[j / 64] |= 1 << (j % 64);
+                    *ready += 1;
                 }
             }
+            *cursor = 0;
         }
         if self.undone == 0 {
             // A finished shard must read as quiescent: stale wave entries
             // for done nodes would stall the global horizon forever.
-            wave.clear();
-            in_wave.fill(false);
+            bits.fill(0);
+            *ready = 0;
+            *cursor = 0;
             for j in next.drain(..) {
                 in_next[j] = false;
             }
@@ -803,6 +871,7 @@ impl Simulation {
                     Sched::legacy(m)
                 },
                 eff: cfg.horizon_step,
+                fire_ns: vec![0; m],
                 calendar: BinaryHeap::new(),
                 undone,
                 rounds: 0,
@@ -1094,6 +1163,7 @@ impl Simulation {
         let mut arena_events: Vec<ArenaEvent> = Vec::new();
         let mut arena_peak_single = 0;
         let mut counters = self.counters.clone();
+        let (mut chan_tokens, mut chan_runs) = (0, 0);
         for s in self.shards.iter_mut() {
             let s = s.get_mut().expect("shard lock");
             rounds += s.rounds;
@@ -1102,9 +1172,14 @@ impl Simulation {
             }
             arena_peak_single = arena_peak_single.max(s.arena.peak_bytes());
             arena_events.extend(s.arena.take_events());
+            for ch in &s.channels {
+                chan_tokens += ch.sent_tokens();
+                chan_runs += ch.sent_runs();
+            }
             for (i, nd) in s.nodes.iter().enumerate() {
                 let gid = s.node_ids[i] as usize;
                 node_stats[gid] = nd.stats().clone();
+                node_stats[gid].wall_ns = s.fire_ns[i];
                 if let Some(toks) = nd.recorded() {
                     sinks.insert(NodeId(gid as u32), toks.to_vec());
                 }
@@ -1134,6 +1209,8 @@ impl Simulation {
             allocated_compute: self.graph.allocated_compute(),
             offchip_peak_bw: self.hbm.peak_bytes_per_cycle(),
             rounds,
+            chan_tokens,
+            chan_runs,
             shards: k,
             sched: counters,
             node_stats,
@@ -1206,11 +1283,11 @@ fn coordinate(
                 continue;
             }
         }
-        // Tokens ride with their writer-computed ready times; inject
+        // Token runs ride with their writer-computed ready times; inject
         // drops them if the reader closed.
-        let moved: Vec<(u64, Token)> = ws.channels[w_ch].drain_queue().collect();
-        for (t, tok) in moved {
-            rs.channels[r_ch].inject(t, tok);
+        let moved: Vec<(TimeRun, Token)> = ws.channels[w_ch].drain_queue().collect();
+        for (ts, tok) in moved {
+            rs.channels[r_ch].inject(ts, tok);
         }
         // Freed slots return to the writer as send credits.
         let freed = rs.channels[r_ch].drain_freed_slots();
@@ -1241,7 +1318,7 @@ fn coordinate(
             rs.wake(j);
         }
         if rev & (event::ENQUEUED | event::FREED) != 0
-            && let Some(&(ready, _)) = rs.channels[r_ch].peek()
+            && let Some((ready, _)) = rs.channels[r_ch].peek()
         {
             if ready <= rs.eff {
                 if rev & event::ENQUEUED != 0 {
@@ -1267,8 +1344,12 @@ fn coordinate(
             let s = &mut gs[shard];
             // Per-node issue times are monotone, so sorted service
             // delivers each node's responses in seq order.
-            debug_assert!(s.hbm_resp[local].back().is_none_or(|&(q, _)| q < seq));
-            s.hbm_resp[local].push_back((seq, done));
+            debug_assert!(
+                s.hbm_resp[local]
+                    .back()
+                    .is_none_or(|r| r.seq0 + r.done.count <= seq)
+            );
+            nodes::push_response(&mut s.hbm_resp[local], seq, done);
             s.wake(local as u32);
         }
     }

@@ -21,10 +21,12 @@
 //! Ramulator.
 
 use crate::config::HbmConfig;
-use std::collections::HashMap;
 
 /// Bus-ledger window size in cycles.
 const WINDOW: u64 = 64;
+
+/// Skip-chain sentinel: window has no skip pointer.
+const NO_SKIP: u64 = u64::MAX;
 
 /// One queued off-chip access, issued by a node during a shard sub-round
 /// and committed by the engine at the next barrier.
@@ -57,14 +59,32 @@ pub struct HbmRequest {
 #[derive(Debug)]
 pub struct Hbm {
     cfg: HbmConfig,
-    /// Remaining transfer capacity (bytes) per time window.
-    windows: HashMap<u64, u64>,
+    /// Remaining transfer capacity (bytes) per time window, directly
+    /// indexed by `window - win_base` (windows outside the vector are
+    /// untouched and hold full capacity). Traffic is dense around the
+    /// touched span, so a flat vector beats hashing on the hottest path
+    /// of the whole simulator (one lookup per access); the base offset
+    /// keeps a run whose first access lands at a late simulated time
+    /// from materializing every window since zero.
+    windows: Vec<u64>,
     /// Skip pointers past exhausted windows (`w -> first window >= w that
-    /// may still have capacity`), path-compressed. A window never regains
-    /// capacity, so a saturated stretch is crossed in amortized O(1)
-    /// instead of rescanned by every access.
-    skip: HashMap<u64, u64>,
+    /// may still have capacity`, [`NO_SKIP`] = none), path-compressed and
+    /// holding *absolute* window numbers, indexed like `windows`. A
+    /// window never regains capacity, so a saturated stretch is crossed
+    /// in amortized O(1) instead of rescanned by every access.
+    skip: Vec<u64>,
+    /// Absolute window number of `windows[0]`/`skip[0]`; set on first
+    /// touch, lowered (with a front fill) if an earlier-stamped request
+    /// arrives later.
+    win_base: u64,
     open_rows: Vec<Option<u64>>,
+    /// `log2(row_bytes)` when it is a power of two: replaces the row
+    /// division on the hottest arithmetic in the simulator.
+    row_shift: Option<u32>,
+    /// `banks - 1` when `banks` is a power of two (mask instead of mod).
+    bank_mask: Option<u64>,
+    /// `log2(bytes_per_cycle)` when it is a power of two.
+    bpc_shift: Option<u32>,
     total_bytes: u64,
     read_bytes: u64,
     write_bytes: u64,
@@ -78,11 +98,19 @@ impl Hbm {
     /// Creates the HBM node.
     pub fn new(cfg: HbmConfig) -> Hbm {
         let banks = cfg.banks.max(1) as usize;
+        let pow2 = |v: u64| (v > 0 && v.is_power_of_two()).then(|| v.trailing_zeros());
+        let row_shift = pow2(cfg.row_bytes.max(1));
+        let bank_mask = (cfg.banks.max(1)).is_power_of_two().then(|| cfg.banks - 1);
+        let bpc_shift = pow2(cfg.bytes_per_cycle.max(1));
         Hbm {
             cfg,
-            windows: HashMap::new(),
-            skip: HashMap::new(),
+            windows: Vec::new(),
+            skip: Vec::new(),
+            win_base: u64::MAX,
             open_rows: vec![None; banks],
+            row_shift,
+            bank_mask,
+            bpc_shift,
             total_bytes: 0,
             read_bytes: 0,
             write_bytes: 0,
@@ -97,18 +125,66 @@ impl Hbm {
         WINDOW * self.cfg.bytes_per_cycle.max(1)
     }
 
+    /// Index of window `w`, growing (or front-filling) the vectors so it
+    /// is valid. Untouched windows materialize at full capacity.
+    fn index_of(&mut self, w: u64) -> usize {
+        let cap = self.window_capacity();
+        if self.win_base == u64::MAX {
+            self.win_base = w;
+        }
+        if w < self.win_base {
+            // An earlier-stamped request arrived later (host order is
+            // not simulated order): extend downwards. Rare — the base is
+            // set by the first access and clocks mostly advance.
+            let grow = (self.win_base - w) as usize;
+            self.windows.splice(0..0, std::iter::repeat_n(cap, grow));
+            self.skip.splice(0..0, std::iter::repeat_n(NO_SKIP, grow));
+            self.win_base = w;
+        }
+        let idx = (w - self.win_base) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, cap);
+            self.skip.resize(idx + 1, NO_SKIP);
+        }
+        idx
+    }
+
+    /// Remaining capacity slot for `w`.
+    fn window_mut(&mut self, w: u64) -> &mut u64 {
+        let idx = self.index_of(w);
+        &mut self.windows[idx]
+    }
+
+    /// Records that `w` is exhausted: searches resume at `w + 1`.
+    fn mark_skip(&mut self, w: u64) {
+        let idx = self.index_of(w);
+        self.skip[idx] = w + 1;
+    }
+
+    /// The skip target of `w`, if one is recorded (no materialization).
+    fn skip_of(&self, w: u64) -> Option<u64> {
+        if self.win_base == u64::MAX || w < self.win_base {
+            return None;
+        }
+        match self.skip.get((w - self.win_base) as usize) {
+            Some(&nxt) if nxt != NO_SKIP => Some(nxt),
+            _ => None,
+        }
+    }
+
     /// First window at or after `w` that may still hold capacity,
     /// following (and compressing) the skip chain over exhausted windows.
     fn first_open(&mut self, start: u64) -> u64 {
         let mut w = start;
-        while let Some(&nxt) = self.skip.get(&w) {
+        while let Some(nxt) = self.skip_of(w) {
             w = nxt;
         }
         // Path compression: point the whole chain at the open window.
         let mut c = start;
         while c != w {
-            let nxt = self.skip[&c];
-            self.skip.insert(c, w);
+            let idx = (c - self.win_base) as usize;
+            let nxt = self.skip[idx];
+            self.skip[idx] = w;
             c = nxt;
         }
         w
@@ -118,8 +194,14 @@ impl Hbm {
     /// completion time. `write` selects the direction for the statistics.
     pub fn access(&mut self, addr: u64, bytes: u64, now: u64, write: bool) -> u64 {
         let bytes = bytes.max(1);
-        let row = addr / self.cfg.row_bytes.max(1);
-        let bank = (row % self.cfg.banks.max(1)) as usize;
+        let row = match self.row_shift {
+            Some(s) => addr >> s,
+            None => addr / self.cfg.row_bytes.max(1),
+        };
+        let bank = match self.bank_mask {
+            Some(m) => (row & m) as usize,
+            None => (row % self.cfg.banks.max(1)) as usize,
+        };
         let hit = self.open_rows[bank] == Some(row);
         let latency = if hit {
             self.row_hits += 1;
@@ -131,14 +213,19 @@ impl Hbm {
 
         let start = now + latency;
         let bpc = self.cfg.bytes_per_cycle.max(1);
+        let bpc_shift = self.bpc_shift;
+        let div_ceil_bpc = move |v: u64| match bpc_shift {
+            Some(s) => (v + bpc - 1) >> s,
+            None => v.div_ceil(bpc),
+        };
         let cap = self.window_capacity();
         let mut w = self.first_open(start / WINDOW);
         let mut remaining = bytes;
         let mut done = start;
         loop {
-            let avail = self.windows.entry(w).or_insert(cap);
+            let avail = self.window_mut(w);
             if *avail == 0 {
-                self.skip.insert(w, w + 1);
+                self.mark_skip(w);
                 w = self.first_open(w + 1);
                 continue;
             }
@@ -148,20 +235,21 @@ impl Hbm {
             // Completion within this window: proportional to the capacity
             // already handed out.
             let used = cap - *avail;
-            let within = w * WINDOW + used.div_ceil(bpc);
+            let exhausted = *avail == 0;
+            let within = w * WINDOW + div_ceil_bpc(used);
             done = done.max(within.min((w + 1) * WINDOW));
             if remaining == 0 {
-                if *avail == 0 {
-                    self.skip.insert(w, w + 1);
+                if exhausted {
+                    self.mark_skip(w);
                 }
                 break;
             }
-            self.skip.insert(w, w + 1);
+            self.mark_skip(w);
             w = self.first_open(w + 1);
         }
-        done = done.max(start + bytes.div_ceil(bpc));
+        done = done.max(start + div_ceil_bpc(bytes));
 
-        self.busy_cycles += bytes.div_ceil(bpc);
+        self.busy_cycles += div_ceil_bpc(bytes);
         self.total_bytes += bytes;
         if write {
             self.write_bytes += bytes;
@@ -177,7 +265,9 @@ impl Hbm {
     /// `(time, node, seq)` order, returning `(node, seq, completion)` per
     /// request in that order.
     pub fn service_batch(&mut self, mut batch: Vec<HbmRequest>) -> Vec<(u32, u64, u64)> {
-        batch.sort_by_key(|r| (r.time, r.node, r.seq));
+        // Keys are unique per request ((node, seq) alone is), so the
+        // unstable sort yields the same order as a stable one.
+        batch.sort_unstable_by_key(|r| (r.time, r.node, r.seq));
         batch
             .into_iter()
             .map(|r| {
@@ -277,6 +367,25 @@ mod tests {
         }
         assert!(last >= 100 * WINDOW, "last={last}");
         assert_eq!(h.busy_cycles(), 100 * WINDOW);
+    }
+
+    #[test]
+    fn late_first_access_does_not_materialize_early_windows() {
+        // The ledger's flat window vectors are base-offset: a run whose
+        // first off-chip access lands deep into simulated time touches
+        // O(1) windows, not one per window since zero.
+        let mut h = hbm();
+        let far = 1 << 40;
+        let d = h.access(0, 64, far, false);
+        assert!(d >= far);
+        assert!(h.windows.len() < 8, "windows: {}", h.windows.len());
+        // An earlier-stamped access arriving later extends downwards
+        // (memory stays O(access-time span / window), never O(absolute
+        // time)) and still lands in its own window's capacity.
+        let d_early = h.access(4096, 64, far - 100_000, false);
+        assert!(d_early <= far - 100_000 + 64, "d_early={d_early}");
+        assert!(h.windows.len() < 100_000 / 64 + 8);
+        assert_eq!(h.total_bytes(), 128);
     }
 
     #[test]

@@ -9,13 +9,26 @@
 //! with a deterministic conservative event model that runs **sharded and
 //! in parallel**:
 //!
-//! - [`channel::Channel`] — bounded FIFOs carrying `(ready_time, token)`
-//!   pairs, modelling backpressure *in time* (a sender blocked on a full
-//!   queue resumes at the receiver's dequeue time) and a one-token-per-
-//!   cycle port rate. A cross-shard edge is a pair of halves: the writer
-//!   half holds send credits and an in-flight mailbox, the reader half
-//!   the receiving FIFO; the engine shuttles tokens and freed-slot
-//!   credits between them at coordination barriers;
+//! - [`channel::Channel`] — bounded FIFOs carrying **runs**: a repeated
+//!   token paired with a [`run::TimeRun`] of ready times (`start`,
+//!   `stride`, `count`), so a burst of identical tokens is one queue
+//!   entry, one payload clone, and O(1) arithmetic. Backpressure is
+//!   modelled *in time* (a sender blocked on a full queue resumes at
+//!   the receiver's dequeue time) and the one-token-per-cycle port rate
+//!   is kept by arithmetic: a run of `n` sent at `t` occupies `n` slots
+//!   with send times `t..t+n` under the exact per-token recurrence,
+//!   never materialized. Bulk APIs ([`channel::Channel::send_run`],
+//!   [`channel::Channel::pop_run`], [`channel::pop_zip_runs`]) are each
+//!   defined as the per-token loop they replace —
+//!   `tests/prop_channel_runs.rs` checks the equivalence against a
+//!   per-token reference channel. Runs coalesce only provably
+//!   interchangeable tokens (`Token::coalesces_with`: phantom tiles of
+//!   one shape, payload-aliased dense tiles — dense payloads sit behind
+//!   an `Arc`, making every fan-out clone O(1)). A cross-shard edge is
+//!   a pair of halves: the writer half holds send credits and an
+//!   in-flight mailbox, the reader half the receiving FIFO; the engine
+//!   shuttles token runs and freed-slot credit runs between them at
+//!   coordination barriers;
 //! - [`hbm::Hbm`] — a bank/row/bus DRAM timing model standing in for
 //!   Ramulator 2.0 (see DESIGN.md for the substitution argument). Sharded
 //!   runs issue [`hbm::HbmRequest`]s that the engine commits at each
@@ -31,8 +44,14 @@
 //! - [`nodes`] — an executor per STeP operator implementing both the
 //!   functional token semantics of §3.2 and the timing model of §4.3,
 //!   with a readiness surface ([`nodes::SimNode::blocked_on`]) reporting
-//!   what blocked a stalled node. Off-chip operators are two-phase
+//!   what blocked a stalled node. Fire loops are *bulk*: a step consumes
+//!   and produces whole runs (per-token costs folded into the pop
+//!   pacing), capped by the fire budget and port-staging allowance so
+//!   the schedule — which fire consumes which token — is bit-identical
+//!   to per-token execution. Off-chip operators are two-phase
 //!   request/response state machines driven through [`nodes::HbmPort`];
+//!   completions coalesce into [`nodes::RespRun`]s, and a pipelined
+//!   burst of tile reads emits as one run;
 //! - [`engine::Simulation`] — the sharded event-driven scheduler.
 //!   [`step_core::partition`] cuts the graph at high-slack channels into
 //!   connected shards (small graphs stay monolithic); each shard runs a
@@ -75,7 +94,12 @@
 //!   blocking edge. [`engine::SimReport`] carries cycles, off-chip
 //!   traffic, measured on-chip memory, utilization,
 //!   scheduler-efficiency counters
-//!   ([`engine::SimReport::total_fires`]), and recorded sink streams.
+//!   ([`engine::SimReport::total_fires`]), the bulk-transport
+//!   compression ratio ([`engine::SimReport::chan_tokens`] /
+//!   [`engine::SimReport::chan_runs`]), and recorded sink streams.
+//!   `SimConfig::profile_fires` additionally attributes host wall-clock
+//!   per node (`fire_profile` consumes it) — host-dependent and never
+//!   part of any determinism check.
 //!
 //! # Example
 //!
@@ -105,6 +129,7 @@ pub mod config;
 pub mod engine;
 pub mod hbm;
 pub mod nodes;
+pub mod run;
 pub mod stats;
 
 pub use config::{HbmConfig, SimConfig};

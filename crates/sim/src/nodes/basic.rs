@@ -1,6 +1,14 @@
 //! Sources, sinks, fan-out, zip, and the shape operators (Table 7).
+//!
+//! Every fire loop is *bulk*: a run of repeated tokens is consumed and
+//! produced with O(1) channel traffic and run arithmetic, while the
+//! schedule — which fire consumes which token, bounded by [`BUDGET`] and
+//! the staging gate — is bit-identical to per-token execution (bulk
+//! steps cap their token count at [`Io::out_allowance`] and charge the
+//! whole run against the fire budget).
 
 use super::{BUDGET, Ctx, Io, SimNode};
+use crate::run::TimeRun;
 use crate::stats::NodeStats;
 use step_core::elem::Elem;
 use step_core::error::{Result, StepError};
@@ -18,7 +26,8 @@ macro_rules! impl_simnode_common {
                 self.io.stats.fires += 1;
                 self.io.blocked = None;
                 let mut progress = false;
-                for _ in 0..BUDGET {
+                let mut budget = BUDGET;
+                while budget > 0 {
                     let (sent, drained) = self.io.flush(ctx);
                     progress |= sent;
                     if !drained || self.io.done || self.io.finishing {
@@ -27,15 +36,15 @@ macro_rules! impl_simnode_common {
                         }
                         return Ok(progress);
                     }
-                    match self.step(ctx)? {
-                        true => progress = true,
-                        false => {
-                            if !progress {
-                                self.io.stats.idle_fires += 1;
-                            }
-                            return Ok(progress);
+                    let used = self.step(ctx, budget)?;
+                    if used == 0 {
+                        if !progress {
+                            self.io.stats.idle_fires += 1;
                         }
+                        return Ok(progress);
                     }
+                    progress = true;
+                    budget -= used.min(budget);
                 }
                 Ok(progress)
             }
@@ -76,19 +85,33 @@ impl SourceNode {
         }
     }
 
-    fn step(&mut self, _ctx: &mut Ctx<'_>) -> Result<bool> {
-        match self.tokens.next() {
-            Some(Token::Done) => {
-                self.io.push_done_all();
-                Ok(true)
-            }
-            Some(tok) => {
-                self.io.push(0, tok);
-                Ok(true)
-            }
+    fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
+        let rest = self.tokens.as_slice();
+        match rest.first() {
             None => {
                 self.io.finishing = true;
-                Ok(true)
+                Ok(1)
+            }
+            Some(Token::Done) => {
+                let _ = self.tokens.next();
+                self.io.push_done_all();
+                Ok(1)
+            }
+            Some(head) => {
+                // A stretch of repeated values plays out as one run, all
+                // produced at the source's (never-advancing) local time.
+                let allow = self.io.out_allowance(ctx, 0).min(budget);
+                let mut k = 1u64;
+                while k < allow && rest.get(k as usize).is_some_and(|t| t.coalesces_with(head)) {
+                    k += 1;
+                }
+                let tok = self.tokens.next().expect("head exists");
+                for _ in 1..k {
+                    let _ = self.tokens.next();
+                }
+                let t = self.io.time;
+                self.io.push_run(0, TimeRun::new(t, 0, k), tok);
+                Ok(k)
             }
         }
     }
@@ -112,9 +135,17 @@ impl SinkNode {
         }
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
-        if self.io.peek(ctx, 0).is_none() {
-            return Ok(false);
+    fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
+        let head_is_val = match self.io.peek(ctx, 0) {
+            None => return Ok(0),
+            Some((_, tok)) => tok.is_val(),
+        };
+        if head_is_val {
+            let (tok, k) = self.io.pop_run(ctx, 0, 0, budget).expect("visible head");
+            if self.record {
+                self.recorded.extend(std::iter::repeat_n(tok, k as usize));
+            }
+            return Ok(k);
         }
         let tok = self.io.pop(ctx, 0);
         let done = matches!(tok, Token::Done);
@@ -124,7 +155,7 @@ impl SinkNode {
         if done {
             self.io.finishing = true;
         }
-        Ok(true)
+        Ok(1)
     }
 }
 
@@ -145,12 +176,26 @@ impl ForkNode {
         ForkNode { io: Io::new(node) }
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
-        if self.io.peek(ctx, 0).is_none() {
-            return Ok(false);
+    fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
+        let head_is_val = match self.io.peek(ctx, 0) {
+            None => return Ok(0),
+            Some((_, tok)) => tok.is_val(),
+        };
+        if head_is_val {
+            let mut allow = budget;
+            for port in 0..self.io.outs.len() {
+                allow = allow.min(self.io.out_allowance(ctx, port));
+            }
+            let (tok, k) = self.io.pop_run(ctx, 0, 0, allow).expect("visible head");
+            for port in 0..self.io.outs.len() {
+                for pi in 0..self.io.popped.len() {
+                    let piece = self.io.popped[pi];
+                    self.io.push_run(port, piece, tok.clone());
+                }
+            }
+            return Ok(k);
         }
-        let tok = self.io.pop(ctx, 0);
-        match tok {
+        match self.io.pop(ctx, 0) {
             Token::Done => self.io.push_done_all(),
             t => {
                 for port in 0..self.io.outs.len() {
@@ -158,7 +203,7 @@ impl ForkNode {
                 }
             }
         }
-        Ok(true)
+        Ok(1)
     }
 }
 
@@ -167,30 +212,68 @@ impl_simnode_common!(ForkNode);
 /// Groups two equal-shaped streams into tuples.
 pub struct ZipNode {
     io: Io,
+    /// Scratch for the coupled bulk pop's dequeue-time pieces.
+    a_times: Vec<TimeRun>,
+    b_times: Vec<TimeRun>,
 }
 
 impl ZipNode {
     pub fn new(node: &Node) -> ZipNode {
-        ZipNode { io: Io::new(node) }
+        ZipNode {
+            io: Io::new(node),
+            a_times: Vec::new(),
+            b_times: Vec::new(),
+        }
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
-        if self.io.peek(ctx, 0).is_none() || self.io.peek(ctx, 1).is_none() {
-            return Ok(false);
+    fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
+        let a_val = match self.io.peek(ctx, 0) {
+            None => return Ok(0),
+            Some((_, tok)) => tok.is_val(),
+        };
+        let b_val = match self.io.peek(ctx, 1) {
+            None => return Ok(0),
+            Some((_, tok)) => tok.is_val(),
+        };
+        if a_val && b_val {
+            // Bulk pairs: the two pops alternate and feed each other's
+            // clocks; the closed-form coupled pop resolves the whole run
+            // at once.
+            let allow = self.io.out_allowance(ctx, 0).min(budget);
+            let horizon = ctx.horizon;
+            let now = self.io.time;
+            self.a_times.clear();
+            self.b_times.clear();
+            let (ca, cb) = ctx.chans.get2_mut(self.io.ins[0], self.io.ins[1]);
+            let (a, b, k) = crate::channel::pop_zip_runs(
+                ca,
+                cb,
+                now,
+                horizon,
+                allow,
+                &mut self.a_times,
+                &mut self.b_times,
+            )
+            .expect("visible heads");
+            self.io.time = self.b_times.last().expect("non-empty pop").last();
+            self.io.stats.values_in += 2 * k;
+            let tup = Token::Val(Elem::Tuple(vec![a.into_val()?, b.into_val()?]));
+            for pi in 0..self.b_times.len() {
+                let piece = self.b_times[pi];
+                self.io.push_run(0, piece, tup.clone());
+            }
+            return Ok(k);
         }
         let a = self.io.pop(ctx, 0);
         let b = self.io.pop(ctx, 1);
         match (a, b) {
-            (Token::Val(x), Token::Val(y)) => {
-                self.io.push(0, Token::Val(Elem::Tuple(vec![x, y])));
-            }
             (Token::Stop(s1), Token::Stop(s2)) if s1 == s2 => {
                 self.io.push(0, Token::Stop(s1));
             }
             (Token::Done, Token::Done) => self.io.push_done_all(),
             (x, y) => return Err(StepError::Exec(format!("zip misalignment: {x} vs {y}"))),
         }
-        Ok(true)
+        Ok(1)
     }
 }
 
@@ -212,12 +295,22 @@ impl FlattenNode {
         }
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
-        if self.io.peek(ctx, 0).is_none() {
-            return Ok(false);
+    fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
+        let head_is_val = match self.io.peek(ctx, 0) {
+            None => return Ok(0),
+            Some((_, tok)) => tok.is_val(),
+        };
+        if head_is_val {
+            let allow = self.io.out_allowance(ctx, 0).min(budget);
+            let (tok, k) = self.io.pop_run(ctx, 0, 0, allow).expect("visible head");
+            for pi in 0..self.io.popped.len() {
+                let piece = self.io.popped[pi];
+                self.io.push_run(0, piece, tok.clone());
+            }
+            return Ok(k);
         }
         match self.io.pop(ctx, 0) {
-            Token::Val(e) => self.io.push(0, Token::Val(e)),
+            Token::Val(_) => unreachable!("head checked above"),
             Token::Stop(k) => {
                 let width = self.max - self.min;
                 if k <= self.min {
@@ -234,7 +327,7 @@ impl FlattenNode {
             }
             Token::Done => self.io.push_done_all(),
         }
-        Ok(true)
+        Ok(1)
     }
 }
 
@@ -257,9 +350,22 @@ impl PromoteNode {
         }
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
-        if self.io.peek(ctx, 0).is_none() {
-            return Ok(false);
+    fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
+        let bulk = match self.io.peek(ctx, 0) {
+            None => return Ok(0),
+            Some((_, tok)) => self.held.as_ref().is_some_and(|h| h.coalesces_with(tok)),
+        };
+        if bulk {
+            // The held token equals the head run's token, so each pop
+            // re-emits the held value at the dequeue time and leaves the
+            // hold unchanged.
+            let allow = self.io.out_allowance(ctx, 0).min(budget);
+            let (tok, k) = self.io.pop_run(ctx, 0, 0, allow).expect("visible head");
+            for pi in 0..self.io.popped.len() {
+                let piece = self.io.popped[pi];
+                self.io.push_run(0, piece, tok.clone());
+            }
+            return Ok(k);
         }
         let tok = self.io.pop(ctx, 0);
         match tok {
@@ -284,7 +390,7 @@ impl PromoteNode {
                 }
             }
         }
-        Ok(true)
+        Ok(1)
     }
 }
 
@@ -304,23 +410,25 @@ impl ExpandStaticNode {
         }
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+    fn step(&mut self, ctx: &mut Ctx<'_>, _budget: u64) -> Result<u64> {
         if self.io.peek(ctx, 0).is_none() {
-            return Ok(false);
+            return Ok(0);
         }
         match self.io.pop(ctx, 0) {
             Token::Val(e) => {
-                for _ in 0..self.factor {
-                    self.io.push(0, Token::Val(e.clone()));
+                // The whole burst is produced at one local instant; the
+                // channel port rule spreads it over consecutive cycles.
+                let t = self.io.time;
+                if let Elem::Tile(tile) = &e {
+                    self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(tile.bytes());
                 }
-                if let Elem::Tile(t) = &e {
-                    self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(t.bytes());
-                }
+                self.io
+                    .push_run(0, TimeRun::new(t, 0, self.factor), Token::Val(e));
             }
             Token::Stop(s) => self.io.push(0, Token::Stop(s)),
             Token::Done => self.io.push_done_all(),
         }
-        Ok(true)
+        Ok(1)
     }
 }
 
@@ -362,9 +470,9 @@ impl ExpandNode {
         }
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+    fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
         match self.io.peek(ctx, 1) {
-            None => Ok(false),
+            None => Ok(0),
             Some((_, Token::Val(_))) => {
                 if self.current.is_none() {
                     match self.io.peek(ctx, 0) {
@@ -382,21 +490,31 @@ impl ExpandNode {
                                 "expand: expected input value, got {other}"
                             )));
                         }
-                        None => return Ok(false),
+                        None => return Ok(0),
                     }
                 }
-                let _ = self.io.pop(ctx, 1);
+                // Each reference value re-emits the current element at
+                // its dequeue time: a whole run of references expands in
+                // one bulk step.
+                let allow = self.io.out_allowance(ctx, 0).min(budget);
+                let Some((_, k)) = self.io.pop_run(ctx, 1, 0, allow) else {
+                    return Ok(0);
+                };
                 let e = self.current.clone().expect("loaded above");
-                self.io.push(0, Token::Val(e));
-                Ok(true)
+                let out = Token::Val(e);
+                for pi in 0..self.io.popped.len() {
+                    let piece = self.io.popped[pi];
+                    self.io.push_run(0, piece, out.clone());
+                }
+                Ok(k)
             }
-            Some(&(_, Token::Stop(s))) => {
+            Some((_, &Token::Stop(s))) => {
                 if s >= self.level && !self.advance_input(ctx, s)? {
-                    return Ok(false);
+                    return Ok(0);
                 }
                 let _ = self.io.pop(ctx, 1);
                 self.io.push(0, Token::Stop(s));
-                Ok(true)
+                Ok(1)
             }
             Some((_, Token::Done)) => {
                 // Input should be exhausted up to its Done.
@@ -405,7 +523,7 @@ impl ExpandNode {
                 }
                 let _ = self.io.pop(ctx, 1);
                 self.io.push_done_all();
-                Ok(true)
+                Ok(1)
             }
         }
     }
@@ -451,9 +569,9 @@ impl ReshapeNode {
         Ok(())
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+    fn step(&mut self, ctx: &mut Ctx<'_>, _budget: u64) -> Result<u64> {
         if self.io.peek(ctx, 0).is_none() {
-            return Ok(false);
+            return Ok(0);
         }
         match self.io.pop(ctx, 0) {
             Token::Val(e) => {
@@ -486,7 +604,7 @@ impl ReshapeNode {
                 self.io.push_done_all();
             }
         }
-        Ok(true)
+        Ok(1)
     }
 }
 

@@ -19,6 +19,7 @@ use crate::arena::{Arena, SharedStore};
 use crate::channel::Channel;
 use crate::config::SimConfig;
 use crate::hbm::{Hbm, HbmRequest};
+use crate::run::TimeRun;
 use crate::stats::NodeStats;
 use std::collections::VecDeque;
 use step_core::error::{Result, StepError};
@@ -80,6 +81,20 @@ impl<'a> Chans<'a> {
         let i = self.local(e);
         &mut self.channels[i]
     }
+
+    /// Two distinct channels, mutably (coupled bulk pops, e.g. `Zip`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges coincide or are not visible in this view.
+    pub fn get2_mut(&mut self, a: EdgeId, b: EdgeId) -> (&mut Channel, &mut Channel) {
+        let (ia, ib) = (self.local(a), self.local(b));
+        let [ca, cb] = self
+            .channels
+            .get_disjoint_mut([ia, ib])
+            .expect("distinct edges");
+        (ca, cb)
+    }
 }
 
 /// Where a node's off-chip requests commit: directly against the HBM
@@ -93,6 +108,33 @@ pub enum HbmSink<'a> {
     Queued(&'a mut Vec<HbmRequest>),
 }
 
+/// A run of serviced off-chip completions: requests `seq0..seq0 +
+/// done.count` completed at the (arithmetic) times `done`. Responses
+/// coalesce into runs at delivery, so a pipelined burst of tile reads
+/// costs one queue entry instead of one per request.
+#[derive(Debug, Clone, Copy)]
+pub struct RespRun {
+    /// First request sequence number covered.
+    pub seq0: u64,
+    /// Completion times, one per consecutive sequence number.
+    pub done: TimeRun,
+}
+
+/// Appends completion `(seq, done)` to a response queue, coalescing with
+/// the tail run when the sequence and completion times both continue.
+pub(crate) fn push_response(q: &mut VecDeque<RespRun>, seq: u64, done: u64) {
+    if let Some(back) = q.back_mut()
+        && back.seq0 + back.done.count == seq
+        && back.done.try_extend(TimeRun::single(done))
+    {
+        return;
+    }
+    q.push_back(RespRun {
+        seq0: seq,
+        done: TimeRun::single(done),
+    });
+}
+
 /// A node's port into the off-chip memory subsystem: issue requests, pick
 /// up completions in issue order.
 pub struct HbmPort<'a> {
@@ -102,8 +144,8 @@ pub struct HbmPort<'a> {
     node: u32,
     /// Next request sequence number for this node.
     next_seq: &'a mut u64,
-    /// Completions `(seq, done)` awaiting pickup, in issue order.
-    responses: &'a mut VecDeque<(u64, u64)>,
+    /// Completion runs awaiting pickup, in issue order.
+    responses: &'a mut VecDeque<RespRun>,
 }
 
 impl<'a> HbmPort<'a> {
@@ -112,7 +154,7 @@ impl<'a> HbmPort<'a> {
         sink: HbmSink<'a>,
         node: u32,
         next_seq: &'a mut u64,
-        responses: &'a mut VecDeque<(u64, u64)>,
+        responses: &'a mut VecDeque<RespRun>,
     ) -> HbmPort<'a> {
         HbmPort {
             sink,
@@ -132,7 +174,7 @@ impl<'a> HbmPort<'a> {
         match &mut self.sink {
             HbmSink::Immediate(hbm) => {
                 let done = hbm.access(addr, bytes, time, write);
-                self.responses.push_back((seq, done));
+                push_response(self.responses, seq, done);
             }
             HbmSink::Queued(q) => q.push(HbmRequest {
                 time,
@@ -149,18 +191,39 @@ impl<'a> HbmPort<'a> {
     /// The completion time of request `seq`, if it is the oldest pending
     /// response and has been serviced.
     pub fn take_response(&mut self, seq: u64) -> Option<u64> {
-        match self.responses.front() {
-            Some(&(s, done)) if s == seq => {
-                self.responses.pop_front();
-                Some(done)
-            }
-            _ => None,
+        self.take_response_run(seq, 1).map(|r| r.start)
+    }
+
+    /// The completion times of up to `max` requests with consecutive
+    /// sequence numbers starting at `seq`, if `seq` is the oldest pending
+    /// response and has been serviced. Consumes the returned prefix.
+    pub fn take_response_run(&mut self, seq: u64, max: u64) -> Option<TimeRun> {
+        let front = self.responses.front_mut()?;
+        if front.seq0 != seq || max == 0 {
+            return None;
         }
+        let k = front.done.count.min(max);
+        let out = front.done.prefix(k);
+        if k == front.done.count {
+            self.responses.pop_front();
+        } else {
+            front.seq0 += k;
+            front.done = front.done.advance(k);
+        }
+        Some(out)
     }
 
     /// The oldest serviced completion `(seq, done)`, if any.
     pub fn pop_response(&mut self) -> Option<(u64, u64)> {
-        self.responses.pop_front()
+        let front = self.responses.front_mut()?;
+        let out = (front.seq0, front.done.start);
+        if front.done.count == 1 {
+            self.responses.pop_front();
+        } else {
+            front.seq0 += 1;
+            front.done = front.done.advance(1);
+        }
+        Some(out)
     }
 }
 
@@ -188,9 +251,11 @@ impl Ctx<'_> {
     }
 }
 
-/// Steps a node can take per `fire` call, bounding per-wave work so the
-/// scheduler interleaves nodes fairly.
-pub(crate) const BUDGET: usize = 256;
+/// Tokens a node may process per `fire` call, bounding per-wave work so
+/// the scheduler interleaves nodes fairly. A bulk run step charges its
+/// whole token count against the budget, so the fire schedule is
+/// identical to per-token execution.
+pub(crate) const BUDGET: u64 = 256;
 
 /// What a node was waiting on when its last `fire` made no progress —
 /// the readiness surface the event-driven engine and its deadlock
@@ -251,21 +316,28 @@ pub trait SimNode {
 /// Tokens a port may stage beyond its channel before the node stalls —
 /// the unit's small internal output register, decoupling ports from each
 /// other (a full FIFO on port A must not block traffic for port B).
-const PORT_STAGING: usize = 2;
+const PORT_STAGING: u64 = 2;
 
 /// Common I/O harness embedded in every node: input/output edges, local
-/// clock, statistics, and per-port timed outboxes providing
-/// backpressure-correct sends.
+/// clock, statistics, and per-port run-staged outboxes providing
+/// backpressure-correct bulk sends. All per-token timestamp arithmetic
+/// is identical to the old one-entry-per-token harness; only the storage
+/// granularity changed (one entry per run).
 pub(crate) struct Io {
     pub ins: Vec<EdgeId>,
     pub outs: Vec<EdgeId>,
     pub time: u64,
     pub stats: NodeStats,
-    outbox: Vec<VecDeque<(u64, Token)>>,
+    outbox: Vec<VecDeque<(TimeRun, Token)>>,
+    /// Staged token count per port (sum of outbox run counts).
+    staged: Vec<u64>,
     pub finishing: bool,
     pub done: bool,
     /// The last edge a peek or flush found blocking (readiness surface).
     pub blocked: Option<Blocked>,
+    /// Dequeue-time pieces of the most recent [`Io::pop_run`], reusable
+    /// scratch (runs are `Copy`; index it while pushing outputs).
+    pub popped: Vec<TimeRun>,
 }
 
 impl Io {
@@ -276,9 +348,11 @@ impl Io {
             time: 0,
             stats: NodeStats::default(),
             outbox: vec![VecDeque::new(); node.outputs.len()],
+            staged: vec![0; node.outputs.len()],
             finishing: false,
             done: false,
             blocked: None,
+            popped: Vec::new(),
         }
     }
 
@@ -288,21 +362,49 @@ impl Io {
         self.push_at(port, t, tok);
     }
 
-    /// Queues a token for `port` with an explicit production time.
+    /// Queues a token for `port` with an explicit production time,
+    /// coalescing with the port's staged tail when the token repeats and
+    /// the time continues the tail's arithmetic sequence.
     pub fn push_at(&mut self, port: usize, time: u64, tok: Token) {
+        self.push_run(port, TimeRun::single(time), tok);
+    }
+
+    /// Queues a run: `times.count` copies of `tok` with production times
+    /// `times`.
+    pub fn push_run(&mut self, port: usize, times: TimeRun, tok: Token) {
         if let Token::Val(_) = &tok {
-            self.stats.values_out += 1;
+            self.stats.values_out += times.count;
         }
-        self.outbox[port].push_back((time, tok));
+        self.staged[port] += times.count;
+        if let Some((ts, tail)) = self.outbox[port].back_mut()
+            && tail.coalesces_with(&tok)
+            && ts.try_extend(times)
+        {
+            return;
+        }
+        self.outbox[port].push_back((times, tok));
     }
 
     /// Queues `Done` on every output port and marks the node finishing.
     pub fn push_done_all(&mut self) {
         for port in 0..self.outs.len() {
             let t = self.time;
-            self.outbox[port].push_back((t, Token::Done));
+            self.staged[port] += 1;
+            self.outbox[port].push_back((TimeRun::single(t), Token::Done));
         }
         self.finishing = true;
+    }
+
+    /// How many more tokens this node may stage for `port` before the
+    /// per-token fire loop would have stalled on the staging gate: the
+    /// channel's free slots plus the staging allowance, minus what is
+    /// already staged. Bulk steps cap their token count here so the
+    /// schedule (which fire consumes which token) is bit-identical to
+    /// per-token execution.
+    pub fn out_allowance(&self, ctx: &Ctx<'_>, port: usize) -> u64 {
+        let free = ctx.chans.get(self.outs[port]).free_slots();
+        free.saturating_add(PORT_STAGING + 1)
+            .saturating_sub(self.staged[port])
     }
 
     /// Attempts to drain every port's outbox (ports never block each
@@ -313,23 +415,37 @@ impl Io {
         let mut progress = false;
         let mut may_step = true;
         for (port, q) in self.outbox.iter_mut().enumerate() {
-            while let Some((t, tok)) = q.front().cloned() {
-                let ch = ctx.ch(self.outs[port]);
-                if !ch.can_send() {
+            while let Some((times, tok)) = q.front_mut() {
+                let ch = ctx.chans.get_mut(self.outs[port]);
+                let free = ch.free_slots();
+                if free == 0 {
                     self.blocked = Some(Blocked::Output(self.outs[port]));
                     break;
                 }
-                ch.send(t, tok);
-                q.pop_front();
-                progress = true;
+                if free >= times.count {
+                    let (times, tok) = q.pop_front().expect("front exists");
+                    let ch = ctx.chans.get_mut(self.outs[port]);
+                    ch.send_run(times, tok);
+                    self.staged[port] -= times.count;
+                    progress = true;
+                } else {
+                    // Partial: send what fits, keep the tail staged.
+                    let head = times.prefix(free);
+                    *times = times.advance(free);
+                    let tok = tok.clone();
+                    let ch = ctx.chans.get_mut(self.outs[port]);
+                    ch.send_run(head, tok);
+                    self.staged[port] -= free;
+                    progress = true;
+                }
             }
-            if q.len() > PORT_STAGING {
+            if self.staged[port] > PORT_STAGING {
                 may_step = false;
             }
         }
         if may_step && self.finishing && !self.done {
             // Finish only once everything is delivered.
-            if self.outbox.iter().all(VecDeque::is_empty) {
+            if self.staged.iter().all(|&s| s == 0) {
                 self.finish(ctx);
                 progress = true;
             } else {
@@ -354,7 +470,7 @@ impl Io {
     /// Peeks input `port`'s head token, if it is ready within the
     /// engine's current time horizon. A miss records the port as the
     /// node's blocker.
-    pub fn peek<'c>(&mut self, ctx: &'c Ctx<'_>, port: usize) -> Option<&'c (u64, Token)> {
+    pub fn peek<'c>(&mut self, ctx: &'c Ctx<'_>, port: usize) -> Option<(u64, &'c Token)> {
         let head = ctx
             .chans
             .get(self.ins[port])
@@ -381,10 +497,52 @@ impl Io {
         tok
     }
 
+    /// Bulk pop: consumes up to `max` copies of input `port`'s head run
+    /// (visible within the horizon), for a consumer whose clock advances
+    /// by `pace` cycles after each token. Advances the local clock to the
+    /// last dequeue time (the caller adds its trailing `pace`), counts
+    /// values, and leaves the dequeue-time pieces in [`Io::popped`].
+    /// Returns `None` — recording the port as the blocker — when nothing
+    /// is visible.
+    pub fn pop_run(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: usize,
+        pace: u64,
+        max: u64,
+    ) -> Option<(Token, u64)> {
+        self.popped.clear();
+        let horizon = ctx.horizon;
+        let ch = ctx.ch(self.ins[port]);
+        match ch.pop_run(self.time, pace, horizon, max, &mut self.popped) {
+            Some((tok, k)) => {
+                let last = self.popped.last().expect("non-empty pop").last();
+                self.time = self.time.max(last);
+                if tok.is_val() {
+                    self.stats.values_in += k;
+                }
+                Some((tok, k))
+            }
+            None => {
+                self.blocked = Some(Blocked::Input(self.ins[port]));
+                None
+            }
+        }
+    }
+
     /// Charges `cycles` of busy processing time.
     pub fn busy(&mut self, cycles: u64) {
         self.time += cycles;
         self.stats.busy_cycles += cycles;
+    }
+
+    /// Charges the trailing per-token cost of a bulk step: `count` tokens
+    /// of `cycles` each were processed, with all but the last already
+    /// folded into the dequeue pacing — the clock advances by one
+    /// `cycles`, the busy counter by `count * cycles`.
+    pub fn busy_run(&mut self, count: u64, cycles: u64) {
+        self.time += cycles;
+        self.stats.busy_cycles += count * cycles;
     }
 }
 
@@ -534,7 +692,7 @@ mod tests {
         pub store: SharedStore,
         pub cfg: SimConfig,
         pub seq: u64,
-        pub responses: VecDeque<(u64, u64)>,
+        pub responses: VecDeque<RespRun>,
     }
 
     impl Fixture {
@@ -607,7 +765,7 @@ mod tests {
         // node may still step; one more and it stalls.
         let mut fx = Fixture::new(&[1]);
         let mut io = Io::new(&out_node(1));
-        for k in 0..(1 + PORT_STAGING as u64) {
+        for k in 0..(1 + PORT_STAGING) {
             io.push(0, val(k));
         }
         let mut ctx = fx.ctx(u64::MAX);
@@ -622,6 +780,56 @@ mod tests {
         let (progress, _) = io.flush(&mut ctx);
         assert!(progress);
         assert_eq!(fx.channels[0].len(), 1);
+    }
+
+    #[test]
+    fn allowance_mirrors_the_staging_gate() {
+        // out_allowance = free slots + staging allowance + 1: exactly the
+        // number of tokens the per-token loop would process before the
+        // post-flush staging gate stalls the node.
+        let mut fx = Fixture::new(&[4]);
+        let mut io = Io::new(&out_node(1));
+        let ctx = fx.ctx(u64::MAX);
+        assert_eq!(io.out_allowance(&ctx, 0), 4 + PORT_STAGING + 1);
+        io.push(0, val(1));
+        let ctx = fx.ctx(u64::MAX);
+        assert_eq!(io.out_allowance(&ctx, 0), 4 + PORT_STAGING);
+    }
+
+    #[test]
+    fn identical_pushes_stage_as_one_run() {
+        // A burst of the same token at one local time stages as a single
+        // run entry; flushing sends it as one bulk channel op that the
+        // port rule spreads over consecutive cycles.
+        let mut fx = Fixture::new(&[8]);
+        let mut io = Io::new(&out_node(1));
+        io.push_run(0, TimeRun::new(0, 0, 5), val(7));
+        assert_eq!(io.stats.values_out, 5);
+        let mut ctx = fx.ctx(u64::MAX);
+        let (progress, may_step) = io.flush(&mut ctx);
+        assert!(progress && may_step);
+        assert_eq!(fx.channels[0].len(), 5);
+        assert_eq!(fx.channels[0].runs(), 1);
+        assert_eq!(fx.channels[0].sent_runs(), 1);
+    }
+
+    #[test]
+    fn pop_run_advances_clock_and_counts_values() {
+        let node = Node {
+            op: OpKind::Zip,
+            inputs: vec![EdgeId(0)],
+            outputs: vec![],
+            label: String::new(),
+        };
+        let mut io = Io::new(&node);
+        let mut fx = Fixture::new(&[8]);
+        fx.channels[0].send_run(TimeRun::new(3, 0, 4), val(1)); // ready 3..6
+        let mut ctx = fx.ctx(u64::MAX);
+        let (tok, k) = io.pop_run(&mut ctx, 0, 0, 16).unwrap();
+        assert_eq!((tok, k), (val(1), 4));
+        assert_eq!(io.popped, vec![TimeRun::new(3, 1, 4)]);
+        assert_eq!(io.time, 6);
+        assert_eq!(io.stats.values_in, 4);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use step_core::Elem;
 use step_core::error::{Result, StepError};
 use step_core::graph::Node;
 use step_core::ops::{LinearLoadCfg, RandomAccessCfg};
+use step_core::tile::Tile;
 use step_core::token::Token;
 
 /// Soft cap on requests a node keeps in flight under a queued sink: the
@@ -28,19 +29,24 @@ use step_core::token::Token;
 /// whole block (`LinearOffChipLoad` issues `nr*nc` requests per
 /// reference), so pipelining can overshoot the cap by up to one block.
 /// Immediate sinks drain within the fire, so the cap never binds there.
-const HBM_PIPELINE: usize = 2 * BUDGET;
+const HBM_PIPELINE: usize = 2 * BUDGET as usize;
 
-/// A pending emission: either a tile awaiting its completion or a
-/// structural token already stamped at issue time.
+/// A pending emission: a *run* of tiles awaiting their completions, or a
+/// structural token already stamped at issue time. A whole row of tile
+/// requests is one entry (consecutive sequence numbers, tensor indices
+/// advancing by `idx_stride`), so the pending FIFO scales with block
+/// rows, not tiles.
 enum PendingEmit {
-    /// Response `seq` will carry the completion time; `gr`/`gc` locate
-    /// the tile in the stored tensor's grid and `row_stop` appends a
-    /// level-1 stop after it.
-    Tile {
-        seq: u64,
-        gr: u64,
-        gc: u64,
-        row_stop: bool,
+    /// Responses `seq0..seq0 + count` carry the completion times;
+    /// `idx0 + j * idx_stride` locates tile `j` in the stored tensor
+    /// (interpretation is the operator's), and `row_stop_last` appends a
+    /// level-1 stop after the final tile.
+    Tiles {
+        seq0: u64,
+        count: u64,
+        idx0: u64,
+        idx_stride: u64,
+        row_stop_last: bool,
     },
     /// A token emitted as-is at a time fixed at issue.
     Mark { time: u64, token: Token },
@@ -49,29 +55,46 @@ enum PendingEmit {
 /// The shared drain loop over a node's pending-emission FIFO: marks emit
 /// eagerly at their issue-time stamps, tiles wait for their completion
 /// (recording [`Blocked::Hbm`] when it has not arrived), and the closure
-/// materializes a completed tile entry as output tokens.
+/// materializes one completed tile — identified by its tensor index —
+/// as output tokens.
 macro_rules! drain_pending {
-    ($self:ident, $ctx:ident, |$done:ident, $gr:ident, $gc:ident, $row_stop:ident| $emit:block) => {{
+    ($self:ident, $ctx:ident, |$done:ident, $idx:ident, $row_stop:ident| $emit:block) => {{
         let mut progress = false;
-        while let Some(front) = $self.pending.front() {
+        loop {
+            let Some(front) = $self.pending.front() else {
+                break;
+            };
             match *front {
                 PendingEmit::Mark { time, ref token } => {
                     let token = token.clone();
                     $self.io.push_at(0, time, token);
                     $self.pending.pop_front();
+                    $self.on_mark_popped();
                 }
-                PendingEmit::Tile {
-                    seq,
-                    gr: $gr,
-                    gc: $gc,
-                    row_stop: $row_stop,
+                PendingEmit::Tiles {
+                    seq0,
+                    count,
+                    idx0,
+                    idx_stride,
+                    row_stop_last,
                 } => {
-                    let Some($done) = $ctx.hbm.take_response(seq) else {
+                    let Some($done) = $ctx.hbm.take_response(seq0) else {
                         $self.io.blocked = Some(Blocked::Hbm);
                         break;
                     };
+                    let $idx = idx0;
+                    let $row_stop = row_stop_last && count == 1;
                     $emit
-                    $self.pending.pop_front();
+                    if count == 1 {
+                        $self.pending.pop_front();
+                    } else if let Some(PendingEmit::Tiles {
+                        seq0, count, idx0, ..
+                    }) = $self.pending.front_mut()
+                    {
+                        *seq0 += 1;
+                        *count -= 1;
+                        *idx0 += idx_stride;
+                    }
                 }
             }
             progress = true;
@@ -86,6 +109,10 @@ pub struct LinearLoadNode {
     io: Io,
     cfg: LinearLoadCfg,
     pending: VecDeque<PendingEmit>,
+    /// Pending emissions in flight — tiles *plus* separator marks,
+    /// exactly the entry count the per-tile FIFO used to have, so the
+    /// pipeline cap stalls at the same point it always did.
+    in_flight: u64,
     /// A completed block awaits its separator stop (the block-emitter
     /// rule shared by every block-expanding operator).
     sep_pending: bool,
@@ -97,8 +124,14 @@ impl LinearLoadNode {
             io: Io::new(node),
             cfg,
             pending: VecDeque::new(),
+            in_flight: 0,
             sep_pending: false,
         }
+    }
+
+    /// Mark entries count toward the pipeline cap (macro hook).
+    fn on_mark_popped(&mut self) {
+        self.in_flight -= 1;
     }
 
     /// Issues one block of tile requests; emission happens as completions
@@ -106,10 +139,10 @@ impl LinearLoadNode {
     fn issue_block(&mut self, ctx: &mut Ctx<'_>) {
         let (nr, nc) = self.cfg.shape_tiled;
         let (sr, sc) = self.cfg.stride_tiled;
-        let grid_cols = self.cfg.grid().1.max(1);
         let tile_bytes = self.cfg.tile_bytes();
         let issue = self.io.time;
         if self.sep_pending {
+            self.in_flight += 1;
             self.pending.push_back(PendingEmit::Mark {
                 time: issue,
                 token: Token::Stop(2),
@@ -118,18 +151,27 @@ impl LinearLoadNode {
         self.sep_pending = true;
         let mut k = 0u64;
         for i in 0..nr {
+            let mut seq0 = 0;
             for j in 0..nc {
                 let idx = i * sr + j * sc;
                 let addr = self.cfg.base_addr + idx * tile_bytes;
                 // Requests issue pipelined at one per cycle; completions
                 // are bounded by the shared HBM bus.
                 let seq = ctx.hbm.request(addr, tile_bytes, issue + k, false);
+                if j == 0 {
+                    seq0 = seq;
+                }
                 k += 1;
-                self.pending.push_back(PendingEmit::Tile {
-                    seq,
-                    gr: idx / grid_cols,
-                    gc: idx % grid_cols,
-                    row_stop: j + 1 == nc && i + 1 < nr,
+            }
+            if nc > 0 {
+                self.in_flight += nc;
+                // One pending entry per row of tiles.
+                self.pending.push_back(PendingEmit::Tiles {
+                    seq0,
+                    count: nc,
+                    idx0: i * sr,
+                    idx_stride: sc,
+                    row_stop_last: i + 1 < nr,
                 });
             }
         }
@@ -138,10 +180,85 @@ impl LinearLoadNode {
         self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(2 * tile_bytes);
     }
 
-    /// Emits every pending entry whose completion has arrived.
+    /// Emits every pending entry whose completion has arrived. Timing
+    /// runs (no registered tensors) read every tile back as the same
+    /// shape-only payload, so a stretch of completed requests emits as
+    /// one run: one completion-run pickup, one payload, one outbox entry.
     fn drain(&mut self, ctx: &mut Ctx<'_>) -> bool {
         let (tr, tc) = self.cfg.tile_shape;
-        drain_pending!(self, ctx, |done, gr, gc, row_stop| {
+        if ctx.store.is_empty() {
+            let mut progress = false;
+            loop {
+                match self.pending.front() {
+                    None => break,
+                    Some(PendingEmit::Mark { time, token }) => {
+                        let (time, token) = (*time, token.clone());
+                        self.io.push_at(0, time, token);
+                        self.pending.pop_front();
+                        self.in_flight -= 1;
+                    }
+                    Some(&PendingEmit::Tiles {
+                        seq0,
+                        count,
+                        row_stop_last,
+                        ..
+                    }) => {
+                        // All but a trailing row stop emit as one run of
+                        // the same shape-only tile.
+                        let plain = if row_stop_last { count - 1 } else { count };
+                        if plain > 0 {
+                            let Some(dones) = ctx.hbm.take_response_run(seq0, plain) else {
+                                self.io.blocked = Some(Blocked::Hbm);
+                                break;
+                            };
+                            let k = dones.count;
+                            self.in_flight -= k;
+                            let tile = Tile::phantom(tr as usize, tc as usize);
+                            self.io.push_run(0, dones, Token::Val(Elem::Tile(tile)));
+                            if k < count {
+                                if let Some(PendingEmit::Tiles { seq0, count, .. }) =
+                                    self.pending.front_mut()
+                                {
+                                    *seq0 += k;
+                                    *count -= k;
+                                }
+                                if k < plain {
+                                    // More plain tiles await responses.
+                                    progress = true;
+                                    continue;
+                                }
+                            } else {
+                                self.pending.pop_front();
+                                progress = true;
+                                continue;
+                            }
+                        }
+                        // The row-closing tile: emit tile + Stop(1).
+                        let Some((seq, _)) = self.pending.front().and_then(|e| match e {
+                            &PendingEmit::Tiles { seq0, count, .. } => Some((seq0, count)),
+                            _ => None,
+                        }) else {
+                            break;
+                        };
+                        let Some(done) = ctx.hbm.take_response(seq) else {
+                            self.io.blocked = Some(Blocked::Hbm);
+                            break;
+                        };
+                        self.in_flight -= 1;
+                        let tile = Tile::phantom(tr as usize, tc as usize);
+                        self.io.push_at(0, done, Token::Val(Elem::Tile(tile)));
+                        self.io.push_at(0, done, Token::Stop(1));
+                        self.pending.pop_front();
+                    }
+                }
+                progress = true;
+            }
+            return progress;
+        }
+        drain_pending!(self, ctx, |done, idx, row_stop| {
+            self.in_flight -= 1;
+            let grid_cols = self.cfg.grid().1.max(1);
+            let (gr, gc) = (idx / grid_cols, idx % grid_cols);
             let tile = ctx.store.read_tile(
                 self.cfg.base_addr,
                 (gr * tr) as usize,
@@ -156,26 +273,26 @@ impl LinearLoadNode {
         })
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+    fn step(&mut self, ctx: &mut Ctx<'_>, _budget: u64) -> Result<u64> {
         // A draining step ends before the next issue so the flush between
         // steps applies output backpressure exactly like the synchronous
         // implementation did (the staging gate must see the emissions
         // before the node consumes further input).
         if self.drain(ctx) {
-            return Ok(true);
+            return Ok(1);
         }
-        if self.pending.len() >= HBM_PIPELINE {
-            return Ok(false);
+        if self.in_flight >= HBM_PIPELINE as u64 {
+            return Ok(0);
         }
         // Structural reference tokens wait for in-flight blocks so the
         // separator algebra observes emissions in order.
         let head_is_val = match self.io.peek(ctx, 0) {
-            None => return Ok(false),
+            None => return Ok(0),
             Some((_, tok)) => tok.is_val(),
         };
         if !head_is_val && !self.pending.is_empty() {
             self.io.blocked = Some(Blocked::Hbm);
-            return Ok(false);
+            return Ok(0);
         }
         match self.io.pop(ctx, 0) {
             Token::Val(_) => self.issue_block(ctx),
@@ -191,7 +308,7 @@ impl LinearLoadNode {
                 self.io.push_done_all();
             }
         }
-        Ok(true)
+        Ok(1)
     }
 }
 
@@ -229,8 +346,8 @@ impl LinearStoreNode {
         progress
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
-        let drained = self.drain(ctx);
+    fn step(&mut self, ctx: &mut Ctx<'_>, _budget: u64) -> Result<u64> {
+        let drained = self.drain(ctx) as u64;
         if self.outstanding >= HBM_PIPELINE {
             return Ok(drained);
         }
@@ -267,7 +384,7 @@ impl LinearStoreNode {
                 self.io.push_done_all();
             }
         }
-        Ok(true)
+        Ok(1)
     }
 }
 
@@ -289,14 +406,17 @@ impl RandomLoadNode {
         }
     }
 
+    /// Pipeline cap counts pending entries directly here (macro hook).
+    fn on_mark_popped(&mut self) {}
+
     fn drain(&mut self, ctx: &mut Ctx<'_>) -> bool {
         let (tr, tc) = self.cfg.tile_shape;
-        drain_pending!(self, ctx, |done, gr, _gc, _row_stop| {
+        drain_pending!(self, ctx, |done, idx, _row_stop| {
             // Functional payload: tiles are addressed as a vertical stack
             // below the configured base.
             let tile = ctx.store.read_tile(
                 self.cfg.base_addr,
-                (gr * tr) as usize,
+                (idx * tr) as usize,
                 0,
                 tr as usize,
                 tc as usize,
@@ -305,20 +425,20 @@ impl RandomLoadNode {
         })
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+    fn step(&mut self, ctx: &mut Ctx<'_>, _budget: u64) -> Result<u64> {
         if self.drain(ctx) {
-            return Ok(true);
+            return Ok(1);
         }
         if self.pending.len() >= HBM_PIPELINE {
-            return Ok(false);
+            return Ok(0);
         }
         let head_is_done = match self.io.peek(ctx, 0) {
-            None => return Ok(false),
+            None => return Ok(0),
             Some((_, tok)) => matches!(tok, Token::Done),
         };
         if head_is_done && !self.pending.is_empty() {
             self.io.blocked = Some(Blocked::Hbm);
-            return Ok(false);
+            return Ok(0);
         }
         match self.io.pop(ctx, 0) {
             Token::Val(e) => {
@@ -330,11 +450,12 @@ impl RandomLoadNode {
                 // flight.
                 let seq = ctx.hbm.request(addr, bytes, self.io.time, false);
                 let tile_idx = addr.saturating_sub(self.cfg.base_addr) / bytes.max(1);
-                self.pending.push_back(PendingEmit::Tile {
-                    seq,
-                    gr: tile_idx,
-                    gc: 0,
-                    row_stop: false,
+                self.pending.push_back(PendingEmit::Tiles {
+                    seq0: seq,
+                    count: 1,
+                    idx0: tile_idx,
+                    idx_stride: 0,
+                    row_stop_last: false,
                 });
                 self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(2 * bytes);
             }
@@ -344,7 +465,7 @@ impl RandomLoadNode {
             }),
             Token::Done => self.io.push_done_all(),
         }
-        Ok(true)
+        Ok(1)
     }
 }
 
@@ -367,26 +488,29 @@ impl RandomStoreNode {
         }
     }
 
+    /// Pipeline cap counts pending entries directly here (macro hook).
+    fn on_mark_popped(&mut self) {}
+
     fn drain(&mut self, ctx: &mut Ctx<'_>) -> bool {
-        drain_pending!(self, ctx, |done, _gr, _gc, _row_stop| {
+        drain_pending!(self, ctx, |done, _idx, _row_stop| {
             self.io.push_at(0, done, Token::Val(Elem::Bool(true)));
         })
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+    fn step(&mut self, ctx: &mut Ctx<'_>, _budget: u64) -> Result<u64> {
         if self.drain(ctx) {
-            return Ok(true);
+            return Ok(1);
         }
         if self.pending.len() >= HBM_PIPELINE {
-            return Ok(false);
+            return Ok(0);
         }
         if self.io.peek(ctx, 0).is_none() || self.io.peek(ctx, 1).is_none() {
-            return Ok(false);
+            return Ok(0);
         }
-        let heads_done = matches!(self.io.peek(ctx, 0), Some(&(_, Token::Done)));
+        let heads_done = matches!(self.io.peek(ctx, 0), Some((_, Token::Done)));
         if heads_done && !self.pending.is_empty() {
             self.io.blocked = Some(Blocked::Hbm);
-            return Ok(false);
+            return Ok(0);
         }
         let a = self.io.pop(ctx, 0);
         let d = self.io.pop(ctx, 1);
@@ -401,11 +525,12 @@ impl RandomStoreNode {
                     addr.saturating_sub(self.cfg.base_addr) / self.cfg.tile_bytes().max(1);
                 ctx.store
                     .write_tile(self.cfg.base_addr, (tile_idx * tr) as usize, 0, tile);
-                self.pending.push_back(PendingEmit::Tile {
-                    seq,
-                    gr: 0,
-                    gc: 0,
-                    row_stop: false,
+                self.pending.push_back(PendingEmit::Tiles {
+                    seq0: seq,
+                    count: 1,
+                    idx0: 0,
+                    idx_stride: 0,
+                    row_stop_last: false,
                 });
                 self.io.stats.onchip_bytes = self.io.stats.onchip_bytes.max(2 * bytes);
             }
@@ -422,7 +547,7 @@ impl RandomStoreNode {
                 )));
             }
         }
-        Ok(true)
+        Ok(1)
     }
 }
 

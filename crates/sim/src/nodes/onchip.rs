@@ -1,8 +1,15 @@
 //! On-chip memory operators (Table 4): `Bufferize` and `Streamify`.
+//!
+//! Both move whole runs per step: `Bufferize` absorbs a run of repeated
+//! elements with one bulk pop (the per-element memory-port cost paces
+//! the dequeues), and `Streamify` emits stretches of equal buffered
+//! elements as strided runs (one entry per stretch instead of one per
+//! element).
 
 use super::basic::impl_simnode_common;
 use super::{BUDGET, BlockEmitter, Ctx, Io, SimNode, mem_cycles};
 use crate::arena::StoredBuffer;
+use crate::run::TimeRun;
 use crate::stats::NodeStats;
 use step_core::Elem;
 use step_core::elem::BufRef;
@@ -65,20 +72,27 @@ impl BufferizeNode {
         self.extents.iter_mut().for_each(|e| *e = 0);
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
-        if self.io.peek(ctx, 0).is_none() {
-            return Ok(false);
+    fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
+        let cost = match self.io.peek(ctx, 0) {
+            None => return Ok(0),
+            Some((_, Token::Val(e))) => {
+                let bytes = e.bytes();
+                Some((bytes, mem_cycles(bytes, ctx.cfg)))
+            }
+            Some(_) => None,
+        };
+        if let Some((bytes, cost)) = cost {
+            let (tok, k) = self.io.pop_run(ctx, 0, cost, budget).expect("visible head");
+            let e = tok.into_val()?;
+            self.max_elem_bytes = self.max_elem_bytes.max(bytes);
+            self.bytes += k * bytes;
+            self.counts[0] += k;
+            self.elems.extend(std::iter::repeat_n(e, k as usize));
+            self.io.busy_run(k, cost);
+            return Ok(k);
         }
         match self.io.pop(ctx, 0) {
-            Token::Val(e) => {
-                let bytes = e.bytes();
-                self.max_elem_bytes = self.max_elem_bytes.max(bytes);
-                self.bytes += bytes;
-                self.counts[0] += 1;
-                self.elems.push(e);
-                let cost = mem_cycles(bytes, ctx.cfg);
-                self.io.busy(cost);
-            }
+            Token::Val(_) => unreachable!("head checked above"),
             Token::Stop(s) => {
                 self.close_levels(s);
                 if s >= self.rank {
@@ -97,7 +111,7 @@ impl BufferizeNode {
                 self.io.push_done_all();
             }
         }
-        Ok(true)
+        Ok(1)
     }
 }
 
@@ -117,6 +131,38 @@ pub struct StreamifyNode {
     current_id: Option<u64>,
     emitter: BlockEmitter,
     block_rank: u8,
+}
+
+/// Accumulates consecutive equal buffered elements into one strided
+/// output run: per element, the memory port charges `cost` cycles and
+/// emits at the advanced clock, so a stretch of `n` equal elements
+/// leaves as `TimeRun { start: t0 + cost, stride: cost, count: n }`.
+struct BurstEmit {
+    pending: Option<(Elem, u64, u64)>, // (element, cost, count)
+}
+
+impl BurstEmit {
+    fn new() -> BurstEmit {
+        BurstEmit { pending: None }
+    }
+
+    fn emit(&mut self, io: &mut Io, elem: &Elem, cost: u64) {
+        match &mut self.pending {
+            Some((p, c, n)) if *c == cost && p.coalesces_with(elem) => *n += 1,
+            _ => {
+                self.flush(io);
+                self.pending = Some((elem.clone(), cost, 1));
+            }
+        }
+    }
+
+    fn flush(&mut self, io: &mut Io) {
+        if let Some((e, cost, n)) = self.pending.take() {
+            let start = io.time + cost;
+            io.busy(n * cost);
+            io.push_run(0, TimeRun::new(start, cost, n), Token::Val(e));
+        }
+    }
 }
 
 impl StreamifyNode {
@@ -168,6 +214,7 @@ impl StreamifyNode {
 
     fn emit_block(&mut self, ctx: &mut Ctx<'_>) -> Result<()> {
         let buf = self.current.as_ref().expect("buffer loaded").clone();
+        let mut burst = BurstEmit::new();
         match (self.cfg.shape, self.cfg.stride) {
             (Some((nr, nc)), stride) => {
                 let (sr, sc) = stride.unwrap_or((nc, 1));
@@ -181,9 +228,9 @@ impl StreamifyNode {
                             ))
                         })?;
                         let cost = mem_cycles(e.bytes(), ctx.cfg);
-                        self.io.busy(cost);
-                        self.io.push(0, Token::Val(e.clone()));
+                        burst.emit(&mut self.io, e, cost);
                         if j + 1 == nc && i + 1 < nr {
+                            burst.flush(&mut self.io);
                             self.io.push(0, Token::Stop(1));
                         }
                     }
@@ -202,8 +249,7 @@ impl StreamifyNode {
                 }
                 for (k, e) in buf.elems.iter().enumerate() {
                     let cost = mem_cycles(e.bytes(), ctx.cfg);
-                    self.io.busy(cost);
-                    self.io.push(0, Token::Val(e.clone()));
+                    burst.emit(&mut self.io, e, cost);
                     let pos = (k + 1) as u64;
                     if pos < total {
                         // Highest level whose run completes here.
@@ -214,21 +260,23 @@ impl StreamifyNode {
                             }
                         }
                         if level > 0 && level < self.block_rank {
+                            burst.flush(&mut self.io);
                             self.io.push(0, Token::Stop(level));
                         }
                     }
                 }
             }
         }
+        burst.flush(&mut self.io);
         Ok(())
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+    fn step(&mut self, ctx: &mut Ctx<'_>, _budget: u64) -> Result<u64> {
         match self.io.peek(ctx, 1) {
-            None => Ok(false),
+            None => Ok(0),
             Some((_, Token::Val(_))) => {
                 if !self.load_buffer(ctx)? {
-                    return Ok(false);
+                    return Ok(0);
                 }
                 let _ = self.io.pop(ctx, 1);
                 self.emitter.before_block(&mut self.io, 0, self.block_rank);
@@ -236,9 +284,9 @@ impl StreamifyNode {
                 if self.c == 0 {
                     self.current = None;
                 }
-                Ok(true)
+                Ok(1)
             }
-            Some(&(_, Token::Stop(s))) => {
+            Some((_, &Token::Stop(s))) => {
                 let _ = self.io.pop(ctx, 1);
                 self.emitter.on_stop(&mut self.io, 0, s, self.block_rank);
                 if s >= self.c && self.c > 0 {
@@ -246,7 +294,7 @@ impl StreamifyNode {
                     // Consume the aligned buffer-stream stop, if any.
                     if s > self.c {
                         match self.io.peek(ctx, 0) {
-                            Some(&(_, Token::Stop(bs))) if bs == s - self.c => {
+                            Some((_, &Token::Stop(bs))) if bs == s - self.c => {
                                 let _ = self.io.pop(ctx, 0);
                             }
                             _ => {
@@ -257,7 +305,7 @@ impl StreamifyNode {
                         }
                     }
                 }
-                Ok(true)
+                Ok(1)
             }
             Some((_, Token::Done)) => {
                 if let Some((_, Token::Done)) = self.io.peek(ctx, 0) {
@@ -270,7 +318,7 @@ impl StreamifyNode {
                 let _ = self.io.pop(ctx, 1);
                 self.emitter.on_done(&mut self.io, 0, self.block_rank);
                 self.io.push_done_all();
-                Ok(true)
+                Ok(1)
             }
         }
     }

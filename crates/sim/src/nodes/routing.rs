@@ -1,4 +1,8 @@
 //! Dynamic routing and merging operators (Table 6, §3.2.3).
+//!
+//! The arrival-order picks stay per-token (they compare head timestamps
+//! across inputs), but once an input is selected its chunk drains in
+//! bulk: a run of repeated values forwards as one channel operation.
 
 use super::basic::impl_simnode_common;
 use super::{BUDGET, Ctx, Io, SimNode};
@@ -44,7 +48,7 @@ impl ReassembleNode {
         // head token is ready earliest (ties broken by index).
         let mut best: Option<(u64, u32)> = None;
         for &i in &self.remaining {
-            if let Some(&(t, _)) = self.io.peek(ctx, i as usize)
+            if let Some((t, _)) = self.io.peek(ctx, i as usize)
                 && best.is_none_or(|(bt, bi)| t < bt || (t == bt && i < bi))
             {
                 best = Some((t, i));
@@ -53,14 +57,27 @@ impl ReassembleNode {
         best.map(|(_, i)| i)
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+    fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
         // Drain the active chunk first: never interleave.
         if let Some(i) = self.active {
-            if self.io.peek(ctx, i as usize).is_none() {
-                return Ok(false);
+            let head_is_val = match self.io.peek(ctx, i as usize) {
+                None => return Ok(0),
+                Some((_, tok)) => tok.is_val(),
+            };
+            if head_is_val {
+                let allow = self.io.out_allowance(ctx, 0).min(budget);
+                let (tok, k) = self
+                    .io
+                    .pop_run(ctx, i as usize, 0, allow)
+                    .expect("visible head");
+                for pi in 0..self.io.popped.len() {
+                    let piece = self.io.popped[pi];
+                    self.io.push_run(0, piece, tok.clone());
+                }
+                return Ok(k);
             }
             match self.io.pop(ctx, i as usize) {
-                Token::Val(v) => self.io.push(0, Token::Val(v)),
+                Token::Val(_) => unreachable!("head checked above"),
                 Token::Stop(s) if s < self.rank => self.io.push(0, Token::Stop(s)),
                 Token::Stop(s) if s == self.rank => {
                     self.remaining.retain(|&x| x != i);
@@ -77,21 +94,21 @@ impl ReassembleNode {
                     )));
                 }
             }
-            return Ok(true);
+            return Ok(1);
         }
         if !self.remaining.is_empty() {
             match self.pick_input(ctx) {
                 Some(i) => {
                     self.active = Some(i);
-                    return Ok(true);
+                    return Ok(1);
                 }
-                None => return Ok(false),
+                None => return Ok(0),
             }
         }
         // Need the next selector token.
         let sp = self.sel_port();
         match self.io.peek(ctx, sp) {
-            None => Ok(false),
+            None => Ok(0),
             Some((_, Token::Val(_))) => {
                 let sel = self.io.pop(ctx, sp).into_val()?;
                 let sel = sel.as_sel()?.clone();
@@ -106,13 +123,13 @@ impl ReassembleNode {
                     self.pending_group_stop = false;
                 }
                 self.remaining = sel.targets().to_vec();
-                Ok(true)
+                Ok(1)
             }
-            Some(&(_, Token::Stop(k))) => {
+            Some((_, &Token::Stop(k))) => {
                 let _ = self.io.pop(ctx, sp);
                 self.io.push(0, Token::Stop(k + self.rank + 1));
                 self.pending_group_stop = false;
-                Ok(true)
+                Ok(1)
             }
             Some((_, Token::Done)) => {
                 let _ = self.io.pop(ctx, sp);
@@ -121,7 +138,7 @@ impl ReassembleNode {
                     self.pending_group_stop = false;
                 }
                 self.io.push_done_all();
-                Ok(true)
+                Ok(1)
             }
         }
     }
@@ -150,10 +167,25 @@ impl EagerMergeNode {
         }
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+    fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
         if let Some(i) = self.active {
-            if self.io.peek(ctx, i as usize).is_none() {
-                return Ok(false);
+            let head_is_val = match self.io.peek(ctx, i as usize) {
+                None => return Ok(0),
+                Some((_, tok)) => tok.is_val(),
+            };
+            if head_is_val && self.rank > 0 {
+                // Rank-0 chunks re-enter arrival-order arbitration after
+                // every value; only ranked chunks drain in bulk.
+                let allow = self.io.out_allowance(ctx, 0).min(budget);
+                let (tok, k) = self
+                    .io
+                    .pop_run(ctx, i as usize, 0, allow)
+                    .expect("visible head");
+                for pi in 0..self.io.popped.len() {
+                    let piece = self.io.popped[pi];
+                    self.io.push_run(0, piece, tok.clone());
+                }
+                return Ok(k);
             }
             match self.io.pop(ctx, i as usize) {
                 Token::Val(v) => {
@@ -179,7 +211,7 @@ impl EagerMergeNode {
                     )));
                 }
             }
-            return Ok(true);
+            return Ok(1);
         }
         // Pick the earliest-ready input head; retire finished inputs.
         // The engine's horizon-windowed execution keeps host order aligned
@@ -190,11 +222,11 @@ impl EagerMergeNode {
             if self.finished[i as usize] {
                 continue;
             }
-            if let Some(&(t, ref tok)) = self.io.peek(ctx, i as usize) {
+            if let Some((t, tok)) = self.io.peek(ctx, i as usize) {
                 if matches!(tok, Token::Done) {
                     let _ = self.io.pop(ctx, i as usize);
                     self.finished[i as usize] = true;
-                    return Ok(true);
+                    return Ok(1);
                 }
                 if best.is_none_or(|(bt, bi)| t < bt || (t == bt && i < bi)) {
                     best = Some((t, i));
@@ -205,14 +237,14 @@ impl EagerMergeNode {
             Some((_, i)) => {
                 self.active = Some(i);
                 self.io.push(1, Token::Val(Elem::Sel(Selector::one(i))));
-                Ok(true)
+                Ok(1)
             }
             None => {
                 if self.finished.iter().all(|&f| f) {
                     self.io.push_done_all();
-                    Ok(true)
+                    Ok(1)
                 } else {
-                    Ok(false)
+                    Ok(0)
                 }
             }
         }

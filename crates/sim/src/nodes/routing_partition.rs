@@ -13,7 +13,8 @@ use step_core::token::Token;
 /// Chunk-closing stops are emitted eagerly; when a chunk ends exactly at
 /// an outer boundary the incoming stream already carries the absorbed
 /// higher-level stop, so a one-token lookahead distinguishes "more chunks
-/// follow" from "group/stream ends here".
+/// follow" from "group/stream ends here". A run of values inside a chunk
+/// shares one selector, so it replicates to the selected outputs in bulk.
 pub struct PartitionNode {
     io: Io,
     rank: u8,
@@ -63,7 +64,7 @@ impl PartitionNode {
 
     fn consume_selector_stop(&mut self, ctx: &mut Ctx<'_>, level: u8) -> Result<()> {
         match self.io.peek(ctx, 1) {
-            Some(&(_, Token::Stop(k))) if k == level => {
+            Some((_, &Token::Stop(k))) if k == level => {
                 let _ = self.io.pop(ctx, 1);
                 Ok(())
             }
@@ -81,26 +82,26 @@ impl PartitionNode {
         }
     }
 
-    fn step(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+    fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
         // A chunk just ended: look ahead to decide between an eager
         // Stop(rank) and an absorbed higher-level stop.
         if let Some(closing) = self.closing.clone() {
             match self.io.peek(ctx, 0) {
-                None => return Ok(false),
+                None => return Ok(0),
                 Some((_, Token::Val(_))) => {
                     for t in closing {
                         self.io.push(t as usize, Token::Stop(self.rank));
                     }
                     self.closing = None;
-                    return Ok(true);
+                    return Ok(1);
                 }
-                Some(&(_, Token::Stop(s))) => {
+                Some((_, &Token::Stop(s))) => {
                     debug_assert!(s > self.rank, "chunk already closed");
                     let _ = self.io.pop(ctx, 0);
                     self.emit_outer_stop(s);
                     self.consume_selector_stop(ctx, s - self.rank)?;
                     self.closing = None;
-                    return Ok(true);
+                    return Ok(1);
                 }
                 Some((_, Token::Done)) => {
                     let _ = self.io.pop(ctx, 0);
@@ -109,26 +110,36 @@ impl PartitionNode {
                     }
                     self.closing = None;
                     self.io.push_done_all();
-                    return Ok(true);
+                    return Ok(1);
                 }
             }
         }
-        match self.io.peek(ctx, 0) {
-            None => Ok(false),
-            Some((_, Token::Val(_))) => {
-                if !self.need_selector(ctx)? {
-                    return Ok(false);
-                }
-                let v = self.io.pop(ctx, 0).into_val()?;
-                let targets = self.targets.clone().expect("selected above");
-                for t in targets {
-                    self.had_content[t as usize] = true;
-                    self.io.push(t as usize, Token::Val(v.clone()));
-                }
-                Ok(true)
+        let head_is_val = match self.io.peek(ctx, 0) {
+            None => return Ok(0),
+            Some((_, tok)) => tok.is_val(),
+        };
+        if head_is_val {
+            if !self.need_selector(ctx)? {
+                return Ok(0);
             }
-            Some(&(_, Token::Stop(s))) => {
-                let _ = self.io.pop(ctx, 0);
+            let targets = self.targets.clone().expect("selected above");
+            let mut allow = budget;
+            for &t in &targets {
+                allow = allow.min(self.io.out_allowance(ctx, t as usize));
+            }
+            let (tok, k) = self.io.pop_run(ctx, 0, 0, allow).expect("visible head");
+            for &t in &targets {
+                self.had_content[t as usize] = true;
+                for pi in 0..self.io.popped.len() {
+                    let piece = self.io.popped[pi];
+                    self.io.push_run(t as usize, piece, tok.clone());
+                }
+            }
+            return Ok(k);
+        }
+        match self.io.pop(ctx, 0) {
+            Token::Val(_) => unreachable!("head checked above"),
+            Token::Stop(s) => {
                 if s < self.rank {
                     let targets = self.targets.clone().ok_or_else(|| {
                         StepError::Exec("partition: chunk-internal stop before selector".into())
@@ -144,12 +155,11 @@ impl PartitionNode {
                     self.emit_outer_stop(s);
                     self.consume_selector_stop(ctx, s - self.rank)?;
                 }
-                Ok(true)
+                Ok(1)
             }
-            Some((_, Token::Done)) => {
-                let _ = self.io.pop(ctx, 0);
+            Token::Done => {
                 self.io.push_done_all();
-                Ok(true)
+                Ok(1)
             }
         }
     }

@@ -1,0 +1,329 @@
+//! Arithmetic time runs: the core of the bulk token-transport layer.
+//!
+//! A [`TimeRun`] is a finite arithmetic sequence of simulation times —
+//! `start, start + stride, start + 2*stride, …` — standing in for a list
+//! of per-token timestamps that is never materialized. Channels store
+//! their queued tokens and free slots as runs, nodes exchange runs with
+//! their channels, and every per-token timestamp the old transport layer
+//! computed one `VecDeque` entry at a time is now derived from run
+//! arithmetic. The *semantics* are unchanged: each API that accepts or
+//! returns a run is defined as the exact per-token loop it replaces, and
+//! the differential property suite (`tests/prop_channel_runs.rs`) checks
+//! the equivalence token by token.
+
+/// A finite arithmetic sequence of times: `count` entries
+/// `start + i * stride` for `i in 0..count`.
+///
+/// `stride == 0` is allowed (all entries coincide) — producers such as
+/// `ExpandStatic` emit whole bursts at one local time and the channel
+/// port model spaces them out on send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeRun {
+    /// Time of the first entry.
+    pub start: u64,
+    /// Increment between consecutive entries.
+    pub stride: u64,
+    /// Number of entries (callers never construct empty runs).
+    pub count: u64,
+}
+
+impl TimeRun {
+    /// A run of one entry (stride is irrelevant; normalized to 1).
+    pub fn single(t: u64) -> TimeRun {
+        TimeRun {
+            start: t,
+            stride: 1,
+            count: 1,
+        }
+    }
+
+    /// A run of `count` entries starting at `start` with `stride`.
+    pub fn new(start: u64, stride: u64, count: u64) -> TimeRun {
+        TimeRun {
+            start,
+            stride,
+            count,
+        }
+    }
+
+    /// The `i`-th entry.
+    #[inline]
+    pub fn at(&self, i: u64) -> u64 {
+        self.start + i * self.stride
+    }
+
+    /// The last entry.
+    #[inline]
+    pub fn last(&self) -> u64 {
+        self.at(self.count - 1)
+    }
+
+    /// The time one stride past the last entry (where a continuation of
+    /// this sequence would fall).
+    #[inline]
+    pub fn next(&self) -> u64 {
+        self.start + self.count * self.stride
+    }
+
+    /// Shifts every entry by `delta` (e.g. adding transit latency or a
+    /// per-token processing cost).
+    #[inline]
+    pub fn offset(&self, delta: u64) -> TimeRun {
+        TimeRun {
+            start: self.start + delta,
+            ..*self
+        }
+    }
+
+    /// Drops the first `k` entries (`k < count`).
+    #[inline]
+    pub fn advance(&self, k: u64) -> TimeRun {
+        TimeRun {
+            start: self.at(k),
+            stride: self.stride,
+            count: self.count - k,
+        }
+    }
+
+    /// The first `k` entries (`0 < k <= count`).
+    #[inline]
+    pub fn prefix(&self, k: u64) -> TimeRun {
+        TimeRun {
+            start: self.start,
+            stride: self.stride,
+            count: k,
+        }
+    }
+
+    /// How many leading entries are `<= bound` (the horizon-visibility
+    /// count of a queued run).
+    pub fn visible_until(&self, bound: u64) -> u64 {
+        if self.start > bound {
+            return 0;
+        }
+        if self.stride == 0 {
+            return self.count;
+        }
+        ((bound - self.start) / self.stride)
+            .saturating_add(1)
+            .min(self.count)
+    }
+
+    /// Tries to append `other` so the combined entries still form one
+    /// arithmetic sequence; returns whether it succeeded. Singleton runs
+    /// adopt whatever stride the continuation implies.
+    pub fn try_extend(&mut self, other: TimeRun) -> bool {
+        debug_assert!(self.count > 0 && other.count > 0);
+        if self.count == 1 {
+            // Our stride is free: any non-negative gap to `other` works,
+            // as long as `other` itself continues at that same gap.
+            let gap = match other.start.checked_sub(self.start) {
+                Some(g) => g,
+                None => return false,
+            };
+            if other.count > 1 && other.stride != gap {
+                return false;
+            }
+            self.stride = gap;
+            self.count += other.count;
+            return true;
+        }
+        if other.start != self.next() {
+            return false;
+        }
+        if other.count > 1 && other.stride != self.stride {
+            return false;
+        }
+        self.count += other.count;
+        true
+    }
+}
+
+/// Upper envelope of affine sequences: appends `t_i = max_j (base_j +
+/// i * stride_j)` for `i in lo..hi` to `out` as coalesced runs. Arms use
+/// `i128` so callers may extrapolate a piece backwards past zero;
+/// every in-range value must be non-negative. The closed form behind
+/// bulk pops with coupled clocks (`Zip`): each `max(chain, ready_a,
+/// ready_b)` recurrence resolves to an envelope of at most three arms,
+/// so the whole run is computed in O(arms²) instead of per token.
+pub(crate) fn envelope_range(arms: &[(i128, i128)], lo: u64, hi: u64, out: &mut Vec<TimeRun>) {
+    debug_assert!(!arms.is_empty());
+    let mut i = lo;
+    let mut builder = RunBuilder::new();
+    while i < hi {
+        // Dominant arm at i: the largest value, ties to the largest
+        // stride so the piece extends as far as possible.
+        let (vb, sb) = arms
+            .iter()
+            .map(|&(b, s)| (b + i as i128 * s, s))
+            .max()
+            .expect("non-empty arms");
+        // First index where a steeper arm overtakes the dominant one.
+        let mut nxt = hi;
+        let c = vb - i as i128 * sb; // dominant arm extrapolated to 0
+        for &(b, s) in arms {
+            if s > sb {
+                // smallest j with b + j*s > c + j*sb
+                let j = (c - b).div_euclid(s - sb) + 1;
+                let j = j.max(i as i128 + 1) as u64;
+                nxt = nxt.min(j);
+            }
+        }
+        let count = nxt - i;
+        debug_assert!(vb >= 0 && sb >= 0);
+        builder.push_run(TimeRun::new(vb as u64, sb as u64, count), out);
+        i = nxt;
+    }
+    builder.finish(out);
+}
+
+/// Builds a minimal list of [`TimeRun`]s from a stream of individual
+/// times, coalescing arithmetic continuations on the fly. Used by the
+/// scalar "chase" loops that replay per-token timestamp recurrences
+/// without touching per-token storage.
+#[derive(Debug, Default)]
+pub struct RunBuilder {
+    cur: Option<TimeRun>,
+}
+
+impl RunBuilder {
+    /// A fresh builder.
+    pub fn new() -> RunBuilder {
+        RunBuilder::default()
+    }
+
+    /// Feeds the next time; pushes the previous run to `out` when the
+    /// sequence breaks.
+    #[inline]
+    pub fn push(&mut self, t: u64, out: &mut Vec<TimeRun>) {
+        match &mut self.cur {
+            None => self.cur = Some(TimeRun::single(t)),
+            Some(run) => {
+                if !run.try_extend(TimeRun::single(t)) {
+                    out.push(*run);
+                    self.cur = Some(TimeRun::single(t));
+                }
+            }
+        }
+    }
+
+    /// Feeds a whole run (must be non-empty).
+    #[inline]
+    pub fn push_run(&mut self, r: TimeRun, out: &mut Vec<TimeRun>) {
+        match &mut self.cur {
+            None => self.cur = Some(r),
+            Some(run) => {
+                if !run.try_extend(r) {
+                    out.push(*run);
+                    self.cur = Some(r);
+                }
+            }
+        }
+    }
+
+    /// Flushes the trailing run into `out`.
+    pub fn finish(self, out: &mut Vec<TimeRun>) {
+        if let Some(run) = self.cur {
+            out.push(run);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_last_next() {
+        let r = TimeRun::new(10, 3, 4); // 10 13 16 19
+        assert_eq!(r.at(2), 16);
+        assert_eq!(r.last(), 19);
+        assert_eq!(r.next(), 22);
+        assert_eq!(r.advance(2), TimeRun::new(16, 3, 2));
+        assert_eq!(r.prefix(1), TimeRun::new(10, 3, 1));
+        assert_eq!(r.offset(5).start, 15);
+    }
+
+    #[test]
+    fn visibility_counts_leading_entries() {
+        let r = TimeRun::new(10, 3, 4); // 10 13 16 19
+        assert_eq!(r.visible_until(9), 0);
+        assert_eq!(r.visible_until(10), 1);
+        assert_eq!(r.visible_until(16), 3);
+        assert_eq!(r.visible_until(100), 4);
+        let z = TimeRun::new(7, 0, 5);
+        assert_eq!(z.visible_until(6), 0);
+        assert_eq!(z.visible_until(7), 5);
+    }
+
+    #[test]
+    fn extend_rules() {
+        // Singleton adopts any stride.
+        let mut r = TimeRun::single(5);
+        assert!(r.try_extend(TimeRun::single(9)));
+        assert_eq!(r, TimeRun::new(5, 4, 2));
+        // Continuation must match the stride.
+        assert!(r.try_extend(TimeRun::single(13)));
+        assert!(!r.try_extend(TimeRun::single(18)));
+        assert_eq!(r.count, 3);
+        // Runs merge when contiguous and stride-compatible.
+        let mut a = TimeRun::new(0, 2, 3); // 0 2 4
+        assert!(a.try_extend(TimeRun::new(6, 2, 2)));
+        assert_eq!(a, TimeRun::new(0, 2, 5));
+        assert!(!a.try_extend(TimeRun::new(11, 2, 2)));
+        // Equal-time continuation: singleton + same time = stride 0.
+        let mut z = TimeRun::single(4);
+        assert!(z.try_extend(TimeRun::single(4)));
+        assert_eq!(z, TimeRun::new(4, 0, 2));
+        // A singleton cannot extend backwards in time.
+        let mut b = TimeRun::single(10);
+        assert!(!b.try_extend(TimeRun::single(9)));
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn envelope_matches_scalar_max() {
+        let cases: Vec<(Vec<(i128, i128)>, u64, u64)> = vec![
+            (vec![(10, 1), (0, 3)], 0, 12),
+            (vec![(5, 1), (5, 8), (20, 0)], 0, 9),
+            (vec![(-6, 8), (3, 1)], 1, 10), // extrapolated arm
+            (vec![(7, 0)], 0, 4),
+            (vec![(0, 2), (0, 2), (1, 1)], 0, 6),
+        ];
+        for (arms, lo, hi) in cases {
+            let mut out = Vec::new();
+            envelope_range(&arms, lo, hi, &mut out);
+            let got: Vec<u64> = out
+                .iter()
+                .flat_map(|r| (0..r.count).map(|i| r.at(i)))
+                .collect();
+            let want: Vec<u64> = (lo..hi)
+                .map(|i| {
+                    arms.iter()
+                        .map(|&(b, s)| (b + i as i128 * s) as u64)
+                        .max()
+                        .unwrap()
+                })
+                .collect();
+            assert_eq!(got, want, "arms {arms:?} range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn builder_coalesces() {
+        let mut out = Vec::new();
+        let mut b = RunBuilder::new();
+        for t in [3u64, 4, 5, 9, 12, 15, 15] {
+            b.push(t, &mut out);
+        }
+        b.finish(&mut out);
+        assert_eq!(
+            out,
+            vec![
+                TimeRun::new(3, 1, 3),
+                TimeRun::new(9, 3, 3),
+                TimeRun::single(15),
+            ]
+        );
+    }
+}

@@ -45,6 +45,10 @@ pub struct NodeStats {
     /// Fires that made no progress (wasted polls; the event-driven
     /// scheduler keeps this near zero).
     pub idle_fires: u64,
+    /// Host wall-clock spent inside this node's `fire`, in nanoseconds.
+    /// Zero unless the run enabled `SimConfig::profile_fires`; host-
+    /// dependent by nature and excluded from every determinism check.
+    pub wall_ns: u64,
 }
 
 impl NodeStats {
@@ -59,6 +63,7 @@ impl NodeStats {
         self.onchip_bytes = self.onchip_bytes.max(other.onchip_bytes);
         self.fires += other.fires;
         self.idle_fires += other.idle_fires;
+        self.wall_ns += other.wall_ns;
     }
 }
 

@@ -1,0 +1,434 @@
+//! Differential property suite for the run-length channel.
+//!
+//! A *reference channel* reimplements the pre-run-length transport —
+//! one `VecDeque` entry per token, one `send`/`pop` per token — and a
+//! seeded generator drives random interleaved operation sequences
+//! (single and bulk sends/pops with random paces and horizons, closes,
+//! producer finishes, floor raises, and cross-shard credit shuttles)
+//! against both implementations. After every operation the observable
+//! state must agree exactly: dequeue `(time, token)` sequences, event
+//! bits, floors, lengths, backpressure (`can_send`, and the effective
+//! send times of a follow-up burst), and the coupled `Zip` pop.
+//!
+//! Cases come from a seeded local PRNG (the build container has no
+//! crates.io access, so `proptest` is unavailable); failures print the
+//! case seed for replay.
+
+use std::collections::VecDeque;
+use step_core::elem::Elem;
+use step_core::token::Token;
+use step_sim::channel::{Channel, event, pop_zip_runs};
+use step_sim::run::TimeRun;
+
+const CASES: u64 = 64;
+const OPS_PER_CASE: u64 = 120;
+
+/// SplitMix64-based case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.range(0, 100) < percent
+    }
+}
+
+/// The pre-run-length transport, one queue entry per token: the
+/// executable specification every bulk API is tested against.
+struct RefChannel {
+    latency: u64,
+    queue: VecDeque<(u64, Token)>,
+    slots: VecDeque<u64>,
+    last_send: Option<u64>,
+    last_pop: Option<u64>,
+    closed: bool,
+    floor: u64,
+    events: u8,
+}
+
+impl RefChannel {
+    fn new(capacity: usize, latency: u64) -> RefChannel {
+        RefChannel {
+            latency,
+            queue: VecDeque::new(),
+            slots: std::iter::repeat_n(0, capacity).collect(),
+            last_send: None,
+            last_pop: None,
+            closed: false,
+            floor: 0,
+            events: 0,
+        }
+    }
+
+    fn can_send(&self) -> bool {
+        self.closed || !self.slots.is_empty()
+    }
+
+    fn send(&mut self, now: u64, token: Token) -> u64 {
+        if self.closed {
+            return now;
+        }
+        let slot = self.slots.pop_front().expect("send on full ref channel");
+        let mut t = now.max(slot);
+        if let Some(last) = self.last_send {
+            t = t.max(last + 1);
+        }
+        self.last_send = Some(t);
+        self.queue.push_back((t + self.latency, token));
+        self.events |= event::ENQUEUED;
+        t
+    }
+
+    fn pop(&mut self, now: u64) -> (u64, Token) {
+        let (ready, token) = self.queue.pop_front().expect("pop on empty ref channel");
+        let mut t = now.max(ready);
+        if let Some(last) = self.last_pop {
+            t = t.max(last + 1);
+        }
+        self.last_pop = Some(t);
+        self.slots.push_back(t);
+        self.events |= event::FREED;
+        (t, token)
+    }
+
+    /// Per-token replay of a bulk pop of `k` tokens with consumer pace
+    /// `pace`: the executable specification `Channel::pop_run` must
+    /// reproduce.
+    fn pop_k(&mut self, now: u64, pace: u64, k: u64) -> Vec<(u64, Token)> {
+        let mut out = Vec::new();
+        let mut clock = now;
+        for _ in 0..k {
+            let (t, tok) = self.pop(clock);
+            clock = t + pace;
+            out.push((t, tok));
+        }
+        out
+    }
+
+    fn close(&mut self) {
+        self.closed = true;
+        self.queue.clear();
+        self.events |= event::CLOSED;
+    }
+
+    fn take_events(&mut self) -> u8 {
+        std::mem::take(&mut self.events)
+    }
+}
+
+fn val(x: u64) -> Token {
+    Token::Val(Elem::Addr(x))
+}
+
+fn flatten(pieces: &[TimeRun]) -> Vec<u64> {
+    pieces
+        .iter()
+        .flat_map(|r| (0..r.count).map(|i| r.at(i)))
+        .collect()
+}
+
+/// One random interleaved case over a (dut, reference) pair.
+fn run_case(seed: u64) {
+    let mut g = Gen(seed);
+    let capacity = g.range(1, 9) as usize;
+    let latency = g.range(0, 4);
+    let mut dut = Channel::new(capacity, latency);
+    let mut reference = RefChannel::new(capacity, latency);
+    let mut send_clock = 0u64;
+    let mut pop_clock = 0u64;
+    let mut next_distinct = 1000u64;
+
+    for op in 0..OPS_PER_CASE {
+        let ctx = || format!("seed {seed} op {op}");
+        match g.range(0, 100) {
+            // Bulk send of a repeated value (sometimes a stop/distinct).
+            0..40 => {
+                let n = g.range(1, 6);
+                let n = n.min(dut.free_slots());
+                if n == 0 || dut.is_closed() {
+                    continue;
+                }
+                send_clock += g.range(0, 5);
+                let stride = g.range(0, 3);
+                let tok = if g.chance(70) {
+                    val(7)
+                } else if g.chance(50) {
+                    next_distinct += 1;
+                    val(next_distinct)
+                } else {
+                    Token::Stop(1)
+                };
+                let prod = TimeRun::new(send_clock, stride, n);
+                dut.send_run(prod, tok.clone());
+                for i in 0..n {
+                    reference.send(prod.at(i), tok.clone());
+                }
+            }
+            // Single send.
+            40..50 => {
+                if dut.free_slots() == 0 || dut.is_closed() {
+                    continue;
+                }
+                send_clock += g.range(0, 3);
+                dut.send(send_clock, val(7));
+                reference.send(send_clock, val(7));
+            }
+            // Bulk pop with random pace/horizon/max: the reference
+            // replays exactly the tokens the bulk pop consumed, one at a
+            // time, and every dequeue time must match.
+            50..75 => {
+                let pace = g.range(0, 4);
+                let max = g.range(1, 8);
+                let horizon = if g.chance(30) {
+                    pop_clock + g.range(0, 16)
+                } else {
+                    u64::MAX
+                };
+                let mut times = Vec::new();
+                match dut.pop_run(pop_clock, pace, horizon, max, &mut times) {
+                    None => {
+                        let head = reference.queue.front();
+                        assert!(
+                            head.is_none_or(|&(t, _)| t > horizon),
+                            "{}: dut refused a visible head",
+                            ctx()
+                        );
+                    }
+                    Some((tok, k)) => {
+                        let want = reference.pop_k(pop_clock, pace, k);
+                        let got_times = flatten(&times);
+                        let want_times: Vec<u64> = want.iter().map(|&(t, _)| t).collect();
+                        assert_eq!(got_times, want_times, "{}: pop times", ctx());
+                        for (_, w) in &want {
+                            assert!(w.coalesces_with(&tok) || *w == tok, "{}: token", ctx());
+                        }
+                        pop_clock = got_times.last().unwrap() + pace;
+                    }
+                }
+            }
+            // Single pop.
+            75..85 => {
+                if dut.is_empty() {
+                    assert!(reference.queue.is_empty(), "{}: emptiness", ctx());
+                    continue;
+                }
+                let got = dut.pop(pop_clock);
+                let want = reference.pop(pop_clock);
+                assert_eq!(got, want, "{}: single pop", ctx());
+                pop_clock = got.0;
+            }
+            // Floor raise.
+            85..92 => {
+                let f = g.range(0, 200);
+                dut.raise_floor(f);
+                reference.floor = reference.floor.max(f);
+            }
+            // Producer finish.
+            92..96 => {
+                dut.finish_src();
+                reference.events |= event::SRC_FINISHED;
+            }
+            // Receiver close (rare: ends most interactions).
+            _ => {
+                if g.chance(20) {
+                    dut.close();
+                    reference.close();
+                }
+            }
+        }
+        // Observable state agrees after every step.
+        assert_eq!(dut.len(), reference.queue.len(), "seed {seed} op {op}: len");
+        assert_eq!(
+            dut.can_send(),
+            reference.can_send(),
+            "seed {seed} op {op}: can_send"
+        );
+        assert_eq!(
+            dut.time_floor(),
+            reference.floor + latency,
+            "seed {seed} op {op}: floor"
+        );
+        assert_eq!(
+            dut.take_events(),
+            reference.take_events(),
+            "seed {seed} op {op}: events"
+        );
+        assert_eq!(
+            dut.peek().map(|(t, _)| t),
+            reference.queue.front().map(|(t, _)| *t),
+            "seed {seed} op {op}: head ready"
+        );
+    }
+    // Backpressure epilogue: a draining burst must observe identical
+    // effective send times (slot bookkeeping agrees exactly).
+    if !dut.is_closed() {
+        while dut.free_slots() > 0 && dut.len() < 64 {
+            assert_eq!(
+                dut.send(send_clock, val(9)),
+                reference.send(send_clock, val(9)),
+                "seed {seed}: epilogue send"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_channel_matches_per_token_reference() {
+    for seed in 0..CASES {
+        run_case(seed);
+    }
+}
+
+/// The coupled `Zip` pop against an alternating per-token reference.
+#[test]
+fn zip_pop_matches_per_token_reference() {
+    for seed in 0..CASES {
+        let mut g = Gen(seed ^ 0xABCD);
+        let cap = 16;
+        let latency = g.range(0, 3);
+        let mk = |g: &mut Gen, latency| {
+            let mut dut = Channel::new(cap, latency);
+            let mut reference = RefChannel::new(cap, latency);
+            let n = g.range(1, 10);
+            let start = g.range(0, 20);
+            let stride = g.range(0, 9);
+            let prod = TimeRun::new(start, stride, n);
+            dut.send_run(prod, val(7));
+            for i in 0..n {
+                reference.send(prod.at(i), val(7));
+            }
+            (dut, reference, n)
+        };
+        let (mut da, mut ra, na) = mk(&mut g, latency);
+        let (mut db, mut rb, nb) = mk(&mut g, latency);
+        let now = g.range(0, 30);
+        let horizon = if g.chance(30) {
+            now + g.range(0, 40)
+        } else {
+            u64::MAX
+        };
+        let max = g.range(1, 12);
+
+        // Reference: alternate single pops while both heads are visible.
+        let mut m = now;
+        let mut want = Vec::new();
+        while (want.len() as u64) < max
+            && ra.queue.front().is_some_and(|&(t, _)| t <= horizon)
+            && rb.queue.front().is_some_and(|&(t, _)| t <= horizon)
+        {
+            let (ta, _) = ra.pop(m);
+            let (tb, _) = rb.pop(ta);
+            m = tb;
+            want.push((ta, tb));
+        }
+
+        let (mut at, mut bt) = (Vec::new(), Vec::new());
+        let got = pop_zip_runs(&mut da, &mut db, now, horizon, max, &mut at, &mut bt);
+        match got {
+            None => assert!(want.is_empty(), "seed {seed}: zip popped nothing"),
+            Some((_, _, k)) => {
+                assert_eq!(k as usize, want.len(), "seed {seed}: zip count");
+                assert_eq!(
+                    flatten(&at),
+                    want.iter().map(|&(a, _)| a).collect::<Vec<_>>(),
+                    "seed {seed}: a times"
+                );
+                assert_eq!(
+                    flatten(&bt),
+                    want.iter().map(|&(_, b)| b).collect::<Vec<_>>(),
+                    "seed {seed}: b times"
+                );
+            }
+        }
+        // Slot state must agree: drain both with follow-up sends.
+        let _ = (na, nb);
+        for _ in 0..3 {
+            if da.free_slots() > 0 {
+                assert_eq!(
+                    da.send(0, val(1)),
+                    ra.send(0, val(1)),
+                    "seed {seed}: a slots"
+                );
+            }
+            if db.free_slots() > 0 {
+                assert_eq!(
+                    db.send(0, val(1)),
+                    rb.send(0, val(1)),
+                    "seed {seed}: b slots"
+                );
+            }
+        }
+    }
+}
+
+/// Cross-shard halves: token runs and freed-slot credits shuttle between
+/// writer and reader halves with per-token-identical times.
+#[test]
+fn cross_shard_shuttle_matches_reference() {
+    for seed in 0..CASES {
+        let mut g = Gen(seed ^ 0x5EED);
+        let cap = g.range(1, 6) as usize;
+        let latency = g.range(0, 4);
+        let mut w = Channel::new(cap, latency);
+        let mut r = Channel::cross_reader(cap, latency);
+        let mut reference = RefChannel::new(cap, latency);
+        let mut pop_clock = 0u64;
+        for _ in 0..30 {
+            // Writer sends while credits allow.
+            let n = g.range(1, 4).min(w.free_slots());
+            if n > 0 {
+                let t0 = g.range(0, 10);
+                let prod = TimeRun::new(t0, g.range(0, 3), n);
+                w.send_run(prod, val(3));
+                for i in 0..n {
+                    reference.send(prod.at(i), val(3));
+                }
+            }
+            // Barrier: shuttle tokens and credits.
+            let moved: Vec<(TimeRun, Token)> = w.drain_queue().collect();
+            for (ts, tok) in moved {
+                r.inject(ts, tok);
+            }
+            // Reader pops a few.
+            let max = g.range(0, 4);
+            if max > 0 {
+                let mut times = Vec::new();
+                if let Some((_, k)) = r.pop_run(pop_clock, 0, u64::MAX, max, &mut times) {
+                    let want = reference.pop_k(pop_clock, 0, k);
+                    let got_times = flatten(&times);
+                    assert_eq!(
+                        got_times,
+                        want.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+                        "seed {seed}: shuttle times"
+                    );
+                    pop_clock = got_times.last().unwrap() + 1;
+                }
+            }
+            // Credits return to the writer; the reference frees slots
+            // inline, so only the totals must agree.
+            let freed = r.drain_freed_slots();
+            w.grant_slots(freed);
+            assert_eq!(
+                w.free_slots() + w.len() as u64 + r.len() as u64,
+                cap as u64,
+                "seed {seed}: credit conservation"
+            );
+            assert_eq!(
+                w.len() + r.len(),
+                reference.queue.len(),
+                "seed {seed}: queue totals"
+            );
+        }
+    }
+}
