@@ -1,10 +1,6 @@
-//! Regenerates Fig 10 (dynamic tiling Pareto, batch 1024) and the traffic
-//! view of Fig 20.
-use step_bench::experiments::{report_tiling, tiling_sweep};
-use step_models::ModelConfig;
+//! Regenerates Fig 10 (dynamic tiling Pareto, batch 1024) and the
+//! traffic view of Fig 20. Sweep parameters live in
+//! `step_bench::experiments::fig10`.
 fn main() {
-    let mixtral = tiling_sweep(ModelConfig::mixtral_8x7b(), 1024, &[16, 64, 256, 1024], 7);
-    report_tiling("fig10_mixtral_b1024", &mixtral);
-    let qwen = tiling_sweep(ModelConfig::qwen3_30b_a3b(), 1024, &[16, 64, 256, 1024], 7);
-    report_tiling("fig10_qwen_b1024", &qwen);
+    step_bench::experiments::fig10();
 }

@@ -1,10 +1,6 @@
 //! Regenerates Fig 12 (configuration time-multiplexing: utilization and
-//! cycles under static and dynamic tiling).
-use step_bench::experiments::{report_timeshare, timeshare_sweep};
-use step_models::moe::Tiling;
+//! cycles under static and dynamic tiling). Sweep parameters live in
+//! `step_bench::experiments::fig12`.
 fn main() {
-    let stat = timeshare_sweep(Tiling::Static { tile: 32 }, 7);
-    report_timeshare("fig12_static_tiling", &stat);
-    let dynamic = timeshare_sweep(Tiling::Dynamic, 7);
-    report_timeshare("fig12_dynamic_tiling", &dynamic);
+    step_bench::experiments::fig12();
 }

@@ -1,8 +1,6 @@
 //! Regenerates Fig 13 (time-multiplexing resource usage: memory,
-//! allocated compute, off-chip bandwidth utilization).
-use step_bench::experiments::{report_timeshare, timeshare_sweep};
-use step_models::moe::Tiling;
+//! allocated compute, off-chip bandwidth utilization). Sweep parameters
+//! live in `step_bench::experiments::fig13`.
 fn main() {
-    let rows = timeshare_sweep(Tiling::Static { tile: 32 }, 7);
-    report_timeshare("fig13", &rows);
+    step_bench::experiments::fig13();
 }

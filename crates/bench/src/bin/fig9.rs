@@ -1,10 +1,6 @@
 //! Regenerates Fig 9 (dynamic tiling Pareto, batch 64) and the traffic
-//! view of Fig 19.
-use step_bench::experiments::{report_tiling, tiling_sweep};
-use step_models::ModelConfig;
+//! view of Fig 19. Sweep parameters live in
+//! `step_bench::experiments::fig9`.
 fn main() {
-    let mixtral = tiling_sweep(ModelConfig::mixtral_8x7b(), 64, &[8, 16, 32, 64], 7);
-    report_tiling("fig9_mixtral_b64", &mixtral);
-    let qwen = tiling_sweep(ModelConfig::qwen3_30b_a3b(), 64, &[8, 16, 32, 64], 7);
-    report_tiling("fig9_qwen_b64", &qwen);
+    step_bench::experiments::fig9();
 }

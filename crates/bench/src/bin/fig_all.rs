@@ -1,28 +1,16 @@
-//! Runs the full experiment suite (every table and figure).
+//! Runs the full experiment suite (every table and figure). Each
+//! figure's sweep parameters live in exactly one place — its
+//! `step_bench::experiments` entry point — shared with the per-figure
+//! binaries.
 use step_bench::experiments as ex;
-use step_models::ModelConfig;
-use step_models::moe::Tiling;
 
 fn main() {
     ex::landscape();
     ex::fig1();
     ex::fig8();
-    let m9 = ex::tiling_sweep(ModelConfig::mixtral_8x7b(), 64, &[8, 16, 32, 64], 7);
-    ex::report_tiling("fig9_mixtral_b64", &m9);
-    let q9 = ex::tiling_sweep(ModelConfig::qwen3_30b_a3b(), 64, &[8, 16, 32, 64], 7);
-    ex::report_tiling("fig9_qwen_b64", &q9);
-    let m10 = ex::tiling_sweep(ModelConfig::mixtral_8x7b(), 1024, &[16, 64, 256, 1024], 7);
-    ex::report_tiling("fig10_mixtral_b1024", &m10);
-    let q10 = ex::tiling_sweep(ModelConfig::qwen3_30b_a3b(), 1024, &[16, 64, 256, 1024], 7);
-    ex::report_tiling("fig10_qwen_b1024", &q10);
-    ex::report_timeshare(
-        "fig12_static_tiling",
-        &ex::timeshare_sweep(Tiling::Static { tile: 32 }, 7),
-    );
-    ex::report_timeshare(
-        "fig12_dynamic_tiling",
-        &ex::timeshare_sweep(Tiling::Dynamic, 7),
-    );
+    ex::fig9();
+    ex::fig10();
+    ex::fig12();
     ex::fig14();
     ex::fig15();
     ex::fig17();

@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 use step_models::ModelConfig;
 use step_models::moe::{MoeCfg, Tiling, moe_graph};
-use step_sim::{SimConfig, Simulation};
+use step_sim::{SimConfig, SimPlan};
 use step_traces::{RoutingConfig, expert_routing};
 
 #[derive(Default)]
@@ -54,7 +54,7 @@ fn main() {
             .map(|n| n.op.name().to_string())
             .collect();
         let t0 = Instant::now();
-        let report = Simulation::new(
+        let report = SimPlan::new(
             graph,
             SimConfig {
                 shards,

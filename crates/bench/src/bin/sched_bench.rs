@@ -25,11 +25,20 @@
 //! of the table; `--json` also writes the rows to `BENCH_sched.json`
 //! (path override: `BENCH_SCHED_OUT`), the perf-trajectory artifact CI
 //! uploads.
+//!
+//! `--reuse N` appends the plan-reuse section: the heaviest config's
+//! `SimPlan` is built once and run `N` times, reporting the
+//! graph-build / partition+topology / per-run wall split and the
+//! amortization ratio (build+run divided by the amortized per-run
+//! wall). Counters of every reused run are held to the same pinned
+//! budgets as the fresh-build rows and must be bit-identical across
+//! runs — wall-clock is reported but never asserted (it flakes; the
+//! counters cannot).
 
 use std::time::Instant;
 use step_models::ModelConfig;
 use step_models::moe::{MoeCfg, Tiling, moe_graph};
-use step_sim::{SimConfig, SimReport, Simulation};
+use step_sim::{SimConfig, SimPlan, SimReport};
 use step_traces::{RoutingConfig, RoutingTrace, expert_routing};
 
 /// Maximum allowed ratio of sharded single-thread total fires to
@@ -50,11 +59,84 @@ const B64_STATIC_CHAN_RUNS: (u64, u64) = (323_000, 171_000);
 fn run_once(cfg: &MoeCfg, trace: &RoutingTrace, sim_cfg: SimConfig) -> (SimReport, f64) {
     let graph = moe_graph(cfg, trace).expect("moe graph");
     let t0 = Instant::now();
-    let report = Simulation::new(graph, sim_cfg)
-        .expect("simulation")
+    let report = SimPlan::new(graph, sim_cfg)
+        .expect("plan")
         .run()
         .expect("run");
     (report, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// The plan-reuse section (`--reuse N`): build the heaviest config's
+/// plan once, run it `N` times, and report the build-vs-run wall split.
+/// Returns the JSON line for the artifact.
+fn reuse_section(json: bool, runs: usize) -> String {
+    let model = ModelConfig::qwen3_30b_a3b();
+    let trace = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch: 64,
+        skew: 0.8,
+        seed: 7,
+    });
+    let cfg = MoeCfg::new(model.clone(), Tiling::Static { tile: 8 });
+    let ms = |t0: Instant| t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let graph = moe_graph(&cfg, &trace).expect("moe graph");
+    let graph_ms = ms(t0);
+    let t0 = Instant::now();
+    let plan = SimPlan::new(graph, SimConfig::default()).expect("plan");
+    let plan_ms = ms(t0);
+    let mut walls: Vec<f64> = Vec::with_capacity(runs);
+    let mut first: Option<SimReport> = None;
+    for k in 0..runs {
+        let t0 = Instant::now();
+        let r = plan.run().expect("reused run");
+        walls.push(ms(t0));
+        match &first {
+            None => {
+                // Counters-only budget: a reused run answers to the same
+                // pinned budgets as a fresh build of the same config.
+                guard_counters("reused", &r, B64_STATIC_FIRES.1, B64_STATIC_CHAN_RUNS.1);
+                first = Some(r);
+            }
+            Some(w) => {
+                assert_eq!(
+                    (r.cycles, r.offchip_traffic, r.total_fires(), r.chan_runs),
+                    (w.cycles, w.offchip_traffic, w.total_fires(), w.chan_runs),
+                    "reused-plan run {k} diverged from run 0"
+                );
+            }
+        }
+    }
+    let r = first.expect("at least one run");
+    let run_mean = walls.iter().sum::<f64>() / walls.len() as f64;
+    let run_min = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+    let build_ms = graph_ms + plan_ms;
+    let build_plus_run = build_ms + walls[0];
+    let amort = build_plus_run / run_mean.max(1e-9);
+    let line = format!(
+        "{{\"mode\":\"reuse\",\"batch\":64,\"tiling\":\"static(8)\",\"runs\":{runs},\
+         \"graph_ms\":{graph_ms:.1},\"plan_ms\":{plan_ms:.1},\"run_ms_first\":{:.1},\
+         \"run_ms_mean\":{run_mean:.1},\"run_ms_min\":{run_min:.1},\
+         \"build_plus_run_ms\":{build_plus_run:.1},\"amortization\":{amort:.2},\
+         \"cycles\":{},\"fires\":{},\"chan_runs\":{}}}",
+        walls[0],
+        r.cycles,
+        r.total_fires(),
+        r.chan_runs,
+    );
+    if json {
+        println!("{line}");
+    } else {
+        println!(
+            "\nplan reuse (batch 64 / static 8, {runs} runs): graph {graph_ms:.1}ms + partition/topology {plan_ms:.1}ms, runs mean {run_mean:.1}ms (min {run_min:.1}ms)"
+        );
+        println!(
+            "build+run {build_plus_run:.1}ms vs amortized per-run {run_mean:.1}ms: {amort:.2}x"
+        );
+        println!("reused runs bit-identical and within counter budgets: ok");
+    }
+    line
 }
 
 fn json_line(
@@ -103,7 +185,12 @@ fn guard_counters(mode: &str, r: &SimReport, fires_budget: u64, chan_budget: u64
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let reuse: Option<usize> = args
+        .iter()
+        .position(|a| a == "--reuse")
+        .map(|i| args.get(i + 1).and_then(|n| n.parse().ok()).unwrap_or(3));
     let model = ModelConfig::qwen3_30b_a3b();
     let threads_axis: Vec<usize> = std::env::var("THREADS")
         .map(|s| {
@@ -231,6 +318,9 @@ fn main() {
                 }
             }
         }
+    }
+    if let Some(runs) = reuse {
+        artifact.push(reuse_section(json, runs.max(1)));
     }
     if json {
         let path = std::env::var("BENCH_SCHED_OUT").unwrap_or_else(|_| "BENCH_sched.json".into());

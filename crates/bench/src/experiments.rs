@@ -13,11 +13,11 @@ use step_models::attention::{AttentionCfg, ParallelStrategy, attention_graph};
 use step_models::e2e::{E2eVariant, run_e2e};
 use step_models::moe::{MoeCfg, Tiling, moe_graph};
 use step_models::swiglu::{SwigluCfg, swiglu_graph};
-use step_sim::{SimConfig, SimReport, Simulation};
+use step_sim::{SimConfig, SimPlan, SimReport};
 use step_traces::{KvTraceConfig, RoutingConfig, Variability, expert_routing, kv_lengths};
 
 fn run(graph: step_core::Graph, cfg: SimConfig) -> SimReport {
-    Simulation::new(graph, cfg)
+    SimPlan::new(graph, cfg)
         .expect("graph is executable")
         .run()
         .expect("simulation completes")
@@ -60,7 +60,7 @@ pub fn fig1() -> Vec<Vec<String>> {
         "effective TB/s",
     ];
     print_table("Fig 1: SDA vs GPU effective bandwidth", &header, &rows);
-    let _ = write_csv("fig1", &header, &rows);
+    write_csv("fig1", &header, &rows);
     rows
 }
 
@@ -122,7 +122,7 @@ pub fn fig8() -> (Vec<Fig8Row>, f64) {
     let header = ["tile", "step cycles", "ref cycles", "step MB", "ref MB"];
     print_table("Fig 8: simulator validation (SwiGLU)", &header, &table);
     println!("Pearson r (cycles) = {}", f3(r));
-    let _ = write_csv("fig8", &header, &table);
+    write_csv("fig8", &header, &table);
     (rows, r)
 }
 
@@ -193,7 +193,7 @@ pub fn report_tiling(figname: &str, rows: &[TilingRow]) -> f64 {
         .collect();
     let header = ["model", "schedule", "cycles", "onchip B", "traffic B"];
     print_table(figname, &header, &table);
-    let _ = write_csv(figname, &header, &table);
+    write_csv(figname, &header, &table);
     let static_points: Vec<Point> = rows
         .iter()
         .filter(|r| r.schedule.starts_with("static"))
@@ -293,7 +293,49 @@ pub fn report_timeshare(figname: &str, rows: &[TimeshareRow]) {
         "offchip BW %",
     ];
     print_table(figname, &header, &table);
-    let _ = write_csv(figname, &header, &table);
+    write_csv(figname, &header, &table);
+}
+
+// ---------------------------------------------------------------------
+// Figure entry points (single home for each figure's sweep parameters;
+// the `fig*` binaries and `fig_all` all call these)
+// ---------------------------------------------------------------------
+
+/// Fig 9 (+ the traffic view of Fig 19): dynamic-tiling Pareto at batch
+/// 64 for both models. Returns the two models' rows.
+pub fn fig9() -> (Vec<TilingRow>, Vec<TilingRow>) {
+    let mixtral = tiling_sweep(ModelConfig::mixtral_8x7b(), 64, &[8, 16, 32, 64], 7);
+    report_tiling("fig9_mixtral_b64", &mixtral);
+    let qwen = tiling_sweep(ModelConfig::qwen3_30b_a3b(), 64, &[8, 16, 32, 64], 7);
+    report_tiling("fig9_qwen_b64", &qwen);
+    (mixtral, qwen)
+}
+
+/// Fig 10 (+ the traffic view of Fig 20): dynamic-tiling Pareto at batch
+/// 1024 for both models.
+pub fn fig10() -> (Vec<TilingRow>, Vec<TilingRow>) {
+    let mixtral = tiling_sweep(ModelConfig::mixtral_8x7b(), 1024, &[16, 64, 256, 1024], 7);
+    report_tiling("fig10_mixtral_b1024", &mixtral);
+    let qwen = tiling_sweep(ModelConfig::qwen3_30b_a3b(), 1024, &[16, 64, 256, 1024], 7);
+    report_tiling("fig10_qwen_b1024", &qwen);
+    (mixtral, qwen)
+}
+
+/// Fig 12: configuration time-multiplexing under static(32) and dynamic
+/// tiling.
+pub fn fig12() -> (Vec<TimeshareRow>, Vec<TimeshareRow>) {
+    let stat = timeshare_sweep(Tiling::Static { tile: 32 }, 7);
+    report_timeshare("fig12_static_tiling", &stat);
+    let dynamic = timeshare_sweep(Tiling::Dynamic, 7);
+    report_timeshare("fig12_dynamic_tiling", &dynamic);
+    (stat, dynamic)
+}
+
+/// Fig 13: time-multiplexing resource usage (static(32) tiling).
+pub fn fig13() -> Vec<TimeshareRow> {
+    let rows = timeshare_sweep(Tiling::Static { tile: 32 }, 7);
+    report_timeshare("fig13", &rows);
+    rows
 }
 
 // ---------------------------------------------------------------------
@@ -348,7 +390,7 @@ pub fn fig14() -> Vec<(Variability, f64)> {
         &header,
         &table,
     );
-    let _ = write_csv("fig14", &header, &table);
+    write_csv("fig14", &header, &table);
     out
 }
 
@@ -387,7 +429,7 @@ pub fn fig15() -> Vec<(usize, u64, u64)> {
         .collect();
     let header = ["batch", "coarse cycles", "dynamic cycles", "speedup"];
     print_table("Fig 15: coarse vs dynamic across batch", &header, &table);
-    let _ = write_csv("fig15", &header, &table);
+    write_csv("fig15", &header, &table);
     out
 }
 
@@ -438,7 +480,7 @@ pub fn fig21() -> Vec<Vec<String>> {
         &header,
         &rows,
     );
-    let _ = write_csv("fig21", &header, &rows);
+    write_csv("fig21", &header, &rows);
     rows
 }
 
@@ -485,7 +527,7 @@ pub fn fig17() -> Vec<Vec<String>> {
         "alloc KFLOPs/cyc",
     ];
     print_table("Fig 17: end-to-end models", &header, &rows);
-    let _ = write_csv("fig17", &header, &rows);
+    write_csv("fig17", &header, &rows);
     rows
 }
 
@@ -520,5 +562,5 @@ pub fn landscape() {
         "dyn on-chip tiling",
     ];
     print_table("Table 1: programming-abstraction landscape", &header, &rows);
-    let _ = write_csv("table1", &header, &rows);
+    write_csv("table1", &header, &rows);
 }

@@ -32,21 +32,26 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Writes rows as CSV under `results/<name>.csv`.
+/// Writes rows as CSV under `results/<name>.csv`, returning the path.
 ///
-/// # Errors
+/// # Panics
 ///
-/// Returns an I/O error if the file cannot be written.
-pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
-    let dir = Path::new("results");
-    fs::create_dir_all(dir)?;
-    let mut f = fs::File::create(dir.join(format!("{name}.csv")))?;
-    writeln!(f, "{}", header.join(","))?;
-    for row in rows {
-        writeln!(f, "{}", row.join(","))?;
-    }
-    println!("[wrote results/{name}.csv]");
-    Ok(())
+/// Panics — naming the path — if the file cannot be written: a figure
+/// run that silently produces no artifact is worse than a crashed one.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::path::PathBuf {
+    let path = Path::new("results").join(format!("{name}.csv"));
+    let try_write = || -> std::io::Result<()> {
+        fs::create_dir_all(path.parent().expect("results dir"))?;
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", header.join(","))?;
+        for row in rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    };
+    try_write().unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("[wrote {}]", path.display());
+    path
 }
 
 /// Formats a float with limited precision for tables.
@@ -65,10 +70,10 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        write_csv("test_table", &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
-        let txt = std::fs::read_to_string("results/test_table.csv").unwrap();
+        let path = write_csv("test_table", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let txt = std::fs::read_to_string(&path).unwrap();
         assert_eq!(txt, "a,b\n1,2\n");
-        std::fs::remove_file("results/test_table.csv").unwrap();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

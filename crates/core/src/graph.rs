@@ -208,6 +208,12 @@ impl GraphBuilder {
         self.edges[s.edge.0 as usize].capacity = cap;
     }
 
+    /// The node producing stream `s` — stable across `finish`, so model
+    /// builders can hand out the ids of rebindable `Source` nodes.
+    pub fn node_of(&self, s: &StreamRef) -> NodeId {
+        self.edges[s.edge.0 as usize].src.0
+    }
+
     /// Attaches a diagnostic label to the most recently added node.
     pub fn label_last(&mut self, label: &str) -> &mut Self {
         if let Some(n) = self.nodes.last_mut() {

@@ -60,6 +60,14 @@ pub struct AttentionCfg {
     pub compute_bw: u64,
     /// Dispatch strategy.
     pub strategy: ParallelStrategy,
+    /// Extra KV tokens per request the dispatch queues are provisioned
+    /// for beyond the build-time trace. A decode loop grows every
+    /// request by one token per iteration; provisioning the region
+    /// queues for the final lengths lets one `SimPlan` serve every
+    /// iteration through source rebinding instead of rebuilding the
+    /// graph. Zero (the default) sizes queues exactly for the
+    /// build-time trace.
+    pub kv_headroom: u32,
 }
 
 impl AttentionCfg {
@@ -75,7 +83,15 @@ impl AttentionCfg {
             // the roofline turns into bytes/64 cycles per tile.
             compute_bw: 128,
             strategy,
+            kv_headroom: 0,
         }
+    }
+
+    /// Provisions the dispatch queues for requests up to `extra` KV
+    /// tokens longer than the build-time trace (decode-loop reuse).
+    pub fn with_kv_headroom(mut self, extra: u32) -> AttentionCfg {
+        self.kv_headroom = extra;
+        self
     }
 
     /// Bytes per loaded KV tile.
@@ -100,33 +116,21 @@ mod layout {
     pub const OUT_STRIDE: u64 = 0x100_0000;
 }
 
-/// Builds the attention graph for a batch with the given KV lengths.
-///
-/// # Errors
-///
-/// Returns [`StepError::Config`] for a zero region count.
-pub fn attention_graph(cfg: &AttentionCfg, kv: &KvTrace) -> Result<step_core::Graph> {
-    let mut g = GraphBuilder::new();
-    build_attention(&mut g, cfg, kv)?;
-    Ok(g.finish())
+/// The rebindable `Source` nodes of an attention graph, for driving one
+/// [`step_sim::SimPlan`] across decode iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct AttentionPorts {
+    /// The per-request KV-tile-address stream (`attn.requests`): bind
+    /// [`attention_request_tokens`] of the iteration's KV trace.
+    pub requests: step_core::graph::NodeId,
 }
 
-/// Appends the attention layer to an existing builder.
-///
-/// # Errors
-///
-/// Returns [`StepError::Config`] for invalid configurations.
-pub fn build_attention(g: &mut GraphBuilder, cfg: &AttentionCfg, kv: &KvTrace) -> Result<()> {
-    if cfg.regions == 0 {
-        return Err(StepError::Config("need at least one region".into()));
-    }
-    let batch = kv.lengths.len() as u64;
-    let r = cfg.regions;
+/// The token stream played by the `attn.requests` source for `kv`:
+/// request `i` is a rank-1 group of its KV tile addresses. Build the
+/// graph once (with enough [`AttentionCfg::kv_headroom`]), then bind
+/// this stream per decode iteration as the caches grow.
+pub fn attention_request_tokens(cfg: &AttentionCfg, kv: &KvTrace) -> Vec<token::Token> {
     let tile_bytes = cfg.kv_tile_bytes();
-    let tile_cols = (tile_bytes / step_core::DTYPE_BYTES) as usize;
-
-    // Request stream: request i is a rank-1 tensor of its KV tile
-    // addresses.
     let groups: Vec<Vec<Elem>> = kv
         .lengths
         .iter()
@@ -138,13 +142,64 @@ pub fn build_attention(g: &mut GraphBuilder, cfg: &AttentionCfg, kv: &KvTrace) -
                 .collect()
         })
         .collect();
+    token::rank1_from_groups(&groups)
+}
+
+/// Builds the attention graph for a batch with the given KV lengths.
+///
+/// # Errors
+///
+/// Returns [`StepError::Config`] for a zero region count.
+pub fn attention_graph(cfg: &AttentionCfg, kv: &KvTrace) -> Result<step_core::Graph> {
+    Ok(attention_graph_with_ports(cfg, kv)?.0)
+}
+
+/// Builds the attention graph and returns the rebindable source ports
+/// alongside it.
+///
+/// # Errors
+///
+/// Returns [`StepError::Config`] for a zero region count.
+pub fn attention_graph_with_ports(
+    cfg: &AttentionCfg,
+    kv: &KvTrace,
+) -> Result<(step_core::Graph, AttentionPorts)> {
+    let mut g = GraphBuilder::new();
+    let ports = build_attention(&mut g, cfg, kv)?;
+    Ok((g.finish(), ports))
+}
+
+/// Appends the attention layer to an existing builder, returning the
+/// rebindable source ports.
+///
+/// # Errors
+///
+/// Returns [`StepError::Config`] for invalid configurations.
+pub fn build_attention(
+    g: &mut GraphBuilder,
+    cfg: &AttentionCfg,
+    kv: &KvTrace,
+) -> Result<AttentionPorts> {
+    if cfg.regions == 0 {
+        return Err(StepError::Config("need at least one region".into()));
+    }
+    let batch = kv.lengths.len() as u64;
+    let r = cfg.regions;
+    let tile_bytes = cfg.kv_tile_bytes();
+    let tile_cols = (tile_bytes / step_core::DTYPE_BYTES) as usize;
+
+    // Request stream: request i is a rank-1 tensor of its KV tile
+    // addresses.
     let ragged = g.symbols().fresh("Lkv");
     let requests = g.source(
-        token::rank1_from_groups(&groups),
+        attention_request_tokens(cfg, kv),
         StreamShape::new(vec![Dim::fixed(batch), Dim::ragged(ragged)]),
         ElemKind::Addr,
     )?;
     g.label_last("attn.requests");
+    let ports = AttentionPorts {
+        requests: g.node_of(&requests),
+    };
 
     // Dispatch selector.
     let (dispatch, feedback_key) = match cfg.strategy {
@@ -180,11 +235,12 @@ pub fn build_attention(g: &mut GraphBuilder, cfg: &AttentionCfg, kv: &KvTrace) -
     // (addresses are 8 bytes — a KB-scale FIFO), so the dispatcher
     // streams a request in at port rate and moves on. Load imbalance —
     // not dispatch blocking — is then what separates the strategies, as
-    // in Fig 14.
+    // in Fig 14. Queues are provisioned for `kv_headroom` extra tokens
+    // per request so a reused plan can serve later decode iterations.
     let max_tiles = kv
         .lengths
         .iter()
-        .map(|&l| cfg.tiles_for(l))
+        .map(|&l| cfg.tiles_for(l + cfg.kv_headroom))
         .max()
         .unwrap_or(1);
     for region in &routed {
@@ -214,7 +270,7 @@ pub fn build_attention(g: &mut GraphBuilder, cfg: &AttentionCfg, kv: &KvTrace) -
         g.label_last("attn.availability");
         g.fulfill_feedback(key, &avail)?;
     }
-    Ok(())
+    Ok(ports)
 }
 
 /// Analytic per-request service demand in KV bytes — the quantity load
@@ -240,6 +296,7 @@ mod tests {
             // the roofline turns into bytes/64 cycles per tile.
             compute_bw: 128,
             strategy,
+            kv_headroom: 0,
         }
     }
 

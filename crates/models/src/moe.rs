@@ -186,6 +186,28 @@ fn swiglu_core(
     g.accum(&dpart, 1, AccumFn::AddTiles, compute_bw)
 }
 
+/// The rebindable `Source` nodes of a MoE graph, for driving one
+/// [`step_sim::SimPlan`] across decode iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct MoePorts {
+    /// The router's selector stream (`moe.router`): bind
+    /// [`moe_router_tokens`] of the iteration's re-sampled routing.
+    pub router: step_core::graph::NodeId,
+}
+
+/// The selector token stream played by the `moe.router` source for
+/// `trace`. Build the graph once, then bind this stream per decode
+/// iteration as routing is re-sampled; the batch and expert count must
+/// match the build-time trace (the graph's structure is derived from
+/// them).
+pub fn moe_router_tokens(trace: &RoutingTrace) -> Vec<token::Token> {
+    let sels = trace
+        .assignments
+        .iter()
+        .map(|experts| Elem::Sel(Selector::multi(experts)));
+    token::rank0_from_values(sels)
+}
+
 /// Builds the MoE layer for one iteration's routing `trace`; returns the
 /// graph. Token contents are phantom (`[1, H]` tiles) — the schedule and
 /// all metrics derive from the trace's routing alone.
@@ -194,17 +216,31 @@ fn swiglu_core(
 ///
 /// Returns [`StepError::Config`] for invalid region counts or tile sizes.
 pub fn moe_graph(cfg: &MoeCfg, trace: &RoutingTrace) -> Result<step_core::Graph> {
-    let mut g = GraphBuilder::new();
-    build_moe(&mut g, cfg, trace)?;
-    Ok(g.finish())
+    Ok(moe_graph_with_ports(cfg, trace)?.0)
 }
 
-/// Appends the MoE layer to an existing builder.
+/// Builds the MoE layer and returns the rebindable source ports
+/// alongside the graph.
+///
+/// # Errors
+///
+/// Returns [`StepError::Config`] for invalid region counts or tile sizes.
+pub fn moe_graph_with_ports(
+    cfg: &MoeCfg,
+    trace: &RoutingTrace,
+) -> Result<(step_core::Graph, MoePorts)> {
+    let mut g = GraphBuilder::new();
+    let ports = build_moe(&mut g, cfg, trace)?;
+    Ok((g.finish(), ports))
+}
+
+/// Appends the MoE layer to an existing builder, returning the
+/// rebindable source ports.
 ///
 /// # Errors
 ///
 /// Returns [`StepError::Config`] for invalid configurations.
-pub fn build_moe(g: &mut GraphBuilder, cfg: &MoeCfg, trace: &RoutingTrace) -> Result<()> {
+pub fn build_moe(g: &mut GraphBuilder, cfg: &MoeCfg, trace: &RoutingTrace) -> Result<MoePorts> {
     let model = &cfg.model;
     if trace.experts != model.experts {
         return Err(StepError::Config(format!(
@@ -241,6 +277,9 @@ pub fn build_moe(g: &mut GraphBuilder, cfg: &MoeCfg, trace: &RoutingTrace) -> Re
         .collect();
     let sel = g.selector_source(sels, experts)?;
     g.label_last("moe.router");
+    let ports = MoePorts {
+        router: g.node_of(&sel),
+    };
     let routed = g.partition(&tokens, &sel, 1, experts)?;
 
     // Per-expert row packing.
@@ -327,7 +366,7 @@ pub fn build_moe(g: &mut GraphBuilder, cfg: &MoeCfg, trace: &RoutingTrace) -> Re
             }
         }
     }
-    Ok(())
+    Ok(ports)
 }
 
 /// Analytic expected weight traffic for a schedule: `Σ_e ⌈D_e/T⌉ · |W_e|`

@@ -1,5 +1,36 @@
-//! The simulation engine: sharded event-driven scheduling, deterministic
-//! parallel execution, termination, and reporting.
+//! The simulation engine: an immutable, reusable execution plan
+//! ([`SimPlan`]) driving sharded event-driven scheduling over per-run
+//! mutable state, with deterministic parallel execution, termination,
+//! and reporting.
+//!
+//! # Plan / run lifecycle
+//!
+//! Building a simulation is two phases with very different costs and
+//! mutability:
+//!
+//! - [`SimPlan::new`] does everything that depends only on `(graph,
+//!   SimConfig)`: it partitions the graph into shards
+//!   ([`step_core::partition`], with cut metadata), lays out every
+//!   shard's channel topology (local channel table, edge map,
+//!   reader/writer indices, cross-shard halves), and freezes the
+//!   configuration. The resulting plan is **immutable** — it can be
+//!   wrapped in an `Arc` and run from many threads at once.
+//! - [`SimPlan::run`] (or [`SimPlan::run_bound`] with a per-run
+//!   [`RunBinding`]) materializes the cheap mutable state for one
+//!   execution — node executors, channel queues, scratchpad arenas,
+//!   scheduler ready-sets, the HBM ledger — runs it to completion, and
+//!   returns the [`SimReport`]. Every run of the same plan (with the
+//!   same binding) is bit-identical to a fresh
+//!   `Simulation::new(graph, cfg)?.run()?` of the same graph.
+//!
+//! [`RunBinding`] supplies the per-run inputs: replacement token streams
+//! for `Source` nodes (**source rebinding** — drive one plan with many
+//! trace iterations without re-partitioning) and dense off-chip preloads
+//! for functional runs.
+//!
+//! [`Simulation`] remains as the one-shot convenience wrapper:
+//! `Simulation::new(graph, cfg)?.run()` builds a plan, runs it once, and
+//! throws it away.
 //!
 //! # Execution model
 //!
@@ -56,14 +87,17 @@
 //! # Determinism contract
 //!
 //! Every reported metric is a pure function of `(graph, SimConfig minus
-//! threads)`. A shard's sub-round execution depends only on its own state
-//! plus what previous barriers delivered; every barrier action is ordered
-//! by stable keys (edge id, request `(time, node, seq)`); and the elision
-//! allowance, solo-shard schedule, and wake stamps are all computed from
-//! barrier-time shard state in the coordinator's exclusive window. So
-//! `threads` — and host scheduling generally — can never change the
-//! committed execution order. Parallel runs are bit-identical to running
-//! the same plan on one thread. Single-shard plans take the legacy
+//! threads, RunBinding)`. A shard's sub-round execution depends only on
+//! its own state plus what previous barriers delivered; every barrier
+//! action is ordered by stable keys (edge id, request `(time, node,
+//! seq)`); and the elision allowance, solo-shard schedule, and wake
+//! stamps are all computed from barrier-time shard state in the
+//! coordinator's exclusive window. So `threads` — and host scheduling
+//! generally — can never change the committed execution order. Parallel
+//! runs are bit-identical to running the same plan on one thread, and
+//! re-running a plan is bit-identical to rebuilding it from scratch:
+//! the plan is read-only during execution, every piece of mutable state
+//! lives in the per-run `RunState`. Single-shard plans take the legacy
 //! immediate-commitment path, which the sharded path generalizes.
 
 use crate::arena::{Arena, ArenaEvent, SharedStore, peak_of_events};
@@ -79,8 +113,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard};
 use step_core::error::{Result, StepError};
 use step_core::graph::{Graph, NodeId};
+use step_core::ops::OpKind;
 use step_core::partition::{Partition, PartitionCfg, partition};
-use step_core::token::Token;
+use step_core::token::{self, Token};
 
 /// The outcome of a simulation run.
 #[derive(Debug)]
@@ -267,16 +302,33 @@ impl Sched {
     }
 }
 
-/// One shard of the simulation: a connected subgraph with its own nodes,
-/// channels (including its halves of cross-shard edges), scratchpad
-/// arena, wake lists, and time calendar. A shard's sub-round execution is
-/// a pure function of its state — it touches nothing outside itself
-/// except the (lock-free for timing runs) backing store.
-struct Shard {
+/// The capacity spec of one shard-local channel.
+#[derive(Debug, Clone, Copy)]
+struct ChanSpec {
+    /// FIFO capacity in tokens.
+    capacity: usize,
+    /// Whether this is the reader half of a cross-shard edge.
+    cross_reader: bool,
+}
+
+impl ChanSpec {
+    fn build(self, latency: u64) -> Channel {
+        if self.cross_reader {
+            Channel::cross_reader(self.capacity, latency)
+        } else {
+            Channel::new(self.capacity, latency)
+        }
+    }
+}
+
+/// The immutable topology of one shard: which nodes it owns, how its
+/// local channels map onto graph edges, and which channels are the
+/// reader halves of incoming cut edges. Shared by every run of the plan.
+struct ShardPlan {
     /// Global node ids, ascending; local index ↔ position here.
     node_ids: Vec<u32>,
-    nodes: Vec<Box<dyn SimNode + Send>>,
-    channels: Vec<Channel>,
+    /// Per-local-channel capacity spec (run state builds the queues).
+    chans: Vec<ChanSpec>,
     /// Global edge id → local channel index (`u32::MAX` = not here).
     edge_map: Vec<u32>,
     /// Local channel → local reader/writer node (`u32::MAX` = remote or
@@ -291,6 +343,16 @@ struct Shard {
     /// indices): the only channels that can carry tokens in from outside,
     /// whose time floors bound the barrier-elision allowance.
     cut_ins: Vec<u32>,
+}
+
+/// One shard's mutable execution state: node executors, channel queues,
+/// scratchpad arena, wake lists, and time calendar. A shard's sub-round
+/// execution is a pure function of this state plus the (immutable)
+/// [`ShardPlan`] — it touches nothing outside itself except the
+/// (lock-free for timing runs) backing store.
+struct Shard {
+    nodes: Vec<Box<dyn SimNode + Send>>,
+    channels: Vec<Channel>,
     arena: Arena,
     sched: Sched,
     /// Host nanoseconds per local node's fires (only filled under
@@ -364,9 +426,9 @@ impl Shard {
     /// execution up to the bound is a pure local function). Channels
     /// whose producer finished or whose reader closed carry nothing
     /// further and do not constrain the bound.
-    fn allowance(&self) -> u64 {
+    fn allowance(&self, plan: &ShardPlan) -> u64 {
         let mut bound = u64::MAX;
-        for &c in &self.cut_ins {
+        for &c in &plan.cut_ins {
             let ch = &self.channels[c as usize];
             if ch.src_finished() || ch.is_closed() {
                 continue;
@@ -378,11 +440,11 @@ impl Shard {
 
     /// Raises the effective horizon to `new` (if higher), waking readers
     /// of heads that became visible.
-    fn raise_eff(&mut self, new: u64) {
+    fn raise_eff(&mut self, plan: &ShardPlan, new: u64) {
         if new > self.eff {
             let old = self.eff;
             self.eff = new;
-            self.wake_visible(old, new);
+            self.wake_visible(plan, old, new);
         }
     }
 
@@ -404,7 +466,7 @@ impl Shard {
     /// Wakes the readers of every head that became visible when the
     /// horizon advanced from `old` to `new` (the monolithic engine's
     /// calendar drain).
-    fn wake_visible(&mut self, old: u64, new: u64) {
+    fn wake_visible(&mut self, plan: &ShardPlan, old: u64, new: u64) {
         while let Some(&Reverse((t, idx))) = self.calendar.peek() {
             if t > new {
                 break;
@@ -414,19 +476,19 @@ impl Shard {
                 .peek()
                 .is_some_and(|(ready, _)| ready == t && ready > old);
             if live {
-                let j = self.reader_of[idx];
+                let j = plan.reader_of[idx];
                 self.wake(j);
             }
         }
     }
 
     /// Diagnostic lines for this shard's blocked nodes.
-    fn blocked_lines(&self, graph: &Graph, out: &mut Vec<(u32, String)>) {
+    fn blocked_lines(&self, plan: &ShardPlan, graph: &Graph, out: &mut Vec<(u32, String)>) {
         for (i, nd) in self.nodes.iter().enumerate() {
             if nd.done() {
                 continue;
             }
-            let gid = self.node_ids[i];
+            let gid = plan.node_ids[i];
             let g = &graph.nodes()[gid as usize];
             let why = nd
                 .blocked_on()
@@ -445,6 +507,7 @@ impl Shard {
     #[allow(clippy::too_many_arguments)]
     fn fire_node(
         &mut self,
+        plan: &ShardPlan,
         i: usize,
         eff: u64,
         cfg: &SimConfig,
@@ -458,10 +521,10 @@ impl Shard {
             None => HbmSink::Queued(&mut self.hbm_reqs),
         };
         let mut ctx = Ctx {
-            chans: Chans::mapped(&mut self.channels, &self.edge_map),
+            chans: Chans::mapped(&mut self.channels, &plan.edge_map),
             hbm: HbmPort::new(
                 sink,
-                self.node_ids[i],
+                plan.node_ids[i],
                 &mut self.hbm_seq[i],
                 &mut self.hbm_resp[i],
             ),
@@ -472,7 +535,7 @@ impl Shard {
         };
         let t0 = cfg.profile_fires.then(std::time::Instant::now);
         let p = self.nodes[i].fire(&mut ctx).map_err(|e| {
-            let gid = self.node_ids[i] as usize;
+            let gid = plan.node_ids[i] as usize;
             let g = &graph.nodes()[gid];
             let label = if g.label.is_empty() {
                 g.op.name().to_string()
@@ -488,23 +551,23 @@ impl Shard {
             // Publish a conservative lower bound on this node's future
             // token times so arrival-order merges can commit safely.
             let t = self.nodes[i].local_time();
-            for &c in &self.outs_of[i] {
+            for &c in &plan.outs_of[i] {
                 self.channels[c as usize].raise_floor(t);
             }
         }
         // Drain this node's channel events into wakes. Remote endpoints
         // (u32::MAX) are handled by the barrier coordinator.
-        for &c in self.ins_of[i].iter().chain(self.outs_of[i].iter()) {
+        for &c in plan.ins_of[i].iter().chain(plan.outs_of[i].iter()) {
             let idx = c as usize;
             let ev = self.channels[idx].take_events();
             if ev == 0 {
                 continue;
             }
             if ev & (event::FREED | event::CLOSED) != 0 {
-                wakes.push(self.writer_of[idx]);
+                wakes.push(plan.writer_of[idx]);
             }
             if ev & event::SRC_FINISHED != 0 {
-                wakes.push(self.reader_of[idx]);
+                wakes.push(plan.reader_of[idx]);
             }
             if ev & (event::ENQUEUED | event::FREED) != 0 {
                 // A new head may have appeared (token enqueued on an
@@ -514,7 +577,7 @@ impl Shard {
                 if let Some((ready, _)) = self.channels[idx].peek() {
                     if ready <= eff {
                         if ev & event::ENQUEUED != 0 {
-                            wakes.push(self.reader_of[idx]);
+                            wakes.push(plan.reader_of[idx]);
                         }
                     } else {
                         self.calendar.push(Reverse((ready, idx)));
@@ -531,6 +594,7 @@ impl Shard {
     /// commit.
     fn run_to_quiescence(
         &mut self,
+        plan: &ShardPlan,
         eff: u64,
         cfg: &SimConfig,
         store: &SharedStore,
@@ -546,7 +610,7 @@ impl Shard {
                 next,
                 in_next,
             } => self.run_legacy(
-                bits, ready, cursor, next, in_next, eff, cfg, store, graph, hbm,
+                plan, bits, ready, cursor, next, in_next, eff, cfg, store, graph, hbm,
             ),
             Sched::Dedup {
                 cur,
@@ -555,7 +619,7 @@ impl Shard {
                 wave_gen,
                 dedup_hits,
             } => self.run_dedup(
-                cur, nxt, stamp, wave_gen, dedup_hits, eff, cfg, store, graph, hbm,
+                plan, cur, nxt, stamp, wave_gen, dedup_hits, eff, cfg, store, graph, hbm,
             ),
         };
         self.sched = sched;
@@ -570,6 +634,7 @@ impl Shard {
     #[allow(clippy::too_many_arguments)]
     fn run_legacy(
         &mut self,
+        plan: &ShardPlan,
         bits: &mut [u64],
         ready: &mut usize,
         cursor: &mut usize,
@@ -598,7 +663,7 @@ impl Shard {
                     continue;
                 }
                 wakes.clear();
-                let p = self.fire_node(i, eff, cfg, store, graph, &mut hbm, &mut wakes)?;
+                let p = self.fire_node(plan, i, eff, cfg, store, graph, &mut hbm, &mut wakes)?;
                 for &j in &wakes {
                     let j = j as usize;
                     if j == u32::MAX as usize {
@@ -654,6 +719,7 @@ impl Shard {
     #[allow(clippy::too_many_arguments)]
     fn run_dedup(
         &mut self,
+        plan: &ShardPlan,
         cur: &mut Vec<usize>,
         nxt: &mut Vec<usize>,
         stamp: &mut [u64],
@@ -682,7 +748,7 @@ impl Shard {
                     continue;
                 }
                 wakes.clear();
-                let p = self.fire_node(i, eff, cfg, store, graph, &mut hbm, &mut wakes)?;
+                let p = self.fire_node(plan, i, eff, cfg, store, graph, &mut hbm, &mut wakes)?;
                 let mut enqueue = |j: usize| {
                     if stamp[j] == *wave_gen {
                         *dedup_hits += 1;
@@ -724,22 +790,88 @@ struct CrossEdge {
     r_ch: u32,
 }
 
-/// A configured simulation of one STeP graph.
-pub struct Simulation {
-    graph: Graph,
-    cfg: SimConfig,
+/// Per-run inputs for [`SimPlan::run_bound`]: replacement token streams
+/// for `Source` nodes and dense off-chip preloads.
+///
+/// Source rebinding is what makes one plan serve many trace iterations:
+/// a decode loop binds each iteration's grown KV-request stream and
+/// re-sampled expert routing onto the same partitioned topology instead
+/// of rebuilding graph + partition + channels per iteration. Bound
+/// streams are validated against the source's declared stream rank at
+/// run start; an empty binding reproduces the plan's baked-in streams
+/// bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct RunBinding {
+    sources: BTreeMap<NodeId, Vec<Token>>,
+    preloads: Vec<(u64, usize, usize, Vec<f32>)>,
+}
+
+impl RunBinding {
+    /// An empty binding: the plan's baked-in source streams play as-is.
+    pub fn new() -> RunBinding {
+        RunBinding::default()
+    }
+
+    /// Replaces the token stream of `Source` node `id` for this run
+    /// (include the trailing `Done`). Validated against the source's
+    /// declared rank when the run starts.
+    pub fn bind_source(&mut self, id: NodeId, tokens: Vec<Token>) -> &mut Self {
+        self.sources.insert(id, tokens);
+        self
+    }
+
+    /// Registers a dense tensor in off-chip memory so loads return real
+    /// data (functional runs).
+    pub fn preload(
+        &mut self,
+        base_addr: u64,
+        rows: usize,
+        cols: usize,
+        data: Vec<f32>,
+    ) -> &mut Self {
+        self.preloads.push((base_addr, rows, cols, data));
+        self
+    }
+
+    /// Whether the binding carries no overrides.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty() && self.preloads.is_empty()
+    }
+}
+
+/// The mutable state of one run of a [`SimPlan`]: node executors,
+/// channel queues, arenas, scheduler state, the HBM ledger, and the
+/// functional backing store. Created per run, consumed by the report.
+struct RunState {
     shards: Vec<Mutex<Shard>>,
-    cross: Vec<CrossEdge>,
-    /// Node (global id) → owning shard / local index.
-    shard_of: Vec<u32>,
-    local_of: Vec<u32>,
     hbm: Hbm,
     store: SharedStore,
     counters: SchedCounters,
 }
 
-impl Simulation {
-    /// Builds executors, channels, and the shard plan for `graph`.
+/// An immutable, reusable execution plan for one STeP graph: the graph,
+/// the frozen [`SimConfig`], the shard partition (with cut metadata),
+/// and every shard's channel topology.
+///
+/// Build once with [`SimPlan::new`], run many times with
+/// [`SimPlan::run`] / [`SimPlan::run_bound`]. The plan is read-only
+/// during execution, so `Arc<SimPlan>` can be shared across threads and
+/// run concurrently; each run materializes its own `RunState`. Every
+/// run of the same plan with the same binding is bit-identical — to
+/// other runs of the plan and to a fresh
+/// `Simulation::new(graph, cfg)?.run()?`.
+pub struct SimPlan {
+    graph: Graph,
+    cfg: SimConfig,
+    plans: Vec<ShardPlan>,
+    cross: Vec<CrossEdge>,
+    /// Node (global id) → owning shard / local index.
+    shard_of: Vec<u32>,
+    local_of: Vec<u32>,
+}
+
+impl SimPlan {
+    /// Partitions `graph` and lays out the shard/channel topology.
     ///
     /// The partition is derived from the graph and
     /// [`SimConfig::shards`] only — never from `threads` — so reported
@@ -748,7 +880,17 @@ impl Simulation {
     /// # Errors
     ///
     /// Returns [`StepError::Config`] if an operator cannot be executed.
-    pub fn new(graph: Graph, cfg: SimConfig) -> Result<Simulation> {
+    pub fn new(graph: Graph, cfg: SimConfig) -> Result<SimPlan> {
+        // Surface inexecutable operators at plan time (not first run):
+        // building the executors is cheap and validates every node.
+        // Sources are skipped — building one is infallible and would
+        // deep-copy its whole token stream just to drop it.
+        for i in 0..graph.nodes().len() {
+            if matches!(graph.nodes()[i].op, OpKind::Source(_)) {
+                continue;
+            }
+            let _ = nodes::build_node(&graph, i)?;
+        }
         let plan = match cfg.shards {
             1 => Partition::monolithic(&graph),
             0 => partition(&graph, &PartitionCfg::default()),
@@ -764,7 +906,6 @@ impl Simulation {
         let k = plan.shards;
         let n = graph.nodes().len();
         let e = graph.edges().len();
-        let sharded = k > 1;
 
         // Local node ids per shard, ascending.
         let mut node_ids: Vec<Vec<u32>> = vec![Vec::new(); k];
@@ -776,7 +917,7 @@ impl Simulation {
 
         // Channels: intra-shard edges get one channel in their shard;
         // cut edges get a writer half and a reader half.
-        let mut channels: Vec<Vec<Channel>> = (0..k).map(|_| Vec::new()).collect();
+        let mut chans: Vec<Vec<ChanSpec>> = (0..k).map(|_| Vec::new()).collect();
         let mut edge_map: Vec<Vec<u32>> = vec![vec![u32::MAX; e]; k];
         let mut reader_of: Vec<Vec<u32>> = vec![Vec::new(); k];
         let mut writer_of: Vec<Vec<u32>> = vec![Vec::new(); k];
@@ -791,19 +932,28 @@ impl Simulation {
             let (ws, rs) = (plan.shard_of[src] as usize, plan.shard_of[dst] as usize);
             if ws == rs {
                 let s = ws;
-                edge_map[s][ei] = channels[s].len() as u32;
-                channels[s].push(Channel::new(edge.capacity, cfg.channel_latency));
+                edge_map[s][ei] = chans[s].len() as u32;
+                chans[s].push(ChanSpec {
+                    capacity: edge.capacity,
+                    cross_reader: false,
+                });
                 writer_of[s].push(local_node[src]);
                 reader_of[s].push(local_node[dst]);
             } else {
-                let w_ch = channels[ws].len() as u32;
+                let w_ch = chans[ws].len() as u32;
                 edge_map[ws][ei] = w_ch;
-                channels[ws].push(Channel::new(edge.capacity, cfg.channel_latency));
+                chans[ws].push(ChanSpec {
+                    capacity: edge.capacity,
+                    cross_reader: false,
+                });
                 writer_of[ws].push(local_node[src]);
                 reader_of[ws].push(u32::MAX);
-                let r_ch = channels[rs].len() as u32;
+                let r_ch = chans[rs].len() as u32;
                 edge_map[rs][ei] = r_ch;
-                channels[rs].push(Channel::cross_reader(edge.capacity, cfg.channel_latency));
+                chans[rs].push(ChanSpec {
+                    capacity: edge.capacity,
+                    cross_reader: true,
+                });
                 writer_of[rs].push(u32::MAX);
                 reader_of[rs].push(local_node[dst]);
                 cross.push(CrossEdge {
@@ -815,15 +965,9 @@ impl Simulation {
             }
         }
 
-        let mut shards = Vec::with_capacity(k);
+        let mut shard_plans = Vec::with_capacity(k);
         for s in 0..k {
             let ids = std::mem::take(&mut node_ids[s]);
-            let m = ids.len();
-            let nodes: Result<Vec<_>> = ids
-                .iter()
-                .map(|&gid| nodes::build_node(&graph, gid as usize))
-                .collect();
-            let nodes = nodes?;
             let map = std::mem::take(&mut edge_map[s]);
             let ins_of: Vec<Vec<u32>> = ids
                 .iter()
@@ -849,17 +993,130 @@ impl Simulation {
                 .iter()
                 .map(|e| map[e.0 as usize])
                 .collect();
-            let undone = nodes.iter().filter(|nd| !nd.done()).count();
-            shards.push(Mutex::new(Shard {
+            shard_plans.push(ShardPlan {
                 node_ids: ids,
-                nodes,
-                channels: std::mem::take(&mut channels[s]),
+                chans: std::mem::take(&mut chans[s]),
                 edge_map: map,
                 reader_of: std::mem::take(&mut reader_of[s]),
                 writer_of: std::mem::take(&mut writer_of[s]),
                 ins_of,
                 outs_of,
                 cut_ins,
+            });
+        }
+        Ok(SimPlan {
+            graph,
+            cfg,
+            plans: shard_plans,
+            cross,
+            shard_of: plan.shard_of,
+            local_of: local_node,
+        })
+    }
+
+    /// The planned graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The frozen configuration.
+    pub fn cfg(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Shards in the plan.
+    pub fn shards(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Runs the plan once with its baked-in source streams.
+    ///
+    /// Takes `&self`: the plan is never mutated, so an `Arc<SimPlan>`
+    /// may run concurrently from many threads, each run with its own
+    /// state and bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Deadlock`] if the graph stops making progress
+    /// before finishing, or the first functional error raised by a node.
+    pub fn run(&self) -> Result<SimReport> {
+        self.run_bound(&RunBinding::default())
+    }
+
+    /// Runs the plan once with per-run source streams and preloads.
+    ///
+    /// Single-shard plans run the wave scheduler inline with immediate
+    /// off-chip commitment (the legacy engine, bit for bit). Sharded
+    /// plans run sub-rounds over the shards — on `SimConfig::threads`
+    /// workers when > 1 — separated by deterministic coordination
+    /// barriers; see the module docs for the determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Config`] for a binding that targets a
+    /// non-`Source` node or violates the source's stream rank, plus the
+    /// run errors of [`SimPlan::run`].
+    pub fn run_bound(&self, binding: &RunBinding) -> Result<SimReport> {
+        let mut state = self.build_state(binding)?;
+        let k = self.plans.len();
+        if k == 1 {
+            self.run_single(&mut state)?;
+        } else {
+            let threads = self.cfg.threads.clamp(1, k);
+            if threads == 1 {
+                self.run_sharded_inline(&mut state)?;
+            } else {
+                self.run_sharded_threaded(&mut state, threads)?;
+            }
+        }
+        Ok(self.build_report(state))
+    }
+
+    /// Materializes the mutable state for one run: node executors (with
+    /// bound source streams), channel queues, arenas, scheduler
+    /// ready-sets, the HBM ledger, and the preloaded backing store.
+    fn build_state(&self, binding: &RunBinding) -> Result<RunState> {
+        for (id, toks) in &binding.sources {
+            let Some(node) = self.graph.nodes().get(id.0 as usize) else {
+                return Err(StepError::Config(format!(
+                    "bound source {id:?} is not in the graph"
+                )));
+            };
+            if !matches!(node.op, OpKind::Source(_)) {
+                return Err(StepError::Config(format!(
+                    "bound node {id:?} [{}] is not a Source",
+                    node.op.name()
+                )));
+            }
+            let rank = self.graph.edge(node.outputs[0]).shape.rank();
+            token::validate(toks, rank)
+                .map_err(|e| StepError::Config(format!("bound stream for source {id:?}: {e}")))?;
+        }
+        let sharded = self.plans.len() > 1;
+        let mut shards = Vec::with_capacity(self.plans.len());
+        for sp in &self.plans {
+            let m = sp.node_ids.len();
+            let nodes: Result<Vec<_>> = sp
+                .node_ids
+                .iter()
+                .map(|&gid| {
+                    nodes::build_node_bound(
+                        &self.graph,
+                        gid as usize,
+                        binding.sources.get(&NodeId(gid)).cloned(),
+                    )
+                })
+                .collect();
+            let nodes = nodes?;
+            let channels = sp
+                .chans
+                .iter()
+                .map(|c| c.build(self.cfg.channel_latency))
+                .collect();
+            let undone = nodes.iter().filter(|nd| !nd.done()).count();
+            shards.push(Mutex::new(Shard {
+                nodes,
+                channels,
                 arena: if sharded {
                     Arena::with_event_log()
                 } else {
@@ -870,7 +1127,7 @@ impl Simulation {
                 } else {
                     Sched::legacy(m)
                 },
-                eff: cfg.horizon_step,
+                eff: self.cfg.horizon_step,
                 fire_ns: vec![0; m],
                 calendar: BinaryHeap::new(),
                 undone,
@@ -880,69 +1137,31 @@ impl Simulation {
                 hbm_resp: vec![VecDeque::new(); m],
             }));
         }
-        let hbm = Hbm::new(cfg.hbm.clone());
-        Ok(Simulation {
-            graph,
-            cfg,
+        let store = SharedStore::new();
+        for (base, rows, cols, data) in &binding.preloads {
+            store.register(*base, *rows, *cols, data.clone());
+        }
+        Ok(RunState {
             shards,
-            cross,
-            shard_of: plan.shard_of,
-            local_of: local_node,
-            hbm,
-            store: SharedStore::new(),
+            hbm: Hbm::new(self.cfg.hbm.clone()),
+            store,
             counters: SchedCounters::default(),
         })
     }
 
-    /// Registers a dense tensor in off-chip memory so loads return real
-    /// data (functional runs).
-    pub fn preload(&mut self, base_addr: u64, rows: usize, cols: usize, data: Vec<f32>) {
-        self.store.register(base_addr, rows, cols, data);
-    }
-
-    /// Reads back a preloaded/stored tensor.
-    pub fn offchip_tensor(&self, base_addr: u64) -> Option<(usize, usize, Vec<f32>)> {
-        self.store.tensor(base_addr)
-    }
-
-    /// Runs the graph to completion.
-    ///
-    /// Single-shard plans run the wave scheduler inline with immediate
-    /// off-chip commitment (the legacy engine, bit for bit). Sharded
-    /// plans run sub-rounds over the shards — on `SimConfig::threads`
-    /// workers when > 1 — separated by deterministic coordination
-    /// barriers; see the module docs for the determinism contract.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StepError::Deadlock`] if the graph stops making progress
-    /// before finishing, or the first functional error raised by a node.
-    pub fn run(mut self) -> Result<SimReport> {
-        let k = self.shards.len();
-        if k == 1 {
-            self.run_single()?;
-        } else {
-            let threads = self.cfg.threads.clamp(1, k);
-            if threads == 1 {
-                self.run_sharded_inline()?;
-            } else {
-                self.run_sharded_threaded(threads)?;
-            }
-        }
-        Ok(self.into_report())
-    }
-
     /// Monolithic execution: one shard, immediate HBM commitment.
-    fn run_single(&mut self) -> Result<()> {
+    fn run_single(&self, state: &mut RunState) -> Result<()> {
         let mut horizon = self.cfg.horizon_step;
-        let shard = self.shards[0].get_mut().expect("shard lock");
+        let plan = &self.plans[0];
+        let shard = state.shards[0].get_mut().expect("shard lock");
         loop {
             shard.run_to_quiescence(
+                plan,
                 horizon,
                 &self.cfg,
-                &self.store,
+                &state.store,
                 &self.graph,
-                Some(&mut self.hbm),
+                Some(&mut state.hbm),
             )?;
             if shard.undone == 0 {
                 return Ok(());
@@ -952,57 +1171,58 @@ impl Simulation {
             // heads became visible.
             let Some(t0) = shard.next_event(horizon) else {
                 let mut lines = Vec::new();
-                shard.blocked_lines(&self.graph, &mut lines);
+                shard.blocked_lines(plan, &self.graph, &mut lines);
                 return Err(deadlock_error(lines));
             };
             let new_horizon = t0 + self.cfg.horizon_step;
-            shard.wake_visible(horizon, new_horizon);
+            shard.wake_visible(plan, horizon, new_horizon);
             horizon = new_horizon;
         }
     }
 
     /// Sharded execution on the calling thread: the reference schedule
     /// every worker count reproduces.
-    fn run_sharded_inline(&mut self) -> Result<()> {
+    fn run_sharded_inline(&self, state: &mut RunState) -> Result<()> {
         let mut horizon = self.cfg.horizon_step;
-        let mut active: Vec<u32> = (0..self.shards.len() as u32).collect();
-        self.counters.shard_runs += active.len() as u64;
+        let mut active: Vec<u32> = (0..state.shards.len() as u32).collect();
+        state.counters.shard_runs += active.len() as u64;
         let mut solo: Option<u32> = None;
         loop {
             if let Some(id) = solo {
                 // Off-chip fast path: the sole runnable shard commits
                 // against the ledger immediately, like the monolithic
                 // engine.
-                let mut shard = self.shards[id as usize].lock().expect("shard lock");
+                let mut shard = state.shards[id as usize].lock().expect("shard lock");
                 let eff = shard.eff;
                 shard.run_to_quiescence(
+                    &self.plans[id as usize],
                     eff,
                     &self.cfg,
-                    &self.store,
+                    &state.store,
                     &self.graph,
-                    Some(&mut self.hbm),
+                    Some(&mut state.hbm),
                 )?;
             } else {
                 for &id in &active {
-                    let mut shard = self.shards[id as usize].lock().expect("shard lock");
+                    let mut shard = state.shards[id as usize].lock().expect("shard lock");
                     let eff = shard.eff;
-                    shard.run_to_quiescence(eff, &self.cfg, &self.store, &self.graph, None)?;
+                    shard.run_to_quiescence(
+                        &self.plans[id as usize],
+                        eff,
+                        &self.cfg,
+                        &state.store,
+                        &self.graph,
+                        None,
+                    )?;
                 }
             }
-            let plan = CoordPlan {
-                cross: &self.cross,
-                shard_of: &self.shard_of,
-                local_of: &self.local_of,
-                graph: &self.graph,
-                cfg: &self.cfg,
-            };
             match coordinate(
-                &self.shards,
-                &plan,
-                &mut self.hbm,
+                self,
+                &state.shards,
+                &mut state.hbm,
                 &mut horizon,
                 &mut active,
-                &mut self.counters,
+                &mut state.counters,
             )? {
                 CoordStep::Done => return Ok(()),
                 CoordStep::Run => solo = None,
@@ -1017,33 +1237,22 @@ impl Simulation {
     /// solo-shard sub-rounds itself without waking the workers (barrier
     /// waits elided). Which worker runs a shard can never affect the
     /// result, so this is bit-identical to
-    /// [`Simulation::run_sharded_inline`].
-    fn run_sharded_threaded(&mut self, threads: usize) -> Result<()> {
+    /// [`SimPlan::run_sharded_inline`].
+    fn run_sharded_threaded(&self, state: &mut RunState, threads: usize) -> Result<()> {
         let barrier = Barrier::new(threads);
         let stop = AtomicBool::new(false);
         let cursor = AtomicUsize::new(0);
-        let active: Mutex<Vec<u32>> = Mutex::new((0..self.shards.len() as u32).collect());
+        let active: Mutex<Vec<u32>> = Mutex::new((0..state.shards.len() as u32).collect());
         let failure: Mutex<Option<StepError>> = Mutex::new(None);
 
-        let Simulation {
-            graph,
-            cfg,
+        let RunState {
             shards,
-            cross,
-            shard_of,
-            local_of,
             hbm,
             store,
             counters,
-        } = self;
+        } = state;
         let shards: &[Mutex<Shard>] = shards;
-        let plan = CoordPlan {
-            cross,
-            shard_of,
-            local_of,
-            graph,
-            cfg,
-        };
+        let store: &SharedStore = store;
         counters.shard_runs += shards.len() as u64;
 
         // Every fallible step — including panics, which would otherwise
@@ -1062,7 +1271,14 @@ impl Simulation {
                     };
                     let mut shard = shards[id].lock().expect("shard lock");
                     let eff = shard.eff;
-                    shard.run_to_quiescence(eff, cfg, store, graph, None)?;
+                    shard.run_to_quiescence(
+                        &self.plans[id],
+                        eff,
+                        &self.cfg,
+                        store,
+                        &self.graph,
+                        None,
+                    )?;
                 }
             };
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body))
@@ -1101,7 +1317,7 @@ impl Simulation {
             // sub-rounds never touch the barrier at all — the workers
             // stay parked and the coordinator runs the shard with the
             // immediate-commit sink.
-            let mut horizon = cfg.horizon_step;
+            let mut horizon = self.cfg.horizon_step;
             let mut step = CoordStep::Run;
             let run = loop {
                 match step {
@@ -1110,7 +1326,14 @@ impl Simulation {
                         let solo = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             let mut shard = shards[id as usize].lock().expect("shard lock");
                             let eff = shard.eff;
-                            shard.run_to_quiescence(eff, cfg, store, graph, Some(hbm))
+                            shard.run_to_quiescence(
+                                &self.plans[id as usize],
+                                eff,
+                                &self.cfg,
+                                store,
+                                &self.graph,
+                                Some(hbm),
+                            )
                         }))
                         .unwrap_or_else(|p| {
                             Err(StepError::Exec(format!(
@@ -1134,7 +1357,7 @@ impl Simulation {
                 }
                 let next = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut a = active.lock().expect("active list");
-                    coordinate(shards, &plan, hbm, &mut horizon, &mut a, counters)
+                    coordinate(self, shards, hbm, &mut horizon, &mut a, counters)
                 }))
                 .unwrap_or_else(|p| {
                     Err(StepError::Exec(format!(
@@ -1154,17 +1377,17 @@ impl Simulation {
         outcome
     }
 
-    fn into_report(mut self) -> SimReport {
+    fn build_report(&self, mut state: RunState) -> SimReport {
         let n = self.graph.nodes().len();
-        let k = self.shards.len();
+        let k = state.shards.len();
         let mut node_stats = vec![NodeStats::default(); n];
         let mut sinks = BTreeMap::new();
         let mut rounds = 0;
         let mut arena_events: Vec<ArenaEvent> = Vec::new();
         let mut arena_peak_single = 0;
-        let mut counters = self.counters.clone();
+        let mut counters = state.counters.clone();
         let (mut chan_tokens, mut chan_runs) = (0, 0);
-        for s in self.shards.iter_mut() {
+        for (sp, s) in self.plans.iter().zip(state.shards.iter_mut()) {
             let s = s.get_mut().expect("shard lock");
             rounds += s.rounds;
             if let Sched::Dedup { dedup_hits, .. } = &s.sched {
@@ -1177,7 +1400,7 @@ impl Simulation {
                 chan_runs += ch.sent_runs();
             }
             for (i, nd) in s.nodes.iter().enumerate() {
-                let gid = s.node_ids[i] as usize;
+                let gid = sp.node_ids[i] as usize;
                 node_stats[gid] = nd.stats().clone();
                 node_stats[gid].wall_ns = s.fire_ns[i];
                 if let Some(toks) = nd.recorded() {
@@ -1195,19 +1418,19 @@ impl Simulation {
             .map(|s| s.finish_time)
             .max()
             .unwrap_or(0)
-            .max(self.hbm.last_completion());
+            .max(state.hbm.last_completion());
         let onchip_memory = node_stats.iter().map(|s| s.onchip_bytes).sum();
         let total_flops = node_stats.iter().map(|s| s.flops).sum();
         SimReport {
             cycles,
-            offchip_traffic: self.hbm.total_bytes(),
-            offchip_read: self.hbm.read_bytes(),
-            offchip_write: self.hbm.write_bytes(),
+            offchip_traffic: state.hbm.total_bytes(),
+            offchip_read: state.hbm.read_bytes(),
+            offchip_write: state.hbm.write_bytes(),
             onchip_memory,
             arena_peak,
             total_flops,
             allocated_compute: self.graph.allocated_compute(),
-            offchip_peak_bw: self.hbm.peak_bytes_per_cycle(),
+            offchip_peak_bw: state.hbm.peak_bytes_per_cycle(),
             rounds,
             chan_tokens,
             chan_runs,
@@ -1219,13 +1442,61 @@ impl Simulation {
     }
 }
 
-/// Read-only context the coordinator needs besides the shards and HBM.
-struct CoordPlan<'a> {
-    cross: &'a [CrossEdge],
-    shard_of: &'a [u32],
-    local_of: &'a [u32],
-    graph: &'a Graph,
-    cfg: &'a SimConfig,
+/// A one-shot simulation: builds a [`SimPlan`], carries a [`RunBinding`],
+/// and runs once. The convenience path for single runs —
+/// `Simulation::new(graph, cfg)?.run()` — and the compatibility surface
+/// for code predating the plan/run split. Sweeps and multi-iteration
+/// drivers should hold a [`SimPlan`] and call [`SimPlan::run_bound`]
+/// instead, paying partition and topology layout once.
+pub struct Simulation {
+    plan: SimPlan,
+    binding: RunBinding,
+}
+
+impl Simulation {
+    /// Builds the execution plan for `graph` (see [`SimPlan::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Config`] if an operator cannot be executed.
+    pub fn new(graph: Graph, cfg: SimConfig) -> Result<Simulation> {
+        Ok(Simulation {
+            plan: SimPlan::new(graph, cfg)?,
+            binding: RunBinding::default(),
+        })
+    }
+
+    /// Registers a dense tensor in off-chip memory so loads return real
+    /// data (functional runs).
+    pub fn preload(&mut self, base_addr: u64, rows: usize, cols: usize, data: Vec<f32>) {
+        self.binding.preload(base_addr, rows, cols, data);
+    }
+
+    /// Replaces a `Source` node's token stream for this run (see
+    /// [`RunBinding::bind_source`]).
+    pub fn bind_source(&mut self, id: NodeId, tokens: Vec<Token>) {
+        self.binding.bind_source(id, tokens);
+    }
+
+    /// The underlying reusable plan.
+    pub fn plan(&self) -> &SimPlan {
+        &self.plan
+    }
+
+    /// Extracts the reusable plan, dropping any binding.
+    pub fn into_plan(self) -> SimPlan {
+        self.plan
+    }
+
+    /// Runs the graph to completion (see [`SimPlan::run_bound`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Deadlock`] if the graph stops making progress
+    /// before finishing, or the first functional error raised by a node.
+    pub fn run(self) -> Result<SimReport> {
+        self.plan.run_bound(&self.binding)
+    }
 }
 
 /// What the engine should run after a coordination barrier.
@@ -1250,8 +1521,8 @@ enum CoordStep {
 /// order, request `(time, node, seq)`), so the outcome is a pure
 /// function of shard states.
 fn coordinate(
+    plan: &SimPlan,
     shards: &[Mutex<Shard>],
-    plan: &CoordPlan<'_>,
     hbm: &mut Hbm,
     horizon: &mut u64,
     active: &mut Vec<u32>,
@@ -1266,7 +1537,11 @@ fn coordinate(
     // Cross-shard transfer, in edge order. Idle edges — nothing queued,
     // no credits to return, flags and floor already mirrored — are
     // skipped without mutating either half.
-    for x in plan.cross {
+    for x in &plan.cross {
+        let (wp, rp) = (
+            &plan.plans[x.w_shard as usize],
+            &plan.plans[x.r_shard as usize],
+        );
         let [ws, rs] = gs
             .get_disjoint_mut([x.w_shard as usize, x.r_shard as usize])
             .expect("cross edge joins two distinct shards");
@@ -1309,12 +1584,12 @@ fn coordinate(
         // Events → wakes, mirroring the in-shard drain.
         let wev = ws.channels[w_ch].take_events();
         if wev & (event::FREED | event::CLOSED) != 0 {
-            let j = ws.writer_of[w_ch];
+            let j = wp.writer_of[w_ch];
             ws.wake(j);
         }
         let rev = rs.channels[r_ch].take_events();
         if rev & event::SRC_FINISHED != 0 {
-            let j = rs.reader_of[r_ch];
+            let j = rp.reader_of[r_ch];
             rs.wake(j);
         }
         if rev & (event::ENQUEUED | event::FREED) != 0
@@ -1322,7 +1597,7 @@ fn coordinate(
         {
             if ready <= rs.eff {
                 if rev & event::ENQUEUED != 0 {
-                    let j = rs.reader_of[r_ch];
+                    let j = rp.reader_of[r_ch];
                     rs.wake(j);
                 }
             } else {
@@ -1362,9 +1637,9 @@ fn coordinate(
     // Barrier elision: raise each shard's effective horizon to its
     // cut-slack allowance, waking readers of newly visible heads.
     if plan.cfg.elide_barriers {
-        for s in gs.iter_mut() {
-            let allow = s.allowance();
-            s.raise_eff(allow);
+        for (sp, s) in plan.plans.iter().zip(gs.iter_mut()) {
+            let allow = s.allowance(sp);
+            s.raise_eff(sp, allow);
         }
     }
 
@@ -1389,14 +1664,14 @@ fn coordinate(
         }
         let Some(t0) = t0 else {
             let mut lines = Vec::new();
-            for s in gs.iter() {
-                s.blocked_lines(plan.graph, &mut lines);
+            for (sp, s) in plan.plans.iter().zip(gs.iter()) {
+                s.blocked_lines(sp, &plan.graph, &mut lines);
             }
             return Err(deadlock_error(lines));
         };
         *horizon = t0 + plan.cfg.horizon_step;
-        for s in gs.iter_mut() {
-            s.raise_eff(*horizon);
+        for (sp, s) in plan.plans.iter().zip(gs.iter_mut()) {
+            s.raise_eff(sp, *horizon);
         }
         fill(&gs, active);
     }

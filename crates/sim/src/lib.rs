@@ -52,12 +52,29 @@
 //!   request/response state machines driven through [`nodes::HbmPort`];
 //!   completions coalesce into [`nodes::RespRun`]s, and a pipelined
 //!   burst of tile reads emits as one run;
-//! - [`engine::Simulation`] — the sharded event-driven scheduler.
-//!   [`step_core::partition`] cuts the graph at high-slack channels into
-//!   connected shards (small graphs stay monolithic); each shard runs a
-//!   wake-list wave scheduler over its nodes, and shards synchronize at
-//!   deterministic barriers that exchange cross-shard tokens, commit the
-//!   off-chip batch, and advance the conservative execution horizon.
+//! - [`engine::SimPlan`] — the immutable, reusable execution plan, and
+//!   the sharded event-driven scheduler that runs it. The lifecycle is
+//!   split in two: [`engine::SimPlan::new`] does everything that
+//!   depends only on `(graph, SimConfig)` — [`step_core::partition`]
+//!   cuts the graph at high-slack channels into connected shards (small
+//!   graphs stay monolithic) and every shard's channel topology is laid
+//!   out — while [`engine::SimPlan::run`] materializes the cheap
+//!   per-run state (node executors, channel queues, arenas, ready-sets,
+//!   HBM ledger) and executes it. **Sharing contract:** a plan is
+//!   read-only during execution, so `Arc<SimPlan>` can be run from many
+//!   threads concurrently, each run bit-identical to a fresh build.
+//!   [`engine::RunBinding`] carries per-run inputs — **source
+//!   rebinding** (replacement token streams for `Source` nodes,
+//!   validated against the declared stream rank) and functional
+//!   preloads — so sweeps and decode loops drive one plan with many
+//!   trace iterations instead of paying graph + partition + topology
+//!   per point. [`engine::Simulation`] remains the one-shot wrapper
+//!   (`Simulation::new(graph, cfg)?.run()`).
+//!
+//!   At run time, each shard runs a wake-list wave scheduler over its
+//!   nodes, and shards synchronize at deterministic barriers that
+//!   exchange cross-shard tokens, commit the off-chip batch, and
+//!   advance the conservative execution horizon.
 //!   `SimConfig::threads` maps shards onto worker threads.
 //!
 //!   The barrier protocol stays off the hot path. **Barrier elision**
@@ -80,15 +97,17 @@
 //!   --json` asserts a fire budget on them in CI.
 //!
 //!   **Determinism contract:** every reported metric is a pure function
-//!   of `(graph, SimConfig minus threads)`. Shard sub-rounds see no
-//!   external mutation; every barrier action is ordered by stable keys;
-//!   and the elision allowances, solo-shard schedule, and wake stamps
-//!   are computed from barrier-time shard state in the coordinator's
-//!   exclusive window — so parallel runs are bit-identical to the same
-//!   plan on one thread at any worker count
+//!   of `(graph, SimConfig minus threads, RunBinding)`. Shard sub-rounds
+//!   see no external mutation; every barrier action is ordered by stable
+//!   keys; and the elision allowances, solo-shard schedule, and wake
+//!   stamps are computed from barrier-time shard state in the
+//!   coordinator's exclusive window — so parallel runs are bit-identical
+//!   to the same plan on one thread at any worker count
 //!   (`crates/sim/tests/conformance.rs` checks this across every model
 //!   builder, plus the full elision/fast-path flag matrix on the most
-//!   arrival-order-sensitive builders). Single-shard
+//!   arrival-order-sensitive builders), and re-running or concurrently
+//!   running a plan is bit-identical to rebuilding it
+//!   (`crates/sim/tests/plan_reuse.rs`). Single-shard
 //!   plans take the legacy immediate-commitment path bit for bit.
 //!   Deadlocks are detected and reported with each blocked node's
 //!   blocking edge. [`engine::SimReport`] carries cycles, off-chip
@@ -106,7 +125,7 @@
 //! ```
 //! use step_core::graph::GraphBuilder;
 //! use step_core::ops::LinearLoadCfg;
-//! use step_sim::{SimConfig, Simulation};
+//! use step_sim::{SimConfig, SimPlan};
 //!
 //! let mut g = GraphBuilder::new();
 //! let trigger = g.unit_source(1);
@@ -115,11 +134,13 @@
 //!     LinearLoadCfg::new(0, (64, 256), (64, 64)),
 //! ).unwrap();
 //! g.linear_offchip_store(&tiles, 0x10_0000).unwrap();
-//! let report = Simulation::new(g.finish(), SimConfig::default())
-//!     .unwrap()
-//!     .run()
-//!     .unwrap();
+//! // Build the plan once (graph analysis, partition, channel topology)…
+//! let plan = SimPlan::new(g.finish(), SimConfig::default()).unwrap();
+//! // …then run it as many times as needed; every run is bit-identical.
+//! let report = plan.run().unwrap();
+//! let again = plan.run().unwrap();
 //! assert_eq!(report.offchip_traffic, 2 * 64 * 256 * 2); // load + store
+//! assert_eq!(report.cycles, again.cycles);
 //! assert!(report.cycles > 0);
 //! ```
 
@@ -133,5 +154,5 @@ pub mod run;
 pub mod stats;
 
 pub use config::{HbmConfig, SimConfig};
-pub use engine::{SimReport, Simulation};
+pub use engine::{RunBinding, SimPlan, SimReport, Simulation};
 pub use stats::NodeStats;

@@ -600,10 +600,37 @@ impl BlockEmitter {
 /// Returns [`StepError::Config`] for operators whose configuration cannot
 /// be executed.
 pub fn build_node(graph: &Graph, index: usize) -> Result<Box<dyn SimNode + Send>> {
+    build_node_bound(graph, index, None)
+}
+
+/// Builds the executor for a graph node, optionally overriding a
+/// `Source` node's token stream with a per-run binding (source
+/// rebinding: the plan's topology stays fixed while the played stream
+/// changes between runs). The override is ignored for non-source
+/// operators — the engine validates binding targets before building.
+///
+/// # Errors
+///
+/// Returns [`StepError::Config`] for operators whose configuration cannot
+/// be executed.
+pub fn build_node_bound(
+    graph: &Graph,
+    index: usize,
+    source_tokens: Option<Vec<Token>>,
+) -> Result<Box<dyn SimNode + Send>> {
     let node = &graph.nodes()[index];
     let rank_of = |e: EdgeId| graph.edge(e).shape.rank();
     Ok(match &node.op {
-        OpKind::Source(cfg) => Box::new(basic::SourceNode::new(node, cfg.clone())),
+        OpKind::Source(cfg) => {
+            let cfg = match source_tokens {
+                Some(tokens) => step_core::ops::SourceCfg {
+                    tokens,
+                    tokens_per_cycle: cfg.tokens_per_cycle,
+                },
+                None => cfg.clone(),
+            };
+            Box::new(basic::SourceNode::new(node, cfg))
+        }
         OpKind::Sink(cfg) => Box::new(basic::SinkNode::new(node, cfg.record)),
         OpKind::Fork { .. } => Box::new(basic::ForkNode::new(node)),
         OpKind::Zip => Box::new(basic::ZipNode::new(node)),

@@ -10,7 +10,7 @@
 
 use step::models::ModelConfig;
 use step::models::attention::{AttentionCfg, ParallelStrategy, attention_graph};
-use step::sim::{SimConfig, Simulation};
+use step::sim::{SimConfig, SimPlan};
 use step::traces::{KvTraceConfig, Variability, kv_lengths};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ParallelStrategy::Dynamic,
     ] {
         let cfg = AttentionCfg::new(model.clone(), strategy);
-        let report = Simulation::new(attention_graph(&cfg, &kv)?, SimConfig::default())?.run()?;
+        let report = SimPlan::new(attention_graph(&cfg, &kv)?, SimConfig::default())?.run()?;
         let base = *baseline.get_or_insert(report.cycles);
         println!(
             "{strategy:>17}: {:>8} cycles  (speedup vs coarse {:.2}x, off-chip BW util {:.1}%)",

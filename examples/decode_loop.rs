@@ -1,0 +1,59 @@
+//! Multi-iteration decode on a reused simulation plan — the
+//! serving-shaped workload.
+//!
+//! Builds one `SimPlan` per decoder phase (QKV GEMM, attention, MoE) and
+//! steps a batch through successive decode iterations on those plans:
+//! per iteration, every request's KV cache grows by one token (the
+//! attention plan's request source is rebound with the longer
+//! tile-address stream) and expert routing is re-sampled (the MoE plan's
+//! router selector source is rebound). Graph construction, partitioning,
+//! and channel-topology layout run once per phase — not once per
+//! iteration.
+//!
+//! Run with: `cargo run --release --example decode_loop`
+
+use step::models::ModelConfig;
+use step::models::e2e::{DecodeCfg, E2eVariant, run_decode};
+use step::traces::Variability;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelConfig::qwen3_30b_a3b();
+    let batch = 16usize;
+    let variant = E2eVariant::dynamic_schedule(Some(32));
+    let cfg = DecodeCfg {
+        iterations: 4,
+        median_prompt: 512.0,
+        variability: Variability::Medium,
+        seed: 7,
+    };
+    println!(
+        "{}: batch {batch}, {} decode iterations, {} schedule",
+        model.name, cfg.iterations, variant.name
+    );
+
+    let report = run_decode(&model, batch, &variant, &cfg)?;
+    println!(
+        "{:>5} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "iter", "kv tokens", "experts", "qkv cyc", "attn cyc", "moe cyc", "layer cyc"
+    );
+    for it in &report.iterations {
+        println!(
+            "{:>5} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            it.iter,
+            it.kv_tokens,
+            it.active_experts,
+            it.qkv_cycles,
+            it.attn_cycles,
+            it.moe_cycles,
+            it.layer_cycles
+        );
+    }
+    println!(
+        "\ntotal: {} cycles over {} layers x {} iterations, {} MB off-chip",
+        report.total_cycles,
+        model.layers,
+        cfg.iterations,
+        report.offchip_traffic >> 20
+    );
+    Ok(())
+}

@@ -10,7 +10,7 @@
 
 use step::core::metrics;
 use step::models::swiglu::{SwigluCfg, swiglu_graph};
-use step::sim::{SimConfig, Simulation};
+use step::sim::{SimConfig, SimPlan};
 use step_symbolic::Env;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Symbolic prediction: no simulation required.
             let (traffic, onchip) = metrics::analyze(&graph).eval(&Env::new())?;
             // Simulator confirmation.
-            let report = Simulation::new(graph, SimConfig::validation())?.run()?;
+            let report = SimPlan::new(graph, SimConfig::validation())?.run()?;
             println!(
                 "{:>12} {traffic:>14} {onchip:>14} {:>10}",
                 format!("({tb},{ti})"),

@@ -10,7 +10,7 @@
 
 use step::models::ModelConfig;
 use step::models::moe::{MoeCfg, Tiling, expected_weight_traffic, moe_graph};
-use step::sim::{SimConfig, Simulation};
+use step::sim::{SimConfig, SimPlan};
 use step::traces::{RoutingConfig, expert_routing};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = MoeCfg::new(model.clone(), tiling);
         let predicted = expected_weight_traffic(&cfg, &trace);
         let graph = moe_graph(&cfg, &trace)?;
-        let report = Simulation::new(graph, SimConfig::default())?.run()?;
+        let report = SimPlan::new(graph, SimConfig::default())?.run()?;
         println!(
             "{tiling:>12}: cycles {:>9}  traffic {:>6} MB (predicted weights {:>6} MB)  onchip {:>6} KB",
             report.cycles,

@@ -11,7 +11,7 @@ use step::core::func::{EwOp, MapFn};
 use step::core::graph::GraphBuilder;
 use step::core::metrics;
 use step::core::ops::LinearLoadCfg;
-use step::sim::{SimConfig, Simulation};
+use step::sim::{RunBinding, SimConfig, SimPlan};
 use step_symbolic::Env;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,15 +33,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("predicted off-chip traffic: {traffic} bytes");
     println!("predicted on-chip memory:   {memory} bytes");
 
-    // 3. Simulate with real data to see functional results.
-    let mut sim = Simulation::new(graph, SimConfig::default())?;
-    sim.preload(
+    // 3. Simulate with real data to see functional results. The plan
+    //    (partition + channel topology) is immutable and reusable; the
+    //    per-run binding carries the preloaded tensor.
+    let plan = SimPlan::new(graph, SimConfig::default())?;
+    let mut binding = RunBinding::new();
+    binding.preload(
         0x1000,
         64,
         256,
         (0..64 * 256).map(|i| (i as f32 % 7.0) - 3.0).collect(),
     );
-    let report = sim.run()?;
+    let report = plan.run_bound(&binding)?;
     println!("cycles: {}", report.cycles);
     println!(
         "measured off-chip traffic: {} bytes",

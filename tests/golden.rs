@@ -81,3 +81,8 @@ fn dse_sweep_matches_golden() {
 fn attention_dynamic_parallel_matches_golden() {
     check("attention_dynamic_parallel");
 }
+
+#[test]
+fn decode_loop_matches_golden() {
+    check("decode_loop");
+}
