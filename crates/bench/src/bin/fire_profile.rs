@@ -13,17 +13,22 @@
 //! Run with: `cargo run --release -p step-bench --bin fire_profile`
 //! `--json` emits one JSON object per configuration (run summary plus
 //! the per-op table); `TOPK=n` bounds the table to the n operator kinds
-//! with the largest wall share (default 10, 0 = all).
+//! with the largest wall share (default 10, 0 = all). Each row carries
+//! a `dispatch` column: the compiled executor variant
+//! ([`step_sim::nodes::CompiledNode`] kind) the operator lowers to, so
+//! wall time attributes to the static-dispatch arm that actually runs.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
 use step_models::ModelConfig;
 use step_models::moe::{MoeCfg, Tiling, moe_graph};
+use step_sim::nodes::compiled_kind;
 use step_sim::{SimConfig, SimPlan};
 use step_traces::{RoutingConfig, expert_routing};
 
 #[derive(Default)]
 struct OpRow {
+    dispatch: &'static str,
     fires: u64,
     idle: u64,
     wall_ns: u64,
@@ -53,6 +58,9 @@ fn main() {
             .iter()
             .map(|n| n.op.name().to_string())
             .collect();
+        // Captured before the graph moves into the plan: which compiled
+        // executor variant each operator dispatches to.
+        let kinds: Vec<&'static str> = graph.nodes().iter().map(|n| compiled_kind(&n.op)).collect();
         let t0 = Instant::now();
         let report = SimPlan::new(
             graph,
@@ -70,6 +78,7 @@ fn main() {
         let mut ops: BTreeMap<&str, OpRow> = BTreeMap::new();
         for (i, s) in report.node_stats.iter().enumerate() {
             let e = ops.entry(names[i].as_str()).or_default();
+            e.dispatch = kinds[i];
             e.fires += s.fires;
             e.idle += s.idle_fires;
             e.wall_ns += s.wall_ns;
@@ -90,8 +99,9 @@ fn main() {
                 .iter()
                 .map(|(op, r)| {
                     format!(
-                        "{{\"op\":\"{op}\",\"nodes\":{},\"fires\":{},\"idle\":{},\
-                         \"tokens_in\":{},\"wall_ms\":{:.2}}}",
+                        "{{\"op\":\"{op}\",\"dispatch\":\"{}\",\"nodes\":{},\"fires\":{},\
+                         \"idle\":{},\"tokens_in\":{},\"wall_ms\":{:.2}}}",
+                        r.dispatch,
                         r.nodes,
                         r.fires,
                         r.idle,
@@ -132,12 +142,13 @@ fn main() {
                 report.chan_tokens as f64 / report.chan_runs.max(1) as f64,
             );
             println!(
-                "  {:>22} {:>6} {:>10} {:>10} {:>11} {:>9}",
-                "op (top-K by wall)", "nodes", "fires", "idle", "tokens_in", "wall(ms)"
+                "  {:>22} {:>13} {:>6} {:>10} {:>10} {:>11} {:>9}",
+                "op (top-K by wall)", "dispatch", "nodes", "fires", "idle", "tokens_in", "wall(ms)"
             );
             for (op, r) in &rows[..shown] {
                 println!(
-                    "  {op:>22} {:>6} {:>10} {:>10} {:>11} {:>9.2}",
+                    "  {op:>22} {:>13} {:>6} {:>10} {:>10} {:>11} {:>9.2}",
+                    r.dispatch,
                     r.nodes,
                     r.fires,
                     r.idle,

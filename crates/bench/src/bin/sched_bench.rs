@@ -27,18 +27,23 @@
 //! uploads.
 //!
 //! `--reuse N` appends the plan-reuse section: the heaviest config's
-//! `SimPlan` is built once and run `N` times, reporting the
-//! graph-build / partition+topology / per-run wall split and the
+//! `SimPlan` is built once and run `N` times through a [`RunPool`]
+//! (compiled executors, state reset in place), reporting the
+//! graph-build / partition+topology / per-run wall split, the
 //! amortization ratio (build+run divided by the amortized per-run
-//! wall). Counters of every reused run are held to the same pinned
-//! budgets as the fresh-build rows and must be bit-identical across
-//! runs — wall-clock is reported but never asserted (it flakes; the
-//! counters cannot).
+//! wall), and the same runs on the dynamic-dispatch path
+//! (`compiled: false`, fresh state per run) as `run_ms_*_dyn` — the
+//! compiled-vs-dyn split. Counters of every reused run are held to the
+//! same pinned budgets as the fresh-build rows, must be bit-identical
+//! across runs *and* across dispatch paths, and every pooled rerun
+//! must report `run_allocs == 0` / `pool_resets == 1` (the alloc-free
+//! guard — a counter, so it cannot flake) — wall-clock is reported but
+//! never asserted.
 
 use std::time::Instant;
 use step_models::ModelConfig;
 use step_models::moe::{MoeCfg, Tiling, moe_graph};
-use step_sim::{SimConfig, SimPlan, SimReport};
+use step_sim::{RunPool, SimConfig, SimPlan, SimReport};
 use step_traces::{RoutingConfig, RoutingTrace, expert_routing};
 
 /// Maximum allowed ratio of sharded single-thread total fires to
@@ -84,14 +89,29 @@ fn reuse_section(json: bool, runs: usize) -> String {
     let graph = moe_graph(&cfg, &trace).expect("moe graph");
     let graph_ms = ms(t0);
     let t0 = Instant::now();
-    let plan = SimPlan::new(graph, SimConfig::default()).expect("plan");
+    let plan = SimPlan::new(graph.clone(), SimConfig::default()).expect("plan");
     let plan_ms = ms(t0);
+    // Compiled + pooled: the plan's steady-state path. Reruns reset the
+    // parked state in place; the report's counters prove it.
+    let mut pool = RunPool::new();
     let mut walls: Vec<f64> = Vec::with_capacity(runs);
     let mut first: Option<SimReport> = None;
+    let (mut run_allocs, mut pool_resets) = (0u64, 0u64);
     for k in 0..runs {
         let t0 = Instant::now();
-        let r = plan.run().expect("reused run");
+        let r = plan.pooled_run(&mut pool).expect("reused run");
         walls.push(ms(t0));
+        run_allocs += r.run_allocs;
+        pool_resets += r.pool_resets;
+        if k > 0 {
+            // The alloc-free guard: after warmup, every rerun reuses the
+            // parked state. A counter, not a wall-clock — cannot flake.
+            assert_eq!(
+                (r.run_allocs, r.pool_resets),
+                (0, 1),
+                "pooled rerun {k} rebuilt state instead of resetting in place"
+            );
+        }
         match &first {
             None => {
                 // Counters-only budget: a reused run answers to the same
@@ -109,8 +129,31 @@ fn reuse_section(json: bool, runs: usize) -> String {
         }
     }
     let r = first.expect("at least one run");
-    let run_mean = walls.iter().sum::<f64>() / walls.len() as f64;
-    let run_min = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+    // Dynamic-dispatch reference: same plan semantics, boxed `dyn`
+    // executors, fresh state per run — the compiled-vs-dyn wall split.
+    let dyn_plan = SimPlan::new(
+        graph,
+        SimConfig {
+            compiled: false,
+            ..SimConfig::default()
+        },
+    )
+    .expect("dyn plan");
+    let mut dyn_walls: Vec<f64> = Vec::with_capacity(runs);
+    for k in 0..runs {
+        let t0 = Instant::now();
+        let d = dyn_plan.run().expect("dyn run");
+        dyn_walls.push(ms(t0));
+        assert_eq!(
+            (d.cycles, d.offchip_traffic, d.total_fires(), d.chan_runs),
+            (r.cycles, r.offchip_traffic, r.total_fires(), r.chan_runs),
+            "dyn-dispatch run {k} diverged from the compiled pooled runs"
+        );
+    }
+    let mean = |w: &[f64]| w.iter().sum::<f64>() / w.len() as f64;
+    let min = |w: &[f64]| w.iter().cloned().fold(f64::INFINITY, f64::min);
+    let (run_mean, run_min) = (mean(&walls), min(&walls));
+    let (dyn_mean, dyn_min) = (mean(&dyn_walls), min(&dyn_walls));
     let build_ms = graph_ms + plan_ms;
     let build_plus_run = build_ms + walls[0];
     let amort = build_plus_run / run_mean.max(1e-9);
@@ -118,6 +161,8 @@ fn reuse_section(json: bool, runs: usize) -> String {
         "{{\"mode\":\"reuse\",\"batch\":64,\"tiling\":\"static(8)\",\"runs\":{runs},\
          \"graph_ms\":{graph_ms:.1},\"plan_ms\":{plan_ms:.1},\"run_ms_first\":{:.1},\
          \"run_ms_mean\":{run_mean:.1},\"run_ms_min\":{run_min:.1},\
+         \"run_ms_mean_dyn\":{dyn_mean:.1},\"run_ms_min_dyn\":{dyn_min:.1},\
+         \"run_allocs\":{run_allocs},\"pool_resets\":{pool_resets},\
          \"build_plus_run_ms\":{build_plus_run:.1},\"amortization\":{amort:.2},\
          \"cycles\":{},\"fires\":{},\"chan_runs\":{}}}",
         walls[0],
@@ -129,12 +174,16 @@ fn reuse_section(json: bool, runs: usize) -> String {
         println!("{line}");
     } else {
         println!(
-            "\nplan reuse (batch 64 / static 8, {runs} runs): graph {graph_ms:.1}ms + partition/topology {plan_ms:.1}ms, runs mean {run_mean:.1}ms (min {run_min:.1}ms)"
+            "\nplan reuse (batch 64 / static 8, {runs} runs): graph {graph_ms:.1}ms + partition/topology/compile {plan_ms:.1}ms, pooled runs mean {run_mean:.1}ms (min {run_min:.1}ms)"
+        );
+        println!(
+            "dyn-dispatch reference: mean {dyn_mean:.1}ms (min {dyn_min:.1}ms); \
+             pool: {run_allocs} state build(s), {pool_resets} in-place reset(s)"
         );
         println!(
             "build+run {build_plus_run:.1}ms vs amortized per-run {run_mean:.1}ms: {amort:.2}x"
         );
-        println!("reused runs bit-identical and within counter budgets: ok");
+        println!("reused runs bit-identical, alloc-free, and within counter budgets: ok");
     }
     line
 }

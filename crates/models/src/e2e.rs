@@ -18,7 +18,7 @@ use crate::moe::{MoeCfg, Tiling, moe_graph, moe_graph_with_ports, moe_router_tok
 use crate::swiglu::{GemmCfg, build_gemm};
 use step_core::Result;
 use step_core::graph::GraphBuilder;
-use step_sim::{RunBinding, SimConfig, SimPlan, SimReport};
+use step_sim::{RunBinding, RunPool, SimConfig, SimPlan, SimReport};
 use step_traces::{KvTrace, KvTraceConfig, RoutingConfig, Variability, expert_routing, kv_lengths};
 
 /// One end-to-end schedule variant (a column of Fig 17).
@@ -254,7 +254,11 @@ pub struct DecodeReport {
 ///   plan runs unbound.
 ///
 /// Graph construction, `step_core::partition`, and channel-topology
-/// layout run once per phase, not once per iteration.
+/// layout run once per phase, not once per iteration. Each phase also
+/// keeps a [`RunPool`], so after the first iteration materializes the
+/// run state, later iterations reset it in place
+/// ([`SimPlan::pooled_run_bound`]) instead of reallocating channels and
+/// ledgers — the steady-state loop is allocation-free per run.
 ///
 /// # Errors
 ///
@@ -313,6 +317,7 @@ pub fn run_decode(
 
     let mut iterations = Vec::with_capacity(cfg.iterations as usize);
     let (mut total_cycles, mut offchip_traffic) = (0u64, 0u64);
+    let (mut attn_pool, mut moe_pool) = (RunPool::new(), RunPool::new());
     for i in 0..cfg.iterations {
         let kv = kv_at(i);
         let routing = routing_at(i);
@@ -321,10 +326,13 @@ pub fn run_decode(
             attn_ports.requests,
             attention_request_tokens(&attn_cfg, &kv),
         );
-        let attn = attn_plan.run_bound(&attn_bind)?;
+        let attn = attn_plan.pooled_run_bound(&attn_bind, &mut attn_pool)?;
         let mut moe_bind = RunBinding::new();
         moe_bind.bind_source(moe_ports.router, moe_router_tokens(&routing));
-        let moe = moe_plan.run_bound(&moe_bind)?;
+        let moe = moe_plan.pooled_run_bound(&moe_bind, &mut moe_pool)?;
+        // Steady state must reset pooled buffers in place, never rebuild.
+        debug_assert!(i == 0 || (attn.run_allocs, attn.pool_resets) == (0, 1));
+        debug_assert!(i == 0 || (moe.run_allocs, moe.pool_resets) == (0, 1));
         let layer_cycles = qkv.cycles + attn.cycles + moe.cycles;
         total_cycles += layer_cycles * model.layers;
         offchip_traffic +=

@@ -83,6 +83,20 @@ impl Arena {
         }
     }
 
+    /// Restores the just-built state in place, keeping the buffer map's
+    /// and event log's allocations (pooled run reset). Whether the arena
+    /// records events is preserved.
+    pub fn reset(&mut self) {
+        self.buffers.clear();
+        self.next_id = 0;
+        self.live_bytes = 0;
+        self.peak_bytes = 0;
+        if let Some(ev) = &mut self.events {
+            ev.clear();
+        }
+        self.last_time = 0;
+    }
+
     /// Stamps the simulated time of the next alloc/free (callers set this
     /// to their local clock right before mutating).
     pub fn set_time(&mut self, t: u64) {
@@ -177,6 +191,11 @@ impl BackingStore {
     /// Creates an empty store.
     pub fn new() -> BackingStore {
         BackingStore::default()
+    }
+
+    /// Drops every registered tensor (pooled run reset).
+    pub fn clear(&mut self) {
+        self.tensors.clear();
     }
 
     /// Registers a dense row-major tensor at `base_addr`.
@@ -275,6 +294,18 @@ impl SharedStore {
     /// Creates an empty store.
     pub fn new() -> SharedStore {
         SharedStore::default()
+    }
+
+    /// Drops every registered tensor and re-arms the phantom fast path
+    /// (pooled run reset; preloads re-register from the run binding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn reset(&self) {
+        self.inner.write().expect("store lock").clear();
+        self.has_data
+            .store(false, std::sync::atomic::Ordering::Release);
     }
 
     /// Registers a dense row-major tensor at `base_addr`.

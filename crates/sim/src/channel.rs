@@ -117,6 +117,32 @@ impl Channel {
         c
     }
 
+    /// Restores the just-built state in place, keeping the queue and
+    /// slot-run allocations (pooled run reset). `capacity` and
+    /// `cross_reader` must match how the channel was built — capacity is
+    /// not stored (it lives in the plan's channel specs), and a
+    /// cross-shard reader half restarts with zero send credits.
+    pub fn reset(&mut self, capacity: usize, cross_reader: bool) {
+        self.queue.clear();
+        self.queued = 0;
+        self.slots.clear();
+        if cross_reader {
+            self.free = 0;
+        } else {
+            self.slots.push_back(TimeRun::new(0, 0, capacity as u64));
+            self.free = capacity as u64;
+        }
+        self.last_send = None;
+        self.last_pop = None;
+        self.closed = false;
+        self.src_finished = false;
+        self.floor = 0;
+        self.sent_tokens = 0;
+        self.sent_runs = 0;
+        self.max_elem_bytes = 0;
+        self.events = 0;
+    }
+
     /// Delivers a run of tokens whose effective send times were already
     /// computed by the writer half (`ready` includes transit latency).
     /// Dropped if the receiver closed.

@@ -72,6 +72,15 @@ pub struct SimConfig {
     /// to single-fire. A plan knob like [`SimConfig::elide_barriers`];
     /// default `true`.
     pub offchip_fast_path: bool,
+    /// Compiled execution: run the statically dispatched executor enum
+    /// (one `match` per fire, edge ids pre-resolved at plan freeze)
+    /// instead of boxed `dyn` nodes, and let
+    /// [`crate::SimPlan::pooled_run_bound`] reuse run state across runs.
+    /// A host-side plan knob: reported results are bit-identical on both
+    /// paths — the differential conformance suite holds them together.
+    /// Disable only to isolate a suspected compiled-path bug. Default
+    /// `true`.
+    pub compiled: bool,
     /// Accumulate host wall-clock per node fire into
     /// [`crate::stats::NodeStats::wall_ns`] (the `fire_profile`
     /// diagnosis tool). Off by default: the timestamp calls cost more
@@ -92,6 +101,7 @@ impl Default for SimConfig {
             shards: 0,
             elide_barriers: true,
             offchip_fast_path: true,
+            compiled: true,
             profile_fires: false,
         }
     }

@@ -104,15 +104,15 @@ use crate::arena::{Arena, ArenaEvent, SharedStore, peak_of_events};
 use crate::channel::{Channel, event};
 use crate::config::SimConfig;
 use crate::hbm::{Hbm, HbmRequest};
-use crate::nodes::{self, Chans, Ctx, HbmPort, HbmSink, SimNode};
+use crate::nodes::{self, Chans, CompiledNode, Ctx, HbmPort, HbmSink, NodeExec, SimNode};
 use crate::run::TimeRun;
 use crate::stats::{NodeStats, SchedCounters};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard};
 use step_core::error::{Result, StepError};
-use step_core::graph::{Graph, NodeId};
+use step_core::graph::{EdgeId, Graph, NodeId};
 use step_core::ops::OpKind;
 use step_core::partition::{Partition, PartitionCfg, partition};
 use step_core::token::{self, Token};
@@ -156,6 +156,14 @@ pub struct SimReport {
     /// Coordination counters of the sharded engine (all zero for
     /// monolithic plans).
     pub sched: SchedCounters,
+    /// Fresh run-state materializations this run performed: 1 when the
+    /// state was built from scratch, 0 when a pooled state was reused.
+    /// Host-side bookkeeping, never part of the simulated results — CI
+    /// guards the alloc-free steady state with this counter instead of
+    /// wall time.
+    pub run_allocs: u64,
+    /// In-place pool resets this run performed (1 on a pooled rerun).
+    pub pool_resets: u64,
     /// Per-node statistics, indexed like `graph.nodes()`.
     pub node_stats: Vec<NodeStats>,
     /// Recorded token streams per recording sink.
@@ -300,6 +308,46 @@ impl Sched {
             dedup_hits: 0,
         }
     }
+
+    /// Restores the just-built all-ready state in place, keeping the
+    /// allocations (pooled run reset). `m` must match the shard's node
+    /// count the scheduler was built with.
+    fn reset(&mut self, m: usize) {
+        match self {
+            Sched::Legacy {
+                bits,
+                ready,
+                cursor,
+                next,
+                in_next,
+            } => {
+                bits.fill(u64::MAX);
+                if !m.is_multiple_of(64)
+                    && let Some(last) = bits.last_mut()
+                {
+                    *last = (1u64 << (m % 64)) - 1;
+                }
+                *ready = m;
+                *cursor = 0;
+                next.clear();
+                in_next.iter_mut().for_each(|b| *b = false);
+            }
+            Sched::Dedup {
+                cur,
+                nxt,
+                stamp,
+                wave_gen,
+                dedup_hits,
+            } => {
+                cur.clear();
+                nxt.clear();
+                nxt.extend(0..m);
+                stamp.iter_mut().for_each(|s| *s = 0);
+                *wave_gen = 0;
+                *dedup_hits = 0;
+            }
+        }
+    }
 }
 
 /// The capacity spec of one shard-local channel.
@@ -345,13 +393,36 @@ struct ShardPlan {
     cut_ins: Vec<u32>,
 }
 
+impl ShardPlan {
+    /// Translates a blocked marker carrying a shard-local channel index
+    /// back to the global edge id, by scanning the forward map
+    /// (diagnostics only; no reverse table is kept).
+    fn unmap_blocked(&self, b: nodes::Blocked) -> nodes::Blocked {
+        let unmap = |e: EdgeId| {
+            self.edge_map
+                .iter()
+                .position(|&m| m == e.0)
+                .map_or(e, |g| EdgeId(g as u32))
+        };
+        match b {
+            nodes::Blocked::Input(e) => nodes::Blocked::Input(unmap(e)),
+            nodes::Blocked::Output(e) => nodes::Blocked::Output(unmap(e)),
+            nodes::Blocked::Hbm => nodes::Blocked::Hbm,
+        }
+    }
+}
+
 /// One shard's mutable execution state: node executors, channel queues,
 /// scratchpad arena, wake lists, and time calendar. A shard's sub-round
 /// execution is a pure function of this state plus the (immutable)
 /// [`ShardPlan`] — it touches nothing outside itself except the
 /// (lock-free for timing runs) backing store.
-struct Shard {
-    nodes: Vec<Box<dyn SimNode + Send>>,
+///
+/// Generic over the executor kind `N` ([`NodeExec`]): the compiled enum
+/// on the default path, boxed `dyn` nodes on the differential-testing
+/// reference path. Each instantiation monomorphizes the whole wave loop.
+struct Shard<N> {
+    nodes: Vec<N>,
     channels: Vec<Channel>,
     arena: Arena,
     sched: Sched,
@@ -372,7 +443,7 @@ struct Shard {
     hbm_resp: Vec<VecDeque<nodes::RespRun>>,
 }
 
-impl Shard {
+impl<N: NodeExec> Shard<N> {
     /// Wakes local node `j` into the pending wave (barrier-time wakes:
     /// the engine is between sub-rounds). Done nodes are never woken — a
     /// stale entry would read as pending work and stall the global
@@ -482,7 +553,9 @@ impl Shard {
         }
     }
 
-    /// Diagnostic lines for this shard's blocked nodes.
+    /// Diagnostic lines for this shard's blocked nodes. Compiled
+    /// executors report shard-local edge indices; unmap them back to
+    /// global edge ids so the message matches the graph (cold path).
     fn blocked_lines(&self, plan: &ShardPlan, graph: &Graph, out: &mut Vec<(u32, String)>) {
         for (i, nd) in self.nodes.iter().enumerate() {
             if nd.done() {
@@ -490,9 +563,14 @@ impl Shard {
             }
             let gid = plan.node_ids[i];
             let g = &graph.nodes()[gid as usize];
-            let why = nd
-                .blocked_on()
-                .map_or_else(String::new, |b| format!(" ({b})"));
+            let why = nd.blocked_on().map_or_else(String::new, |b| {
+                let b = if N::IDENTITY_CHANS {
+                    plan.unmap_blocked(b)
+                } else {
+                    b
+                };
+                format!(" ({b})")
+            });
             out.push((
                 gid,
                 format!("{gid}:{} t={}{why}", g.op.name(), nd.local_time()),
@@ -520,8 +598,15 @@ impl Shard {
             Some(h) => HbmSink::Immediate(h),
             None => HbmSink::Queued(&mut self.hbm_reqs),
         };
+        // Compiled executors carry shard-local channel indices baked at
+        // freeze time, so the per-access edge translation disappears.
+        let chans = if N::IDENTITY_CHANS {
+            Chans::identity(&mut self.channels)
+        } else {
+            Chans::mapped(&mut self.channels, &plan.edge_map)
+        };
         let mut ctx = Ctx {
-            chans: Chans::mapped(&mut self.channels, &plan.edge_map),
+            chans,
             hbm: HbmPort::new(
                 sink,
                 plan.node_ids[i],
@@ -841,13 +926,42 @@ impl RunBinding {
 
 /// The mutable state of one run of a [`SimPlan`]: node executors,
 /// channel queues, arenas, scheduler state, the HBM ledger, and the
-/// functional backing store. Created per run, consumed by the report.
-struct RunState {
-    shards: Vec<Mutex<Shard>>,
+/// functional backing store. Built per run — or, on the compiled path,
+/// parked in a [`RunPool`] between runs and reset in place.
+struct RunState<N> {
+    shards: Vec<Mutex<Shard<N>>>,
     hbm: Hbm,
     store: SharedStore,
     counters: SchedCounters,
 }
+
+/// Parks one compiled [`RunState`] between runs of the same plan, making
+/// steady-state reruns and sweep points allocation-free: every channel
+/// queue, outbox, ready set, ledger vector, and scratch buffer keeps its
+/// capacity and is reset in place by the next
+/// [`SimPlan::pooled_run_bound`].
+///
+/// The pool remembers which plan its state belongs to; handing it to a
+/// different plan simply rebuilds (and re-parks) fresh state, so one
+/// pool can trail a sweep across plans. A run that fails mid-flight
+/// drops its state instead of parking it — a poisoned half-run state
+/// must never leak into the next run.
+#[derive(Default)]
+pub struct RunPool {
+    /// Identity of the plan the parked state was built from.
+    plan_id: u64,
+    state: Option<RunState<CompiledNode>>,
+}
+
+impl RunPool {
+    /// An empty pool; the first pooled run builds and parks its state.
+    pub fn new() -> RunPool {
+        RunPool::default()
+    }
+}
+
+/// Process-unique plan identities for [`RunPool`] matching.
+static PLAN_IDS: AtomicU64 = AtomicU64::new(1);
 
 /// An immutable, reusable execution plan for one STeP graph: the graph,
 /// the frozen [`SimConfig`], the shard partition (with cut metadata),
@@ -868,6 +982,13 @@ pub struct SimPlan {
     /// Node (global id) → owning shard / local index.
     shard_of: Vec<u32>,
     local_of: Vec<u32>,
+    /// Compiled executor prototypes, one per shard in `node_ids` order,
+    /// with `Io` edge ids pre-resolved to shard-local channel slots.
+    /// Each run clones its shard's prototypes — static dispatch, no
+    /// vtable, no per-run edge translation.
+    protos: Vec<Vec<CompiledNode>>,
+    /// Process-unique identity for [`RunPool`] matching.
+    id: u64,
 }
 
 impl SimPlan {
@@ -881,16 +1002,6 @@ impl SimPlan {
     ///
     /// Returns [`StepError::Config`] if an operator cannot be executed.
     pub fn new(graph: Graph, cfg: SimConfig) -> Result<SimPlan> {
-        // Surface inexecutable operators at plan time (not first run):
-        // building the executors is cheap and validates every node.
-        // Sources are skipped — building one is infallible and would
-        // deep-copy its whole token stream just to drop it.
-        for i in 0..graph.nodes().len() {
-            if matches!(graph.nodes()[i].op, OpKind::Source(_)) {
-                continue;
-            }
-            let _ = nodes::build_node(&graph, i)?;
-        }
         let plan = match cfg.shards {
             1 => Partition::monolithic(&graph),
             0 => partition(&graph, &PartitionCfg::default()),
@@ -1004,6 +1115,23 @@ impl SimPlan {
                 cut_ins,
             });
         }
+        // Compile every node into its static-dispatch executor, with
+        // `Io` edge ids rewritten to the owning shard's channel slots.
+        // This also surfaces inexecutable operators at plan time (not
+        // first run).
+        let mut protos = Vec::with_capacity(k);
+        for sp in &shard_plans {
+            let mut v = Vec::with_capacity(sp.node_ids.len());
+            for &gid in &sp.node_ids {
+                let mut node = nodes::compile_node_bound(&graph, gid as usize, None)?;
+                let io = node.io_mut();
+                for e in io.ins.iter_mut().chain(io.outs.iter_mut()) {
+                    *e = EdgeId(sp.edge_map[e.0 as usize]);
+                }
+                v.push(node);
+            }
+            protos.push(v);
+        }
         Ok(SimPlan {
             graph,
             cfg,
@@ -1011,6 +1139,8 @@ impl SimPlan {
             cross,
             shard_of: plan.shard_of,
             local_of: local_node,
+            protos,
+            id: PLAN_IDS.fetch_add(1, Ordering::Relaxed),
         })
     }
 
@@ -1057,25 +1187,83 @@ impl SimPlan {
     /// non-`Source` node or violates the source's stream rank, plus the
     /// run errors of [`SimPlan::run`].
     pub fn run_bound(&self, binding: &RunBinding) -> Result<SimReport> {
-        let mut state = self.build_state(binding)?;
-        let k = self.plans.len();
-        if k == 1 {
-            self.run_single(&mut state)?;
+        if self.cfg.compiled {
+            let mut state = self.build_compiled_state(binding)?;
+            self.drive(&mut state)?;
+            Ok(self.build_report(&mut state))
         } else {
-            let threads = self.cfg.threads.clamp(1, k);
-            if threads == 1 {
-                self.run_sharded_inline(&mut state)?;
-            } else {
-                self.run_sharded_threaded(&mut state, threads)?;
-            }
+            let mut state = self.build_state(binding)?;
+            self.drive(&mut state)?;
+            Ok(self.build_report(&mut state))
         }
-        Ok(self.build_report(state))
     }
 
-    /// Materializes the mutable state for one run: node executors (with
-    /// bound source streams), channel queues, arenas, scheduler
-    /// ready-sets, the HBM ledger, and the preloaded backing store.
-    fn build_state(&self, binding: &RunBinding) -> Result<RunState> {
+    /// Runs the plan once, parking the run state in `pool` for the next
+    /// run (see [`SimPlan::pooled_run_bound`]).
+    ///
+    /// # Errors
+    ///
+    /// The run errors of [`SimPlan::run`].
+    pub fn pooled_run(&self, pool: &mut RunPool) -> Result<SimReport> {
+        self.pooled_run_bound(&RunBinding::default(), pool)
+    }
+
+    /// Runs the plan once with per-run source streams and preloads,
+    /// reusing the run state parked in `pool` when it belongs to this
+    /// plan — channels, outboxes, ready sets, ledgers, and counters are
+    /// reset in place, so steady-state reruns allocate nothing beyond
+    /// what the workload itself grows. The report's
+    /// [`SimReport::run_allocs`] / [`SimReport::pool_resets`] say which
+    /// path was taken.
+    ///
+    /// Results are bit-identical to [`SimPlan::run_bound`] with the same
+    /// binding. With [`SimConfig::compiled`] disabled this falls back to
+    /// `run_bound` (dynamic dispatch pools nothing).
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`SimPlan::run_bound`]. A failed run drops its
+    /// state instead of parking it.
+    pub fn pooled_run_bound(&self, binding: &RunBinding, pool: &mut RunPool) -> Result<SimReport> {
+        if !self.cfg.compiled {
+            return self.run_bound(binding);
+        }
+        // Validate before taking the parked state: a rejected binding
+        // must not cost the pool its buffers.
+        self.validate_binding(binding)?;
+        let (mut state, reused) = match pool.state.take() {
+            Some(mut st) if pool.plan_id == self.id => {
+                self.reset_state(&mut st, binding);
+                (st, true)
+            }
+            _ => (self.build_compiled_state(binding)?, false),
+        };
+        self.drive(&mut state)?;
+        let mut report = self.build_report(&mut state);
+        report.run_allocs = u64::from(!reused);
+        report.pool_resets = u64::from(reused);
+        pool.plan_id = self.id;
+        pool.state = Some(state);
+        Ok(report)
+    }
+
+    /// Drives a materialized run state to completion.
+    fn drive<N: NodeExec>(&self, state: &mut RunState<N>) -> Result<()> {
+        if self.plans.len() == 1 {
+            self.run_single(state)
+        } else {
+            let threads = self.cfg.threads.clamp(1, self.plans.len());
+            if threads == 1 {
+                self.run_sharded_inline(state)
+            } else {
+                self.run_sharded_threaded(state, threads)
+            }
+        }
+    }
+
+    /// Rejects bindings that target a non-`Source` node or violate the
+    /// source's stream rank.
+    fn validate_binding(&self, binding: &RunBinding) -> Result<()> {
         for (id, toks) in &binding.sources {
             let Some(node) = self.graph.nodes().get(id.0 as usize) else {
                 return Err(StepError::Config(format!(
@@ -1092,10 +1280,17 @@ impl SimPlan {
             token::validate(toks, rank)
                 .map_err(|e| StepError::Config(format!("bound stream for source {id:?}: {e}")))?;
         }
-        let sharded = self.plans.len() > 1;
+        Ok(())
+    }
+
+    /// Materializes the mutable state for one run on the dynamic-dispatch
+    /// path: boxed node executors (with bound source streams), channel
+    /// queues, arenas, scheduler ready-sets, the HBM ledger, and the
+    /// preloaded backing store.
+    fn build_state(&self, binding: &RunBinding) -> Result<RunState<Box<dyn SimNode + Send>>> {
+        self.validate_binding(binding)?;
         let mut shards = Vec::with_capacity(self.plans.len());
         for sp in &self.plans {
-            let m = sp.node_ids.len();
             let nodes: Result<Vec<_>> = sp
                 .node_ids
                 .iter()
@@ -1107,50 +1302,120 @@ impl SimPlan {
                     )
                 })
                 .collect();
-            let nodes = nodes?;
-            let channels = sp
-                .chans
-                .iter()
-                .map(|c| c.build(self.cfg.channel_latency))
-                .collect();
-            let undone = nodes.iter().filter(|nd| !nd.done()).count();
-            shards.push(Mutex::new(Shard {
-                nodes,
-                channels,
-                arena: if sharded {
-                    Arena::with_event_log()
-                } else {
-                    Arena::new()
-                },
-                sched: if sharded {
-                    Sched::dedup(m)
-                } else {
-                    Sched::legacy(m)
-                },
-                eff: self.cfg.horizon_step,
-                fire_ns: vec![0; m],
-                calendar: BinaryHeap::new(),
-                undone,
-                rounds: 0,
-                hbm_reqs: Vec::new(),
-                hbm_seq: vec![0; m],
-                hbm_resp: vec![VecDeque::new(); m],
-            }));
+            shards.push(Mutex::new(self.assemble_shard(sp, nodes?)));
         }
+        Ok(self.finish_state(shards, binding))
+    }
+
+    /// Materializes the mutable state for one compiled run: clones the
+    /// pre-resolved executor prototypes (no graph walk, no edge
+    /// translation) and binds per-run source streams.
+    fn build_compiled_state(&self, binding: &RunBinding) -> Result<RunState<CompiledNode>> {
+        self.validate_binding(binding)?;
+        let mut shards = Vec::with_capacity(self.plans.len());
+        for (sp, protos) in self.plans.iter().zip(&self.protos) {
+            let mut nodes = protos.clone();
+            for (i, &gid) in sp.node_ids.iter().enumerate() {
+                if let Some(toks) = binding.sources.get(&NodeId(gid)) {
+                    nodes[i].bind_source(toks.clone());
+                }
+            }
+            shards.push(Mutex::new(self.assemble_shard(sp, nodes)));
+        }
+        Ok(self.finish_state(shards, binding))
+    }
+
+    /// Assembles one shard's run state around its node executors.
+    fn assemble_shard<N: NodeExec>(&self, sp: &ShardPlan, nodes: Vec<N>) -> Shard<N> {
+        let sharded = self.plans.len() > 1;
+        let m = sp.node_ids.len();
+        let channels = sp
+            .chans
+            .iter()
+            .map(|c| c.build(self.cfg.channel_latency))
+            .collect();
+        let undone = nodes.iter().filter(|nd| !nd.done()).count();
+        Shard {
+            nodes,
+            channels,
+            arena: if sharded {
+                Arena::with_event_log()
+            } else {
+                Arena::new()
+            },
+            sched: if sharded {
+                Sched::dedup(m)
+            } else {
+                Sched::legacy(m)
+            },
+            eff: self.cfg.horizon_step,
+            fire_ns: vec![0; m],
+            calendar: BinaryHeap::new(),
+            undone,
+            rounds: 0,
+            hbm_reqs: Vec::new(),
+            hbm_seq: vec![0; m],
+            hbm_resp: vec![VecDeque::new(); m],
+        }
+    }
+
+    /// Finishes a run state: preloaded backing store, HBM ledger, and
+    /// scheduler counters.
+    fn finish_state<N>(&self, shards: Vec<Mutex<Shard<N>>>, binding: &RunBinding) -> RunState<N> {
         let store = SharedStore::new();
         for (base, rows, cols, data) in &binding.preloads {
             store.register(*base, *rows, *cols, data.clone());
         }
-        Ok(RunState {
+        RunState {
             shards,
             hbm: Hbm::new(self.cfg.hbm.clone()),
             store,
             counters: SchedCounters::default(),
-        })
+        }
+    }
+
+    /// Resets a parked run state in place for its next run: every node,
+    /// channel, arena, ready-set, calendar, ledger, the HBM model, the
+    /// backing store, and the scheduler counters return to their
+    /// just-built values without releasing their buffers. The result is
+    /// indistinguishable from [`SimPlan::build_compiled_state`] output —
+    /// the conformance suite holds the two to bit-identical reports.
+    fn reset_state(&self, state: &mut RunState<CompiledNode>, binding: &RunBinding) {
+        for (sp, s) in self.plans.iter().zip(state.shards.iter_mut()) {
+            let s = s.get_mut().expect("shard lock");
+            let m = sp.node_ids.len();
+            for (i, node) in s.nodes.iter_mut().enumerate() {
+                node.reset();
+                if let Some(toks) = binding.sources.get(&NodeId(sp.node_ids[i])) {
+                    node.bind_source(toks.clone());
+                }
+            }
+            for (ch, spec) in s.channels.iter_mut().zip(&sp.chans) {
+                ch.reset(spec.capacity, spec.cross_reader);
+            }
+            s.arena.reset();
+            s.sched.reset(m);
+            s.eff = self.cfg.horizon_step;
+            s.fire_ns.fill(0);
+            s.calendar.clear();
+            s.undone = s.nodes.iter().filter(|nd| !nd.done()).count();
+            s.rounds = 0;
+            s.hbm_reqs.clear();
+            s.hbm_seq.fill(0);
+            for resp in &mut s.hbm_resp {
+                resp.clear();
+            }
+        }
+        state.hbm.reset();
+        state.store.reset();
+        for (base, rows, cols, data) in &binding.preloads {
+            state.store.register(*base, *rows, *cols, data.clone());
+        }
+        state.counters = SchedCounters::default();
     }
 
     /// Monolithic execution: one shard, immediate HBM commitment.
-    fn run_single(&self, state: &mut RunState) -> Result<()> {
+    fn run_single<N: NodeExec>(&self, state: &mut RunState<N>) -> Result<()> {
         let mut horizon = self.cfg.horizon_step;
         let plan = &self.plans[0];
         let shard = state.shards[0].get_mut().expect("shard lock");
@@ -1182,7 +1447,7 @@ impl SimPlan {
 
     /// Sharded execution on the calling thread: the reference schedule
     /// every worker count reproduces.
-    fn run_sharded_inline(&self, state: &mut RunState) -> Result<()> {
+    fn run_sharded_inline<N: NodeExec>(&self, state: &mut RunState<N>) -> Result<()> {
         let mut horizon = self.cfg.horizon_step;
         let mut active: Vec<u32> = (0..state.shards.len() as u32).collect();
         state.counters.shard_runs += active.len() as u64;
@@ -1238,7 +1503,11 @@ impl SimPlan {
     /// waits elided). Which worker runs a shard can never affect the
     /// result, so this is bit-identical to
     /// [`SimPlan::run_sharded_inline`].
-    fn run_sharded_threaded(&self, state: &mut RunState, threads: usize) -> Result<()> {
+    fn run_sharded_threaded<N: NodeExec>(
+        &self,
+        state: &mut RunState<N>,
+        threads: usize,
+    ) -> Result<()> {
         let barrier = Barrier::new(threads);
         let stop = AtomicBool::new(false);
         let cursor = AtomicUsize::new(0);
@@ -1251,7 +1520,7 @@ impl SimPlan {
             store,
             counters,
         } = state;
-        let shards: &[Mutex<Shard>] = shards;
+        let shards: &[Mutex<Shard<N>>] = shards;
         let store: &SharedStore = store;
         counters.shard_runs += shards.len() as u64;
 
@@ -1377,7 +1646,7 @@ impl SimPlan {
         outcome
     }
 
-    fn build_report(&self, mut state: RunState) -> SimReport {
+    fn build_report<N: NodeExec>(&self, state: &mut RunState<N>) -> SimReport {
         let n = self.graph.nodes().len();
         let k = state.shards.len();
         let mut node_stats = vec![NodeStats::default(); n];
@@ -1436,6 +1705,8 @@ impl SimPlan {
             chan_runs,
             shards: k,
             sched: counters,
+            run_allocs: 1,
+            pool_resets: 0,
             node_stats,
             sinks,
         }
@@ -1520,16 +1791,16 @@ enum CoordStep {
 /// taken once up front); every action is ordered by stable keys (edge
 /// order, request `(time, node, seq)`), so the outcome is a pure
 /// function of shard states.
-fn coordinate(
+fn coordinate<N: NodeExec>(
     plan: &SimPlan,
-    shards: &[Mutex<Shard>],
+    shards: &[Mutex<Shard<N>>],
     hbm: &mut Hbm,
     horizon: &mut u64,
     active: &mut Vec<u32>,
     counters: &mut SchedCounters,
 ) -> Result<CoordStep> {
     counters.sub_rounds += 1;
-    let mut gs: Vec<MutexGuard<'_, Shard>> = shards
+    let mut gs: Vec<MutexGuard<'_, Shard<N>>> = shards
         .iter()
         .map(|s| s.lock().expect("shard lock"))
         .collect();
@@ -1643,7 +1914,7 @@ fn coordinate(
         }
     }
 
-    let fill = |gs: &[MutexGuard<'_, Shard>], active: &mut Vec<u32>| {
+    let fill = |gs: &[MutexGuard<'_, Shard<N>>], active: &mut Vec<u32>| {
         active.clear();
         for (i, s) in gs.iter().enumerate() {
             if s.has_ready() {

@@ -121,6 +121,23 @@ impl Hbm {
         }
     }
 
+    /// Resets the ledger to its just-built state in place, keeping the
+    /// window and skip vectors' capacity (the run-state pool's
+    /// alloc-free rerun contract).
+    pub fn reset(&mut self) {
+        self.windows.clear();
+        self.skip.clear();
+        self.win_base = u64::MAX;
+        self.open_rows.fill(None);
+        self.total_bytes = 0;
+        self.read_bytes = 0;
+        self.write_bytes = 0;
+        self.busy_cycles = 0;
+        self.last_completion = 0;
+        self.accesses = 0;
+        self.row_hits = 0;
+    }
+
     fn window_capacity(&self) -> u64 {
         WINDOW * self.cfg.bytes_per_cycle.max(1)
     }
@@ -264,13 +281,11 @@ impl Hbm {
     /// Commits a barrier batch of queued requests in deterministic
     /// `(time, node, seq)` order, returning `(node, seq, completion)` per
     /// request in that order.
-    pub fn service_batch(&mut self, mut batch: Vec<HbmRequest>) -> Vec<(u32, u64, u64)> {
-        // Keys are unique per request ((node, seq) alone is), so the
-        // unstable sort yields the same order as a stable one.
-        batch.sort_unstable_by_key(|r| (r.time, r.node, r.seq));
-        batch
+    pub fn service_batch(&mut self, batch: Vec<HbmRequest>) -> Vec<(u32, u64, u64)> {
+        sort_order(&batch)
             .into_iter()
-            .map(|r| {
+            .map(|i| {
+                let r = batch[i as usize];
                 let done = self.access(r.addr, r.bytes, r.time, r.write);
                 (r.node, r.seq, done)
             })
@@ -322,9 +337,155 @@ impl Hbm {
     }
 }
 
+/// Sorts a barrier batch into `(time, node, seq)` order. Keys are unique
+/// per request (`(node, seq)` alone is), so any correct sort yields the
+/// one total order.
+///
+/// Issue times inside a barrier window are *dense* — the window bounds
+/// the time span while the batch grows with traffic, so large batches
+/// average a handful of requests per distinct cycle. When the span is
+/// comparable to the batch size this runs as a counting sort over time
+/// buckets (two linear passes) followed by tiny per-bucket `(node, seq)`
+/// sorts, instead of paying a full comparison sort on the largest
+/// transient allocation in the engine; sparse or small batches fall back
+/// to the comparison sort.
+fn sort_order(batch: &[HbmRequest]) -> Vec<u32> {
+    let n = batch.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let fallback = |order: &mut [u32]| {
+        order.sort_unstable_by_key(|&i| {
+            let r = &batch[i as usize];
+            (r.time, r.node, r.seq)
+        });
+    };
+    if n < 2048 {
+        fallback(&mut order);
+        return order;
+    }
+    let (mut lo, mut hi, mut max_node) = (u64::MAX, 0u64, 0u32);
+    for r in batch {
+        lo = lo.min(r.time);
+        hi = hi.max(r.time);
+        max_node = max_node.max(r.node);
+    }
+    let span = (hi - lo) as usize + 1;
+    let nodes = max_node as usize + 1;
+    if span > 4 * n || nodes > n {
+        fallback(&mut order);
+        return order;
+    }
+    // Producers append each node's requests in increasing `seq` order
+    // (`hbm_seq` is a per-node counter and every node lives on exactly one
+    // shard), so a stable counting sort by node alone yields (node, seq)
+    // order. Verify the invariant with a linear pass rather than trusting
+    // it: a violation downgrades to the comparison sort, never misorders.
+    let mut last = vec![u64::MAX; nodes];
+    for r in batch {
+        let l = &mut last[r.node as usize];
+        if *l != u64::MAX && r.seq <= *l {
+            fallback(&mut order);
+            return order;
+        }
+        *l = r.seq;
+    }
+    // Pass 1 — stable counting sort by node: `counts[k+1]` accumulates
+    // bucket sizes, the prefix sum turns them into scatter cursors.
+    let mut counts = vec![0u32; nodes + 1];
+    for r in batch {
+        counts[r.node as usize + 1] += 1;
+    }
+    for i in 1..=nodes {
+        counts[i] += counts[i - 1];
+    }
+    let mut by_node = vec![0u32; n];
+    for (i, r) in batch.iter().enumerate() {
+        let c = &mut counts[r.node as usize];
+        by_node[*c as usize] = i as u32;
+        *c += 1;
+    }
+    // Pass 2 — stable counting sort by time over the (node, seq)-ordered
+    // indices: equal-time ties keep their (node, seq) order, producing the
+    // full (time, node, seq) key without any comparison sort.
+    let mut counts = vec![0u32; span + 1];
+    for r in batch {
+        counts[(r.time - lo) as usize + 1] += 1;
+    }
+    for i in 1..=span {
+        counts[i] += counts[i - 1];
+    }
+    for &i in &by_node {
+        let c = &mut counts[(batch[i as usize].time - lo) as usize];
+        order[*c as usize] = i;
+        *c += 1;
+    }
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn radix_order_matches_comparison_sort() {
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let sorted_by = |batch: &[HbmRequest]| {
+            let mut want: Vec<u32> = (0..batch.len() as u32).collect();
+            want.sort_unstable_by_key(|&i| {
+                let r = &batch[i as usize];
+                (r.time, r.node, r.seq)
+            });
+            want
+        };
+
+        // Dense times with globally increasing seq (hence per-node
+        // increasing): takes the two-pass radix path, with plenty of
+        // duplicate times to exercise the stability tie-break.
+        let dense: Vec<HbmRequest> = (0..4096)
+            .map(|i| HbmRequest {
+                time: 1000 + next() % 2048,
+                node: (next() % 37) as u32,
+                seq: i,
+                addr: next(),
+                bytes: 64,
+                write: i % 3 == 0,
+            })
+            .collect();
+        assert_eq!(sort_order(&dense), sorted_by(&dense));
+
+        // Sparse times overflow the span bound: comparison-sort fallback.
+        let sparse: Vec<HbmRequest> = (0..4096)
+            .map(|i| HbmRequest {
+                time: next() << 20,
+                node: (next() % 7) as u32,
+                seq: i,
+                addr: next(),
+                bytes: 64,
+                write: false,
+            })
+            .collect();
+        assert_eq!(sort_order(&sparse), sorted_by(&sparse));
+
+        // Scrambled (but unique) seq breaks the per-node monotonicity the
+        // radix path depends on: the verify pass must catch it and fall
+        // back rather than misorder.
+        let scrambled: Vec<HbmRequest> = (0..4096u64)
+            .map(|i| HbmRequest {
+                time: 500 + next() % 1024,
+                node: (next() % 5) as u32,
+                seq: (i * 2654435761) % 4096,
+                addr: next(),
+                bytes: 64,
+                write: false,
+            })
+            .collect();
+        assert_eq!(sort_order(&scrambled), sorted_by(&scrambled));
+    }
 
     fn hbm() -> Hbm {
         Hbm::new(HbmConfig {

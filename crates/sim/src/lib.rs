@@ -54,22 +54,39 @@
 //!   burst of tile reads emits as one run;
 //! - [`engine::SimPlan`] — the immutable, reusable execution plan, and
 //!   the sharded event-driven scheduler that runs it. The lifecycle is
-//!   split in two: [`engine::SimPlan::new`] does everything that
-//!   depends only on `(graph, SimConfig)` — [`step_core::partition`]
-//!   cuts the graph at high-slack channels into connected shards (small
-//!   graphs stay monolithic) and every shard's channel topology is laid
-//!   out — while [`engine::SimPlan::run`] materializes the cheap
-//!   per-run state (node executors, channel queues, arenas, ready-sets,
-//!   HBM ledger) and executes it. **Sharing contract:** a plan is
-//!   read-only during execution, so `Arc<SimPlan>` can be run from many
-//!   threads concurrently, each run bit-identical to a fresh build.
-//!   [`engine::RunBinding`] carries per-run inputs — **source
-//!   rebinding** (replacement token streams for `Source` nodes,
-//!   validated against the declared stream rank) and functional
-//!   preloads — so sweeps and decode loops drive one plan with many
-//!   trace iterations instead of paying graph + partition + topology
-//!   per point. [`engine::Simulation`] remains the one-shot wrapper
-//!   (`Simulation::new(graph, cfg)?.run()`).
+//!   **freeze → compile → pooled-run**. [`engine::SimPlan::new`] does
+//!   everything that depends only on `(graph, SimConfig)`:
+//!   [`step_core::partition`] cuts the graph at high-slack channels
+//!   into connected shards (small graphs stay monolithic), every
+//!   shard's channel topology is laid out, and each operator is
+//!   *compiled* into a static-dispatch executor variant
+//!   ([`nodes::CompiledNode`]) with its `Io` edge ids pre-resolved to
+//!   shard-local channel slots — the inner fire loop dispatches with
+//!   one `match` instead of a vtable call, and per-run setup clones
+//!   prototypes instead of walking the graph. [`engine::SimPlan::run`]
+//!   / [`engine::SimPlan::run_bound`] materialize the per-run state
+//!   (executors, channel queues, arenas, ready-sets, HBM ledger) fresh;
+//!   [`engine::SimPlan::pooled_run`] /
+//!   [`engine::SimPlan::pooled_run_bound`] instead reuse the state
+//!   parked in an [`engine::RunPool`], resetting every queue, outbox,
+//!   ready set, and ledger *in place* so steady-state reruns and sweep
+//!   points are allocation-free — the pool owns the buffers between
+//!   runs; the report's [`engine::SimReport::run_allocs`] /
+//!   [`engine::SimReport::pool_resets`] counters say which path ran,
+//!   and CI pins `run_allocs == 0` on reused runs. Both paths are
+//!   bit-identical; `SimConfig::compiled` (default on) can force the
+//!   boxed `dyn` executors for differential debugging — the only
+//!   reason to disable it — at which point pooled runs degrade to
+//!   fresh builds. **Sharing contract:** a plan is read-only during
+//!   execution, so `Arc<SimPlan>` can be run from many threads
+//!   concurrently, each run bit-identical to a fresh build (a
+//!   `RunPool` is per-driver, not shared). [`engine::RunBinding`]
+//!   carries per-run inputs — **source rebinding** (replacement token
+//!   streams for `Source` nodes, validated against the declared stream
+//!   rank) and functional preloads — so sweeps and decode loops drive
+//!   one plan with many trace iterations instead of paying graph +
+//!   partition + topology per point. [`engine::Simulation`] remains
+//!   the one-shot wrapper (`Simulation::new(graph, cfg)?.run()`).
 //!
 //!   At run time, each shard runs a wake-list wave scheduler over its
 //!   nodes, and shards synchronize at deterministic barriers that
@@ -107,7 +124,9 @@
 //!   builder, plus the full elision/fast-path flag matrix on the most
 //!   arrival-order-sensitive builders), and re-running or concurrently
 //!   running a plan is bit-identical to rebuilding it
-//!   (`crates/sim/tests/plan_reuse.rs`). Single-shard
+//!   (`crates/sim/tests/plan_reuse.rs`), and the compiled executors and
+//!   pooled reruns are bit-identical to the boxed `dyn` path
+//!   (`crates/sim/tests/compiled_conformance.rs`). Single-shard
 //!   plans take the legacy immediate-commitment path bit for bit.
 //!   Deadlocks are detected and reported with each blocked node's
 //!   blocking edge. [`engine::SimReport`] carries cycles, off-chip
@@ -125,7 +144,7 @@
 //! ```
 //! use step_core::graph::GraphBuilder;
 //! use step_core::ops::LinearLoadCfg;
-//! use step_sim::{SimConfig, SimPlan};
+//! use step_sim::{RunPool, SimConfig, SimPlan};
 //!
 //! let mut g = GraphBuilder::new();
 //! let trigger = g.unit_source(1);
@@ -134,13 +153,19 @@
 //!     LinearLoadCfg::new(0, (64, 256), (64, 64)),
 //! ).unwrap();
 //! g.linear_offchip_store(&tiles, 0x10_0000).unwrap();
-//! // Build the plan once (graph analysis, partition, channel topology)…
+//! // Freeze + compile the plan once (graph analysis, partition,
+//! // channel topology, executor compilation)…
 //! let plan = SimPlan::new(g.finish(), SimConfig::default()).unwrap();
-//! // …then run it as many times as needed; every run is bit-identical.
-//! let report = plan.run().unwrap();
-//! let again = plan.run().unwrap();
+//! // …then run it as many times as needed; every run is bit-identical,
+//! // and pooled reruns reset the parked state in place instead of
+//! // allocating it again.
+//! let mut pool = RunPool::new();
+//! let report = plan.pooled_run(&mut pool).unwrap();
+//! let again = plan.pooled_run(&mut pool).unwrap();
 //! assert_eq!(report.offchip_traffic, 2 * 64 * 256 * 2); // load + store
 //! assert_eq!(report.cycles, again.cycles);
+//! assert_eq!((report.run_allocs, report.pool_resets), (1, 0));
+//! assert_eq!((again.run_allocs, again.pool_resets), (0, 1));
 //! assert!(report.cycles > 0);
 //! ```
 
@@ -154,5 +179,5 @@ pub mod run;
 pub mod stats;
 
 pub use config::{HbmConfig, SimConfig};
-pub use engine::{RunBinding, SimPlan, SimReport, Simulation};
+pub use engine::{RunBinding, RunPool, SimPlan, SimReport, Simulation};
 pub use stats::NodeStats;

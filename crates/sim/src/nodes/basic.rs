@@ -21,6 +21,13 @@ macro_rules! impl_simnode_common {
         impl_simnode_common!($ty,);
     };
     ($ty:ty, $($extra:item)*) => {
+        impl $ty {
+            /// The embedded I/O harness (freeze-time edge remapping).
+            pub(crate) fn io_mut(&mut self) -> &mut Io {
+                &mut self.io
+            }
+        }
+
         impl SimNode for $ty {
             fn fire(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
                 self.io.stats.fires += 1;
@@ -71,44 +78,66 @@ macro_rules! impl_simnode_common {
 }
 pub(crate) use impl_simnode_common;
 
-/// Plays a pre-materialized token stream.
+/// Plays a pre-materialized token stream. The baked stream is kept
+/// intact behind a cursor so a pooled rerun replays it without
+/// rebuilding the node; a per-run binding overrides the played stream
+/// without disturbing the baked one.
+#[derive(Clone)]
 pub struct SourceNode {
     io: Io,
-    tokens: std::vec::IntoIter<Token>,
+    /// The stream frozen with the plan.
+    tokens: Vec<Token>,
+    /// Per-run override of the baked stream (source rebinding).
+    bound: Option<Vec<Token>>,
+    /// Next unplayed token in the active stream.
+    cursor: usize,
 }
 
 impl SourceNode {
     pub fn new(node: &Node, cfg: SourceCfg) -> SourceNode {
         SourceNode {
             io: Io::new(node),
-            tokens: cfg.tokens.into_iter(),
+            tokens: cfg.tokens,
+            bound: None,
+            cursor: 0,
         }
     }
 
+    /// Overrides the played stream for this run (source rebinding).
+    pub(crate) fn bind(&mut self, tokens: Vec<Token>) {
+        self.bound = Some(tokens);
+        self.cursor = 0;
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.bound = None;
+        self.cursor = 0;
+    }
+
     fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
-        let rest = self.tokens.as_slice();
+        let allow = self.io.out_allowance(ctx, 0).min(budget);
+        let stream = self.bound.as_deref().unwrap_or(&self.tokens);
+        let rest = &stream[self.cursor.min(stream.len())..];
         match rest.first() {
             None => {
                 self.io.finishing = true;
                 Ok(1)
             }
             Some(Token::Done) => {
-                let _ = self.tokens.next();
+                self.cursor += 1;
                 self.io.push_done_all();
                 Ok(1)
             }
             Some(head) => {
                 // A stretch of repeated values plays out as one run, all
                 // produced at the source's (never-advancing) local time.
-                let allow = self.io.out_allowance(ctx, 0).min(budget);
                 let mut k = 1u64;
                 while k < allow && rest.get(k as usize).is_some_and(|t| t.coalesces_with(head)) {
                     k += 1;
                 }
-                let tok = self.tokens.next().expect("head exists");
-                for _ in 1..k {
-                    let _ = self.tokens.next();
-                }
+                let tok = head.clone();
+                self.cursor += k as usize;
                 let t = self.io.time;
                 self.io.push_run(0, TimeRun::new(t, 0, k), tok);
                 Ok(k)
@@ -120,6 +149,7 @@ impl SourceNode {
 impl_simnode_common!(SourceNode);
 
 /// Consumes a stream, optionally recording it.
+#[derive(Clone)]
 pub struct SinkNode {
     io: Io,
     record: bool,
@@ -133,6 +163,11 @@ impl SinkNode {
             record,
             recorded: Vec::new(),
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.recorded.clear();
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
@@ -167,6 +202,7 @@ impl_simnode_common!(
 );
 
 /// Replicates the input stream to every output.
+#[derive(Clone)]
 pub struct ForkNode {
     io: Io,
 }
@@ -174,6 +210,10 @@ pub struct ForkNode {
 impl ForkNode {
     pub fn new(node: &Node) -> ForkNode {
         ForkNode { io: Io::new(node) }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
@@ -210,6 +250,7 @@ impl ForkNode {
 impl_simnode_common!(ForkNode);
 
 /// Groups two equal-shaped streams into tuples.
+#[derive(Clone)]
 pub struct ZipNode {
     io: Io,
     /// Scratch for the coupled bulk pop's dequeue-time pieces.
@@ -224,6 +265,12 @@ impl ZipNode {
             a_times: Vec::new(),
             b_times: Vec::new(),
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.a_times.clear();
+        self.b_times.clear();
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
@@ -280,6 +327,7 @@ impl ZipNode {
 impl_simnode_common!(ZipNode);
 
 /// `Flatten`: merges dims between stop levels `min..=max` (Table 7).
+#[derive(Clone)]
 pub struct FlattenNode {
     io: Io,
     min: u8,
@@ -293,6 +341,10 @@ impl FlattenNode {
             min,
             max,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
@@ -335,6 +387,7 @@ impl_simnode_common!(FlattenNode);
 
 /// `Promote`: adds an outermost dimension of extent 1 (Table 7). The final
 /// top-level stop is upgraded by one level; an empty stream stays empty.
+#[derive(Clone)]
 pub struct PromoteNode {
     io: Io,
     rank: u8,
@@ -348,6 +401,11 @@ impl PromoteNode {
             rank: input_rank,
             held: None,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.held = None;
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
@@ -397,6 +455,7 @@ impl PromoteNode {
 impl_simnode_common!(PromoteNode);
 
 /// Static `Expand`: repeats each value `factor` times.
+#[derive(Clone)]
 pub struct ExpandStaticNode {
     io: Io,
     factor: u64,
@@ -408,6 +467,10 @@ impl ExpandStaticNode {
             io: Io::new(node),
             factor,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>, _budget: u64) -> Result<u64> {
@@ -436,6 +499,7 @@ impl_simnode_common!(ExpandStaticNode);
 
 /// Reference-driven `Expand` (Fig 5): repeats input elements per the
 /// reference stream's structure below `level`.
+#[derive(Clone)]
 pub struct ExpandNode {
     io: Io,
     level: u8,
@@ -449,6 +513,11 @@ impl ExpandNode {
             level,
             current: None,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.current = None;
     }
 
     /// Consumes input tokens up to and including the stop closing the
@@ -533,6 +602,7 @@ impl_simnode_common!(ExpandNode);
 
 /// `Reshape` at level 0: splits the innermost dim into `chunk`-element
 /// groups, padding short tails; emits data and padding streams (Table 7).
+#[derive(Clone)]
 pub struct ReshapeNode {
     io: Io,
     chunk: u64,
@@ -550,6 +620,12 @@ impl ReshapeNode {
             count: 0,
             pending_stop: false,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.count = 0;
+        self.pending_stop = false;
     }
 
     fn pad_to_boundary(&mut self) -> Result<()> {

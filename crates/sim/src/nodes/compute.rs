@@ -20,6 +20,7 @@ use step_core::token::Token;
 use step_core::{DTYPE_BYTES, Elem};
 
 /// `Map`: elementwise application of a hardware function.
+#[derive(Clone)]
 pub struct MapNode {
     io: Io,
     func: MapFn,
@@ -33,6 +34,10 @@ impl MapNode {
             func,
             compute_bw,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
     }
 
     fn track_memory(&mut self, e: &Elem) {
@@ -82,6 +87,7 @@ impl_simnode_common!(MapNode);
 
 /// `Accum`: folds the `rank` innermost dims; the accumulator may be
 /// dynamically sized (dynamic tiling, §5.2).
+#[derive(Clone)]
 pub struct AccumNode {
     io: Io,
     rank: u8,
@@ -99,6 +105,11 @@ impl AccumNode {
             compute_bw,
             acc: None,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.acc = None;
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {
@@ -162,6 +173,7 @@ impl_simnode_common!(AccumNode);
 /// `Scan`: like `Accum` but emits the running state per element. The
 /// running state changes token to token, so emission stays per-token
 /// (the outbox still coalesces shape-stable phantom states into runs).
+#[derive(Clone)]
 pub struct ScanNode {
     io: Io,
     rank: u8,
@@ -179,6 +191,11 @@ impl ScanNode {
             compute_bw,
             acc: None,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.acc = None;
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>, _budget: u64) -> Result<u64> {
@@ -213,6 +230,7 @@ impl_simnode_common!(ScanNode);
 /// concatenate (Table 5). One input token per step (the block is the
 /// step granularity); the emitted block's equal elements leave as
 /// consecutive-cycle runs.
+#[derive(Clone)]
 pub struct FlatMapNode {
     io: Io,
     func: FlatMapFn,
@@ -233,6 +251,12 @@ impl FlatMapNode {
             emitter: BlockEmitter::default(),
             cached: None,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.emitter.reset();
+        self.cached = None;
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>, _budget: u64) -> Result<u64> {
@@ -297,6 +321,7 @@ impl_simnode_common!(FlatMapNode);
 /// Address generator: per target-index element, a rank-1 block of `count`
 /// addresses (the `RandomOffChipLoad` feeder under configuration
 /// time-multiplexing, Fig 11).
+#[derive(Clone)]
 pub struct AddrGenNode {
     io: Io,
     count: u64,
@@ -314,6 +339,11 @@ impl AddrGenNode {
             base,
             emitter: BlockEmitter::default(),
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.emitter.reset();
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>, _budget: u64) -> Result<u64> {

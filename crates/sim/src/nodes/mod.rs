@@ -9,11 +9,14 @@
 //! progress reports the edge that blocked it via [`SimNode::blocked_on`].
 
 mod basic;
+mod compiled;
 mod compute;
 mod offchip;
 mod onchip;
 mod routing;
 mod routing_partition;
+
+pub use compiled::{CompiledNode, compiled_kind};
 
 use crate::arena::{Arena, SharedStore};
 use crate::channel::Channel;
@@ -313,6 +316,65 @@ pub trait SimNode {
     }
 }
 
+/// A node executor as the engine drives it: either a boxed [`SimNode`]
+/// (virtual dispatch, global edge addressing — the differential-testing
+/// reference path) or a [`CompiledNode`] (one `match`, shard-local dense
+/// edge indices baked at freeze time). The engine's shard loops are
+/// generic over this trait, so the hot path monomorphizes per executor
+/// kind instead of branching per fire.
+pub(crate) trait NodeExec: Send {
+    /// Whether the executor's edge ids were rewritten to shard-local
+    /// channel indices at freeze time (identity channel addressing; no
+    /// per-access translation table).
+    const IDENTITY_CHANS: bool;
+
+    /// See [`SimNode::fire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError`] on functional violations, exactly as
+    /// [`SimNode::fire`] does.
+    fn fire(&mut self, ctx: &mut Ctx<'_>) -> Result<bool>;
+    /// See [`SimNode::done`].
+    fn done(&self) -> bool;
+    /// See [`SimNode::stats`].
+    fn stats(&self) -> &NodeStats;
+    /// See [`SimNode::local_time`].
+    fn local_time(&self) -> u64;
+    /// See [`SimNode::blocked_on`].
+    fn blocked_on(&self) -> Option<Blocked>;
+    /// See [`SimNode::recorded`].
+    fn recorded(&self) -> Option<&[Token]>;
+}
+
+impl NodeExec for Box<dyn SimNode + Send> {
+    const IDENTITY_CHANS: bool = false;
+
+    fn fire(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {
+        self.as_mut().fire(ctx)
+    }
+
+    fn done(&self) -> bool {
+        self.as_ref().done()
+    }
+
+    fn stats(&self) -> &NodeStats {
+        self.as_ref().stats()
+    }
+
+    fn local_time(&self) -> u64 {
+        self.as_ref().local_time()
+    }
+
+    fn blocked_on(&self) -> Option<Blocked> {
+        self.as_ref().blocked_on()
+    }
+
+    fn recorded(&self) -> Option<&[Token]> {
+        self.as_ref().recorded()
+    }
+}
+
 /// Tokens a port may stage beyond its channel before the node stalls —
 /// the unit's small internal output register, decoupling ports from each
 /// other (a full FIFO on port A must not block traffic for port B).
@@ -323,6 +385,7 @@ const PORT_STAGING: u64 = 2;
 /// backpressure-correct bulk sends. All per-token timestamp arithmetic
 /// is identical to the old one-entry-per-token harness; only the storage
 /// granularity changed (one entry per run).
+#[derive(Clone)]
 pub(crate) struct Io {
     pub ins: Vec<EdgeId>,
     pub outs: Vec<EdgeId>,
@@ -354,6 +417,21 @@ impl Io {
             blocked: None,
             popped: Vec::new(),
         }
+    }
+
+    /// Restores the harness to its just-built state in place, keeping
+    /// every allocation (edge tables, outbox queues, scratch vectors).
+    pub fn reset(&mut self) {
+        self.time = 0;
+        self.stats = NodeStats::default();
+        for q in &mut self.outbox {
+            q.clear();
+        }
+        self.staged.iter_mut().for_each(|s| *s = 0);
+        self.finishing = false;
+        self.done = false;
+        self.blocked = None;
+        self.popped.clear();
     }
 
     /// Queues a token for `port` stamped with the current local time.
@@ -562,12 +640,17 @@ pub(crate) fn compute_cycles(flops: u64, compute_bw: u64) -> u64 {
 /// stops by the added rank — the shared structural rule of every
 /// block-expanding operator (`LinearOffChipLoad`, `Streamify`, `FlatMap`,
 /// `AddrGen`).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct BlockEmitter {
     pending: bool,
 }
 
 impl BlockEmitter {
+    /// Restores the just-built state (pooled run reset).
+    pub fn reset(&mut self) {
+        self.pending = false;
+    }
+
     /// Call before emitting a new block: flushes the pending separator.
     pub fn before_block(&mut self, io: &mut Io, port: usize, added_rank: u8) {
         if self.pending {
@@ -618,48 +701,74 @@ pub fn build_node_bound(
     index: usize,
     source_tokens: Option<Vec<Token>>,
 ) -> Result<Box<dyn SimNode + Send>> {
+    Ok(compile_node_bound(graph, index, source_tokens)?.into_dyn())
+}
+
+/// Lowers a graph node into its [`CompiledNode`] variant, optionally
+/// binding a `Source` node's played stream. This is the single lowering
+/// the boxed path re-boxes from, so both executors share one
+/// construction.
+///
+/// # Errors
+///
+/// Returns [`StepError::Config`] for operators whose configuration cannot
+/// be executed.
+pub(crate) fn compile_node_bound(
+    graph: &Graph,
+    index: usize,
+    source_tokens: Option<Vec<Token>>,
+) -> Result<CompiledNode> {
     let node = &graph.nodes()[index];
     let rank_of = |e: EdgeId| graph.edge(e).shape.rank();
     Ok(match &node.op {
         OpKind::Source(cfg) => {
-            let cfg = match source_tokens {
-                Some(tokens) => step_core::ops::SourceCfg {
-                    tokens,
-                    tokens_per_cycle: cfg.tokens_per_cycle,
-                },
-                None => cfg.clone(),
-            };
-            Box::new(basic::SourceNode::new(node, cfg))
+            let mut n = basic::SourceNode::new(node, cfg.clone());
+            if let Some(tokens) = source_tokens {
+                n.bind(tokens);
+            }
+            CompiledNode::Source(n)
         }
-        OpKind::Sink(cfg) => Box::new(basic::SinkNode::new(node, cfg.record)),
-        OpKind::Fork { .. } => Box::new(basic::ForkNode::new(node)),
-        OpKind::Zip => Box::new(basic::ZipNode::new(node)),
-        OpKind::Flatten { min, max } => Box::new(basic::FlattenNode::new(node, *min, *max)),
+        OpKind::Sink(cfg) => CompiledNode::Sink(basic::SinkNode::new(node, cfg.record)),
+        OpKind::Fork { .. } => CompiledNode::Fork(basic::ForkNode::new(node)),
+        OpKind::Zip => CompiledNode::Zip(basic::ZipNode::new(node)),
+        OpKind::Flatten { min, max } => {
+            CompiledNode::Flatten(basic::FlattenNode::new(node, *min, *max))
+        }
         OpKind::Promote => {
             let rank = rank_of(node.inputs[0]);
-            Box::new(basic::PromoteNode::new(node, rank))
+            CompiledNode::Promote(basic::PromoteNode::new(node, rank))
         }
-        OpKind::ExpandStatic { factor } => Box::new(basic::ExpandStaticNode::new(node, *factor)),
-        OpKind::Expand { level } => Box::new(basic::ExpandNode::new(node, *level)),
+        OpKind::ExpandStatic { factor } => {
+            CompiledNode::ExpandStatic(basic::ExpandStaticNode::new(node, *factor))
+        }
+        OpKind::Expand { level } => CompiledNode::Expand(basic::ExpandNode::new(node, *level)),
         OpKind::Reshape { level, chunk, pad } => {
             if *level != 0 {
                 return Err(StepError::Config(
                     "only innermost (level 0) reshape is executable".into(),
                 ));
             }
-            Box::new(basic::ReshapeNode::new(node, *chunk, pad.clone()))
+            CompiledNode::Reshape(basic::ReshapeNode::new(node, *chunk, pad.clone()))
         }
-        OpKind::LinearLoad(cfg) => Box::new(offchip::LinearLoadNode::new(node, cfg.clone())),
+        OpKind::LinearLoad(cfg) => {
+            CompiledNode::LinearLoad(offchip::LinearLoadNode::new(node, cfg.clone()))
+        }
         OpKind::LinearStore { base_addr } => {
-            Box::new(offchip::LinearStoreNode::new(node, *base_addr))
+            CompiledNode::LinearStore(offchip::LinearStoreNode::new(node, *base_addr))
         }
-        OpKind::RandomLoad(cfg) => Box::new(offchip::RandomLoadNode::new(node, cfg.clone())),
-        OpKind::RandomStore(cfg) => Box::new(offchip::RandomStoreNode::new(node, cfg.clone())),
-        OpKind::Bufferize { rank } => Box::new(onchip::BufferizeNode::new(node, *rank)),
+        OpKind::RandomLoad(cfg) => {
+            CompiledNode::RandomLoad(offchip::RandomLoadNode::new(node, cfg.clone()))
+        }
+        OpKind::RandomStore(cfg) => {
+            CompiledNode::RandomStore(offchip::RandomStoreNode::new(node, cfg.clone()))
+        }
+        OpKind::Bufferize { rank } => {
+            CompiledNode::Bufferize(onchip::BufferizeNode::new(node, *rank))
+        }
         OpKind::Streamify(cfg) => {
             let buf_rank = rank_of(node.inputs[0]);
             let ref_rank = rank_of(node.inputs[1]);
-            Box::new(onchip::StreamifyNode::new(
+            CompiledNode::Streamify(onchip::StreamifyNode::new(
                 node,
                 cfg.clone(),
                 ref_rank - buf_rank,
@@ -668,7 +777,7 @@ pub fn build_node_bound(
         OpKind::Partition {
             rank,
             num_consumers,
-        } => Box::new(routing_partition::PartitionNode::new(
+        } => CompiledNode::Partition(routing_partition::PartitionNode::new(
             node,
             *rank,
             *num_consumers,
@@ -676,30 +785,30 @@ pub fn build_node_bound(
         OpKind::Reassemble {
             rank,
             num_producers,
-        } => Box::new(routing::ReassembleNode::new(node, *rank, *num_producers)),
+        } => CompiledNode::Reassemble(routing::ReassembleNode::new(node, *rank, *num_producers)),
         OpKind::EagerMerge { num_producers } => {
             let rank = rank_of(node.inputs[0]);
-            Box::new(routing::EagerMergeNode::new(node, *num_producers, rank))
+            CompiledNode::EagerMerge(routing::EagerMergeNode::new(node, *num_producers, rank))
         }
         OpKind::Map { func, compute_bw } => {
-            Box::new(compute::MapNode::new(node, *func, *compute_bw))
+            CompiledNode::Map(compute::MapNode::new(node, *func, *compute_bw))
         }
         OpKind::Accum {
             rank,
             func,
             compute_bw,
-        } => Box::new(compute::AccumNode::new(node, *rank, *func, *compute_bw)),
+        } => CompiledNode::Accum(compute::AccumNode::new(node, *rank, *func, *compute_bw)),
         OpKind::Scan {
             rank,
             func,
             compute_bw,
-        } => Box::new(compute::ScanNode::new(node, *rank, *func, *compute_bw)),
-        OpKind::FlatMap { func } => Box::new(compute::FlatMapNode::new(node, *func)),
+        } => CompiledNode::Scan(compute::ScanNode::new(node, *rank, *func, *compute_bw)),
+        OpKind::FlatMap { func } => CompiledNode::FlatMap(compute::FlatMapNode::new(node, *func)),
         OpKind::AddrGen {
             count,
             stride,
             base,
-        } => Box::new(compute::AddrGenNode::new(node, *count, *stride, *base)),
+        } => CompiledNode::AddrGen(compute::AddrGenNode::new(node, *count, *stride, *base)),
     })
 }
 

@@ -36,6 +36,7 @@ const HBM_PIPELINE: usize = 2 * BUDGET as usize;
 /// requests is one entry (consecutive sequence numbers, tensor indices
 /// advancing by `idx_stride`), so the pending FIFO scales with block
 /// rows, not tiles.
+#[derive(Clone)]
 enum PendingEmit {
     /// Responses `seq0..seq0 + count` carry the completion times;
     /// `idx0 + j * idx_stride` locates tile `j` in the stored tensor
@@ -105,6 +106,7 @@ macro_rules! drain_pending {
 
 /// `LinearOffChipLoad` (Fig 2): per reference element, an affine tiled
 /// read of the stored tensor, adding two dimensions to the stream.
+#[derive(Clone)]
 pub struct LinearLoadNode {
     io: Io,
     cfg: LinearLoadCfg,
@@ -127,6 +129,13 @@ impl LinearLoadNode {
             in_flight: 0,
             sep_pending: false,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.pending.clear();
+        self.in_flight = 0;
+        self.sep_pending = false;
     }
 
     /// Mark entries count toward the pipeline cap (macro hook).
@@ -315,6 +324,7 @@ impl LinearLoadNode {
 impl_simnode_common!(LinearLoadNode);
 
 /// `LinearOffChipStore`: writes tiles linearly at the base address.
+#[derive(Clone)]
 pub struct LinearStoreNode {
     io: Io,
     base_addr: u64,
@@ -334,6 +344,14 @@ impl LinearStoreNode {
             last_done: 0,
             outstanding: 0,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.offset_bytes = 0;
+        self.row_offset = 0;
+        self.last_done = 0;
+        self.outstanding = 0;
     }
 
     fn drain(&mut self, ctx: &mut Ctx<'_>) -> bool {
@@ -391,6 +409,7 @@ impl LinearStoreNode {
 impl_simnode_common!(LinearStoreNode);
 
 /// `RandomOffChipLoad`: one tile per byte address.
+#[derive(Clone)]
 pub struct RandomLoadNode {
     io: Io,
     cfg: RandomAccessCfg,
@@ -404,6 +423,11 @@ impl RandomLoadNode {
             cfg,
             pending: VecDeque::new(),
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.pending.clear();
     }
 
     /// Pipeline cap counts pending entries directly here (macro hook).
@@ -473,6 +497,7 @@ impl_simnode_common!(RandomLoadNode);
 
 /// `RandomOffChipStore`: writes data tiles at paired addresses, emitting
 /// an acknowledgement stream.
+#[derive(Clone)]
 pub struct RandomStoreNode {
     io: Io,
     cfg: RandomAccessCfg,
@@ -486,6 +511,11 @@ impl RandomStoreNode {
             cfg,
             pending: VecDeque::new(),
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.pending.clear();
     }
 
     /// Pipeline cap counts pending entries directly here (macro hook).

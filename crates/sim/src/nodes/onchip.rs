@@ -20,6 +20,7 @@ use step_core::token::Token;
 
 /// `Bufferize` (Fig 3): captures the `rank` innermost dims into an on-chip
 /// buffer, emitting a reference per buffer.
+#[derive(Clone)]
 pub struct BufferizeNode {
     io: Io,
     rank: u8,
@@ -45,6 +46,16 @@ impl BufferizeNode {
             max_buffer_bytes: 0,
             max_elem_bytes: 0,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.elems.clear();
+        self.bytes = 0;
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.extents.iter_mut().for_each(|e| *e = 0);
+        self.max_buffer_bytes = 0;
+        self.max_elem_bytes = 0;
     }
 
     fn close_levels(&mut self, upto: u8) {
@@ -120,6 +131,7 @@ impl_simnode_common!(BufferizeNode);
 /// `Streamify` (Fig 3): reads buffers back into a stream, once per
 /// reference element. Statically-shaped buffers support affine reads;
 /// dynamic buffers stream linearly.
+#[derive(Clone)]
 pub struct StreamifyNode {
     io: Io,
     cfg: StreamifyCfg,
@@ -176,6 +188,14 @@ impl StreamifyNode {
             emitter: BlockEmitter::default(),
             block_rank: 0,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.current = None;
+        self.current_id = None;
+        self.emitter.reset();
+        self.block_rank = 0;
     }
 
     fn load_buffer(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {

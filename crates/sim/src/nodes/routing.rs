@@ -16,6 +16,7 @@ use step_core::token::Token;
 /// `Reassemble` (Fig 4): per selector element, drains one rank-`rank`
 /// tensor from each selected input in arrival order (never interleaving),
 /// then raises the stop level, adding a dimension.
+#[derive(Clone)]
 pub struct ReassembleNode {
     io: Io,
     rank: u8,
@@ -37,6 +38,13 @@ impl ReassembleNode {
             active: None,
             pending_group_stop: false,
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.remaining.clear();
+        self.active = None;
+        self.pending_group_stop = false;
     }
 
     fn sel_port(&self) -> usize {
@@ -148,6 +156,7 @@ impl_simnode_common!(ReassembleNode);
 
 /// `EagerMerge`: merges whole rank-`rank` tensors in arrival order,
 /// emitting the data plus a selector stream recording provenance.
+#[derive(Clone)]
 pub struct EagerMergeNode {
     io: Io,
     num_producers: u32,
@@ -165,6 +174,12 @@ impl EagerMergeNode {
             active: None,
             finished: vec![false; num_producers as usize],
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.active = None;
+        self.finished.iter_mut().for_each(|f| *f = false);
     }
 
     fn step(&mut self, ctx: &mut Ctx<'_>, budget: u64) -> Result<u64> {

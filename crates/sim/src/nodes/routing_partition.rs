@@ -15,6 +15,7 @@ use step_core::token::Token;
 /// higher-level stop, so a one-token lookahead distinguishes "more chunks
 /// follow" from "group/stream ends here". A run of values inside a chunk
 /// shares one selector, so it replicates to the selected outputs in bulk.
+#[derive(Clone)]
 pub struct PartitionNode {
     io: Io,
     rank: u8,
@@ -36,6 +37,13 @@ impl PartitionNode {
             closing: None,
             had_content: vec![false; num_consumers as usize],
         }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.io.reset();
+        self.targets = None;
+        self.closing = None;
+        self.had_content.iter_mut().for_each(|h| *h = false);
     }
 
     fn need_selector(&mut self, ctx: &mut Ctx<'_>) -> Result<bool> {

@@ -1,0 +1,310 @@
+//! Conformance suite for the compiled executor and the run-state pool.
+//!
+//! The contract under test: `SimConfig::compiled` and
+//! [`SimPlan::pooled_run_bound`] are *host-side* choices — static
+//! dispatch versus boxed `dyn` nodes, pooled reset-in-place state versus
+//! freshly built state — and must never reach a reported bit. Concretely:
+//!
+//! 1. the compiled path is bit-identical to the dynamic-dispatch path
+//!    (`compiled: false`) on every model-builder family, at worker
+//!    counts 1, 2, 4, and 8 — results, sinks, and the full coordination
+//!    schedule (`sched` counters);
+//! 2. a pooled rerun (state reset in place) is bit-identical to a fresh
+//!    `RunState`, for three consecutive reruns;
+//! 3. the pool actually pools: after the warmup run, every rerun
+//!    reports `run_allocs == 0` and `pool_resets == 1`;
+//! 4. pooled source rebinding resets cleanly — a rerun with a different
+//!    bound stream matches a fresh build around that stream, and a
+//!    subsequent unbound rerun plays the baked-in tokens again.
+
+use step_core::Graph;
+use step_core::elem::{Elem, ElemKind};
+use step_core::graph::{GraphBuilder, NodeId};
+use step_core::shape::StreamShape;
+use step_core::tile::Tile;
+use step_core::token::{self, Token};
+use step_models::ModelConfig;
+use step_models::attention::{AttentionCfg, ParallelStrategy, attention_graph};
+use step_models::moe::{MoeCfg, Tiling, moe_graph};
+use step_models::swiglu::{SwigluCfg, swiglu_graph};
+use step_sim::{RunBinding, RunPool, SimConfig, SimPlan, SimReport};
+use step_traces::{KvTraceConfig, RoutingConfig, Variability, expert_routing, kv_lengths};
+
+fn small_model() -> ModelConfig {
+    ModelConfig {
+        name: "compiled-small",
+        hidden: 128,
+        moe_intermediate: 256,
+        experts: 8,
+        top_k: 2,
+        q_heads: 4,
+        kv_heads: 2,
+        head_dim: 32,
+        layers: 2,
+    }
+}
+
+/// The conformance workloads: every model-builder family, small enough
+/// to run the whole matrix quickly.
+fn workloads() -> Vec<(String, Graph)> {
+    let model = small_model();
+    let mut out: Vec<(String, Graph)> = Vec::new();
+    out.push((
+        "swiglu(16,64)".into(),
+        swiglu_graph(&SwigluCfg::validation(16, 64)).unwrap(),
+    ));
+    let trace = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch: 24,
+        skew: 0.8,
+        seed: 7,
+    });
+    for (name, tiling) in [
+        ("moe-static4", Tiling::Static { tile: 4 }),
+        ("moe-dynamic", Tiling::Dynamic),
+    ] {
+        out.push((
+            name.to_string(),
+            moe_graph(&MoeCfg::new(model.clone(), tiling), &trace).unwrap(),
+        ));
+    }
+    out.push((
+        "moe-regions2".to_string(),
+        moe_graph(
+            &MoeCfg::new(model.clone(), Tiling::Static { tile: 4 }).with_regions(2),
+            &trace,
+        )
+        .unwrap(),
+    ));
+    let kv = kv_lengths(&KvTraceConfig {
+        batch: 12,
+        variability: Variability::Medium,
+        median_len: 256.0,
+        max_len: 1024,
+        seed: 11,
+        ..KvTraceConfig::default()
+    });
+    out.push((
+        "attn-dynamic".to_string(),
+        attention_graph(&AttentionCfg::new(model, ParallelStrategy::Dynamic), &kv).unwrap(),
+    ));
+    out
+}
+
+fn cfg(threads: usize, compiled: bool) -> SimConfig {
+    SimConfig {
+        threads,
+        shards: 6,
+        compiled,
+        ..SimConfig::default()
+    }
+}
+
+/// The bit-identity fields of a report (the conformance fingerprint:
+/// results, fires, sinks, and the full coordination schedule). The
+/// pool-bookkeeping fields `run_allocs` / `pool_resets` are *excluded*
+/// by design — they report which host path ran, not what was simulated.
+#[allow(clippy::type_complexity)]
+fn fingerprint(
+    r: &SimReport,
+) -> (
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    usize,
+    u64,
+    String,
+    String,
+) {
+    (
+        r.cycles,
+        r.offchip_traffic,
+        r.offchip_read,
+        r.offchip_write,
+        r.onchip_memory,
+        r.arena_peak,
+        r.total_flops,
+        r.rounds,
+        r.shards,
+        r.total_fires(),
+        format!("{:?}", r.sinks),
+        format!("{:?}", r.sched),
+    )
+}
+
+#[test]
+fn compiled_matches_dyn_at_every_thread_count() {
+    for (name, graph) in workloads() {
+        for threads in [1usize, 2, 4, 8] {
+            let dyn_plan = SimPlan::new(graph.clone(), cfg(threads, false)).unwrap();
+            let want = fingerprint(&dyn_plan.run().unwrap());
+            let plan = SimPlan::new(graph.clone(), cfg(threads, true)).unwrap();
+            let got = fingerprint(&plan.run().unwrap());
+            assert_eq!(
+                got, want,
+                "{name}: threads={threads} compiled run diverged from dyn run"
+            );
+        }
+    }
+}
+
+#[test]
+fn pooled_reruns_match_dyn_and_stay_alloc_free() {
+    for (name, graph) in workloads() {
+        for threads in [1usize, 2, 4, 8] {
+            let dyn_plan = SimPlan::new(graph.clone(), cfg(threads, false)).unwrap();
+            let want = fingerprint(&dyn_plan.run().unwrap());
+            let plan = SimPlan::new(graph.clone(), cfg(threads, true)).unwrap();
+            let mut pool = RunPool::new();
+            let warmup = plan.pooled_run(&mut pool).unwrap();
+            assert_eq!(
+                (warmup.run_allocs, warmup.pool_resets),
+                (1, 0),
+                "{name}: threads={threads} warmup should build state"
+            );
+            assert_eq!(
+                fingerprint(&warmup),
+                want,
+                "{name}: threads={threads} pooled warmup diverged from dyn run"
+            );
+            for rerun in 0..3 {
+                let r = plan.pooled_run(&mut pool).unwrap();
+                assert_eq!(
+                    (r.run_allocs, r.pool_resets),
+                    (0, 1),
+                    "{name}: threads={threads} rerun {rerun} rebuilt state instead of pooling"
+                );
+                assert_eq!(
+                    fingerprint(&r),
+                    want,
+                    "{name}: threads={threads} pooled rerun {rerun} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pool_reset_is_identical_to_fresh_state() {
+    // A reset-in-place pooled rerun must equal a fresh `RunState` built
+    // by a plain (non-pooled) compiled run — same plan, same binding.
+    let (name, graph) = workloads().remove(2); // moe-dynamic
+    let plan = SimPlan::new(graph, cfg(2, true)).unwrap();
+    let fresh = fingerprint(&plan.run().unwrap());
+    let mut pool = RunPool::new();
+    plan.pooled_run(&mut pool).unwrap();
+    let pooled = plan.pooled_run(&mut pool).unwrap();
+    assert_eq!((pooled.run_allocs, pooled.pool_resets), (0, 1));
+    assert_eq!(
+        fingerprint(&pooled),
+        fresh,
+        "{name}: reset-in-place state diverged from fresh state"
+    );
+}
+
+#[test]
+fn pool_migrates_across_plans_by_rebuilding() {
+    // Handing a pool parked by one plan to another must rebuild (never
+    // reinterpret foreign state), then pool normally.
+    let mut w = workloads();
+    let (_, g2) = w.remove(1);
+    let (_, g1) = w.remove(0);
+    let p1 = SimPlan::new(g1, cfg(1, true)).unwrap();
+    let p2 = SimPlan::new(g2, cfg(1, true)).unwrap();
+    let mut pool = RunPool::new();
+    assert_eq!(p1.pooled_run(&mut pool).unwrap().run_allocs, 1);
+    assert_eq!(p1.pooled_run(&mut pool).unwrap().run_allocs, 0);
+    let migrated = p2.pooled_run(&mut pool).unwrap();
+    assert_eq!((migrated.run_allocs, migrated.pool_resets), (1, 0));
+    assert_eq!(p2.pooled_run(&mut pool).unwrap().run_allocs, 0);
+    assert_eq!(fingerprint(&migrated), fingerprint(&p2.run().unwrap()));
+}
+
+#[test]
+fn disabling_compiled_degrades_pooling_to_fresh_runs() {
+    let (_, graph) = workloads().remove(0);
+    let plan = SimPlan::new(graph, cfg(1, false)).unwrap();
+    let mut pool = RunPool::new();
+    for _ in 0..2 {
+        let r = plan.pooled_run(&mut pool).unwrap();
+        assert_eq!((r.run_allocs, r.pool_resets), (1, 0));
+    }
+}
+
+/// A tiny graph with a known rebindable source: `source -> map(relu) ->
+/// sink` over 1x1 tiles.
+fn bindable_graph(values: &[f32]) -> (Graph, NodeId, NodeId) {
+    use step_core::func::{EwOp, MapFn};
+    let mut g = GraphBuilder::new();
+    let tokens = token::rank0_from_values(values.iter().map(|&v| Elem::Tile(Tile::splat(1, 1, v))));
+    let n = values.len() as u64;
+    let src = g
+        .source(tokens, StreamShape::fixed(&[n]), ElemKind::tile(1, 1))
+        .unwrap();
+    let src_id = g.node_of(&src);
+    let relu = g.map(&src, MapFn::Elementwise(EwOp::Relu), 64).unwrap();
+    let sink = g.sink(&relu).unwrap();
+    (g.finish(), src_id, sink)
+}
+
+fn source_tokens(values: &[f32]) -> Vec<Token> {
+    token::rank0_from_values(values.iter().map(|&v| Elem::Tile(Tile::splat(1, 1, v))))
+}
+
+fn sink_values(r: &SimReport, sink: NodeId) -> Vec<f32> {
+    r.sink_tokens(sink)
+        .unwrap()
+        .iter()
+        .filter_map(|t| match t {
+            Token::Val(Elem::Tile(t)) => t.get(0, 0),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn pooled_rebinding_resets_cleanly() {
+    let build_vals = [-1.0f32, 2.0, -3.0, 4.0];
+    let run_vals = [5.0f32, -6.0, 7.0, -8.0];
+    let (graph, src, sink) = bindable_graph(&build_vals);
+    let plan = SimPlan::new(graph, SimConfig::default()).unwrap();
+    let mut pool = RunPool::new();
+    // Warmup with the baked-in stream.
+    let warm = plan.pooled_run(&mut pool).unwrap();
+    assert_eq!(sink_values(&warm, sink), vec![0.0, 2.0, 0.0, 4.0]);
+    // Pooled rerun with a rebound stream matches a fresh build around
+    // that stream.
+    let mut binding = RunBinding::new();
+    binding.bind_source(src, source_tokens(&run_vals));
+    let bound = plan.pooled_run_bound(&binding, &mut pool).unwrap();
+    assert_eq!((bound.run_allocs, bound.pool_resets), (0, 1));
+    assert_eq!(sink_values(&bound, sink), vec![5.0, 0.0, 7.0, 0.0]);
+    let (fresh_graph, _, fresh_sink) = bindable_graph(&run_vals);
+    let fresh = SimPlan::new(fresh_graph, SimConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(sink_values(&fresh, fresh_sink), sink_values(&bound, sink));
+    // The reset clears the binding: an unbound pooled rerun plays the
+    // baked-in stream again.
+    let unbound = plan.pooled_run(&mut pool).unwrap();
+    assert_eq!((unbound.run_allocs, unbound.pool_resets), (0, 1));
+    assert_eq!(sink_values(&unbound, sink), vec![0.0, 2.0, 0.0, 4.0]);
+    // And an invalid binding fails fast without poisoning the pool.
+    let mut bad = RunBinding::new();
+    bad.bind_source(sink, source_tokens(&[1.0]));
+    assert!(plan.pooled_run_bound(&bad, &mut pool).is_err());
+    let after = plan.pooled_run(&mut pool).unwrap();
+    assert_eq!(
+        (after.run_allocs, after.pool_resets),
+        (0, 1),
+        "rejected binding should not cost the pool its state"
+    );
+    assert_eq!(sink_values(&after, sink), vec![0.0, 2.0, 0.0, 4.0]);
+}
