@@ -1,0 +1,141 @@
+//! Serving sweep: continuous batching under offered load.
+//!
+//! Runs [`step_bench::experiments::serve_sweep`] — Mixtral-8x7B decode
+//! served from a seeded Poisson arrival trace across an offered-load
+//! axis, with and without chunked prefill — and reports TTFT/TPOT
+//! percentiles (p50/p95/p99, cycles), goodput vs offered load
+//! (requests per million cycles), and HBM pressure (off-chip bytes per
+//! busy cycle and utilization of peak), as a table plus
+//! `results/serve_sweep.csv`.
+//!
+//! Determinism is asserted, not sampled: the sweep is re-run with the
+//! same seeds and must be bit-identical (every cycle count, percentile,
+//! and counter), which extends the engine's thread-count-independence
+//! contract through the serving scheduler. With `--quick` the sweep
+//! shrinks to one CI-affordable cell whose scheduling counters
+//! (iterations, admitted, evicted — exact) and engine counters (fires,
+//! channel run ops — pinned ~5% above measured) are guarded; like
+//! sched_bench, the guards are pure functions of the plan and can never
+//! flake on a noisy runner. Wall-clock is never asserted.
+//!
+//! Run with: `cargo run --release -p step-bench --bin serve_sweep`
+//! (`--quick` for the CI cell, `--json` to append one JSON row per cell
+//! to `BENCH_sched.json` — path override: `BENCH_SCHED_OUT` — the perf
+//! artifact CI uploads).
+
+use step_bench::experiments::{ServeRow, report_serve, serve_sweep};
+
+/// Counters-only budgets for the `--quick` cell (8 requests, mean
+/// inter-arrival 300 Mcycles, chunk 16): scheduling counters are exact
+/// (pure functions of trace + config), engine counters are pinned ~5%
+/// above the measured 11,980,447 fires / 4,957,268 channel run ops.
+const QUICK_ITERATIONS: usize = 56;
+const QUICK_ADMITTED: u32 = 8;
+const QUICK_FIRE_BUDGET: u64 = 12_600_000;
+const QUICK_CHAN_RUN_BUDGET: u64 = 5_210_000;
+
+fn json_line(r: &ServeRow) -> String {
+    let rep = &r.report;
+    format!(
+        "{{\"mode\":\"serve\",\"mean_interarrival\":{:.0},\"prefill_chunk\":{},\
+         \"offered_per_mcycle\":{:.3},\"goodput_per_mcycle\":{:.3},\
+         \"ttft_p50\":{:.0},\"ttft_p95\":{:.0},\"ttft_p99\":{:.0},\
+         \"tpot_p50\":{:.0},\"tpot_p95\":{:.0},\"tpot_p99\":{:.0},\
+         \"hbm_bytes_per_cycle\":{:.2},\"hbm_utilization\":{:.4},\
+         \"iterations\":{},\"admitted\":{},\"evicted\":{},\"completed\":{},\
+         \"total_cycles\":{},\"busy_cycles\":{},\"fires\":{},\"chan_runs\":{}}}",
+        r.mean_interarrival,
+        r.prefill_chunk
+            .map_or("null".to_string(), |c| c.to_string()),
+        rep.offered_per_mcycle,
+        rep.goodput_per_mcycle,
+        rep.ttft.p50,
+        rep.ttft.p95,
+        rep.ttft.p99,
+        rep.tpot.p50,
+        rep.tpot.p95,
+        rep.tpot.p99,
+        rep.hbm_bytes_per_cycle,
+        rep.hbm_utilization,
+        rep.iterations.len(),
+        rep.admitted_total,
+        rep.evicted_total,
+        rep.outcomes.len(),
+        rep.total_cycles,
+        rep.busy_cycles,
+        rep.total_fires,
+        rep.chan_runs,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let rows = serve_sweep(quick);
+    // Same-seed rerun must be bit-identical: the serving scheduler adds
+    // no nondeterminism on top of the engine's contract.
+    let rerun = serve_sweep(quick);
+    assert_eq!(rows.len(), rerun.len());
+    for (a, b) in rows.iter().zip(&rerun) {
+        assert_eq!(
+            a.report, b.report,
+            "serving sweep cell (interarrival {:.0}, chunk {:?}) not deterministic",
+            a.mean_interarrival, a.prefill_chunk
+        );
+    }
+
+    if quick {
+        let rep = &rows[0].report;
+        assert_eq!(
+            (rep.iterations.len(), rep.admitted_total, rep.evicted_total),
+            (QUICK_ITERATIONS, QUICK_ADMITTED, QUICK_ADMITTED),
+            "quick-cell scheduling counters moved — if intentional, re-pin the budgets"
+        );
+        assert!(
+            rep.total_fires <= QUICK_FIRE_BUDGET,
+            "quick-cell fires regressed: {} > budget {QUICK_FIRE_BUDGET}",
+            rep.total_fires,
+        );
+        assert!(
+            rep.chan_runs <= QUICK_CHAN_RUN_BUDGET,
+            "quick-cell channel run ops regressed: {} > budget {QUICK_CHAN_RUN_BUDGET}",
+            rep.chan_runs,
+        );
+    }
+
+    if json {
+        let path = std::env::var("BENCH_SCHED_OUT").unwrap_or_else(|_| "BENCH_sched.json".into());
+        let mut body = String::new();
+        for r in &rows {
+            let line = json_line(r);
+            println!("{line}");
+            body.push_str(&line);
+            body.push('\n');
+        }
+        // Appends: sched_bench owns the file's head, the serving rows
+        // ride along in the same artifact.
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(body.as_bytes()))
+            .expect("append bench artifact");
+        eprintln!("appended {} row(s) to {path}", rows.len());
+    } else {
+        report_serve(
+            if quick {
+                "serve_sweep_quick"
+            } else {
+                "serve_sweep"
+            },
+            &rows,
+        );
+        println!("\nsame-seed rerun bit-identical on every cell: ok");
+        if quick {
+            println!("quick-cell scheduling and engine counter budgets: ok");
+        }
+    }
+}

@@ -11,14 +11,14 @@
 
 use crate::attention::{
     AttentionCfg, ParallelStrategy, attention_graph, attention_graph_with_ports,
-    attention_request_tokens,
 };
 use crate::config::ModelConfig;
-use crate::moe::{MoeCfg, Tiling, moe_graph, moe_graph_with_ports, moe_router_tokens};
-use crate::swiglu::{GemmCfg, build_gemm};
+use crate::moe::{MoeCfg, Tiling, moe_graph, moe_graph_with_ports};
+use crate::phases::{
+    QkvCache, bind_attention, bind_moe, debug_assert_steady, moe_sim_config, qkv_graph,
+};
 use step_core::Result;
-use step_core::graph::GraphBuilder;
-use step_sim::{RunBinding, RunPool, SimConfig, SimPlan, SimReport};
+use step_sim::{RunPool, SimConfig, SimPlan, SimReport};
 use step_traces::{KvTrace, KvTraceConfig, RoutingConfig, Variability, expert_routing, kv_lengths};
 
 /// One end-to-end schedule variant (a column of Fig 17).
@@ -82,45 +82,8 @@ fn run_graph(graph: step_core::Graph) -> Result<SimReport> {
     SimPlan::new(graph, SimConfig::default())?.run()
 }
 
-/// MoE graphs run multi-million-cycle simulations; a coarser execution
-/// window is ordering-equivalent there and much faster.
-fn moe_sim_config() -> SimConfig {
-    SimConfig {
-        horizon_step: 512,
-        ..SimConfig::default()
-    }
-}
-
 fn run_moe_graph(graph: step_core::Graph) -> Result<SimReport> {
     SimPlan::new(graph, moe_sim_config())?.run()
-}
-
-/// The QKV-generation + output-projection phase as one fused dense GEMM
-/// graph. Decode processes one token per request, so the graph depends
-/// only on `(model, batch)` — across decode iterations it is the same
-/// program, which is why the decode driver builds its plan exactly once.
-fn qkv_graph(model: &ModelConfig, batch: usize) -> Result<step_core::Graph> {
-    let n = (model.q_heads + 2 * model.kv_heads) * model.head_dim + model.hidden;
-    let tile_n = [256u64, 128, 64, 32]
-        .into_iter()
-        .find(|t| n.is_multiple_of(*t))
-        .unwrap_or(n);
-    let mut g = GraphBuilder::new();
-    build_gemm(
-        &mut g,
-        &GemmCfg {
-            batch: batch as u64,
-            hidden: model.hidden,
-            n,
-            tile_batch: 64.min(batch as u64),
-            tile_n,
-            x_addr: 0x100_0000,
-            w_addr: 0x1000_0000,
-            out_addr: 0x8000_0000,
-            compute_bw: 8192,
-        },
-    )?;
-    Ok(g.finish())
 }
 
 /// Runs one end-to-end variant.
@@ -310,10 +273,12 @@ pub fn run_decode(
     }
     let (moe_g, moe_ports) = moe_graph_with_ports(&moe_cfg, &routing_at(0))?;
     let moe_plan = SimPlan::new(moe_g, moe_sim_config())?;
-    // QKV is one token per request regardless of iteration: simulate the
-    // plan once and reuse the report (reused-plan runs are bit-identical
-    // anyway, so this changes nothing but wall time).
-    let qkv = SimPlan::new(qkv_graph(model, batch)?, SimConfig::default())?.run()?;
+    // QKV is one token per request regardless of iteration: the cache
+    // simulates the count once and serves the report afterwards
+    // (reused-plan runs are bit-identical anyway, so this changes
+    // nothing but wall time).
+    let mut qkv_cache = QkvCache::new(SimConfig::default());
+    let qkv = qkv_cache.report(model, batch)?.clone();
 
     let mut iterations = Vec::with_capacity(cfg.iterations as usize);
     let (mut total_cycles, mut offchip_traffic) = (0u64, 0u64);
@@ -321,18 +286,14 @@ pub fn run_decode(
     for i in 0..cfg.iterations {
         let kv = kv_at(i);
         let routing = routing_at(i);
-        let mut attn_bind = RunBinding::new();
-        attn_bind.bind_source(
-            attn_ports.requests,
-            attention_request_tokens(&attn_cfg, &kv),
-        );
+        let attn_bind = bind_attention(&attn_cfg, &attn_ports, &kv);
         let attn = attn_plan.pooled_run_bound(&attn_bind, &mut attn_pool)?;
-        let mut moe_bind = RunBinding::new();
-        moe_bind.bind_source(moe_ports.router, moe_router_tokens(&routing));
+        let moe_bind = bind_moe(&moe_ports, model.hidden, &routing);
         let moe = moe_plan.pooled_run_bound(&moe_bind, &mut moe_pool)?;
-        // Steady state must reset pooled buffers in place, never rebuild.
-        debug_assert!(i == 0 || (attn.run_allocs, attn.pool_resets) == (0, 1));
-        debug_assert!(i == 0 || (moe.run_allocs, moe.pool_resets) == (0, 1));
+        // Steady-state contract: after the warmup iteration, pooled runs
+        // reset parked state in place — no rebuilds, no reallocation.
+        debug_assert_steady(&attn, i > 0);
+        debug_assert_steady(&moe, i > 0);
         let layer_cycles = qkv.cycles + attn.cycles + moe.cycles;
         total_cycles += layer_cycles * model.layers;
         offchip_traffic +=

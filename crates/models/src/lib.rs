@@ -9,15 +9,35 @@
 //!   tiling (§5.2), and configuration time-multiplexing (§5.3);
 //! - [`attention`] — decode attention with static coarse, static
 //!   interleaved, and dynamic parallelization (§5.4, Fig 16);
-//! - [`e2e`] — full decoder-layer and model-level composition (§5.5).
+//! - [`e2e`] — full decoder-layer and model-level composition (§5.5);
+//! - [`phases`] — the per-iteration rebinding and steady-state machinery
+//!   shared by the multi-iteration drivers;
+//! - [`serving`] — the continuous-batching serving driver.
 //!
 //! Every builder returns a plain [`step_core::Graph`]; run it with
 //! [`step_sim::Simulation`].
+//!
+//! # Serving workloads
+//!
+//! [`serving::run_serve`] drives an open-loop request trace
+//! ([`step_traces::arrival_trace`]) through per-iteration admission (up
+//! to a slot budget), eviction of finished requests, and prefill/decode
+//! interleaving with optional chunked prefill. The churning batch rides
+//! on [`step_sim::RunBinding`] rebinding over one frozen plan per phase,
+//! so steady-state iterations are alloc-free. Reported metrics: TTFT
+//! (arrival to first output token, queueing included), TPOT (first
+//! token to completion per remaining output token), goodput (completed
+//! requests per million cycles), and HBM pressure (off-chip bytes per
+//! busy cycle). Every serving run is a pure function of
+//! `(model, variant, trace, ServeCfg minus threads)` — bit-identical
+//! across reruns, thread counts, and pooled vs fresh run state.
 
 pub mod attention;
 pub mod config;
 pub mod e2e;
 pub mod moe;
+pub mod phases;
+pub mod serving;
 pub mod swiglu;
 
 pub use config::ModelConfig;

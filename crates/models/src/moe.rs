@@ -193,13 +193,32 @@ pub struct MoePorts {
     /// The router's selector stream (`moe.router`): bind
     /// [`moe_router_tokens`] of the iteration's re-sampled routing.
     pub router: step_core::graph::NodeId,
+    /// The token stream feeding the router's partition (`moe.tokens`):
+    /// bind [`moe_token_stream`] of the iteration's token count. A
+    /// serving iteration routes however many tokens its admitted set
+    /// produced (decode tokens plus prefill chunks), so both sources
+    /// rebind together with matching lengths.
+    pub tokens: step_core::graph::NodeId,
+}
+
+/// The token stream played by the `moe.tokens` source for a batch of
+/// `batch` tokens: one phantom `[1, hidden]` row per token, rank-1
+/// chunks. Bind it together with [`moe_router_tokens`] of a same-length
+/// routing trace when the per-iteration token count differs from the
+/// build-time batch (continuous-batching serving).
+pub fn moe_token_stream(batch: u64, hidden: u64) -> Vec<token::Token> {
+    let groups: Vec<Vec<Elem>> = (0..batch)
+        .map(|_| vec![Elem::Tile(Tile::phantom(1, hidden as usize))])
+        .collect();
+    token::rank1_from_groups(&groups)
 }
 
 /// The selector token stream played by the `moe.router` source for
 /// `trace`. Build the graph once, then bind this stream per decode
-/// iteration as routing is re-sampled; the batch and expert count must
-/// match the build-time trace (the graph's structure is derived from
-/// them).
+/// iteration as routing is re-sampled; the expert count must match the
+/// build-time trace (the graph's structure is derived from it), and the
+/// token count must match the bound `moe.tokens` stream — equal to the
+/// build-time batch when only the router is rebound.
 pub fn moe_router_tokens(trace: &RoutingTrace) -> Vec<token::Token> {
     let sels = trace
         .assignments
@@ -261,11 +280,8 @@ pub fn build_moe(g: &mut GraphBuilder, cfg: &MoeCfg, trace: &RoutingTrace) -> Re
     let batch = trace.assignments.len() as u64;
 
     // Token stream: one [1, H] row per token, rank-1 chunks.
-    let groups: Vec<Vec<Elem>> = (0..batch)
-        .map(|_| vec![Elem::Tile(Tile::phantom(1, h as usize))])
-        .collect();
     let tokens = g.source(
-        token::rank1_from_groups(&groups),
+        moe_token_stream(batch, h),
         StreamShape::fixed(&[batch, 1]),
         ElemKind::tile(1, h),
     )?;
@@ -279,6 +295,7 @@ pub fn build_moe(g: &mut GraphBuilder, cfg: &MoeCfg, trace: &RoutingTrace) -> Re
     g.label_last("moe.router");
     let ports = MoePorts {
         router: g.node_of(&sel),
+        tokens: g.node_of(&tokens),
     };
     let routed = g.partition(&tokens, &sel, 1, experts)?;
 

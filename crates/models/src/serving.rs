@@ -1,0 +1,794 @@
+//! Continuous-batching serving driver — the "millions of users" workload.
+//!
+//! The paper's figures step a *fixed* batch through decode; a serving
+//! system sees a churning one. This driver runs an open-loop request
+//! trace ([`step_traces::arrivals`]) against the three per-layer phases
+//! (QKV GEMM, attention, MoE) with the scheduling loop real engines use:
+//!
+//! - **Admission**: at each iteration boundary, arrived requests are
+//!   admitted into free batch slots (up to [`ServeCfg::slots`]) in
+//!   arrival order;
+//! - **Eviction**: a request that generates its last token leaves at the
+//!   end of the iteration, freeing its slot for the next admission;
+//! - **Prefill/decode interleaving**: every iteration's token budget
+//!   ([`ServeCfg::token_budget`]) is spent on decode tokens first (one
+//!   per decoding request), then on prefill chunks of admitted requests
+//!   ([`ServeCfg::prefill_chunk`] — the chunked-prefill scenario axis:
+//!   `Some(c)` caps a request's per-iteration prefill at `c` tokens so
+//!   decode latency stays bounded, `None` lets a prompt prefill as fast
+//!   as the remaining budget allows);
+//! - **Per-iteration rebinding**: the batch composition changes every
+//!   iteration, and rides in on [`step_sim::RunBinding`] source
+//!   rebinding over one frozen [`SimPlan`] per phase — the attention
+//!   plan's request source replays each slot's current KV context, the
+//!   MoE plan's token + router sources replay the iteration's routed
+//!   tokens. Plans are built once against the trace's admitted-set
+//!   envelope ([`RequestTrace::max_ctx`] provisions the attention
+//!   dispatch queues; [`ServeCfg::token_budget`] sizes the MoE build
+//!   batch) and each phase keeps one [`RunPool`], so steady-state
+//!   iterations neither rebuild plans nor reallocate run state
+//!   ([`crate::phases::debug_assert_steady`]).
+//!
+//! **Modeling notes.** A vacant slot is bound as a minimal one-tile stub
+//! request (the dispatch selector's batch width is fixed at freeze
+//! time); under load the batch is full and no stubs exist. A prefilling
+//! request's attention cost is one scan over its context-so-far KV tiles
+//! (a FlashAttention-style chunk pass); its GEMM-side cost scales
+//! exactly with the chunk's tokens through the QKV and MoE phases.
+//! Phase latencies compose serially per layer, as in [`crate::e2e`].
+//!
+//! **Metrics.** `TTFT` (time to first token) is the span from a
+//! request's *arrival* (queueing included) to the end of the iteration
+//! that finishes its prefill — the iteration that produces its first
+//! output token. `TPOT` (time per output token) is the span from first
+//! token to completion divided by the remaining `output - 1` tokens.
+//! *Goodput* is completed requests per million cycles of serving time
+//! (idle gaps included); *offered load* is the trace's arrival rate.
+//! HBM pressure is total off-chip traffic over busy cycles, reported
+//! both as bytes/cycle and as utilization of the configured peak.
+//!
+//! **Determinism.** A serving run is a pure function of
+//! `(model, variant, trace, ServeCfg minus threads)`: same-seed reruns
+//! are bit-identical across thread counts and across pooled vs fresh
+//! run state, and each iteration replays offline — a fresh one-shot
+//! [`step_sim::Simulation`] of the same phase graph with the same
+//! binding reproduces its cycles and fires bit-exactly
+//! (`crates/models/tests/serving_conformance.rs`).
+
+use crate::attention::{AttentionCfg, attention_graph_with_ports};
+use crate::config::ModelConfig;
+use crate::e2e::E2eVariant;
+use crate::moe::{MoeCfg, moe_graph_with_ports};
+use crate::phases::{QkvCache, bind_attention, bind_moe, debug_assert_steady, moe_sim_config};
+use step_core::{Result, StepError};
+use step_sim::{RunPool, SimConfig, SimPlan, SimReport};
+use step_traces::{KvTrace, RequestTrace, RoutingConfig, RoutingTrace, expert_routing};
+
+/// Configuration of the continuous-batching serving driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeCfg {
+    /// Batch slots: the maximum number of concurrently live requests.
+    pub slots: usize,
+    /// Maximum tokens processed per iteration across the batch (decode
+    /// tokens plus prefill chunks). Must be at least `slots` so every
+    /// decoding request always fits.
+    pub token_budget: usize,
+    /// Chunked prefill: `Some(c)` caps each request's per-iteration
+    /// prefill at `c` tokens; `None` prefills as fast as the remaining
+    /// token budget allows.
+    pub prefill_chunk: Option<u32>,
+    /// Expert-popularity skew of the per-iteration routing samples.
+    pub skew: f64,
+    /// Seed of the per-iteration routing re-samples (the arrival trace
+    /// carries its own seed).
+    pub seed: u64,
+    /// Simulation worker threads per phase run (results are
+    /// thread-count-independent by the engine's determinism contract).
+    pub threads: usize,
+    /// Reuse pooled run state across iterations (the steady-state
+    /// alloc-free path). `false` materializes fresh state every
+    /// iteration — bit-identical, for differential testing only.
+    pub pooled: bool,
+    /// Safety cap on serving iterations; hitting it truncates the run
+    /// (reported via [`ServeReport::truncated`]).
+    pub max_iterations: u32,
+}
+
+impl Default for ServeCfg {
+    fn default() -> ServeCfg {
+        ServeCfg {
+            slots: 8,
+            token_budget: 32,
+            prefill_chunk: Some(16),
+            skew: 0.8,
+            seed: 7,
+            threads: 1,
+            pooled: true,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// One serving iteration's composition and simulated phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeIteration {
+    /// Iteration index.
+    pub iter: u32,
+    /// Serving clock at iteration start, cycles.
+    pub start: u64,
+    /// Live requests occupying slots this iteration.
+    pub live: u32,
+    /// Requests admitted at this iteration's boundary.
+    pub admitted: u32,
+    /// Requests completing (and evicted) at this iteration's end.
+    pub completed: u32,
+    /// Tokens processed this iteration (decode + prefill chunks).
+    pub tokens: u32,
+    /// Decode tokens among them (one per decoding request).
+    pub decode_tokens: u32,
+    /// Per-slot KV context bound into the attention plan this iteration
+    /// (vacant slots carry the one-tile stub length of 1).
+    pub slot_ctx: Vec<u32>,
+    /// QKV + output projection cycles.
+    pub qkv_cycles: u64,
+    /// Attention cycles over the iteration's KV contexts.
+    pub attn_cycles: u64,
+    /// MoE cycles under the iteration's routed tokens.
+    pub moe_cycles: u64,
+    /// One decoder layer (sum of phases).
+    pub layer_cycles: u64,
+    /// Node fires across the three phase runs.
+    pub fires: u64,
+    /// Channel run operations across the three phase runs.
+    pub chan_runs: u64,
+    /// Off-chip traffic across the three phase runs, bytes (one layer).
+    pub offchip_traffic: u64,
+}
+
+/// Per-request serving outcome, in request-id order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Trace request id.
+    pub id: u32,
+    /// Arrival time, cycles.
+    pub arrival: u64,
+    /// Admission time (start of the first iteration the request ran in).
+    pub admitted: u64,
+    /// End of the iteration that produced the first output token.
+    pub first_token: u64,
+    /// End of the iteration that produced the last output token.
+    pub finished: u64,
+    /// Prompt length, tokens.
+    pub prompt: u32,
+    /// Output length, tokens.
+    pub output: u32,
+}
+
+impl ServeOutcome {
+    /// Time to first token: arrival (queueing included) to first output.
+    pub fn ttft(&self) -> u64 {
+        self.first_token - self.arrival
+    }
+
+    /// Time per output token after the first, in cycles (0 for
+    /// single-token outputs).
+    pub fn tpot(&self) -> f64 {
+        if self.output <= 1 {
+            0.0
+        } else {
+            (self.finished - self.first_token) as f64 / (self.output - 1) as f64
+        }
+    }
+}
+
+/// Nearest-rank percentiles of a latency population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    fn of(mut xs: Vec<f64>) -> Percentiles {
+        if xs.is_empty() {
+            return Percentiles {
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        xs.sort_by(f64::total_cmp);
+        let at = |q: f64| {
+            let rank = (q * xs.len() as f64).ceil() as usize;
+            xs[rank.clamp(1, xs.len()) - 1]
+        };
+        Percentiles {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+        }
+    }
+}
+
+/// The serving driver's aggregate results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Per-iteration compositions and phase cycles.
+    pub iterations: Vec<ServeIteration>,
+    /// Per-request outcomes (completed requests, id order).
+    pub outcomes: Vec<ServeOutcome>,
+    /// Serving clock at the end of the run (idle gaps included), cycles.
+    pub total_cycles: u64,
+    /// Cycles spent inside iterations (`Σ layer_cycles × layers`).
+    pub busy_cycles: u64,
+    /// Whole-model off-chip traffic, bytes (`Σ phase traffic × layers`).
+    pub offchip_traffic: u64,
+    /// Requests admitted into slots.
+    pub admitted_total: u32,
+    /// Requests evicted after completing.
+    pub evicted_total: u32,
+    /// Node fires summed over all phase runs.
+    pub total_fires: u64,
+    /// Channel run operations summed over all phase runs.
+    pub chan_runs: u64,
+    /// TTFT percentiles, cycles.
+    pub ttft: Percentiles,
+    /// TPOT percentiles, cycles per token (multi-token outputs only).
+    pub tpot: Percentiles,
+    /// Completed requests per million cycles of serving time.
+    pub goodput_per_mcycle: f64,
+    /// The trace's offered load, requests per million cycles.
+    pub offered_per_mcycle: f64,
+    /// Off-chip bytes per busy cycle — HBM pressure under load.
+    pub hbm_bytes_per_cycle: f64,
+    /// Fraction of peak off-chip bandwidth used while busy.
+    pub hbm_utilization: f64,
+    /// Whether the run hit [`ServeCfg::max_iterations`] before draining.
+    pub truncated: bool,
+}
+
+/// The deterministic per-iteration routing re-sample: iteration `iter`
+/// routes its `tokens` tokens with this trace. Public so the offline
+/// conformance replay can rebuild exactly what the driver bound.
+pub fn iteration_routing(
+    model: &ModelConfig,
+    cfg: &ServeCfg,
+    iter: u32,
+    tokens: usize,
+) -> RoutingTrace {
+    expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch: tokens,
+        skew: cfg.skew,
+        seed: cfg.seed ^ 0x5e21 ^ u64::from(iter).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    })
+}
+
+/// The build-time MoE routing trace: `token_budget` tokens under a
+/// dedicated salt (every iteration rebinds over it, so only its batch
+/// width matters). Public for the offline conformance replay.
+pub fn moe_build_trace(model: &ModelConfig, cfg: &ServeCfg) -> RoutingTrace {
+    expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch: cfg.token_budget,
+        skew: cfg.skew,
+        seed: cfg.seed ^ 0xb111d,
+    })
+}
+
+/// The build-time attention KV trace: every slot provisioned for the
+/// trace's admitted-set envelope ([`RequestTrace::max_ctx`]), so the
+/// frozen plan's dispatch queues fit any context a serving iteration can
+/// bind. Public for the offline conformance replay.
+pub fn envelope_kv(trace: &RequestTrace, cfg: &ServeCfg) -> KvTrace {
+    KvTrace {
+        lengths: vec![trace.max_ctx().max(1); cfg.slots],
+    }
+}
+
+/// KV context stub bound into vacant slots (one tile; the dispatch
+/// selector's batch width is fixed at freeze time).
+const VACANT_CTX: u32 = 1;
+
+/// A live request's slot state.
+struct Slot {
+    id: u32,
+    arrival: u64,
+    admitted: u64,
+    prompt: u32,
+    output: u32,
+    /// Prompt tokens prefilled so far.
+    processed: u32,
+    /// Output tokens generated so far.
+    generated: u32,
+    first_token: Option<u64>,
+}
+
+/// Runs the serving loop over an arrival trace.
+///
+/// # Errors
+///
+/// Rejects invalid configurations (zero slots, a token budget below the
+/// slot count, a zero prefill chunk, an empty trace) and propagates
+/// graph-construction and simulation errors.
+pub fn run_serve(
+    model: &ModelConfig,
+    variant: &E2eVariant,
+    trace: &RequestTrace,
+    cfg: &ServeCfg,
+) -> Result<ServeReport> {
+    if cfg.slots == 0 {
+        return Err(StepError::Config("serving needs at least one slot".into()));
+    }
+    if cfg.token_budget < cfg.slots {
+        return Err(StepError::Config(format!(
+            "token budget {} below slot count {} — a full decode batch would not fit",
+            cfg.token_budget, cfg.slots
+        )));
+    }
+    if cfg.prefill_chunk == Some(0) {
+        return Err(StepError::Config("prefill chunk must be positive".into()));
+    }
+    if trace.requests.is_empty() {
+        return Err(StepError::Config("serving trace has no requests".into()));
+    }
+
+    // Freeze one plan per phase against the admitted-set envelope.
+    let attn_cfg = AttentionCfg::new(model.clone(), variant.attention);
+    let (attn_graph, attn_ports) = attention_graph_with_ports(&attn_cfg, &envelope_kv(trace, cfg))?;
+    let sim_cfg = SimConfig {
+        threads: cfg.threads,
+        ..SimConfig::default()
+    };
+    let attn_plan = SimPlan::new(attn_graph, sim_cfg.clone())?;
+    let mut moe_cfg = MoeCfg::new(model.clone(), variant.tiling);
+    if let Some(r) = variant.moe_regions {
+        moe_cfg = moe_cfg.with_regions(r);
+    }
+    let (moe_graph, moe_ports) = moe_graph_with_ports(&moe_cfg, &moe_build_trace(model, cfg))?;
+    let moe_plan = SimPlan::new(
+        moe_graph,
+        SimConfig {
+            threads: cfg.threads,
+            ..moe_sim_config()
+        },
+    )?;
+    let mut qkv_cache = QkvCache::new(sim_cfg);
+    let (mut attn_pool, mut moe_pool) = (RunPool::new(), RunPool::new());
+    let run_phase = |plan: &SimPlan,
+                     binding: &step_sim::RunBinding,
+                     pool: &mut RunPool,
+                     warmed: bool|
+     -> Result<SimReport> {
+        let report = if cfg.pooled {
+            plan.pooled_run_bound(binding, pool)?
+        } else {
+            plan.run_bound(binding)?
+        };
+        if cfg.pooled {
+            // Serving's steady state is the same contract as the decode
+            // loop's: iterations after warmup reset parked state in
+            // place — no plan rebuilds, `run_allocs == 0`.
+            debug_assert_steady(&report, warmed);
+        }
+        Ok(report)
+    };
+
+    let chunk_cap = cfg.prefill_chunk.unwrap_or(u32::MAX);
+    let mut slots: Vec<Option<Slot>> = (0..cfg.slots).map(|_| None).collect();
+    let mut arrivals = trace.requests.iter().copied().peekable();
+    let mut waiting: std::collections::VecDeque<step_traces::Request> =
+        std::collections::VecDeque::new();
+    let mut clock: u64 = 0;
+    let mut iterations = Vec::new();
+    let mut outcomes: Vec<ServeOutcome> = Vec::new();
+    let (mut admitted_total, mut evicted_total) = (0u32, 0u32);
+    let (mut busy_cycles, mut offchip_traffic) = (0u64, 0u64);
+    let (mut total_fires, mut chan_runs) = (0u64, 0u64);
+    let mut offchip_peak_bw = 0u64;
+    let mut truncated = false;
+
+    // Counts processing iterations only — idle clock-jumps don't run
+    // phases, consume routing seeds, or warm the pools.
+    let mut iter: u32 = 0;
+    loop {
+        // Pull arrivals up to the clock, then admit into free slots in
+        // arrival order (lowest free slot index first — deterministic).
+        while arrivals.peek().is_some_and(|r| r.arrival <= clock) {
+            waiting.push_back(arrivals.next().expect("peeked"));
+        }
+        let mut admitted_now = 0u32;
+        for slot in slots.iter_mut() {
+            if slot.is_none()
+                && let Some(r) = waiting.pop_front()
+            {
+                *slot = Some(Slot {
+                    id: r.id,
+                    arrival: r.arrival,
+                    admitted: clock,
+                    prompt: r.prompt,
+                    output: r.output,
+                    processed: 0,
+                    generated: 0,
+                    first_token: None,
+                });
+                admitted_now += 1;
+            }
+        }
+        admitted_total += admitted_now;
+
+        let live = slots.iter().flatten().count() as u32;
+        if live == 0 {
+            match arrivals.peek() {
+                // Idle: jump the clock to the next arrival.
+                Some(r) => {
+                    clock = r.arrival;
+                    continue;
+                }
+                None => break, // drained
+            }
+        }
+        if iter >= cfg.max_iterations {
+            truncated = true;
+            break;
+        }
+
+        // Token allocation: decode tokens first (one per decoding
+        // request — always fits, token_budget >= slots), then prefill
+        // chunks in slot order from the remaining budget.
+        let mut allocs = vec![0u32; cfg.slots];
+        let mut budget = cfg.token_budget;
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some(s) = slot
+                && s.processed == s.prompt
+            {
+                allocs[i] = 1;
+                budget -= 1;
+            }
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some(s) = slot
+                && s.processed < s.prompt
+            {
+                let a = (s.prompt - s.processed).min(chunk_cap).min(budget as u32);
+                allocs[i] = a;
+                budget -= a as usize;
+            }
+        }
+
+        // Compose the iteration's batch: per-slot KV contexts (prefill
+        // attends over its prefix plus the chunk, decode over its full
+        // cache) and the routed token count.
+        let slot_ctx: Vec<u32> = slots
+            .iter()
+            .zip(&allocs)
+            .map(|(slot, &a)| match slot {
+                Some(s) if s.processed == s.prompt => s.prompt + s.generated,
+                Some(s) => (s.processed + a).max(VACANT_CTX),
+                None => VACANT_CTX,
+            })
+            .collect();
+        let decode_tokens: u32 = slots
+            .iter()
+            .flatten()
+            .filter(|s| s.processed == s.prompt)
+            .count() as u32;
+        let tokens: u32 = allocs.iter().sum();
+        debug_assert!(tokens >= 1, "live iteration must process tokens");
+
+        // Simulate the three phases on the frozen plans.
+        let kv = KvTrace {
+            lengths: slot_ctx.clone(),
+        };
+        let attn_bind = bind_attention(&attn_cfg, &attn_ports, &kv);
+        let attn = run_phase(&attn_plan, &attn_bind, &mut attn_pool, iter > 0)?;
+        let routing = iteration_routing(model, cfg, iter, tokens as usize);
+        let moe_bind = bind_moe(&moe_ports, model.hidden, &routing);
+        let moe = run_phase(&moe_plan, &moe_bind, &mut moe_pool, iter > 0)?;
+        let qkv = qkv_cache.report(model, tokens as usize)?;
+
+        let layer_cycles = qkv.cycles + attn.cycles + moe.cycles;
+        let iter_cycles = layer_cycles * model.layers;
+        let iter_traffic = qkv.offchip_traffic + attn.offchip_traffic + moe.offchip_traffic;
+        let fires = qkv.total_fires() + attn.total_fires() + moe.total_fires();
+        let runs = qkv.chan_runs + attn.chan_runs + moe.chan_runs;
+        offchip_peak_bw = attn.offchip_peak_bw;
+        let start = clock;
+        clock += iter_cycles;
+        busy_cycles += iter_cycles;
+        offchip_traffic += iter_traffic * model.layers;
+        total_fires += fires;
+        chan_runs += runs;
+
+        // Post-iteration request state: prefill progress, token
+        // emission, completion, and eviction.
+        let mut completed_now = 0u32;
+        for (slot, &a) in slots.iter_mut().zip(&allocs) {
+            let Some(s) = slot.as_mut() else { continue };
+            if s.processed == s.prompt {
+                s.generated += 1;
+            } else {
+                s.processed += a;
+                if s.processed == s.prompt {
+                    // Prefill done: this iteration produced the first
+                    // output token.
+                    s.first_token = Some(clock);
+                    s.generated = 1;
+                }
+            }
+            if s.generated == s.output {
+                outcomes.push(ServeOutcome {
+                    id: s.id,
+                    arrival: s.arrival,
+                    admitted: s.admitted,
+                    first_token: s.first_token.expect("completed after first token"),
+                    finished: clock,
+                    prompt: s.prompt,
+                    output: s.output,
+                });
+                completed_now += 1;
+                evicted_total += 1;
+                *slot = None;
+            }
+        }
+
+        iterations.push(ServeIteration {
+            iter,
+            start,
+            live,
+            admitted: admitted_now,
+            completed: completed_now,
+            tokens,
+            decode_tokens,
+            slot_ctx,
+            qkv_cycles: qkv.cycles,
+            attn_cycles: attn.cycles,
+            moe_cycles: moe.cycles,
+            layer_cycles,
+            fires,
+            chan_runs: runs,
+            offchip_traffic: iter_traffic,
+        });
+        iter += 1;
+    }
+
+    outcomes.sort_by_key(|o| o.id);
+    let ttft = Percentiles::of(outcomes.iter().map(|o| o.ttft() as f64).collect());
+    let tpot = Percentiles::of(
+        outcomes
+            .iter()
+            .filter(|o| o.output > 1)
+            .map(ServeOutcome::tpot)
+            .collect(),
+    );
+    let goodput = if clock == 0 {
+        0.0
+    } else {
+        outcomes.len() as f64 * 1e6 / clock as f64
+    };
+    let hbm_bytes_per_cycle = if busy_cycles == 0 {
+        0.0
+    } else {
+        offchip_traffic as f64 / busy_cycles as f64
+    };
+    let hbm_utilization = if offchip_peak_bw == 0 {
+        0.0
+    } else {
+        hbm_bytes_per_cycle / offchip_peak_bw as f64
+    };
+    Ok(ServeReport {
+        iterations,
+        outcomes,
+        total_cycles: clock,
+        busy_cycles,
+        offchip_traffic,
+        admitted_total,
+        evicted_total,
+        total_fires,
+        chan_runs,
+        ttft,
+        tpot,
+        goodput_per_mcycle: goodput,
+        offered_per_mcycle: trace.offered_per_mcycle(),
+        hbm_bytes_per_cycle,
+        hbm_utilization,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use step_traces::{ArrivalConfig, ArrivalPattern, LenDist, arrival_trace};
+
+    fn tiny() -> ModelConfig {
+        ModelConfig {
+            name: "tiny",
+            hidden: 128,
+            moe_intermediate: 256,
+            experts: 4,
+            top_k: 2,
+            q_heads: 4,
+            kv_heads: 2,
+            head_dim: 32,
+            layers: 2,
+        }
+    }
+
+    fn tiny_trace(requests: usize, mean_interarrival: f64, seed: u64) -> RequestTrace {
+        arrival_trace(&ArrivalConfig {
+            requests,
+            mean_interarrival,
+            pattern: ArrivalPattern::Poisson,
+            prompt: LenDist::new(48.0, 0.5, 8, 128),
+            output: LenDist::new(3.0, 0.5, 1, 6),
+            seed,
+        })
+    }
+
+    fn cfg() -> ServeCfg {
+        ServeCfg {
+            slots: 4,
+            token_budget: 16,
+            prefill_chunk: Some(16),
+            seed: 11,
+            ..ServeCfg::default()
+        }
+    }
+
+    #[test]
+    fn drains_every_request_with_sane_latencies() {
+        let trace = tiny_trace(10, 50_000.0, 1);
+        let v = E2eVariant::static_schedule("s", 4);
+        let r = run_serve(&tiny(), &v, &trace, &cfg()).unwrap();
+        assert!(!r.truncated);
+        assert_eq!(r.outcomes.len(), 10);
+        assert_eq!(r.admitted_total, 10);
+        assert_eq!(r.evicted_total, 10);
+        for (o, req) in r.outcomes.iter().zip(&trace.requests) {
+            assert_eq!(o.id, req.id);
+            assert!(o.arrival <= o.admitted);
+            assert!(o.admitted < o.first_token);
+            assert!(o.first_token <= o.finished);
+            assert_eq!((o.prompt, o.output), (req.prompt, req.output));
+        }
+        assert!(r.ttft.p50 > 0.0 && r.ttft.p50 <= r.ttft.p95);
+        assert!(r.ttft.p95 <= r.ttft.p99);
+        assert!(r.goodput_per_mcycle > 0.0);
+        assert!(r.hbm_utilization > 0.0 && r.hbm_utilization <= 1.0);
+    }
+
+    #[test]
+    fn admission_never_exceeds_slots_and_budget_is_honored() {
+        let trace = tiny_trace(16, 5_000.0, 2); // heavy load: queueing
+        let v = E2eVariant::static_schedule("s", 4);
+        let c = cfg();
+        let r = run_serve(&tiny(), &v, &trace, &c).unwrap();
+        for it in &r.iterations {
+            assert!(
+                it.live <= c.slots as u32,
+                "iter {}: live {}",
+                it.iter,
+                it.live
+            );
+            assert!(
+                it.tokens as usize <= c.token_budget,
+                "iter {}: tokens {}",
+                it.iter,
+                it.tokens
+            );
+            assert!(it.decode_tokens <= it.live);
+            assert_eq!(it.slot_ctx.len(), c.slots);
+        }
+        // No starvation: everything admitted eventually completes under
+        // the drain tail.
+        assert_eq!(r.admitted_total, 16);
+        assert_eq!(r.evicted_total, 16);
+        assert_eq!(r.outcomes.len(), 16);
+    }
+
+    #[test]
+    fn same_seed_reruns_are_bit_identical() {
+        let trace = tiny_trace(8, 20_000.0, 3);
+        let v = E2eVariant::static_schedule("s", 4);
+        let a = run_serve(&tiny(), &v, &trace, &cfg()).unwrap();
+        let b = run_serve(&tiny(), &v, &trace, &cfg()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunked_prefill_bounds_per_iteration_prefill() {
+        let trace = tiny_trace(6, 10_000.0, 4);
+        let v = E2eVariant::static_schedule("s", 4);
+        let chunked = run_serve(
+            &tiny(),
+            &v,
+            &trace,
+            &ServeCfg {
+                prefill_chunk: Some(4),
+                ..cfg()
+            },
+        )
+        .unwrap();
+        let whole = run_serve(
+            &tiny(),
+            &v,
+            &trace,
+            &ServeCfg {
+                prefill_chunk: None,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        // Chunking spreads prefill over more iterations.
+        assert!(chunked.iterations.len() >= whole.iterations.len());
+        assert_eq!(chunked.outcomes.len(), whole.outcomes.len());
+        // Both schedules respect the budget; the chunked one also caps
+        // per-request prefill progress per iteration at the chunk.
+        let max_prefill = chunked
+            .iterations
+            .iter()
+            .map(|it| it.tokens - it.decode_tokens)
+            .max()
+            .unwrap_or(0);
+        assert!(max_prefill <= 4 * 4, "prefill tokens {max_prefill}");
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let trace = tiny_trace(2, 1_000.0, 5);
+        let v = E2eVariant::static_schedule("s", 4);
+        let m = tiny();
+        assert!(run_serve(&m, &v, &trace, &ServeCfg { slots: 0, ..cfg() }).is_err());
+        assert!(
+            run_serve(
+                &m,
+                &v,
+                &trace,
+                &ServeCfg {
+                    token_budget: 2,
+                    slots: 4,
+                    ..cfg()
+                }
+            )
+            .is_err()
+        );
+        assert!(
+            run_serve(
+                &m,
+                &v,
+                &trace,
+                &ServeCfg {
+                    prefill_chunk: Some(0),
+                    ..cfg()
+                }
+            )
+            .is_err()
+        );
+        assert!(run_serve(&m, &v, &RequestTrace { requests: vec![] }, &cfg()).is_err());
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let trace = tiny_trace(8, 5_000.0, 6);
+        let v = E2eVariant::static_schedule("s", 4);
+        let r = run_serve(
+            &tiny(),
+            &v,
+            &trace,
+            &ServeCfg {
+                max_iterations: 2,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        assert!(r.truncated);
+        assert!(r.outcomes.len() < 8);
+    }
+}

@@ -1,0 +1,210 @@
+//! Differential conformance for the continuous-batching serving driver.
+//!
+//! The driver's whole performance story rests on per-iteration
+//! `RunBinding` rebinding over frozen plans being *observationally
+//! equivalent* to rebuilding the iteration from scratch. This suite
+//! locks that in:
+//!
+//! - **Offline replay**: every serving iteration's admitted set is
+//!   rebuilt as a fresh one-shot simulation — the same build-time
+//!   graphs (envelope KV trace, token-budget MoE trace), a fresh
+//!   `SimPlan`, the iteration's binding — and must reproduce the
+//!   driver's per-iteration cycles, fires, and channel runs bit-exactly;
+//! - **Thread independence**: same-seed serving runs are bit-identical
+//!   across 1, 2, and 4 worker threads;
+//! - **Pooling transparency**: pooled run state (the alloc-free steady
+//!   state) and fresh per-iteration run state produce identical reports;
+//! - **Scheduling invariants**: admission never exceeds the slot
+//!   budget, per-iteration tokens never exceed the token budget, and
+//!   every admitted request completes (no starvation).
+
+use step_models::ModelConfig;
+use step_models::attention::{AttentionCfg, attention_graph_with_ports};
+use step_models::e2e::E2eVariant;
+use step_models::moe::{MoeCfg, moe_graph_with_ports};
+use step_models::phases::{bind_attention, bind_moe, moe_sim_config, qkv_graph};
+use step_models::serving::{
+    ServeCfg, ServeReport, envelope_kv, iteration_routing, moe_build_trace, run_serve,
+};
+use step_sim::{SimConfig, SimPlan};
+use step_traces::{ArrivalConfig, ArrivalPattern, KvTrace, LenDist, RequestTrace, arrival_trace};
+
+fn tiny_model() -> ModelConfig {
+    ModelConfig {
+        name: "tiny",
+        hidden: 128,
+        moe_intermediate: 256,
+        experts: 4,
+        top_k: 2,
+        q_heads: 4,
+        kv_heads: 2,
+        head_dim: 32,
+        layers: 2,
+    }
+}
+
+fn trace(requests: usize, mean: f64, seed: u64) -> RequestTrace {
+    arrival_trace(&ArrivalConfig {
+        requests,
+        mean_interarrival: mean,
+        pattern: ArrivalPattern::Poisson,
+        prompt: LenDist::new(40.0, 0.5, 8, 96),
+        output: LenDist::new(3.0, 0.5, 1, 6),
+        seed,
+    })
+}
+
+fn serve_cfg() -> ServeCfg {
+    ServeCfg {
+        slots: 4,
+        token_budget: 16,
+        prefill_chunk: Some(8),
+        seed: 23,
+        ..ServeCfg::default()
+    }
+}
+
+fn variant() -> E2eVariant {
+    E2eVariant::static_schedule("static", 4)
+}
+
+fn serve(cfg: &ServeCfg) -> ServeReport {
+    run_serve(&tiny_model(), &variant(), &trace(8, 20_000.0, 9), cfg).unwrap()
+}
+
+/// Every driver iteration, replayed offline as fresh one-shot
+/// simulations of the same graphs and bindings, reproduces the driver's
+/// per-iteration cycles/fires/chan-runs bit-exactly.
+#[test]
+fn offline_replay_matches_driver_iterations_bit_exactly() {
+    let model = tiny_model();
+    let v = variant();
+    let tr = trace(8, 20_000.0, 9);
+    let cfg = serve_cfg();
+    let report = run_serve(&model, &v, &tr, &cfg).unwrap();
+    assert!(!report.iterations.is_empty());
+
+    // The driver's build-time graphs, rebuilt from the public helpers.
+    let attn_cfg = AttentionCfg::new(model.clone(), v.attention);
+    let (attn_graph, attn_ports) =
+        attention_graph_with_ports(&attn_cfg, &envelope_kv(&tr, &cfg)).unwrap();
+    let mut moe_cfg = MoeCfg::new(model.clone(), v.tiling);
+    if let Some(r) = v.moe_regions {
+        moe_cfg = moe_cfg.with_regions(r);
+    }
+    let (moe_graph, moe_ports) =
+        moe_graph_with_ports(&moe_cfg, &moe_build_trace(&model, &cfg)).unwrap();
+
+    for it in &report.iterations {
+        // Fresh plans every iteration: no pools, no reuse, no shared
+        // state with the driver — the strongest possible replay.
+        let attn_plan = SimPlan::new(attn_graph.clone(), SimConfig::default()).unwrap();
+        let kv = KvTrace {
+            lengths: it.slot_ctx.clone(),
+        };
+        let attn = attn_plan
+            .run_bound(&bind_attention(&attn_cfg, &attn_ports, &kv))
+            .unwrap();
+        assert_eq!(
+            attn.cycles, it.attn_cycles,
+            "iter {}: attention cycles",
+            it.iter
+        );
+
+        let moe_plan = SimPlan::new(moe_graph.clone(), moe_sim_config()).unwrap();
+        let routing = iteration_routing(&model, &cfg, it.iter, it.tokens as usize);
+        let moe = moe_plan
+            .run_bound(&bind_moe(&moe_ports, model.hidden, &routing))
+            .unwrap();
+        assert_eq!(moe.cycles, it.moe_cycles, "iter {}: MoE cycles", it.iter);
+
+        let qkv = SimPlan::new(
+            qkv_graph(&model, it.tokens as usize).unwrap(),
+            SimConfig::default(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(qkv.cycles, it.qkv_cycles, "iter {}: QKV cycles", it.iter);
+
+        assert_eq!(
+            qkv.cycles + attn.cycles + moe.cycles,
+            it.layer_cycles,
+            "iter {}: layer cycles",
+            it.iter
+        );
+        assert_eq!(
+            qkv.total_fires() + attn.total_fires() + moe.total_fires(),
+            it.fires,
+            "iter {}: fires",
+            it.iter
+        );
+        assert_eq!(
+            qkv.chan_runs + attn.chan_runs + moe.chan_runs,
+            it.chan_runs,
+            "iter {}: chan runs",
+            it.iter
+        );
+        assert_eq!(
+            qkv.offchip_traffic + attn.offchip_traffic + moe.offchip_traffic,
+            it.offchip_traffic,
+            "iter {}: off-chip traffic",
+            it.iter
+        );
+    }
+}
+
+/// Same-seed serving reports are bit-identical across worker thread
+/// counts — the engine's determinism contract extends through the
+/// serving loop.
+#[test]
+fn serving_is_thread_count_independent() {
+    let base = serve(&serve_cfg());
+    for threads in [2, 4] {
+        let r = serve(&ServeCfg {
+            threads,
+            ..serve_cfg()
+        });
+        assert_eq!(base, r, "threads={threads} diverged from threads=1");
+    }
+}
+
+/// Pooled (steady-state alloc-free) and fresh per-iteration run state
+/// produce bit-identical serving reports.
+#[test]
+fn pooled_and_fresh_run_state_agree() {
+    let pooled = serve(&ServeCfg {
+        pooled: true,
+        ..serve_cfg()
+    });
+    let fresh = serve(&ServeCfg {
+        pooled: false,
+        ..serve_cfg()
+    });
+    assert_eq!(pooled, fresh);
+}
+
+/// Admission and token-budget invariants hold under overload, and every
+/// admitted request eventually completes.
+#[test]
+fn overload_honors_slots_budget_and_drains() {
+    let model = tiny_model();
+    let v = variant();
+    let tr = trace(20, 2_000.0, 31); // arrivals far faster than service
+    let cfg = serve_cfg();
+    let r = run_serve(&model, &v, &tr, &cfg).unwrap();
+    assert!(!r.truncated);
+    let mut live_seen_full = false;
+    for it in &r.iterations {
+        assert!(it.live as usize <= cfg.slots);
+        assert!(it.tokens as usize <= cfg.token_budget);
+        assert!(it.decode_tokens <= it.live);
+        live_seen_full |= it.live as usize == cfg.slots;
+    }
+    assert!(live_seen_full, "overload never filled the batch");
+    assert_eq!(r.admitted_total, 20);
+    assert_eq!(r.evicted_total, 20);
+    assert_eq!(r.outcomes.len(), 20);
+    // Under overload the offered load exceeds the achieved goodput.
+    assert!(r.offered_per_mcycle > r.goodput_per_mcycle);
+}

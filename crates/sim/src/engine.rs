@@ -118,7 +118,7 @@ use step_core::partition::{Partition, PartitionCfg, partition};
 use step_core::token::{self, Token};
 
 /// The outcome of a simulation run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Total execution time in cycles (latest node completion or HBM
     /// transfer).

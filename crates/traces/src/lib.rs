@@ -15,11 +15,25 @@
 //! experiments depend on: the *variance class* of KV lengths (Fig 14/15/
 //! 21) and the *per-expert token histogram skew* (Fig 9/10/12/13). See
 //! DESIGN.md ("Substitutions") for the preservation argument.
+//!
+//! # Serving workloads
+//!
+//! On top of the per-batch samplers, [`arrivals`] generates whole
+//! *request-arrival traces* for the continuous-batching serving driver
+//! (`step_models::serving`): seeded Poisson or duty-cycled bursty
+//! arrival times in simulated cycles, with log-normal prompt and output
+//! lengths per request. The seeding contract is the same as the rest of
+//! the crate — a trace is a pure function of its [`ArrivalConfig`], so
+//! same-seed serving runs replay the identical workload bit for bit
+//! (`tests/prop_arrivals.rs` pins determinism, empirical rates, length
+//! bounds, and the bursty duty cycle).
 
+pub mod arrivals;
 pub mod kv;
 pub mod rng;
 pub mod routing;
 
+pub use arrivals::{ArrivalConfig, ArrivalPattern, LenDist, Request, RequestTrace, arrival_trace};
 pub use kv::{KvTrace, KvTraceConfig, Variability, kv_lengths};
 pub use routing::{RoutingConfig, RoutingTrace, expert_routing, tokens_per_expert};
 

@@ -1,0 +1,161 @@
+//! Seeded property tests for the request-arrival generators.
+//!
+//! No external property-testing crate (the container has no crates.io
+//! access), so the "properties" run over a deterministic seed sweep —
+//! every failure reproduces exactly from the printed seed.
+
+use step_traces::arrivals::{ArrivalConfig, ArrivalPattern, LenDist, RequestTrace, arrival_trace};
+
+fn cfg(seed: u64) -> ArrivalConfig {
+    ArrivalConfig {
+        requests: 2000,
+        mean_interarrival: 10_000.0,
+        pattern: ArrivalPattern::Poisson,
+        prompt: LenDist::new(512.0, 0.55, 16, 4096),
+        output: LenDist::new(32.0, 0.55, 1, 256),
+        seed,
+    }
+}
+
+#[test]
+fn trace_is_a_pure_function_of_its_config() {
+    for seed in 0..24u64 {
+        let a = arrival_trace(&cfg(seed));
+        let b = arrival_trace(&cfg(seed));
+        assert_eq!(a, b, "seed {seed} not deterministic");
+    }
+    // Distinct seeds produce distinct traces.
+    assert_ne!(arrival_trace(&cfg(1)), arrival_trace(&cfg(2)));
+}
+
+#[test]
+fn arrivals_are_nondecreasing_with_ids_in_order() {
+    for seed in 0..24u64 {
+        let t = arrival_trace(&cfg(seed));
+        assert!(
+            t.requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "seed {seed}: arrivals out of order"
+        );
+        assert!(
+            t.requests.iter().enumerate().all(|(i, r)| r.id == i as u32),
+            "seed {seed}: ids out of order"
+        );
+    }
+}
+
+#[test]
+fn poisson_empirical_rate_matches_configured() {
+    for seed in 0..12u64 {
+        let t = arrival_trace(&cfg(seed));
+        let mean = t.mean_interarrival();
+        // 2000 exponential samples: the sample mean concentrates well
+        // within 10% of the configured mean.
+        assert!(
+            (mean - 10_000.0).abs() / 10_000.0 < 0.10,
+            "seed {seed}: empirical mean inter-arrival {mean}"
+        );
+    }
+}
+
+#[test]
+fn lengths_respect_their_bounds() {
+    for seed in 0..24u64 {
+        // Wide sigma so the clamps actually engage.
+        let t = arrival_trace(&ArrivalConfig {
+            prompt: LenDist::new(256.0, 2.0, 32, 1024),
+            output: LenDist::new(8.0, 2.0, 1, 64),
+            ..cfg(seed)
+        });
+        for r in &t.requests {
+            assert!(
+                (32..=1024).contains(&r.prompt),
+                "seed {seed}: prompt {} out of bounds",
+                r.prompt
+            );
+            assert!(
+                (1..=64).contains(&r.output),
+                "seed {seed}: output {} out of bounds",
+                r.output
+            );
+        }
+    }
+}
+
+#[test]
+fn output_min_is_clamped_to_one_token() {
+    let t = arrival_trace(&ArrivalConfig {
+        output: LenDist::new(1.0, 1.5, 0, 16),
+        ..cfg(5)
+    });
+    assert!(t.requests.iter().all(|r| r.output >= 1));
+}
+
+fn bursty(seed: u64, burst: u64, idle: u64) -> (RequestTrace, u64, u64) {
+    let t = arrival_trace(&ArrivalConfig {
+        pattern: ArrivalPattern::Bursty { burst, idle },
+        mean_interarrival: 2_000.0,
+        ..cfg(seed)
+    });
+    (t, burst, idle)
+}
+
+#[test]
+fn bursty_traces_honor_the_duty_cycle() {
+    for seed in 0..12u64 {
+        let (t, burst, idle) = bursty(seed, 50_000, 150_000);
+        let period = burst + idle;
+        // Every arrival lands inside a burst window.
+        for r in &t.requests {
+            assert!(
+                r.arrival % period < burst,
+                "seed {seed}: arrival {} fell in an idle window",
+                r.arrival
+            );
+        }
+        // The long-run rate still tracks the configured mean: in-burst
+        // gaps are compressed by the duty cycle, and deferrals only shift
+        // arrivals forward by less than one period each.
+        let mean = t.mean_interarrival();
+        assert!(
+            (mean - 2_000.0).abs() / 2_000.0 < 0.25,
+            "seed {seed}: bursty long-run mean inter-arrival {mean}"
+        );
+    }
+}
+
+#[test]
+fn bursty_matches_poisson_when_idle_is_zero() {
+    // A zero idle window is a degenerate burst: the duty cycle is 1 and
+    // no arrival is ever deferred, so the process is exactly Poisson.
+    for seed in 0..6u64 {
+        let p = arrival_trace(&ArrivalConfig {
+            mean_interarrival: 2_000.0,
+            ..cfg(seed)
+        });
+        let (b, _, _) = bursty(seed, 10_000, 0);
+        assert_eq!(p, b, "seed {seed}");
+    }
+}
+
+#[test]
+fn envelope_helpers_are_consistent() {
+    for seed in 0..12u64 {
+        let t = arrival_trace(&cfg(seed));
+        let max_ctx = t
+            .requests
+            .iter()
+            .map(|r| r.prompt + r.output)
+            .max()
+            .unwrap();
+        assert_eq!(t.max_ctx(), max_ctx, "seed {seed}");
+        assert_eq!(
+            t.total_prompt_tokens(),
+            t.requests.iter().map(|r| r.prompt as u64).sum::<u64>()
+        );
+        assert_eq!(
+            t.total_output_tokens(),
+            t.requests.iter().map(|r| r.output as u64).sum::<u64>()
+        );
+        assert!(t.offered_per_mcycle() > 0.0);
+    }
+}

@@ -86,3 +86,8 @@ fn attention_dynamic_parallel_matches_golden() {
 fn decode_loop_matches_golden() {
     check("decode_loop");
 }
+
+#[test]
+fn serving_loop_matches_golden() {
+    check("serving_loop");
+}
