@@ -27,23 +27,27 @@
 //! uploads.
 //!
 //! `--reuse N` appends the plan-reuse section: the heaviest config's
-//! `SimPlan` is built once and run `N` times through a [`RunPool`]
-//! (compiled executors, state reset in place), reporting the
-//! graph-build / partition+topology / per-run wall split, the
-//! amortization ratio (build+run divided by the amortized per-run
+//! `SimPlan` is frozen once into a single-worker
+//! [`step_bench::SweepService`]'s plan cache and run `N` times through
+//! it (compiled executors, the worker's pooled state reset in place),
+//! reporting the graph-build / partition+topology / per-run wall split,
+//! the amortization ratio (build+run divided by the amortized per-run
 //! wall), and the same runs on the dynamic-dispatch path
 //! (`compiled: false`, fresh state per run) as `run_ms_*_dyn` — the
 //! compiled-vs-dyn split. Counters of every reused run are held to the
 //! same pinned budgets as the fresh-build rows, must be bit-identical
-//! across runs *and* across dispatch paths, and every pooled rerun
-//! must report `run_allocs == 0` / `pool_resets == 1` (the alloc-free
-//! guard — a counter, so it cannot flake) — wall-clock is reported but
-//! never asserted.
+//! across runs *and* across dispatch paths, every pooled rerun must
+//! report `run_allocs == 0` / `pool_resets == 1` (the alloc-free
+//! guard — a counter, so it cannot flake), and the cache counters must
+//! end at exactly `{hits: N, misses: 1, builds: 1}` — wall-clock is
+//! reported but never asserted.
 
 use std::time::Instant;
+use step_bench::{CacheStats, SimPoint, SweepService, SweepUnit};
+use step_core::StepError;
 use step_models::ModelConfig;
 use step_models::moe::{MoeCfg, Tiling, moe_graph};
-use step_sim::{RunPool, SimConfig, SimPlan, SimReport};
+use step_sim::{Fingerprint, SimConfig, SimPlan, SimReport};
 use step_traces::{RoutingConfig, RoutingTrace, expert_routing};
 
 /// Maximum allowed ratio of sharded single-thread total fires to
@@ -71,9 +75,20 @@ fn run_once(cfg: &MoeCfg, trace: &RoutingTrace, sim_cfg: SimConfig) -> (SimRepor
     (report, t0.elapsed().as_secs_f64() * 1e3)
 }
 
-/// The plan-reuse section (`--reuse N`): build the heaviest config's
-/// plan once, run it `N` times, and report the build-vs-run wall split.
-/// Returns the JSON line for the artifact.
+/// The plan-reuse section (`--reuse N`): freeze the heaviest config's
+/// plan once into a single-worker [`SweepService`]'s cache, run `N`
+/// points against it, and report the build-vs-run wall split. Returns
+/// the JSON line for the artifact.
+///
+/// The cache is pre-warmed with an explicit checkout of the pre-built
+/// graph (isolating partition/topology/compile time as `plan_ms`), so
+/// the `N` submitted points are all hits — their build closures *fail*,
+/// which turns "warm points never rebuild" into a hard assertion rather
+/// than a counter we merely read. The single worker keeps one `RunPool`
+/// per plan, so every rerun must report `run_allocs == 0` /
+/// `pool_resets == 1` (the alloc-free guard — a counter, so it cannot
+/// flake), and the cache must end at exactly
+/// `{hits: N, misses: 1, builds: 1}` — the counters CI pins.
 fn reuse_section(json: bool, runs: usize) -> String {
     let model = ModelConfig::qwen3_30b_a3b();
     let trace = expert_routing(&RoutingConfig {
@@ -88,19 +103,56 @@ fn reuse_section(json: bool, runs: usize) -> String {
     let t0 = Instant::now();
     let graph = moe_graph(&cfg, &trace).expect("moe graph");
     let graph_ms = ms(t0);
+    // Same fingerprint scheme as the experiments' sweep points: the
+    // builder hash covers everything `moe_graph` consumed.
+    let builder = {
+        let mut fp = Fingerprint::new("bench.moe");
+        fp.push_debug(&cfg).push_debug(&trace);
+        fp.finish()
+    };
+    let svc = SweepService::new(1);
+    let sim_cfg = SimConfig::default();
     let t0 = Instant::now();
-    let plan = SimPlan::new(graph.clone(), SimConfig::default()).expect("plan");
+    let mut prebuilt = Some(graph.clone());
+    svc.cache()
+        .checkout(builder, &sim_cfg, &mut || {
+            Ok(prebuilt.take().expect("pre-warm builds once"))
+        })
+        .expect("plan");
     let plan_ms = ms(t0);
-    // Compiled + pooled: the plan's steady-state path. Reruns reset the
-    // parked state in place; the report's counters prove it.
-    let mut pool = RunPool::new();
+    // Compiled + pooled, via the service: the steady-state path. Reruns
+    // reset the worker's parked state in place; the counters prove it.
+    let units: Vec<SweepUnit> = (0..runs)
+        .map(|k| {
+            SweepUnit::Sim(SimPoint {
+                label: format!("reuse run {k}"),
+                builder,
+                cfg: sim_cfg.clone(),
+                build: Box::new(|| {
+                    Err(StepError::Exec(
+                        "reuse point missed the pre-warmed plan cache".into(),
+                    ))
+                }),
+                binding: None,
+            })
+        })
+        .collect();
+    let results = svc.run_all(units).expect("reused runs");
+    assert_eq!(
+        svc.cache().stats(),
+        CacheStats {
+            hits: runs as u64,
+            misses: 1,
+            builds: 1
+        },
+        "reuse section cache counters moved"
+    );
     let mut walls: Vec<f64> = Vec::with_capacity(runs);
     let mut first: Option<SimReport> = None;
     let (mut run_allocs, mut pool_resets) = (0u64, 0u64);
-    for k in 0..runs {
-        let t0 = Instant::now();
-        let r = plan.pooled_run(&mut pool).expect("reused run");
-        walls.push(ms(t0));
+    for (k, res) in results.iter().enumerate() {
+        let r = res.report.sim().expect("reuse points are sim units");
+        walls.push(res.wall_ms);
         run_allocs += r.run_allocs;
         pool_resets += r.pool_resets;
         if k > 0 {
@@ -116,8 +168,8 @@ fn reuse_section(json: bool, runs: usize) -> String {
             None => {
                 // Counters-only budget: a reused run answers to the same
                 // pinned budgets as a fresh build of the same config.
-                guard_counters("reused", &r, B64_STATIC_FIRES.1, B64_STATIC_CHAN_RUNS.1);
-                first = Some(r);
+                guard_counters("reused", r, B64_STATIC_FIRES.1, B64_STATIC_CHAN_RUNS.1);
+                first = Some(r.clone());
             }
             Some(w) => {
                 assert_eq!(
@@ -157,15 +209,20 @@ fn reuse_section(json: bool, runs: usize) -> String {
     let build_ms = graph_ms + plan_ms;
     let build_plus_run = build_ms + walls[0];
     let amort = build_plus_run / run_mean.max(1e-9);
+    let stats = svc.cache().stats();
     let line = format!(
         "{{\"mode\":\"reuse\",\"batch\":64,\"tiling\":\"static(8)\",\"runs\":{runs},\
          \"graph_ms\":{graph_ms:.1},\"plan_ms\":{plan_ms:.1},\"run_ms_first\":{:.1},\
          \"run_ms_mean\":{run_mean:.1},\"run_ms_min\":{run_min:.1},\
          \"run_ms_mean_dyn\":{dyn_mean:.1},\"run_ms_min_dyn\":{dyn_min:.1},\
          \"run_allocs\":{run_allocs},\"pool_resets\":{pool_resets},\
+         \"cache_hits\":{},\"cache_misses\":{},\"cache_builds\":{},\
          \"build_plus_run_ms\":{build_plus_run:.1},\"amortization\":{amort:.2},\
          \"cycles\":{},\"fires\":{},\"chan_runs\":{}}}",
         walls[0],
+        stats.hits,
+        stats.misses,
+        stats.builds,
         r.cycles,
         r.total_fires(),
         r.chan_runs,
@@ -174,16 +231,20 @@ fn reuse_section(json: bool, runs: usize) -> String {
         println!("{line}");
     } else {
         println!(
-            "\nplan reuse (batch 64 / static 8, {runs} runs): graph {graph_ms:.1}ms + partition/topology/compile {plan_ms:.1}ms, pooled runs mean {run_mean:.1}ms (min {run_min:.1}ms)"
+            "\nplan reuse (batch 64 / static 8, {runs} runs via 1-worker sweep service): graph {graph_ms:.1}ms + partition/topology/compile {plan_ms:.1}ms, pooled runs mean {run_mean:.1}ms (min {run_min:.1}ms)"
         );
         println!(
             "dyn-dispatch reference: mean {dyn_mean:.1}ms (min {dyn_min:.1}ms); \
-             pool: {run_allocs} state build(s), {pool_resets} in-place reset(s)"
+             pool: {run_allocs} state build(s), {pool_resets} in-place reset(s); \
+             cache: {} hit(s), {} miss(es), {} build(s)",
+            stats.hits, stats.misses, stats.builds
         );
         println!(
             "build+run {build_plus_run:.1}ms vs amortized per-run {run_mean:.1}ms: {amort:.2}x"
         );
-        println!("reused runs bit-identical, alloc-free, and within counter budgets: ok");
+        println!(
+            "reused runs bit-identical, alloc-free, cache-served, and within counter budgets: ok"
+        );
     }
     line
 }

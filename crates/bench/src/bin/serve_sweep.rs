@@ -11,12 +11,16 @@
 //! Determinism is asserted, not sampled: the sweep is re-run with the
 //! same seeds and must be bit-identical (every cycle count, percentile,
 //! and counter), which extends the engine's thread-count-independence
-//! contract through the serving scheduler. With `--quick` the sweep
-//! shrinks to one CI-affordable cell whose scheduling counters
-//! (iterations, admitted, evicted — exact) and engine counters (fires,
-//! channel run ops — pinned ~5% above measured) are guarded; like
-//! sched_bench, the guards are pure functions of the plan and can never
-//! flake on a noisy runner. Wall-clock is never asserted.
+//! contract through the serving scheduler — and, since both sweeps run
+//! on the process-wide [`step_bench::SweepService`], the rerun is served
+//! from a warm plan cache, making it the warm-vs-cold identity check
+//! too. With `--quick` the sweep shrinks to one CI-affordable cell whose
+//! scheduling counters (iterations, admitted, evicted — exact), engine
+//! counters (fires, channel run ops — pinned ~5% above measured), and
+//! plan-cache counters (2 misses + 2 builds cold, 2 hits warm — exact)
+//! are guarded; like sched_bench, the guards are pure functions of the
+//! plan and can never flake on a noisy runner. Wall-clock is never
+//! asserted.
 //!
 //! Run with: `cargo run --release -p step-bench --bin serve_sweep`
 //! (`--quick` for the CI cell, `--json` to append one JSON row per cell
@@ -24,6 +28,8 @@
 //! artifact CI uploads).
 
 use step_bench::experiments::{ServeRow, report_serve, serve_sweep};
+use step_bench::{CacheStats, SweepService};
+use step_models::serving::Percentiles;
 
 /// Counters-only budgets for the `--quick` cell (8 requests, mean
 /// inter-arrival 300 Mcycles, chunk 16): scheduling counters are exact
@@ -36,11 +42,17 @@ const QUICK_CHAN_RUN_BUDGET: u64 = 5_210_000;
 
 fn json_line(r: &ServeRow) -> String {
     let rep = &r.report;
+    // An empty percentile population (e.g. no multi-token outputs for
+    // TPOT) serializes as JSON null — it is not a zero latency.
+    let pc = |p: &Option<Percentiles>, get: fn(&Percentiles) -> f64| {
+        p.as_ref()
+            .map_or("null".to_string(), |p| format!("{:.0}", get(p)))
+    };
     format!(
         "{{\"mode\":\"serve\",\"mean_interarrival\":{:.0},\"prefill_chunk\":{},\
          \"offered_per_mcycle\":{:.3},\"goodput_per_mcycle\":{:.3},\
-         \"ttft_p50\":{:.0},\"ttft_p95\":{:.0},\"ttft_p99\":{:.0},\
-         \"tpot_p50\":{:.0},\"tpot_p95\":{:.0},\"tpot_p99\":{:.0},\
+         \"ttft_p50\":{},\"ttft_p95\":{},\"ttft_p99\":{},\
+         \"tpot_p50\":{},\"tpot_p95\":{},\"tpot_p99\":{},\
          \"hbm_bytes_per_cycle\":{:.2},\"hbm_utilization\":{:.4},\
          \"iterations\":{},\"admitted\":{},\"evicted\":{},\"completed\":{},\
          \"total_cycles\":{},\"busy_cycles\":{},\"fires\":{},\"chan_runs\":{}}}",
@@ -49,12 +61,12 @@ fn json_line(r: &ServeRow) -> String {
             .map_or("null".to_string(), |c| c.to_string()),
         rep.offered_per_mcycle,
         rep.goodput_per_mcycle,
-        rep.ttft.p50,
-        rep.ttft.p95,
-        rep.ttft.p99,
-        rep.tpot.p50,
-        rep.tpot.p95,
-        rep.tpot.p99,
+        pc(&rep.ttft, |p| p.p50),
+        pc(&rep.ttft, |p| p.p95),
+        pc(&rep.ttft, |p| p.p99),
+        pc(&rep.tpot, |p| p.p50),
+        pc(&rep.tpot, |p| p.p95),
+        pc(&rep.tpot, |p| p.p99),
         rep.hbm_bytes_per_cycle,
         rep.hbm_utilization,
         rep.iterations.len(),
@@ -75,7 +87,9 @@ fn main() {
 
     let rows = serve_sweep(quick);
     // Same-seed rerun must be bit-identical: the serving scheduler adds
-    // no nondeterminism on top of the engine's contract.
+    // no nondeterminism on top of the engine's contract. Both sweeps run
+    // on the process-wide sweep service, so the rerun is also the
+    // warm-plan-cache check: identical reports off cached plans.
     let rerun = serve_sweep(quick);
     assert_eq!(rows.len(), rerun.len());
     for (a, b) in rows.iter().zip(&rerun) {
@@ -87,6 +101,18 @@ fn main() {
     }
 
     if quick {
+        // The quick cell checks out two plans (attention + MoE). Cold
+        // sweep: 2 misses, 2 builds; warm rerun: 2 hits, zero builds.
+        // The counters are scheduler-independent, so the pin is exact.
+        assert_eq!(
+            SweepService::global().cache().stats(),
+            CacheStats {
+                hits: 2,
+                misses: 2,
+                builds: 2
+            },
+            "quick-cell plan-cache counters moved — if intentional, re-pin"
+        );
         let rep = &rows[0].report;
         assert_eq!(
             (rep.iterations.len(), rep.admitted_total, rep.evicted_total),
@@ -133,9 +159,9 @@ fn main() {
             },
             &rows,
         );
-        println!("\nsame-seed rerun bit-identical on every cell: ok");
+        println!("\nsame-seed warm-cache rerun bit-identical on every cell: ok");
         if quick {
-            println!("quick-cell scheduling and engine counter budgets: ok");
+            println!("quick-cell scheduling, engine, and plan-cache counter budgets: ok");
         }
     }
 }

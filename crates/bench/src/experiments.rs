@@ -6,18 +6,19 @@
 
 use crate::pareto::{Point, pareto_front, pid};
 use crate::roofline::fig1_bars;
+use crate::service::{SimPoint, SweepService, SweepUnit};
 use crate::table::{f2, f3, print_table, write_csv};
 use step_hdl::{RefConfig, pearson, simulate_swiglu};
 use step_models::ModelConfig;
 use step_models::attention::{AttentionCfg, ParallelStrategy, attention_graph};
 use step_models::e2e::{E2eVariant, run_e2e};
 use step_models::moe::{MoeCfg, Tiling, moe_graph};
-use step_models::serving::{ServeCfg, ServeReport, run_serve};
+use step_models::serving::{Percentiles, ServeCfg, ServeJob, ServeReport, run_serve};
 use step_models::swiglu::{SwigluCfg, swiglu_graph};
-use step_sim::{SimConfig, SimPlan, SimReport};
+use step_sim::{Fingerprint, SimConfig, SimPlan, SimReport};
 use step_traces::{
-    ArrivalConfig, ArrivalPattern, KvTraceConfig, LenDist, RoutingConfig, Variability,
-    arrival_trace, expert_routing, kv_lengths,
+    ArrivalConfig, ArrivalPattern, KvTraceConfig, LenDist, RoutingConfig, RoutingTrace,
+    Variability, arrival_trace, expert_routing, kv_lengths,
 };
 
 fn run(graph: step_core::Graph, cfg: SimConfig) -> SimReport {
@@ -25,6 +26,24 @@ fn run(graph: step_core::Graph, cfg: SimConfig) -> SimReport {
         .expect("graph is executable")
         .run()
         .expect("simulation completes")
+}
+
+/// One MoE sweep cell as a schedulable [`SweepUnit`]. The builder
+/// fingerprint covers everything `moe_graph` consumes — the full
+/// `MoeCfg` (model, tiling, regions) and the routing trace — so equal
+/// fingerprints really are interchangeable plans, and e.g. Fig 12's
+/// static(32) column and Fig 13 resolve to the *same* cached plans.
+fn moe_point(label: String, cfg: MoeCfg, trace: RoutingTrace) -> SweepUnit {
+    let mut fp = Fingerprint::new("bench.moe");
+    fp.push_debug(&cfg).push_debug(&trace);
+    let builder = fp.finish();
+    SweepUnit::Sim(SimPoint {
+        label,
+        builder,
+        cfg: moe_sim_config(),
+        build: Box::new(move || moe_graph(&cfg, &trace)),
+        binding: None,
+    })
 }
 
 /// A coarser execution window for the large MoE sweeps (ordering
@@ -149,10 +168,73 @@ pub struct TilingRow {
     pub traffic: u64,
 }
 
+/// The schedule axis of one tiling sweep: the static tile sizes plus
+/// dynamic tiling.
+fn tiling_schedules(tiles: &[u64]) -> Vec<Tiling> {
+    let mut schedules: Vec<Tiling> = tiles.iter().map(|&t| Tiling::Static { tile: t }).collect();
+    schedules.push(Tiling::Dynamic);
+    schedules
+}
+
 /// Runs the static-tile sweep plus dynamic tiling for one model and
 /// batch (Figs 9/10 use batch 64/1024; Figs 19/20 read the traffic
-/// column of the same runs).
+/// column of the same runs), on the process-wide [`SweepService`]:
+/// points run concurrently and their plans land in the shared cache.
 pub fn tiling_sweep(model: ModelConfig, batch: usize, tiles: &[u64], seed: u64) -> Vec<TilingRow> {
+    tiling_sweep_on(SweepService::global(), model, batch, tiles, seed)
+}
+
+/// [`tiling_sweep`] on an explicit service (conformance tests pass
+/// fixed-worker services).
+pub fn tiling_sweep_on(
+    svc: &SweepService,
+    model: ModelConfig,
+    batch: usize,
+    tiles: &[u64],
+    seed: u64,
+) -> Vec<TilingRow> {
+    let trace = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch,
+        skew: 0.8,
+        seed,
+    });
+    let units: Vec<SweepUnit> = tiling_schedules(tiles)
+        .into_iter()
+        .map(|tiling| {
+            moe_point(
+                tiling.to_string(),
+                MoeCfg::new(model.clone(), tiling),
+                trace.clone(),
+            )
+        })
+        .collect();
+    let results = svc.run_all(units).expect("tiling sweep runs");
+    results
+        .into_iter()
+        .map(|r| {
+            let report = r.report.sim().expect("tiling points are sim units");
+            TilingRow {
+                model: model.name,
+                schedule: r.label,
+                cycles: report.cycles,
+                onchip: report.onchip_memory,
+                traffic: report.offchip_traffic,
+            }
+        })
+        .collect()
+}
+
+/// The serial loop [`tiling_sweep`] replaced: one fresh plan per point,
+/// in submission order. Kept as the differential baseline the service
+/// path is held bit-identical to (`tests/service_conformance.rs`).
+pub fn tiling_sweep_serial(
+    model: ModelConfig,
+    batch: usize,
+    tiles: &[u64],
+    seed: u64,
+) -> Vec<TilingRow> {
     let trace = expert_routing(&RoutingConfig {
         experts: model.experts,
         top_k: model.top_k,
@@ -161,9 +243,7 @@ pub fn tiling_sweep(model: ModelConfig, batch: usize, tiles: &[u64], seed: u64) 
         seed,
     });
     let mut rows = Vec::new();
-    let mut schedules: Vec<Tiling> = tiles.iter().map(|&t| Tiling::Static { tile: t }).collect();
-    schedules.push(Tiling::Dynamic);
-    for tiling in schedules {
+    for tiling in tiling_schedules(tiles) {
         let cfg = MoeCfg::new(model.clone(), tiling);
         let report = run(
             moe_graph(&cfg, &trace).expect("valid MoE"),
@@ -237,9 +317,41 @@ pub struct TimeshareRow {
     pub bw_util: f64,
 }
 
+/// The Fig 12/13 region axis.
+const TIMESHARE_REGIONS: [u32; 6] = [128, 64, 32, 16, 8, 4];
+
+/// One Fig 12/13 cell's `MoeCfg` (`regions == experts` is the untimed
+/// baseline and takes no region override).
+fn timeshare_cfg(model: &ModelConfig, tiling: Tiling, regions: u32) -> MoeCfg {
+    if regions == model.experts {
+        MoeCfg::new(model.clone(), tiling)
+    } else {
+        MoeCfg::new(model.clone(), tiling).with_regions(regions)
+    }
+}
+
+fn timeshare_row(regions: u32, report: &SimReport) -> TimeshareRow {
+    TimeshareRow {
+        regions,
+        cycles: report.cycles,
+        compute_util: report.compute_utilization(),
+        allocated_compute: report.allocated_compute,
+        onchip: report.onchip_memory,
+        bw_util: report.offchip_bw_utilization(),
+    }
+}
+
 /// Figs 12/13: sweep the number of regions sharing a configuration for
-/// the Qwen3-30B-A3B MoE layer (batch 64).
+/// the Qwen3-30B-A3B MoE layer (batch 64), on the process-wide
+/// [`SweepService`]. Fig 12's static(32) column and Fig 13 submit
+/// identical cells, so whichever runs second is served entirely from
+/// the warm plan cache.
 pub fn timeshare_sweep(tiling: Tiling, seed: u64) -> Vec<TimeshareRow> {
+    timeshare_sweep_on(SweepService::global(), tiling, seed)
+}
+
+/// [`timeshare_sweep`] on an explicit service.
+pub fn timeshare_sweep_on(svc: &SweepService, tiling: Tiling, seed: u64) -> Vec<TimeshareRow> {
     let model = ModelConfig::qwen3_30b_a3b();
     let trace = expert_routing(&RoutingConfig {
         experts: model.experts,
@@ -248,27 +360,51 @@ pub fn timeshare_sweep(tiling: Tiling, seed: u64) -> Vec<TimeshareRow> {
         skew: 0.8,
         seed,
     });
-    let mut rows = Vec::new();
-    for regions in [128u32, 64, 32, 16, 8, 4] {
-        let cfg = if regions == model.experts {
-            MoeCfg::new(model.clone(), tiling)
-        } else {
-            MoeCfg::new(model.clone(), tiling).with_regions(regions)
-        };
-        let report = run(
-            moe_graph(&cfg, &trace).expect("valid MoE"),
-            moe_sim_config(),
-        );
-        rows.push(TimeshareRow {
-            regions,
-            cycles: report.cycles,
-            compute_util: report.compute_utilization(),
-            allocated_compute: report.allocated_compute,
-            onchip: report.onchip_memory,
-            bw_util: report.offchip_bw_utilization(),
-        });
-    }
-    rows
+    let units: Vec<SweepUnit> = TIMESHARE_REGIONS
+        .iter()
+        .map(|&regions| {
+            moe_point(
+                format!("regions({regions})"),
+                timeshare_cfg(&model, tiling, regions),
+                trace.clone(),
+            )
+        })
+        .collect();
+    let results = svc.run_all(units).expect("timeshare sweep runs");
+    TIMESHARE_REGIONS
+        .iter()
+        .zip(&results)
+        .map(|(&regions, r)| {
+            timeshare_row(
+                regions,
+                r.report.sim().expect("timeshare points are sim units"),
+            )
+        })
+        .collect()
+}
+
+/// The serial loop [`timeshare_sweep`] replaced; the differential
+/// baseline for `tests/service_conformance.rs`.
+pub fn timeshare_sweep_serial(tiling: Tiling, seed: u64) -> Vec<TimeshareRow> {
+    let model = ModelConfig::qwen3_30b_a3b();
+    let trace = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch: 64,
+        skew: 0.8,
+        seed,
+    });
+    TIMESHARE_REGIONS
+        .iter()
+        .map(|&regions| {
+            let cfg = timeshare_cfg(&model, tiling, regions);
+            let report = run(
+                moe_graph(&cfg, &trace).expect("valid MoE"),
+                moe_sim_config(),
+            );
+            timeshare_row(regions, &report)
+        })
+        .collect()
 }
 
 /// Prints/writes Fig 12 (utilization + cycles) or Fig 13 (resources).
@@ -576,20 +712,9 @@ pub fn serve_cfg(prefill_chunk: Option<u32>) -> ServeCfg {
     }
 }
 
-/// The serving sweep: Mixtral-8x7B decode served under continuous
-/// batching across an offered-load axis, with and without chunked
-/// prefill. Reports TTFT/TPOT percentiles, goodput vs offered load, and
-/// HBM pressure. `quick` shrinks the trace and load axis for CI.
-///
-/// The load axis straddles the measured serving capacity (~1 request
-/// per Gcycle at these slot/length settings): 5 Gcycles mean
-/// inter-arrival is comfortably underloaded, 1.2 Gcycles is near
-/// capacity, 0.3 Gcycles saturates — so the goodput column tracks the
-/// offered column until the knee, then flattens while TTFT blows up
-/// (queueing delay), the classic serving curve.
-pub fn serve_sweep(quick: bool) -> Vec<ServeRow> {
-    let model = ModelConfig::mixtral_8x7b();
-    let variant = E2eVariant::static_schedule("Static (Perf-matched)", 32);
+/// The serving sweep's cell axis, in row order: offered load (mean
+/// inter-arrival, cycles) × prefill chunking.
+pub fn serve_axis(quick: bool) -> Vec<(f64, Option<u32>)> {
     let loads: &[f64] = if quick {
         &[300_000_000.0]
     } else {
@@ -600,27 +725,104 @@ pub fn serve_sweep(quick: bool) -> Vec<ServeRow> {
     } else {
         &[None, Some(16)]
     };
-    let mut rows = Vec::new();
+    let mut axis = Vec::new();
     for &mean in loads {
-        let trace = serve_trace(mean, quick);
         for &chunk in chunks {
-            let report = run_serve(&model, &variant, &trace, &serve_cfg(chunk)).expect("serve run");
+            axis.push((mean, chunk));
+        }
+    }
+    axis
+}
+
+/// One serving sweep cell as a schedulable [`ServeJob`].
+fn serve_job(mean: f64, chunk: Option<u32>, quick: bool) -> ServeJob {
+    ServeJob {
+        label: format!(
+            "serve interarrival {:.0}Mcyc chunk {}",
+            mean / 1e6,
+            chunk.map_or("none".to_string(), |c| c.to_string())
+        ),
+        model: ModelConfig::mixtral_8x7b(),
+        variant: E2eVariant::static_schedule("Static (Perf-matched)", 32),
+        trace: serve_trace(mean, quick),
+        cfg: serve_cfg(chunk),
+    }
+}
+
+/// The serving sweep: Mixtral-8x7B decode served under continuous
+/// batching across an offered-load axis, with and without chunked
+/// prefill, on the process-wide [`SweepService`] (cells run
+/// concurrently; all cells share one cached attention plan and one
+/// cached MoE plan per trace envelope). Reports TTFT/TPOT percentiles,
+/// goodput vs offered load, and HBM pressure. `quick` shrinks the trace
+/// and load axis for CI.
+///
+/// The load axis straddles the measured serving capacity (~1 request
+/// per Gcycle at these slot/length settings): 5 Gcycles mean
+/// inter-arrival is comfortably underloaded, 1.2 Gcycles is near
+/// capacity, 0.3 Gcycles saturates — so the goodput column tracks the
+/// offered column until the knee, then flattens while TTFT blows up
+/// (queueing delay), the classic serving curve.
+pub fn serve_sweep(quick: bool) -> Vec<ServeRow> {
+    serve_sweep_on(SweepService::global(), quick)
+}
+
+/// [`serve_sweep`] on an explicit service.
+pub fn serve_sweep_on(svc: &SweepService, quick: bool) -> Vec<ServeRow> {
+    let axis = serve_axis(quick);
+    let units: Vec<SweepUnit> = axis
+        .iter()
+        .map(|&(mean, chunk)| SweepUnit::Serve(serve_job(mean, chunk, quick)))
+        .collect();
+    let results = svc.run_all(units).expect("serve sweep runs");
+    axis.into_iter()
+        .zip(results)
+        .map(|((mean, chunk), r)| {
+            let report = r
+                .report
+                .serve()
+                .expect("serve cells are serve units")
+                .clone();
             assert!(!report.truncated, "serving sweep cell did not drain");
-            rows.push(ServeRow {
+            ServeRow {
                 mean_interarrival: mean,
                 prefill_chunk: chunk,
                 report,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
+}
+
+/// The serial loop [`serve_sweep`] replaced (fresh plans per cell); the
+/// differential baseline for `tests/service_conformance.rs`.
+pub fn serve_sweep_serial(quick: bool) -> Vec<ServeRow> {
+    let model = ModelConfig::mixtral_8x7b();
+    let variant = E2eVariant::static_schedule("Static (Perf-matched)", 32);
+    serve_axis(quick)
+        .into_iter()
+        .map(|(mean, chunk)| {
+            let trace = serve_trace(mean, quick);
+            let report = run_serve(&model, &variant, &trace, &serve_cfg(chunk)).expect("serve run");
+            assert!(!report.truncated, "serving sweep cell did not drain");
+            ServeRow {
+                mean_interarrival: mean,
+                prefill_chunk: chunk,
+                report,
+            }
+        })
+        .collect()
 }
 
 /// Prints/writes the serving sweep table.
 pub fn report_serve(figname: &str, rows: &[ServeRow]) {
     // Mixtral iterations cost ~150 Mcycles, so latencies print in
-    // Mcycles and rates per Gcycle to keep the table readable.
-    let mc = |cycles: f64| f2(cycles / 1e6);
+    // Mcycles and rates per Gcycle to keep the table readable. An empty
+    // percentile population (e.g. no multi-token outputs for TPOT)
+    // prints "n/a" — it is not a zero latency.
+    let mc = |p: &Option<Percentiles>, get: fn(&Percentiles) -> f64| {
+        p.as_ref()
+            .map_or_else(|| "n/a".to_string(), |p| f2(get(p) / 1e6))
+    };
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -631,12 +833,12 @@ pub fn report_serve(figname: &str, rows: &[ServeRow]) {
                     .map_or("none".to_string(), |c| c.to_string()),
                 f2(rep.offered_per_mcycle * 1e3),
                 f2(rep.goodput_per_mcycle * 1e3),
-                mc(rep.ttft.p50),
-                mc(rep.ttft.p95),
-                mc(rep.ttft.p99),
-                mc(rep.tpot.p50),
-                mc(rep.tpot.p95),
-                mc(rep.tpot.p99),
+                mc(&rep.ttft, |p| p.p50),
+                mc(&rep.ttft, |p| p.p95),
+                mc(&rep.ttft, |p| p.p99),
+                mc(&rep.tpot, |p| p.p50),
+                mc(&rep.tpot, |p| p.p95),
+                mc(&rep.tpot, |p| p.p99),
                 f2(rep.hbm_bytes_per_cycle),
                 f2(rep.hbm_utilization * 100.0),
                 rep.iterations.len().to_string(),

@@ -5,8 +5,21 @@
 //! Each `fig*` binary is a thin wrapper over a function in
 //! [`experiments`] that returns structured rows; rows are printed as
 //! aligned tables and written as CSV under `results/`.
+//!
+//! Sweeps execute on the [`service`] layer: a [`SweepService`] worker
+//! pool over a single-flight [`PlanCache`] keyed by (builder
+//! fingerprint, config fingerprint minus `threads`), bit-identical to
+//! the serial loops it replaced at any worker count
+//! (`tests/service_conformance.rs`). The serial `*_serial` variants in
+//! [`experiments`] are kept as the differential baselines.
 
 pub mod experiments;
 pub mod pareto;
 pub mod roofline;
+pub mod service;
 pub mod table;
+
+pub use service::{
+    CacheStats, PlanCache, PlanKey, PointResult, ResultStream, SimPoint, SweepService, SweepUnit,
+    UnitReport,
+};

@@ -1,0 +1,644 @@
+//! Concurrent sweep service over a shared plan cache.
+//!
+//! Every sweep in [`crate::experiments`] used to be a serial loop, even
+//! though `Arc<SimPlan>` has been thread-safe and bit-identical across
+//! concurrent runs since the plan split (`crates/sim/tests/
+//! plan_reuse.rs`). This module is the layer that exploits it: a
+//! long-lived [`SweepService`] owning
+//!
+//! - a [`PlanCache`] keyed by **(builder fingerprint,
+//!   [`SimConfig::fingerprint`])** — the config fingerprint excludes
+//!   `threads`, the one knob the engine's determinism contract excludes,
+//!   so sweep points that differ only in worker mapping share one frozen
+//!   plan. Concurrent misses on one key are **single-flight**: the first
+//!   requester builds, the rest wait on the same build and share the
+//!   result;
+//! - a `std::thread` worker pool (no external deps, per the workspace
+//!   convention). Each worker keeps a private `plan.id() →`[`RunPool`]
+//!   map, so once a worker has run a plan, its later points on that plan
+//!   reset parked run state in place — steady-state sweep points are
+//!   allocation-free (`SimReport::run_allocs == 0`);
+//! - in-order result streaming: [`SweepService::submit`] returns a
+//!   [`ResultStream`] that yields results in **submission order**
+//!   regardless of completion order, by reassembling the workers'
+//!   completion messages on a sequence cursor.
+//!
+//! # Determinism and what CI pins
+//!
+//! Every unit's report is a pure function of its inputs (the engine's
+//! contract plus [`step_models::serving`]'s), so the service is
+//! **bit-identical to the serial loop it replaced at any worker count**
+//! — `crates/bench/tests/service_conformance.rs` holds every rewired
+//! sweep to that, at 1/2/4/8 workers and across warm-cache reruns. Wall
+//! clock is never asserted (the 1-CPU CI box makes it meaningless);
+//! instead CI pins the [`CacheStats`] counters, whose semantics are
+//! deliberately scheduler-independent: the *first* request for a key is
+//! the miss (and, once built, the build), and every other request —
+//! including waiters coalesced behind an in-flight build — is a hit. A
+//! warm cache therefore always shows `builds == distinct keys` and zero
+//! further builds on rerun, whatever the worker count.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, mpsc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use step_core::{Graph, Result, StepError};
+use step_models::serving::{PlanSource, ServeJob, ServeReport};
+use step_sim::{RunBinding, RunPool, SimConfig, SimPlan, SimReport};
+
+/// Cache key: what a frozen plan is a pure function of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Fingerprint of the graph builder and all its inputs.
+    pub builder: u64,
+    /// [`SimConfig::fingerprint`] — every config field except `threads`.
+    pub sim: u64,
+}
+
+/// Cumulative [`PlanCache`] counters. Scheduler-independent by
+/// construction (see the module docs), so CI pins them exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from a present or in-flight plan.
+    pub hits: u64,
+    /// Requests that found no entry and took on the build.
+    pub misses: u64,
+    /// Plans actually frozen. Equals `misses` unless a build failed.
+    pub builds: u64,
+}
+
+/// A plan's cache slot: either ready, or claimed by an in-flight build.
+enum Slot {
+    /// A requester is building this plan; waiters sleep on the cache
+    /// condvar until it lands (or the build fails and the slot clears).
+    Building,
+    Ready(Arc<SimPlan>),
+}
+
+/// A shared, single-flight cache of frozen [`SimPlan`]s.
+///
+/// Plans are cached with `threads` normalized to 1: the knob is outside
+/// the determinism contract (results are identical at any thread count)
+/// and the service's parallelism comes from running *points*
+/// concurrently, not from sharding single runs.
+#[derive(Default)]
+pub struct PlanCache {
+    slots: Mutex<HashMap<PlanKey, Slot>>,
+    ready: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Checks out the plan for `(builder, cfg)`, building it via `build`
+    /// on a miss. Concurrent requests for one key coalesce onto a single
+    /// build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-build and plan-freeze errors to the requester
+    /// that ran the build; coalesced waiters retry (and may rebuild) on
+    /// failure.
+    pub fn checkout(
+        &self,
+        builder: u64,
+        cfg: &SimConfig,
+        build: &mut dyn FnMut() -> Result<Graph>,
+    ) -> Result<Arc<SimPlan>> {
+        let key = PlanKey {
+            builder,
+            sim: cfg.fingerprint(),
+        };
+        let mut slots = self.slots.lock().expect("plan cache poisoned");
+        // `counted` keeps the counters request-scoped: one hit or miss
+        // per call on the success path, however many condvar wakeups or
+        // failed-build retakes happen in between.
+        let mut counted = false;
+        loop {
+            match slots.get(&key) {
+                Some(Slot::Ready(plan)) => {
+                    if !counted {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(plan.clone());
+                }
+                Some(Slot::Building) => {
+                    if !counted {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        counted = true;
+                    }
+                    slots = self.ready.wait(slots).expect("plan cache poisoned");
+                }
+                None => {
+                    if !counted {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    slots.insert(key, Slot::Building);
+                    break;
+                }
+            }
+        }
+        drop(slots);
+
+        let built = build().and_then(|graph| {
+            let normalized = SimConfig {
+                threads: 1,
+                ..cfg.clone()
+            };
+            SimPlan::new(graph, normalized).map(Arc::new)
+        });
+        let mut slots = self.slots.lock().expect("plan cache poisoned");
+        let result = match built {
+            Ok(plan) => {
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                slots.insert(key, Slot::Ready(plan.clone()));
+                Ok(plan)
+            }
+            Err(e) => {
+                // Clear the claim so a waiter can retake the build
+                // instead of sleeping forever.
+                slots.remove(&key);
+                Err(e)
+            }
+        };
+        self.ready.notify_all();
+        result
+    }
+
+    /// Cumulative counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Distinct plans currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PlanSource for PlanCache {
+    fn plan(
+        &self,
+        fingerprint: u64,
+        cfg: &SimConfig,
+        build: &mut dyn FnMut() -> Result<Graph>,
+    ) -> Result<Arc<SimPlan>> {
+        self.checkout(fingerprint, cfg, build)
+    }
+}
+
+/// One simulation sweep point: a graph builder plus the config and
+/// optional per-run binding to drive the (cached) plan with.
+pub struct SimPoint {
+    /// Display label (sweep cell name), carried into the result.
+    pub label: String,
+    /// Fingerprint of the builder and **all** its inputs — the cache
+    /// trusts it completely ([`PlanKey::builder`]).
+    pub builder: u64,
+    /// Simulation config (cache-keyed minus `threads`).
+    pub cfg: SimConfig,
+    /// Builds the graph on a cache miss. Must be a pure function of the
+    /// fingerprinted inputs; may be invoked any number of times.
+    pub build: Box<dyn FnMut() -> Result<Graph> + Send>,
+    /// Per-run source rebinding; `None` runs the plan's built-in
+    /// sources.
+    pub binding: Option<RunBinding>,
+}
+
+/// A schedulable unit of sweep work.
+pub enum SweepUnit {
+    /// A single simulation run over a cached plan.
+    Sim(SimPoint),
+    /// A whole serving run (its phase plans check out of the cache).
+    Serve(ServeJob),
+}
+
+impl SweepUnit {
+    fn label(&self) -> &str {
+        match self {
+            SweepUnit::Sim(p) => &p.label,
+            SweepUnit::Serve(j) => &j.label,
+        }
+    }
+}
+
+/// A unit's report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitReport {
+    /// Report of a [`SweepUnit::Sim`] point.
+    Sim(SimReport),
+    /// Report of a [`SweepUnit::Serve`] job.
+    Serve(ServeReport),
+}
+
+impl UnitReport {
+    /// The simulation report, if this unit was a sim point.
+    pub fn sim(&self) -> Option<&SimReport> {
+        match self {
+            UnitReport::Sim(r) => Some(r),
+            UnitReport::Serve(_) => None,
+        }
+    }
+
+    /// The serving report, if this unit was a serve job.
+    pub fn serve(&self) -> Option<&ServeReport> {
+        match self {
+            UnitReport::Serve(r) => Some(r),
+            UnitReport::Sim(_) => None,
+        }
+    }
+}
+
+/// One completed sweep point, yielded in submission order.
+///
+/// Deliberately not `PartialEq`: `wall_ms` is host-dependent, so whole-
+/// result equality would silently compare wall clock. Conformance
+/// checks compare `label` and `report`.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The unit's label.
+    pub label: String,
+    /// The unit's report.
+    pub report: UnitReport,
+    /// Host wall-clock of the unit's run on its worker, milliseconds.
+    /// Diagnostic only — never part of any determinism or CI check.
+    pub wall_ms: f64,
+}
+
+/// A queued unit plus its result route.
+struct Task {
+    seq: u64,
+    unit: SweepUnit,
+    tx: mpsc::Sender<Completion>,
+}
+
+/// A worker's completion message (out of order; reassembled by seq).
+struct Completion {
+    seq: u64,
+    label: String,
+    report: Result<UnitReport>,
+    wall_ms: f64,
+}
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct ServiceInner {
+    cache: PlanCache,
+    queue: Mutex<QueueState>,
+    work_ready: Condvar,
+}
+
+/// The long-lived sweep service: a plan cache plus a worker pool.
+///
+/// Submit a batch of [`SweepUnit`]s with [`SweepService::submit`] (an
+/// ordered [`ResultStream`] comes back) or [`SweepService::run_all`]
+/// (collects the stream). Dropping the service shuts the workers down
+/// after the queue drains its in-flight tasks.
+pub struct SweepService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SweepService {
+    /// A service with `workers` worker threads (at least one).
+    pub fn new(workers: usize) -> SweepService {
+        let inner = Arc::new(ServiceInner {
+            cache: PlanCache::new(),
+            queue: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("sweep-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn sweep worker")
+            })
+            .collect();
+        SweepService { inner, workers }
+    }
+
+    /// The process-wide shared service. Worker count comes from the
+    /// `SWEEP_WORKERS` environment variable when set, else from
+    /// [`std::thread::available_parallelism`] — results never depend on
+    /// it (only wall clock does).
+    pub fn global() -> &'static SweepService {
+        static GLOBAL: OnceLock<SweepService> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = std::env::var("SWEEP_WORKERS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+                });
+            SweepService::new(workers)
+        })
+    }
+
+    /// This service's worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shared plan cache (counters for CI pins; also usable directly
+    /// as a [`PlanSource`]).
+    pub fn cache(&self) -> &PlanCache {
+        &self.inner.cache
+    }
+
+    /// Enqueues `units` and returns a stream yielding one result per
+    /// unit **in submission order**, however the workers interleave.
+    pub fn submit(&self, units: Vec<SweepUnit>) -> ResultStream {
+        let (tx, rx) = mpsc::channel();
+        let total = units.len() as u64;
+        {
+            let mut q = self.inner.queue.lock().expect("sweep queue poisoned");
+            for (seq, unit) in units.into_iter().enumerate() {
+                q.tasks.push_back(Task {
+                    seq: seq as u64,
+                    unit,
+                    tx: tx.clone(),
+                });
+            }
+        }
+        self.inner.work_ready.notify_all();
+        ResultStream {
+            rx,
+            pending: BTreeMap::new(),
+            next: 0,
+            total,
+        }
+    }
+
+    /// [`SweepService::submit`], collected: all results in submission
+    /// order, or the first error.
+    ///
+    /// # Errors
+    ///
+    /// The first failing unit's error, in submission order.
+    pub fn run_all(&self, units: Vec<SweepUnit>) -> Result<Vec<PointResult>> {
+        self.submit(units).collect()
+    }
+}
+
+impl Drop for SweepService {
+    fn drop(&mut self) {
+        {
+            let mut q = self.inner.queue.lock().expect("sweep queue poisoned");
+            q.shutdown = true;
+        }
+        self.inner.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// In-submission-order results of one [`SweepService::submit`] batch.
+///
+/// Iterating blocks until the next-in-order unit completes; completions
+/// that arrive early are parked in a reassembly buffer.
+pub struct ResultStream {
+    rx: mpsc::Receiver<Completion>,
+    pending: BTreeMap<u64, Result<PointResult>>,
+    next: u64,
+    total: u64,
+}
+
+impl Iterator for ResultStream {
+    type Item = Result<PointResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next == self.total {
+            return None;
+        }
+        loop {
+            if let Some(r) = self.pending.remove(&self.next) {
+                self.next += 1;
+                return Some(r);
+            }
+            match self.rx.recv() {
+                Ok(c) => {
+                    self.pending.insert(
+                        c.seq,
+                        c.report.map(|report| PointResult {
+                            label: c.label,
+                            report,
+                            wall_ms: c.wall_ms,
+                        }),
+                    );
+                }
+                Err(_) => {
+                    // Workers are gone (service dropped mid-stream).
+                    self.next = self.total;
+                    return Some(Err(StepError::Exec(
+                        "sweep service shut down before the batch completed".into(),
+                    )));
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    // Per-worker pools: after a worker's first run of a plan, its later
+    // runs of that plan reset the parked state in place (alloc-free).
+    let mut pools: HashMap<u64, RunPool> = HashMap::new();
+    loop {
+        let task = {
+            let mut q = inner.queue.lock().expect("sweep queue poisoned");
+            loop {
+                if let Some(t) = q.tasks.pop_front() {
+                    break t;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = inner.work_ready.wait(q).expect("sweep queue poisoned");
+            }
+        };
+        let label = task.unit.label().to_owned();
+        let start = Instant::now();
+        let report = run_unit(&inner.cache, task.unit, &mut pools);
+        // A dropped stream just discards results; the worker lives on.
+        let _ = task.tx.send(Completion {
+            seq: task.seq,
+            label,
+            report,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+}
+
+fn run_unit(
+    cache: &PlanCache,
+    unit: SweepUnit,
+    pools: &mut HashMap<u64, RunPool>,
+) -> Result<UnitReport> {
+    match unit {
+        SweepUnit::Sim(mut point) => {
+            let plan = cache.checkout(point.builder, &point.cfg, &mut point.build)?;
+            let pool = pools.entry(plan.id()).or_default();
+            let report = match &point.binding {
+                Some(binding) => plan.pooled_run_bound(binding, pool)?,
+                None => plan.pooled_run(pool)?,
+            };
+            Ok(UnitReport::Sim(report))
+        }
+        SweepUnit::Serve(job) => Ok(UnitReport::Serve(job.run_with(cache)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use step_core::graph::GraphBuilder;
+    use step_core::ops::LinearLoadCfg;
+
+    /// A tiny off-chip load/store graph whose traffic scales with
+    /// `tiles` — distinct `tiles` values are distinct plans.
+    fn tiny_graph(tiles: u64) -> Result<Graph> {
+        let mut g = GraphBuilder::new();
+        let trigger = g.unit_source(1);
+        let loaded =
+            g.linear_offchip_load(&trigger, LinearLoadCfg::new(0, (64, 64 * tiles), (64, 64)))?;
+        g.linear_offchip_store(&loaded, 0x10_0000)?;
+        Ok(g.finish())
+    }
+
+    fn point(label: &str, tiles: u64) -> SweepUnit {
+        SweepUnit::Sim(SimPoint {
+            label: label.to_owned(),
+            builder: tiles, // the builder's one input is its fingerprint
+            cfg: SimConfig::default(),
+            build: Box::new(move || tiny_graph(tiles)),
+            binding: None,
+        })
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let svc = SweepService::new(4);
+        let units: Vec<SweepUnit> = (1..=8).map(|t| point(&format!("tiles{t}"), t)).collect();
+        let results = svc.run_all(units).unwrap();
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.label, format!("tiles{}", i + 1));
+            let sim = r.report.sim().expect("sim point");
+            // Traffic scales with tiles (load + store, f16 elements):
+            // order is provably submission order, not completion order.
+            assert_eq!(sim.offchip_traffic, 2 * 64 * 64 * (i as u64 + 1) * 2);
+        }
+    }
+
+    #[test]
+    fn identical_points_single_flight_one_build() {
+        let svc = SweepService::new(8);
+        let units: Vec<SweepUnit> = (0..16).map(|i| point(&format!("p{i}"), 4)).collect();
+        let results = svc.run_all(units).unwrap();
+        let base = results[0].report.sim().unwrap();
+        for r in &results {
+            assert_eq!(r.report.sim().unwrap().cycles, base.cycles);
+        }
+        let stats = svc.cache().stats();
+        assert_eq!(stats.builds, 1, "one plan key must build exactly once");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 15);
+        assert_eq!(svc.cache().len(), 1);
+    }
+
+    #[test]
+    fn warm_cache_reruns_are_identical_and_build_nothing() {
+        let svc = SweepService::new(2);
+        let mk = || {
+            (1..=4)
+                .map(|t| point(&format!("t{t}"), t))
+                .collect::<Vec<_>>()
+        };
+        let cold = svc.run_all(mk()).unwrap();
+        let after_cold = svc.cache().stats();
+        assert_eq!(after_cold.builds, 4);
+        let warm = svc.run_all(mk()).unwrap();
+        let after_warm = svc.cache().stats();
+        assert_eq!(after_warm.builds, 4, "warm rerun must build nothing");
+        assert_eq!(after_warm.misses, 4);
+        assert_eq!(after_warm.hits, after_cold.hits + 4);
+        for (c, w) in cold.iter().zip(&warm) {
+            let (c, w) = (c.report.sim().unwrap(), w.report.sim().unwrap());
+            assert_eq!((c.cycles, c.offchip_traffic), (w.cycles, w.offchip_traffic));
+        }
+    }
+
+    #[test]
+    fn single_worker_warm_points_are_alloc_free() {
+        let svc = SweepService::new(1);
+        let mk = || vec![point("a", 3), point("a", 3), point("a", 3)];
+        let results = svc.run_all(mk()).unwrap();
+        let allocs: Vec<u64> = results
+            .iter()
+            .map(|r| r.report.sim().unwrap().run_allocs)
+            .collect();
+        // First point builds the worker's pool; later points reset it in
+        // place.
+        assert_eq!(allocs, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mk = |n: u64| {
+            (1..=n)
+                .map(|t| point(&format!("t{t}"), t))
+                .collect::<Vec<SweepUnit>>()
+        };
+        let base = SweepService::new(1).run_all(mk(6)).unwrap();
+        for workers in [2, 4, 8] {
+            let got = SweepService::new(workers).run_all(mk(6)).unwrap();
+            assert_eq!(base.len(), got.len());
+            for (b, g) in base.iter().zip(&got) {
+                assert_eq!(b.label, g.label, "workers={workers} reordered");
+                assert_eq!(b.report, g.report, "workers={workers} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn builder_errors_propagate_in_order() {
+        let svc = SweepService::new(2);
+        let bad = SweepUnit::Sim(SimPoint {
+            label: "bad".into(),
+            builder: 999,
+            cfg: SimConfig::default(),
+            build: Box::new(|| Err(StepError::Config("intentionally broken".into()))),
+            binding: None,
+        });
+        let units = vec![point("ok", 2), bad, point("ok2", 3)];
+        let results: Vec<Result<PointResult>> = svc.submit(units).collect();
+        assert!(results[0].is_ok());
+        assert!(matches!(&results[1], Err(StepError::Config(m)) if m.contains("broken")));
+        assert!(results[2].is_ok(), "an error must not poison later units");
+    }
+}

@@ -1,0 +1,214 @@
+//! Differential conformance for the sweep service: every sweep that was
+//! rewired onto [`step_bench::SweepService`] is held **bit-identical**
+//! to the serial loop it replaced — at 1/2/4/8 workers, and across
+//! warm-cache reruns — and the [`step_bench::CacheStats`] counters are
+//! pinned exactly (their semantics are scheduler-independent, so the
+//! pins hold at any worker count; see the service module docs).
+//!
+//! Wall-clock is never asserted. Pool-reuse counters (`run_allocs`,
+//! `pool_resets`) are deliberately *not* part of any comparison here:
+//! the serial baseline builds fresh run state (`run_allocs == 1`) while
+//! a warm service worker resets in place (`run_allocs == 0`) — that
+//! split is asserted by the service's own unit tests and by
+//! `sched_bench --reuse`, not by row conformance. The sweep rows only
+//! carry derived metrics, which the determinism contract makes pure
+//! functions of (graph, config, binding).
+
+use step_bench::experiments::{
+    serve_cfg, serve_sweep_on, serve_sweep_serial, serve_trace, tiling_sweep_on,
+    tiling_sweep_serial, timeshare_sweep_on, timeshare_sweep_serial,
+};
+use step_bench::{CacheStats, SimPoint, SweepService, SweepUnit};
+use step_models::ModelConfig;
+use step_models::e2e::E2eVariant;
+use step_models::moe::{MoeCfg, Tiling, moe_graph};
+use step_models::serving::ServeJob;
+use step_sim::{Fingerprint, SimConfig};
+use step_traces::{RoutingConfig, expert_routing};
+
+/// Fig 9's Mixtral cells (trimmed to two static tiles to stay
+/// CI-affordable) must come back from the service bit-identical to the
+/// serial loop at every worker count, with one build per distinct plan.
+#[test]
+fn tiling_sweep_matches_serial_at_every_worker_count() {
+    let tiles = [8u64, 16];
+    let serial = tiling_sweep_serial(ModelConfig::mixtral_8x7b(), 64, &tiles, 7);
+    for workers in [1usize, 2, 4, 8] {
+        let svc = SweepService::new(workers);
+        let rows = tiling_sweep_on(&svc, ModelConfig::mixtral_8x7b(), 64, &tiles, 7);
+        assert_eq!(rows.len(), serial.len());
+        for (s, r) in serial.iter().zip(&rows) {
+            assert_eq!(s.schedule, r.schedule, "workers={workers} reordered");
+            assert_eq!(
+                (s.cycles, s.onchip, s.traffic),
+                (r.cycles, r.onchip, r.traffic),
+                "workers={workers} diverged from the serial loop on {}",
+                s.schedule
+            );
+        }
+        // Three distinct plans (static 8, static 16, dynamic), each
+        // requested exactly once: all misses, no coalescing possible.
+        assert_eq!(
+            svc.cache().stats(),
+            CacheStats {
+                hits: 0,
+                misses: 3,
+                builds: 3
+            },
+            "workers={workers} cache counters moved"
+        );
+    }
+}
+
+/// The Fig 12/13 region sweep must match its serial loop, and — because
+/// Fig 12's static(32) column and Fig 13 submit identical cells — a
+/// second submission on the same service must be served entirely from
+/// the warm cache: identical rows, zero further builds.
+#[test]
+fn timeshare_sweep_matches_serial_and_warm_rerun_builds_nothing() {
+    let serial = timeshare_sweep_serial(Tiling::Static { tile: 32 }, 7);
+    let svc = SweepService::new(4);
+    let cold = timeshare_sweep_on(&svc, Tiling::Static { tile: 32 }, 7);
+    assert_eq!(cold.len(), serial.len());
+    for (s, r) in serial.iter().zip(&cold) {
+        assert_eq!(s.regions, r.regions, "service reordered the region axis");
+        assert_eq!(
+            (s.cycles, s.allocated_compute, s.onchip),
+            (r.cycles, r.allocated_compute, r.onchip),
+            "service diverged from the serial loop at regions={}",
+            s.regions
+        );
+        // Utilizations are ratios of counters — bit-equal, not approx.
+        assert_eq!(s.compute_util.to_bits(), r.compute_util.to_bits());
+        assert_eq!(s.bw_util.to_bits(), r.bw_util.to_bits());
+    }
+    assert_eq!(
+        svc.cache().stats(),
+        CacheStats {
+            hits: 0,
+            misses: 6,
+            builds: 6
+        }
+    );
+    let warm = timeshare_sweep_on(&svc, Tiling::Static { tile: 32 }, 7);
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(
+            (c.regions, c.cycles, c.allocated_compute, c.onchip),
+            (w.regions, w.cycles, w.allocated_compute, w.onchip),
+            "warm-cache rerun diverged at regions={}",
+            c.regions
+        );
+        assert_eq!(c.compute_util.to_bits(), w.compute_util.to_bits());
+        assert_eq!(c.bw_util.to_bits(), w.bw_util.to_bits());
+    }
+    assert_eq!(
+        svc.cache().stats(),
+        CacheStats {
+            hits: 6,
+            misses: 6,
+            builds: 6
+        },
+        "warm rerun must be all hits and build nothing"
+    );
+}
+
+/// The quick serving cell through the service must reproduce the serial
+/// `run_serve` report bit-for-bit ([`step_models::serving::ServeReport`]
+/// is `PartialEq` over every metric and counter), with the two phase
+/// plans (attention + MoE) built exactly once and the warm rerun served
+/// entirely from cache.
+#[test]
+fn serve_sweep_quick_matches_serial_and_pins_cache_counters() {
+    let serial = serve_sweep_serial(true);
+    for workers in [1usize, 2] {
+        let svc = SweepService::new(workers);
+        let rows = serve_sweep_on(&svc, true);
+        assert_eq!(rows.len(), serial.len());
+        for (s, r) in serial.iter().zip(&rows) {
+            assert_eq!(
+                s.report, r.report,
+                "workers={workers} serve cell (interarrival {:.0}, chunk {:?}) diverged",
+                s.mean_interarrival, s.prefill_chunk
+            );
+        }
+        assert_eq!(
+            svc.cache().stats(),
+            CacheStats {
+                hits: 0,
+                misses: 2,
+                builds: 2
+            },
+            "workers={workers}: quick cell must build exactly its two phase plans"
+        );
+        let warm = serve_sweep_on(&svc, true);
+        for (c, w) in rows.iter().zip(&warm) {
+            assert_eq!(c.report, w.report, "workers={workers} warm rerun diverged");
+        }
+        assert_eq!(
+            svc.cache().stats(),
+            CacheStats {
+                hits: 2,
+                misses: 2,
+                builds: 2
+            },
+            "workers={workers}: warm rerun must be all hits"
+        );
+    }
+}
+
+/// Sim points and serve jobs interleaved in one batch stream back in
+/// submission order with the right report types, and the serve job's
+/// report equals a direct serial [`ServeJob::run`].
+#[test]
+fn mixed_sim_and_serve_batches_stream_in_submission_order() {
+    let model = ModelConfig::mixtral_8x7b();
+    let routing = expert_routing(&RoutingConfig {
+        experts: model.experts,
+        top_k: model.top_k,
+        batch: 16,
+        skew: 0.8,
+        seed: 7,
+    });
+    let sim_point = |label: &str, tile: u64| {
+        let cfg = MoeCfg::new(model.clone(), Tiling::Static { tile });
+        let routing = routing.clone();
+        let mut fp = Fingerprint::new("bench.moe");
+        fp.push_debug(&cfg).push_debug(&routing);
+        SweepUnit::Sim(SimPoint {
+            label: label.to_owned(),
+            builder: fp.finish(),
+            cfg: SimConfig::default(),
+            build: Box::new(move || moe_graph(&cfg, &routing)),
+            binding: None,
+        })
+    };
+    let serve_job = ServeJob {
+        label: "serve".to_owned(),
+        model: model.clone(),
+        variant: E2eVariant::static_schedule("Static (Perf-matched)", 32),
+        trace: serve_trace(300_000_000.0, true),
+        cfg: serve_cfg(Some(16)),
+    };
+    let baseline = serve_job.run().expect("serial serve run");
+
+    let svc = SweepService::new(4);
+    let results = svc
+        .run_all(vec![
+            sim_point("moe8", 8),
+            SweepUnit::Serve(serve_job),
+            sim_point("moe16", 16),
+        ])
+        .expect("mixed batch runs");
+    assert_eq!(
+        results.iter().map(|r| r.label.as_str()).collect::<Vec<_>>(),
+        ["moe8", "serve", "moe16"],
+        "results must stream in submission order"
+    );
+    assert!(results[0].report.sim().is_some());
+    assert!(results[2].report.sim().is_some());
+    let served = results[1].report.serve().expect("serve unit");
+    assert_eq!(
+        *served, baseline,
+        "service-run serve job diverged from the serial ServeJob::run"
+    );
+}

@@ -60,8 +60,9 @@ use crate::config::ModelConfig;
 use crate::e2e::E2eVariant;
 use crate::moe::{MoeCfg, moe_graph_with_ports};
 use crate::phases::{QkvCache, bind_attention, bind_moe, debug_assert_steady, moe_sim_config};
-use step_core::{Result, StepError};
-use step_sim::{RunPool, SimConfig, SimPlan, SimReport};
+use std::sync::Arc;
+use step_core::{Graph, Result, StepError};
+use step_sim::{Fingerprint, RunPool, SimConfig, SimPlan, SimReport};
 use step_traces::{KvTrace, RequestTrace, RoutingConfig, RoutingTrace, expert_routing};
 
 /// Configuration of the continuous-batching serving driver.
@@ -127,7 +128,8 @@ pub struct ServeIteration {
     /// Decode tokens among them (one per decoding request).
     pub decode_tokens: u32,
     /// Per-slot KV context bound into the attention plan this iteration
-    /// (vacant slots carry the one-tile stub length of 1).
+    /// (vacant slots — and prefill slots starved of tokens by budget
+    /// exhaustion — carry the one-tile stub length of 1).
     pub slot_ctx: Vec<u32>,
     /// QKV + output projection cycles.
     pub qkv_cycles: u64,
@@ -193,24 +195,23 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    fn of(mut xs: Vec<f64>) -> Percentiles {
+    /// Nearest-rank percentiles of a population, or `None` when it is
+    /// empty — an all-single-token-output trace has *no* TPOT
+    /// population, which is a different fact than a measured 0.0.
+    pub fn of(mut xs: Vec<f64>) -> Option<Percentiles> {
         if xs.is_empty() {
-            return Percentiles {
-                p50: 0.0,
-                p95: 0.0,
-                p99: 0.0,
-            };
+            return None;
         }
         xs.sort_by(f64::total_cmp);
         let at = |q: f64| {
             let rank = (q * xs.len() as f64).ceil() as usize;
             xs[rank.clamp(1, xs.len()) - 1]
         };
-        Percentiles {
+        Some(Percentiles {
             p50: at(0.50),
             p95: at(0.95),
             p99: at(0.99),
-        }
+        })
     }
 }
 
@@ -235,10 +236,12 @@ pub struct ServeReport {
     pub total_fires: u64,
     /// Channel run operations summed over all phase runs.
     pub chan_runs: u64,
-    /// TTFT percentiles, cycles.
-    pub ttft: Percentiles,
-    /// TPOT percentiles, cycles per token (multi-token outputs only).
-    pub tpot: Percentiles,
+    /// TTFT percentiles, cycles (`None` when no request completed).
+    pub ttft: Option<Percentiles>,
+    /// TPOT percentiles, cycles per token (multi-token outputs only;
+    /// `None` when every completed output was a single token — an empty
+    /// population, not a zero latency).
+    pub tpot: Option<Percentiles>,
     /// Completed requests per million cycles of serving time.
     pub goodput_per_mcycle: f64,
     /// The trace's offered load, requests per million cycles.
@@ -292,6 +295,106 @@ pub fn envelope_kv(trace: &RequestTrace, cfg: &ServeCfg) -> KvTrace {
     }
 }
 
+/// A provider of frozen simulation plans.
+///
+/// The serving driver asks for each phase plan by **(builder
+/// fingerprint, [`SimConfig`])** instead of freezing it inline, so a
+/// sweep service can satisfy the request from a shared cache — many
+/// serving cells over one trace envelope then pay plan freeze once. The
+/// `build` closure produces the phase graph on a miss and is invoked at
+/// most once per call.
+///
+/// The fingerprint must cover *everything* the builder consumed; two
+/// calls with equal fingerprints and config-fingerprints
+/// ([`SimConfig::fingerprint`], which excludes `threads`) must describe
+/// interchangeable plans.
+pub trait PlanSource {
+    /// Returns a frozen plan for `(fingerprint, cfg)`, building the
+    /// graph via `build` if no equivalent plan is available.
+    fn plan(
+        &self,
+        fingerprint: u64,
+        cfg: &SimConfig,
+        build: &mut dyn FnMut() -> Result<Graph>,
+    ) -> Result<Arc<SimPlan>>;
+}
+
+/// The trivial [`PlanSource`]: always builds a fresh plan. This is the
+/// serial path — [`run_serve`] uses it — and the differential baseline
+/// the sweep service's cached path is held bit-identical to.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreshPlans;
+
+impl PlanSource for FreshPlans {
+    fn plan(
+        &self,
+        _fingerprint: u64,
+        cfg: &SimConfig,
+        build: &mut dyn FnMut() -> Result<Graph>,
+    ) -> Result<Arc<SimPlan>> {
+        Ok(Arc::new(SimPlan::new(build()?, cfg.clone())?))
+    }
+}
+
+/// The attention plan's builder fingerprint: everything
+/// [`attention_graph_with_ports`] consumes for a serving run — the
+/// model, the parallelization strategy, and the envelope KV trace the
+/// dispatch queues are provisioned for.
+pub fn attn_plan_fingerprint(model: &ModelConfig, variant: &E2eVariant, envelope: &KvTrace) -> u64 {
+    let mut fp = Fingerprint::new("serve.attn");
+    fp.push_debug(model)
+        .push_debug(&variant.attention)
+        .push_debug(envelope);
+    fp.finish()
+}
+
+/// The MoE plan's builder fingerprint: everything
+/// [`moe_graph_with_ports`] consumes for a serving run — the model, the
+/// tiling schedule (with optional time-share regions), and the
+/// build-time routing trace that sizes the batch.
+pub fn moe_plan_fingerprint(
+    model: &ModelConfig,
+    variant: &E2eVariant,
+    build_routing: &RoutingTrace,
+) -> u64 {
+    let mut fp = Fingerprint::new("serve.moe");
+    fp.push_debug(model)
+        .push_debug(&variant.tiling)
+        .push_debug(&variant.moe_regions)
+        .push_debug(build_routing);
+    fp.finish()
+}
+
+/// A serving run packaged as one schedulable work item: everything
+/// [`run_serve_with`] needs, owned and `Send`, so a sweep service can
+/// move it to a worker thread and check its phase plans out of a shared
+/// cache.
+#[derive(Debug, Clone)]
+pub struct ServeJob {
+    /// Display label (e.g. the sweep cell name).
+    pub label: String,
+    /// Model configuration.
+    pub model: ModelConfig,
+    /// Schedule variant (tiling, time-share regions, attention strategy).
+    pub variant: E2eVariant,
+    /// The arrival trace to serve.
+    pub trace: RequestTrace,
+    /// Driver configuration.
+    pub cfg: ServeCfg,
+}
+
+impl ServeJob {
+    /// Runs the job with fresh plans (the serial path).
+    pub fn run(&self) -> Result<ServeReport> {
+        run_serve(&self.model, &self.variant, &self.trace, &self.cfg)
+    }
+
+    /// Runs the job, checking phase plans out of `plans`.
+    pub fn run_with(&self, plans: &dyn PlanSource) -> Result<ServeReport> {
+        run_serve_with(&self.model, &self.variant, &self.trace, &self.cfg, plans)
+    }
+}
+
 /// KV context stub bound into vacant slots (one tile; the dispatch
 /// selector's batch width is fixed at freeze time).
 const VACANT_CTX: u32 = 1;
@@ -323,6 +426,26 @@ pub fn run_serve(
     trace: &RequestTrace,
     cfg: &ServeCfg,
 ) -> Result<ServeReport> {
+    run_serve_with(model, variant, trace, cfg, &FreshPlans)
+}
+
+/// [`run_serve`] with the phase plans checked out of `plans` instead of
+/// frozen inline — the entry point sweep services drive. The report is
+/// bit-identical to [`run_serve`] for any correct [`PlanSource`]: a
+/// plan is a pure function of `(builder fingerprint, SimConfig minus
+/// threads)`, so where it came from cannot show up in the results
+/// (`crates/bench/tests/service_conformance.rs` holds the two together).
+///
+/// # Errors
+///
+/// As [`run_serve`], plus any error from `plans`.
+pub fn run_serve_with(
+    model: &ModelConfig,
+    variant: &E2eVariant,
+    trace: &RequestTrace,
+    cfg: &ServeCfg,
+    plans: &dyn PlanSource,
+) -> Result<ServeReport> {
     if cfg.slots == 0 {
         return Err(StepError::Config("serving needs at least one slot".into()));
     }
@@ -339,26 +462,55 @@ pub fn run_serve(
         return Err(StepError::Config("serving trace has no requests".into()));
     }
 
-    // Freeze one plan per phase against the admitted-set envelope.
+    // One plan per phase against the admitted-set envelope. Graphs (and
+    // their binding ports) are built eagerly — they are cheap relative
+    // to plan freeze (partition + executor compilation), which is what
+    // the `PlanSource` elides on a cache hit.
     let attn_cfg = AttentionCfg::new(model.clone(), variant.attention);
-    let (attn_graph, attn_ports) = attention_graph_with_ports(&attn_cfg, &envelope_kv(trace, cfg))?;
+    let envelope = envelope_kv(trace, cfg);
+    let (attn_graph, attn_ports) = attention_graph_with_ports(&attn_cfg, &envelope)?;
     let sim_cfg = SimConfig {
         threads: cfg.threads,
         ..SimConfig::default()
     };
-    let attn_plan = SimPlan::new(attn_graph, sim_cfg.clone())?;
+    let attn_plan = {
+        let mut graph = Some(attn_graph);
+        plans.plan(
+            attn_plan_fingerprint(model, variant, &envelope),
+            &sim_cfg,
+            &mut || Ok(graph.take().expect("build closure invoked at most once")),
+        )?
+    };
     let mut moe_cfg = MoeCfg::new(model.clone(), variant.tiling);
     if let Some(r) = variant.moe_regions {
         moe_cfg = moe_cfg.with_regions(r);
     }
-    let (moe_graph, moe_ports) = moe_graph_with_ports(&moe_cfg, &moe_build_trace(model, cfg))?;
-    let moe_plan = SimPlan::new(
-        moe_graph,
-        SimConfig {
-            threads: cfg.threads,
-            ..moe_sim_config()
-        },
-    )?;
+    let moe_build = moe_build_trace(model, cfg);
+    let (moe_graph, moe_ports) = moe_graph_with_ports(&moe_cfg, &moe_build)?;
+    let moe_plan = {
+        let mut graph = Some(moe_graph);
+        plans.plan(
+            moe_plan_fingerprint(model, variant, &moe_build),
+            &SimConfig {
+                threads: cfg.threads,
+                ..moe_sim_config()
+            },
+            &mut || Ok(graph.take().expect("build closure invoked at most once")),
+        )?
+    };
+    // `hbm_bytes_per_cycle` sums QKV + attention + MoE traffic, so the
+    // utilization denominator must be a peak the three phases *share* —
+    // taking any single phase's peak silently misreports the moment a
+    // phase config diverges.
+    let offchip_peak_bw = sim_cfg.hbm.bytes_per_cycle;
+    if moe_sim_config().hbm.bytes_per_cycle != offchip_peak_bw {
+        return Err(StepError::Config(format!(
+            "phase HBM peaks diverge: qkv/attention {} B/cycle vs moe {} B/cycle — \
+             hbm_utilization is only meaningful against one shared peak",
+            offchip_peak_bw,
+            moe_sim_config().hbm.bytes_per_cycle,
+        )));
+    }
     let mut qkv_cache = QkvCache::new(sim_cfg);
     let (mut attn_pool, mut moe_pool) = (RunPool::new(), RunPool::new());
     let run_phase = |plan: &SimPlan,
@@ -391,7 +543,6 @@ pub fn run_serve(
     let (mut admitted_total, mut evicted_total) = (0u32, 0u32);
     let (mut busy_cycles, mut offchip_traffic) = (0u64, 0u64);
     let (mut total_fires, mut chan_runs) = (0u64, 0u64);
-    let mut offchip_peak_bw = 0u64;
     let mut truncated = false;
 
     // Counts processing iterations only — idle clock-jumps don't run
@@ -470,7 +621,12 @@ pub fn run_serve(
             .zip(&allocs)
             .map(|(slot, &a)| match slot {
                 Some(s) if s.processed == s.prompt => s.prompt + s.generated,
-                Some(s) => (s.processed + a).max(VACANT_CTX),
+                // A prefill slot starved of tokens by budget exhaustion
+                // does no work this iteration: bind the vacant stub.
+                // Binding its `processed` prefix would charge a full
+                // attention scan for a slot that processes nothing.
+                Some(_) if a == 0 => VACANT_CTX,
+                Some(s) => s.processed + a,
                 None => VACANT_CTX,
             })
             .collect();
@@ -498,7 +654,6 @@ pub fn run_serve(
         let iter_traffic = qkv.offchip_traffic + attn.offchip_traffic + moe.offchip_traffic;
         let fires = qkv.total_fires() + attn.total_fires() + moe.total_fires();
         let runs = qkv.chan_runs + attn.chan_runs + moe.chan_runs;
-        offchip_peak_bw = attn.offchip_peak_bw;
         let start = clock;
         clock += iter_cycles;
         busy_cycles += iter_cycles;
@@ -605,7 +760,7 @@ pub fn run_serve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use step_traces::{ArrivalConfig, ArrivalPattern, LenDist, arrival_trace};
+    use step_traces::{ArrivalConfig, ArrivalPattern, LenDist, Request, arrival_trace};
 
     fn tiny() -> ModelConfig {
         ModelConfig {
@@ -658,8 +813,9 @@ mod tests {
             assert!(o.first_token <= o.finished);
             assert_eq!((o.prompt, o.output), (req.prompt, req.output));
         }
-        assert!(r.ttft.p50 > 0.0 && r.ttft.p50 <= r.ttft.p95);
-        assert!(r.ttft.p95 <= r.ttft.p99);
+        let ttft = r.ttft.expect("completed requests have TTFT percentiles");
+        assert!(ttft.p50 > 0.0 && ttft.p50 <= ttft.p95);
+        assert!(ttft.p95 <= ttft.p99);
         assert!(r.goodput_per_mcycle > 0.0);
         assert!(r.hbm_utilization > 0.0 && r.hbm_utilization <= 1.0);
     }
@@ -738,6 +894,98 @@ mod tests {
             .max()
             .unwrap_or(0);
         assert!(max_prefill <= 4 * 4, "prefill tokens {max_prefill}");
+    }
+
+    #[test]
+    fn starved_prefill_slot_binds_the_vacant_stub() {
+        let requests = vec![
+            Request {
+                id: 0,
+                arrival: 0,
+                prompt: 1,
+                output: 10,
+            },
+            Request {
+                id: 1,
+                arrival: 0,
+                prompt: 1,
+                output: 2,
+            },
+            Request {
+                id: 2,
+                arrival: 0,
+                prompt: 8,
+                output: 1,
+            },
+            Request {
+                id: 3,
+                arrival: 1,
+                prompt: 4,
+                output: 1,
+            },
+        ];
+        let trace = RequestTrace { requests };
+        let c = ServeCfg {
+            slots: 3,
+            token_budget: 3,
+            prefill_chunk: Some(2),
+            ..cfg()
+        };
+        let v = E2eVariant::static_schedule("s", 4);
+        let r = run_serve(&tiny(), &v, &trace, &c).unwrap();
+        // Iteration 2: slot 0 decodes (1 token), slot 1 admits request 3
+        // whose chunk takes the whole remaining budget, and slot 2's live
+        // prefill (2 of 8 prompt tokens in) gets zero tokens — it must
+        // bind the vacant stub, not its 2-token prefix.
+        let it = &r.iterations[2];
+        assert_eq!((it.live, it.tokens), (3, 3));
+        assert_eq!(
+            it.slot_ctx[2], VACANT_CTX,
+            "starved prefill slot charged attention work"
+        );
+        assert_eq!(r.outcomes.len(), 4, "starved request must still drain");
+    }
+
+    #[test]
+    fn phase_sim_configs_share_one_offchip_peak() {
+        // `hbm_utilization` divides summed three-phase traffic by one
+        // peak, so the phase sim configs must agree on it; the driver
+        // rejects divergence at run time and this pins it at test time.
+        assert_eq!(
+            moe_sim_config().hbm.bytes_per_cycle,
+            SimConfig::default().hbm.bytes_per_cycle,
+            "serving phase configs diverged on HBM peak bandwidth"
+        );
+        let trace = tiny_trace(6, 20_000.0, 8);
+        let v = E2eVariant::static_schedule("s", 4);
+        let r = run_serve(&tiny(), &v, &trace, &cfg()).unwrap();
+        let peak = SimConfig::default().hbm.bytes_per_cycle as f64;
+        assert!(
+            (r.hbm_utilization - r.hbm_bytes_per_cycle / peak).abs() < 1e-12,
+            "utilization not computed against the shared peak"
+        );
+    }
+
+    #[test]
+    fn percentiles_distinguish_empty_population_from_zero() {
+        assert_eq!(Percentiles::of(vec![]), None);
+        let one = Percentiles::of(vec![4.0]).unwrap();
+        assert_eq!((one.p50, one.p95, one.p99), (4.0, 4.0, 4.0));
+        // An all-single-token-output trace has no TPOT population at all
+        // — previously indistinguishable from a measured 0.0.
+        let trace = arrival_trace(&ArrivalConfig {
+            requests: 5,
+            mean_interarrival: 30_000.0,
+            pattern: ArrivalPattern::Poisson,
+            prompt: LenDist::new(24.0, 0.4, 8, 64),
+            output: LenDist::new(1.0, 0.0, 1, 1),
+            seed: 12,
+        });
+        let v = E2eVariant::static_schedule("s", 4);
+        let r = run_serve(&tiny(), &v, &trace, &cfg()).unwrap();
+        assert_eq!(r.outcomes.len(), 5);
+        assert!(r.ttft.is_some());
+        assert_eq!(r.tpot, None, "no multi-token outputs → no population");
     }
 
     #[test]

@@ -72,28 +72,29 @@ fn serve(cfg: &ServeCfg) -> ServeReport {
     run_serve(&tiny_model(), &variant(), &trace(8, 20_000.0, 9), cfg).unwrap()
 }
 
-/// Every driver iteration, replayed offline as fresh one-shot
-/// simulations of the same graphs and bindings, reproduces the driver's
-/// per-iteration cycles/fires/chan-runs bit-exactly.
-#[test]
-fn offline_replay_matches_driver_iterations_bit_exactly() {
-    let model = tiny_model();
-    let v = variant();
-    let tr = trace(8, 20_000.0, 9);
-    let cfg = serve_cfg();
-    let report = run_serve(&model, &v, &tr, &cfg).unwrap();
+/// Replays every driver iteration offline as fresh one-shot simulations
+/// of the same graphs and bindings, asserting the driver's per-iteration
+/// cycles/fires/chan-runs reproduce bit-exactly; returns the driver
+/// report for further assertions.
+fn replay_offline(
+    model: &ModelConfig,
+    v: &E2eVariant,
+    tr: &RequestTrace,
+    cfg: &ServeCfg,
+) -> ServeReport {
+    let report = run_serve(model, v, tr, cfg).unwrap();
     assert!(!report.iterations.is_empty());
 
     // The driver's build-time graphs, rebuilt from the public helpers.
     let attn_cfg = AttentionCfg::new(model.clone(), v.attention);
     let (attn_graph, attn_ports) =
-        attention_graph_with_ports(&attn_cfg, &envelope_kv(&tr, &cfg)).unwrap();
+        attention_graph_with_ports(&attn_cfg, &envelope_kv(tr, cfg)).unwrap();
     let mut moe_cfg = MoeCfg::new(model.clone(), v.tiling);
     if let Some(r) = v.moe_regions {
         moe_cfg = moe_cfg.with_regions(r);
     }
     let (moe_graph, moe_ports) =
-        moe_graph_with_ports(&moe_cfg, &moe_build_trace(&model, &cfg)).unwrap();
+        moe_graph_with_ports(&moe_cfg, &moe_build_trace(model, cfg)).unwrap();
 
     for it in &report.iterations {
         // Fresh plans every iteration: no pools, no reuse, no shared
@@ -112,14 +113,14 @@ fn offline_replay_matches_driver_iterations_bit_exactly() {
         );
 
         let moe_plan = SimPlan::new(moe_graph.clone(), moe_sim_config()).unwrap();
-        let routing = iteration_routing(&model, &cfg, it.iter, it.tokens as usize);
+        let routing = iteration_routing(model, cfg, it.iter, it.tokens as usize);
         let moe = moe_plan
             .run_bound(&bind_moe(&moe_ports, model.hidden, &routing))
             .unwrap();
         assert_eq!(moe.cycles, it.moe_cycles, "iter {}: MoE cycles", it.iter);
 
         let qkv = SimPlan::new(
-            qkv_graph(&model, it.tokens as usize).unwrap(),
+            qkv_graph(model, it.tokens as usize).unwrap(),
             SimConfig::default(),
         )
         .unwrap()
@@ -152,6 +153,57 @@ fn offline_replay_matches_driver_iterations_bit_exactly() {
             it.iter
         );
     }
+    report
+}
+
+/// Every driver iteration, replayed offline as fresh one-shot
+/// simulations of the same graphs and bindings, reproduces the driver's
+/// per-iteration cycles/fires/chan-runs bit-exactly.
+#[test]
+fn offline_replay_matches_driver_iterations_bit_exactly() {
+    replay_offline(
+        &tiny_model(),
+        &variant(),
+        &trace(8, 20_000.0, 9),
+        &serve_cfg(),
+    );
+}
+
+/// Budget starvation replays offline too: a trace engineered so a live
+/// prefill slot receives zero tokens must bind the vacant stub — and the
+/// offline replay of that iteration (binding the reported `slot_ctx`)
+/// must still reproduce the driver bit-exactly.
+#[test]
+fn starved_prefill_iterations_replay_bit_exactly() {
+    use step_traces::Request;
+    let req = |id, arrival, prompt, output| Request {
+        id,
+        arrival,
+        prompt,
+        output,
+    };
+    let tr = RequestTrace {
+        requests: vec![
+            req(0, 0, 1, 10),
+            req(1, 0, 1, 2),
+            req(2, 0, 8, 1),
+            req(3, 1, 4, 1),
+        ],
+    };
+    let cfg = ServeCfg {
+        slots: 3,
+        token_budget: 3,
+        prefill_chunk: Some(2),
+        seed: 23,
+        ..ServeCfg::default()
+    };
+    let report = replay_offline(&tiny_model(), &variant(), &tr, &cfg);
+    // The starvation witness: iteration 2's slot 2 is live mid-prefill
+    // (2 of 8 prompt tokens in) but the decode token plus request 3's
+    // admission chunk exhaust the budget, so it binds the 1-tile stub —
+    // a value an active prefill prefix can never produce at that point.
+    assert_eq!(report.iterations[2].slot_ctx[2], 1);
+    assert_eq!(report.outcomes.len(), 4);
 }
 
 /// Same-seed serving reports are bit-identical across worker thread

@@ -118,7 +118,11 @@ use step_core::partition::{Partition, PartitionCfg, partition};
 use step_core::token::{self, Token};
 
 /// The outcome of a simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — the differential suites' "bit
+/// identical" is literal. (`NodeStats::wall_ns` is all zero unless
+/// `SimConfig::profile_fires` was on, which no determinism check uses.)
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Total execution time in cycles (latest node completion or HBM
     /// transfer).
@@ -1142,6 +1146,13 @@ impl SimPlan {
             protos,
             id: PLAN_IDS.fetch_add(1, Ordering::Relaxed),
         })
+    }
+
+    /// Process-unique plan identity — the key [`RunPool`] parking uses,
+    /// exposed so drivers that hold many plans (e.g. a sweep-service
+    /// worker) can keep one pool per plan in a map.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The planned graph.

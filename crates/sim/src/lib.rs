@@ -173,6 +173,7 @@ pub mod arena;
 pub mod channel;
 pub mod config;
 pub mod engine;
+pub mod fingerprint;
 pub mod hbm;
 pub mod nodes;
 pub mod run;
@@ -180,4 +181,5 @@ pub mod stats;
 
 pub use config::{HbmConfig, SimConfig};
 pub use engine::{RunBinding, RunPool, SimPlan, SimReport, Simulation};
+pub use fingerprint::Fingerprint;
 pub use stats::NodeStats;

@@ -215,11 +215,31 @@ pub fn arrival_trace(cfg: &ArrivalConfig) -> RequestTrace {
                 t += period - pos;
             }
         }
+        // Round to nearest rather than truncate: `t as u64` biases every
+        // arrival low by half a cycle on average, which a long trace
+        // compounds into a measurable offered-load overstatement.
+        let mut arrival = t.round();
+        if let ArrivalPattern::Bursty { burst, idle } = cfg.pattern {
+            // Rounding up can push an in-burst sample across the burst
+            // end (t = burst - 0.3 rounds to the idle start); fall back
+            // to floor, which provably stays inside the burst window:
+            // burst starts are integral multiples of the period, so
+            // `t >= start` implies `floor(t) >= start`, and
+            // `t < start + burst` implies `floor(t) <= start + burst - 1`.
+            // Monotonicity survives the mixed rounding: floor and round
+            // are each monotone, and a floor fallback only fires when the
+            // rounded value sits in idle — where no kept rounded arrival
+            // can sit — so no later arrival can land before an earlier one.
+            let period = (burst + idle) as f64;
+            if arrival.rem_euclid(period) >= burst as f64 {
+                arrival = t.floor();
+            }
+        }
         let prompt = cfg.prompt.sample(&mut rng);
         let output = cfg.output.sample(&mut rng).max(1);
         requests.push(Request {
             id: id as u32,
-            arrival: t as u64,
+            arrival: arrival as u64,
             prompt,
             output,
         });

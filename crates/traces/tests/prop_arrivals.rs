@@ -137,6 +137,73 @@ fn bursty_matches_poisson_when_idle_is_zero() {
     }
 }
 
+/// Poisson arrival times are the continuous sample rounded to the
+/// *nearest* cycle, not truncated. The test replays the generator's RNG
+/// schedule (one exponential draw, then two Box–Muller pairs per
+/// request) and checks every emitted arrival against `t.round()`;
+/// truncation (`t as u64`) would bias low by half a cycle on average and
+/// fail on roughly every other request.
+#[test]
+fn poisson_arrivals_round_to_nearest_cycle() {
+    use step_traces::rng::StdRng;
+    for seed in 0..12u64 {
+        let c = cfg(seed);
+        let t = arrival_trace(&c);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut clock = 0.0f64;
+        let mut rounded_up = 0usize;
+        for r in &t.requests {
+            let u = rng.gen_range(f64::EPSILON..1.0);
+            clock += -u.ln() * c.mean_interarrival;
+            assert_eq!(
+                r.arrival,
+                clock.round() as u64,
+                "seed {seed} id {}: arrival not round-to-nearest",
+                r.id
+            );
+            rounded_up += (clock.round() as u64 != clock as u64) as usize;
+            // Consume the prompt and output draws (two Box–Muller
+            // uniforms each) to stay in step with the generator.
+            for _ in 0..4 {
+                rng.gen_range(0.0..1.0);
+            }
+        }
+        // The check must be able to distinguish rounding from
+        // truncation: about half the samples should round up.
+        assert!(
+            rounded_up > t.requests.len() / 4,
+            "seed {seed}: only {rounded_up} arrivals rounded up"
+        );
+    }
+}
+
+/// Round-to-nearest at the burst-end boundary: a sample just inside the
+/// burst must not round *out* of it. Tiny windows and sub-window mean
+/// gaps make arrivals dense across every boundary, so a naive
+/// `t.round()` (no floor fallback) lands in idle many times per seed.
+#[test]
+fn bursty_burst_end_boundary_never_rounds_into_idle() {
+    for seed in 0..24u64 {
+        let t = arrival_trace(&ArrivalConfig {
+            requests: 4000,
+            mean_interarrival: 2.0,
+            pattern: ArrivalPattern::Bursty { burst: 7, idle: 13 },
+            ..cfg(seed)
+        });
+        for r in &t.requests {
+            assert!(
+                r.arrival % 20 < 7,
+                "seed {seed}: arrival {} rounded into idle",
+                r.arrival
+            );
+        }
+        assert!(
+            t.requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "seed {seed}: mixed round/floor broke monotonicity"
+        );
+    }
+}
+
 #[test]
 fn envelope_helpers_are_consistent() {
     for seed in 0..12u64 {

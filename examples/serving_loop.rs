@@ -14,7 +14,7 @@
 
 use step::models::ModelConfig;
 use step::models::e2e::E2eVariant;
-use step::models::serving::{ServeCfg, run_serve};
+use step::models::serving::{Percentiles, ServeCfg, run_serve};
 use step::traces::{ArrivalConfig, ArrivalPattern, LenDist, arrival_trace};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -104,14 +104,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.admitted_total,
         report.evicted_total,
     );
+    // An absent percentile set is an empty population (e.g. no
+    // multi-token outputs for TPOT), not a zero latency.
+    let pc = |p: &Option<Percentiles>| {
+        p.as_ref().map_or_else(
+            || "n/a".to_string(),
+            |p| format!("{:.0}/{:.0}/{:.0}", p.p50, p.p95, p.p99),
+        )
+    };
     println!(
-        "ttft p50/p95/p99: {:.0}/{:.0}/{:.0} cycles, tpot p50/p95/p99: {:.0}/{:.0}/{:.0}",
-        report.ttft.p50,
-        report.ttft.p95,
-        report.ttft.p99,
-        report.tpot.p50,
-        report.tpot.p95,
-        report.tpot.p99,
+        "ttft p50/p95/p99: {} cycles, tpot p50/p95/p99: {}",
+        pc(&report.ttft),
+        pc(&report.tpot),
     );
     println!(
         "goodput {:.2}/Mcyc vs offered {:.2}/Mcyc, HBM {:.1} B/cyc ({:.1}% of peak)",
