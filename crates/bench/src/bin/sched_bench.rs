@@ -137,13 +137,18 @@ fn reuse_section(json: bool, runs: usize) -> String {
             })
         })
         .collect();
-    let results = svc.run_all(units).expect("reused runs");
+    // A failed reuse point exits nonzero naming the failing sweep point.
+    let results = svc.run_all(units).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     assert_eq!(
         svc.cache().stats(),
         CacheStats {
             hits: runs as u64,
             misses: 1,
-            builds: 1
+            builds: 1,
+            failures: 0
         },
         "reuse section cache counters moved"
     );

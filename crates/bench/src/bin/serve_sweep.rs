@@ -85,12 +85,17 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let quick = args.iter().any(|a| a == "--quick");
 
-    let rows = serve_sweep(quick);
+    // A failed sweep unit exits nonzero naming the failing point.
+    let die = |e: step_bench::UnitFailure| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+    let rows = serve_sweep(quick).unwrap_or_else(|e| die(e));
     // Same-seed rerun must be bit-identical: the serving scheduler adds
     // no nondeterminism on top of the engine's contract. Both sweeps run
     // on the process-wide sweep service, so the rerun is also the
     // warm-plan-cache check: identical reports off cached plans.
-    let rerun = serve_sweep(quick);
+    let rerun = serve_sweep(quick).unwrap_or_else(|e| die(e));
     assert_eq!(rows.len(), rerun.len());
     for (a, b) in rows.iter().zip(&rerun) {
         assert_eq!(
@@ -109,7 +114,8 @@ fn main() {
             CacheStats {
                 hits: 2,
                 misses: 2,
-                builds: 2
+                builds: 2,
+                failures: 0
             },
             "quick-cell plan-cache counters moved — if intentional, re-pin"
         );

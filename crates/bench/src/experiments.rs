@@ -6,7 +6,7 @@
 
 use crate::pareto::{Point, pareto_front, pid};
 use crate::roofline::fig1_bars;
-use crate::service::{SimPoint, SweepService, SweepUnit};
+use crate::service::{SimPoint, SweepService, SweepUnit, UnitFailure};
 use crate::table::{f2, f3, print_table, write_csv};
 use step_hdl::{RefConfig, pearson, simulate_swiglu};
 use step_models::ModelConfig;
@@ -26,6 +26,16 @@ fn run(graph: step_core::Graph, cfg: SimConfig) -> SimReport {
         .expect("graph is executable")
         .run()
         .expect("simulation completes")
+}
+
+/// Unwraps a sweep result for the figure binaries: a failed unit exits
+/// the process nonzero with a one-line error naming the failing sweep
+/// point, instead of a panic backtrace.
+fn sweep_or_exit<T>(rows: std::result::Result<T, UnitFailure>) -> T {
+    rows.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// One MoE sweep cell as a schedulable [`SweepUnit`]. The builder
@@ -180,19 +190,28 @@ fn tiling_schedules(tiles: &[u64]) -> Vec<Tiling> {
 /// batch (Figs 9/10 use batch 64/1024; Figs 19/20 read the traffic
 /// column of the same runs), on the process-wide [`SweepService`]:
 /// points run concurrently and their plans land in the shared cache.
-pub fn tiling_sweep(model: ModelConfig, batch: usize, tiles: &[u64], seed: u64) -> Vec<TilingRow> {
+pub fn tiling_sweep(
+    model: ModelConfig,
+    batch: usize,
+    tiles: &[u64],
+    seed: u64,
+) -> std::result::Result<Vec<TilingRow>, UnitFailure> {
     tiling_sweep_on(SweepService::global(), model, batch, tiles, seed)
 }
 
 /// [`tiling_sweep`] on an explicit service (conformance tests pass
 /// fixed-worker services).
+///
+/// # Errors
+///
+/// The first failed sweep unit, labelled with its point.
 pub fn tiling_sweep_on(
     svc: &SweepService,
     model: ModelConfig,
     batch: usize,
     tiles: &[u64],
     seed: u64,
-) -> Vec<TilingRow> {
+) -> std::result::Result<Vec<TilingRow>, UnitFailure> {
     let trace = expert_routing(&RoutingConfig {
         experts: model.experts,
         top_k: model.top_k,
@@ -210,8 +229,8 @@ pub fn tiling_sweep_on(
             )
         })
         .collect();
-    let results = svc.run_all(units).expect("tiling sweep runs");
-    results
+    let results = svc.run_all(units)?;
+    Ok(results
         .into_iter()
         .map(|r| {
             let report = r.report.sim().expect("tiling points are sim units");
@@ -223,7 +242,7 @@ pub fn tiling_sweep_on(
                 traffic: report.offchip_traffic,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// The serial loop [`tiling_sweep`] replaced: one fresh plan per point,
@@ -346,12 +365,23 @@ fn timeshare_row(regions: u32, report: &SimReport) -> TimeshareRow {
 /// [`SweepService`]. Fig 12's static(32) column and Fig 13 submit
 /// identical cells, so whichever runs second is served entirely from
 /// the warm plan cache.
-pub fn timeshare_sweep(tiling: Tiling, seed: u64) -> Vec<TimeshareRow> {
+pub fn timeshare_sweep(
+    tiling: Tiling,
+    seed: u64,
+) -> std::result::Result<Vec<TimeshareRow>, UnitFailure> {
     timeshare_sweep_on(SweepService::global(), tiling, seed)
 }
 
 /// [`timeshare_sweep`] on an explicit service.
-pub fn timeshare_sweep_on(svc: &SweepService, tiling: Tiling, seed: u64) -> Vec<TimeshareRow> {
+///
+/// # Errors
+///
+/// The first failed sweep unit, labelled with its point.
+pub fn timeshare_sweep_on(
+    svc: &SweepService,
+    tiling: Tiling,
+    seed: u64,
+) -> std::result::Result<Vec<TimeshareRow>, UnitFailure> {
     let model = ModelConfig::qwen3_30b_a3b();
     let trace = expert_routing(&RoutingConfig {
         experts: model.experts,
@@ -370,8 +400,8 @@ pub fn timeshare_sweep_on(svc: &SweepService, tiling: Tiling, seed: u64) -> Vec<
             )
         })
         .collect();
-    let results = svc.run_all(units).expect("timeshare sweep runs");
-    TIMESHARE_REGIONS
+    let results = svc.run_all(units)?;
+    Ok(TIMESHARE_REGIONS
         .iter()
         .zip(&results)
         .map(|(&regions, r)| {
@@ -380,7 +410,7 @@ pub fn timeshare_sweep_on(svc: &SweepService, tiling: Tiling, seed: u64) -> Vec<
                 r.report.sim().expect("timeshare points are sim units"),
             )
         })
-        .collect()
+        .collect())
 }
 
 /// The serial loop [`timeshare_sweep`] replaced; the differential
@@ -444,9 +474,19 @@ pub fn report_timeshare(figname: &str, rows: &[TimeshareRow]) {
 /// Fig 9 (+ the traffic view of Fig 19): dynamic-tiling Pareto at batch
 /// 64 for both models. Returns the two models' rows.
 pub fn fig9() -> (Vec<TilingRow>, Vec<TilingRow>) {
-    let mixtral = tiling_sweep(ModelConfig::mixtral_8x7b(), 64, &[8, 16, 32, 64], 7);
+    let mixtral = sweep_or_exit(tiling_sweep(
+        ModelConfig::mixtral_8x7b(),
+        64,
+        &[8, 16, 32, 64],
+        7,
+    ));
     report_tiling("fig9_mixtral_b64", &mixtral);
-    let qwen = tiling_sweep(ModelConfig::qwen3_30b_a3b(), 64, &[8, 16, 32, 64], 7);
+    let qwen = sweep_or_exit(tiling_sweep(
+        ModelConfig::qwen3_30b_a3b(),
+        64,
+        &[8, 16, 32, 64],
+        7,
+    ));
     report_tiling("fig9_qwen_b64", &qwen);
     (mixtral, qwen)
 }
@@ -454,9 +494,19 @@ pub fn fig9() -> (Vec<TilingRow>, Vec<TilingRow>) {
 /// Fig 10 (+ the traffic view of Fig 20): dynamic-tiling Pareto at batch
 /// 1024 for both models.
 pub fn fig10() -> (Vec<TilingRow>, Vec<TilingRow>) {
-    let mixtral = tiling_sweep(ModelConfig::mixtral_8x7b(), 1024, &[16, 64, 256, 1024], 7);
+    let mixtral = sweep_or_exit(tiling_sweep(
+        ModelConfig::mixtral_8x7b(),
+        1024,
+        &[16, 64, 256, 1024],
+        7,
+    ));
     report_tiling("fig10_mixtral_b1024", &mixtral);
-    let qwen = tiling_sweep(ModelConfig::qwen3_30b_a3b(), 1024, &[16, 64, 256, 1024], 7);
+    let qwen = sweep_or_exit(tiling_sweep(
+        ModelConfig::qwen3_30b_a3b(),
+        1024,
+        &[16, 64, 256, 1024],
+        7,
+    ));
     report_tiling("fig10_qwen_b1024", &qwen);
     (mixtral, qwen)
 }
@@ -464,16 +514,16 @@ pub fn fig10() -> (Vec<TilingRow>, Vec<TilingRow>) {
 /// Fig 12: configuration time-multiplexing under static(32) and dynamic
 /// tiling.
 pub fn fig12() -> (Vec<TimeshareRow>, Vec<TimeshareRow>) {
-    let stat = timeshare_sweep(Tiling::Static { tile: 32 }, 7);
+    let stat = sweep_or_exit(timeshare_sweep(Tiling::Static { tile: 32 }, 7));
     report_timeshare("fig12_static_tiling", &stat);
-    let dynamic = timeshare_sweep(Tiling::Dynamic, 7);
+    let dynamic = sweep_or_exit(timeshare_sweep(Tiling::Dynamic, 7));
     report_timeshare("fig12_dynamic_tiling", &dynamic);
     (stat, dynamic)
 }
 
 /// Fig 13: time-multiplexing resource usage (static(32) tiling).
 pub fn fig13() -> Vec<TimeshareRow> {
-    let rows = timeshare_sweep(Tiling::Static { tile: 32 }, 7);
+    let rows = sweep_or_exit(timeshare_sweep(Tiling::Static { tile: 32 }, 7));
     report_timeshare("fig13", &rows);
     rows
 }
@@ -763,19 +813,27 @@ fn serve_job(mean: f64, chunk: Option<u32>, quick: bool) -> ServeJob {
 /// capacity, 0.3 Gcycles saturates — so the goodput column tracks the
 /// offered column until the knee, then flattens while TTFT blows up
 /// (queueing delay), the classic serving curve.
-pub fn serve_sweep(quick: bool) -> Vec<ServeRow> {
+pub fn serve_sweep(quick: bool) -> std::result::Result<Vec<ServeRow>, UnitFailure> {
     serve_sweep_on(SweepService::global(), quick)
 }
 
 /// [`serve_sweep`] on an explicit service.
-pub fn serve_sweep_on(svc: &SweepService, quick: bool) -> Vec<ServeRow> {
+///
+/// # Errors
+///
+/// The first failed sweep unit, labelled with its point.
+pub fn serve_sweep_on(
+    svc: &SweepService,
+    quick: bool,
+) -> std::result::Result<Vec<ServeRow>, UnitFailure> {
     let axis = serve_axis(quick);
     let units: Vec<SweepUnit> = axis
         .iter()
         .map(|&(mean, chunk)| SweepUnit::Serve(serve_job(mean, chunk, quick)))
         .collect();
-    let results = svc.run_all(units).expect("serve sweep runs");
-    axis.into_iter()
+    let results = svc.run_all(units)?;
+    Ok(axis
+        .into_iter()
         .zip(results)
         .map(|((mean, chunk), r)| {
             let report = r
@@ -790,7 +848,7 @@ pub fn serve_sweep_on(svc: &SweepService, quick: bool) -> Vec<ServeRow> {
                 report,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// The serial loop [`serve_sweep`] replaced (fresh plans per cell); the

@@ -1,0 +1,142 @@
+//! Deterministic fault injection for the sweep service.
+//!
+//! A [`FaultPlan`] is a seeded assignment of faults to unit indices:
+//! which units of a batch fail, and how. It is a pure function of
+//! `(seed, units, faults)` — the chaos conformance suite
+//! (`crates/bench/tests/chaos_conformance.rs`) replays one plan at
+//! several worker counts and asserts the service resolves every unit
+//! identically, faulted ones with the planned typed error and clean
+//! ones bit-identical to their serial baselines.
+//!
+//! Sampling uses the workspace-local xoshiro256++ generator
+//! ([`step_traces::rng::StdRng`]); no external dependencies, per the
+//! workspace convention.
+
+use step_traces::rng::StdRng;
+
+/// The injectable fault classes, mirroring the service's failure routes
+/// (see `UnitError` in [`crate::service`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The unit's graph builder panics mid-build
+    /// (`UnitError::Panicked`).
+    BuilderPanic,
+    /// The unit's graph builder returns an error
+    /// (`UnitError::Build`).
+    BuilderErr,
+    /// The unit's engine run fails mid-flight — injected by arming a
+    /// one-round budget so the run blows `StepError::RoundLimit`
+    /// (`UnitError::Run`; budget overruns are non-retryable).
+    RunError,
+    /// The unit's simulated-cycle deadline blows
+    /// (`UnitError::DeadlineExceeded`).
+    DeadlineBlow,
+}
+
+impl FaultKind {
+    const ALL: [FaultKind; 4] = [
+        FaultKind::BuilderPanic,
+        FaultKind::BuilderErr,
+        FaultKind::RunError,
+        FaultKind::DeadlineBlow,
+    ];
+}
+
+/// A seeded assignment of faults to the unit indices of one batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `(unit index, fault)` pairs, sorted by index; every index is
+    /// distinct and `< units`.
+    slots: Vec<(usize, FaultKind)>,
+    units: usize,
+}
+
+impl FaultPlan {
+    /// Samples a plan faulting `faults` distinct units out of `units`,
+    /// cycling through every [`FaultKind`] so each replay exercises all
+    /// four failure routes when `faults >= 4`. Pure in `(seed, units,
+    /// faults)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults > units`.
+    pub fn seeded(seed: u64, units: usize, faults: usize) -> FaultPlan {
+        assert!(faults <= units, "cannot fault {faults} of {units} units");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Partial Fisher–Yates over the index set: the first `faults`
+        // entries are a uniform sample without replacement.
+        let mut idx: Vec<usize> = (0..units).collect();
+        for k in 0..faults {
+            let j = k + (rng.next_u64() as usize) % (units - k);
+            idx.swap(k, j);
+        }
+        let mut slots: Vec<(usize, FaultKind)> = idx[..faults]
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| (i, FaultKind::ALL[k % FaultKind::ALL.len()]))
+            .collect();
+        slots.sort_unstable_by_key(|&(i, _)| i);
+        FaultPlan { slots, units }
+    }
+
+    /// The fault planned for unit `idx`, if any.
+    pub fn fault_for(&self, idx: usize) -> Option<FaultKind> {
+        self.slots
+            .binary_search_by_key(&idx, |&(i, _)| i)
+            .ok()
+            .map(|k| self.slots[k].1)
+    }
+
+    /// The planned `(index, fault)` pairs, sorted by index.
+    pub fn slots(&self) -> &[(usize, FaultKind)] {
+        &self.slots
+    }
+
+    /// The batch size this plan was sampled for.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::seeded(7, 12, 4);
+        let b = FaultPlan::seeded(7, 12, 4);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(8, 12, 4);
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn slots_are_distinct_in_range_and_cover_all_kinds() {
+        let plan = FaultPlan::seeded(3, 10, 4);
+        assert_eq!(plan.slots().len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        let mut kinds = std::collections::HashSet::new();
+        for &(i, k) in plan.slots() {
+            assert!(i < plan.units());
+            assert!(seen.insert(i), "index {i} faulted twice");
+            kinds.insert(format!("{k:?}"));
+        }
+        assert_eq!(kinds.len(), 4, "4 faults must span all 4 kinds");
+    }
+
+    #[test]
+    fn fault_for_agrees_with_slots() {
+        let plan = FaultPlan::seeded(11, 20, 6);
+        for i in 0..plan.units() {
+            let planned = plan.slots().iter().find(|&&(j, _)| j == i).map(|&(_, k)| k);
+            assert_eq!(plan.fault_for(i), planned);
+        }
+    }
+
+    #[test]
+    fn full_fault_saturation_is_allowed() {
+        let plan = FaultPlan::seeded(1, 4, 4);
+        assert!((0..4).all(|i| plan.fault_for(i).is_some()));
+    }
+}

@@ -14,12 +14,14 @@
 //! [`experiments`] are kept as the differential baselines.
 
 pub mod experiments;
+pub mod fault;
 pub mod pareto;
 pub mod roofline;
 pub mod service;
 pub mod table;
 
+pub use fault::{FaultKind, FaultPlan};
 pub use service::{
     CacheStats, PlanCache, PlanKey, PointResult, ResultStream, SimPoint, SweepService, SweepUnit,
-    UnitReport,
+    UnitError, UnitFailure, UnitReport,
 };

@@ -37,13 +37,41 @@
 //! including waiters coalesced behind an in-flight build — is a hit. A
 //! warm cache therefore always shows `builds == distinct keys` and zero
 //! further builds on rerun, whatever the worker count.
+//!
+//! # Failure semantics
+//!
+//! One bad unit can never hang or kill the fleet (see README "Failure
+//! semantics" for the full contract):
+//!
+//! - **Panic isolation** — unit execution and builder invocation run
+//!   under `catch_unwind`; a faulted unit yields a typed
+//!   [`UnitError::Panicked`] result and its worker keeps serving. Locks
+//!   recover from poisoning ([`step_core::sync`]) instead of
+//!   `.expect`-aborting.
+//! - **Single-flight failure recovery** — a failed or panicked build
+//!   moves its cache slot to a `Failed` state that wakes every
+//!   coalesced waiter with the error; the *next* checkout of the key
+//!   retakes the build. [`CacheStats::failures`] counts failed builds,
+//!   scheduler-independently.
+//! - **Typed results** — the stream yields
+//!   `Result<PointResult, UnitFailure>`: every error carries its unit's
+//!   label and a [`UnitError`] taxonomy
+//!   (`Panicked`/`Build`/`Run`/`DeadlineExceeded`/`Shutdown`).
+//! - **Bounded queue + graceful drain** —
+//!   [`SweepService::with_queue_depth`] makes `submit` backpressure past
+//!   a configurable depth; [`SweepService::shutdown`] drains queued
+//!   units, rejects new submissions with [`UnitError::Shutdown`], and
+//!   joins the workers (as does `Drop`).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::panic::{AssertUnwindSafe, catch_unwind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, mpsc};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use step_core::sync::{lock, wait};
 use step_core::{Graph, Result, StepError};
 use step_models::serving::{PlanSource, ServeJob, ServeReport};
 use step_sim::{RunBinding, RunPool, SimConfig, SimPlan, SimReport};
@@ -63,18 +91,38 @@ pub struct PlanKey {
 pub struct CacheStats {
     /// Requests served from a present or in-flight plan.
     pub hits: u64,
-    /// Requests that found no entry and took on the build.
+    /// Requests that found no entry (or a failed one) and took on the
+    /// build.
     pub misses: u64,
     /// Plans actually frozen. Equals `misses` unless a build failed.
     pub builds: u64,
+    /// Builds that returned an error or panicked. `misses == builds +
+    /// failures` always; like the others, independent of worker
+    /// scheduling, so the chaos suite pins it exactly.
+    pub failures: u64,
 }
 
-/// A plan's cache slot: either ready, or claimed by an in-flight build.
+/// A plan's cache slot: ready, claimed by an in-flight build, or failed.
+///
+/// Build claims are stamped with a cache-wide epoch so a waiter can
+/// tell *its* build's outcome from a later retake: it sleeps while the
+/// slot is `Building` with its epoch, then receives the error iff the
+/// slot is `Failed` with that same epoch — otherwise the world moved on
+/// and it re-dispatches.
 enum Slot {
     /// A requester is building this plan; waiters sleep on the cache
-    /// condvar until it lands (or the build fails and the slot clears).
-    Building,
+    /// condvar until it lands or fails.
+    Building {
+        epoch: u64,
+    },
     Ready(Arc<SimPlan>),
+    /// The claimed build failed. Sticky until the next checkout retakes
+    /// the claim, so waiters that coalesced on the failed build all
+    /// observe the error instead of sleeping forever.
+    Failed {
+        error: StepError,
+        epoch: u64,
+    },
 }
 
 /// A shared, single-flight cache of frozen [`SimPlan`]s.
@@ -87,9 +135,11 @@ enum Slot {
 pub struct PlanCache {
     slots: Mutex<HashMap<PlanKey, Slot>>,
     ready: Condvar,
+    epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     builds: AtomicU64,
+    failures: AtomicU64,
 }
 
 impl PlanCache {
@@ -100,13 +150,16 @@ impl PlanCache {
 
     /// Checks out the plan for `(builder, cfg)`, building it via `build`
     /// on a miss. Concurrent requests for one key coalesce onto a single
-    /// build.
+    /// build — exactly one `Building` claim exists per key at any
+    /// moment, so builder invocations for a key are strictly serialized.
     ///
     /// # Errors
     ///
-    /// Propagates graph-build and plan-freeze errors to the requester
-    /// that ran the build; coalesced waiters retry (and may rebuild) on
-    /// failure.
+    /// A failed or panicked build (surfaced as
+    /// [`StepError::Panicked`]) propagates to the requester that ran it
+    /// **and** to every waiter coalesced on that build; the next
+    /// checkout of the key retakes the claim and retries. No waiter
+    /// ever blocks past its build's resolution.
     pub fn checkout(
         &self,
         builder: u64,
@@ -117,12 +170,12 @@ impl PlanCache {
             builder,
             sim: cfg.fingerprint(),
         };
-        let mut slots = self.slots.lock().expect("plan cache poisoned");
+        let mut slots = lock(&self.slots);
         // `counted` keeps the counters request-scoped: one hit or miss
-        // per call on the success path, however many condvar wakeups or
-        // failed-build retakes happen in between.
+        // per call, however many condvar wakeups or failed-build
+        // retakes happen in between.
         let mut counted = false;
-        loop {
+        let my_epoch = loop {
             match slots.get(&key) {
                 Some(Slot::Ready(plan)) => {
                     if !counted {
@@ -130,32 +183,53 @@ impl PlanCache {
                     }
                     return Ok(plan.clone());
                 }
-                Some(Slot::Building) => {
+                Some(&Slot::Building { epoch }) => {
                     if !counted {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         counted = true;
                     }
-                    slots = self.ready.wait(slots).expect("plan cache poisoned");
+                    // Sleep until *this* build resolves (epoch match —
+                    // a later retake must not re-capture us)…
+                    while matches!(slots.get(&key), Some(Slot::Building { epoch: e }) if *e == epoch)
+                    {
+                        slots = wait(&self.ready, slots);
+                    }
+                    // …then propagate its failure to every coalesced
+                    // waiter, or re-dispatch on the new slot state.
+                    if let Some(Slot::Failed { error, epoch: e }) = slots.get(&key)
+                        && *e == epoch
+                    {
+                        return Err(error.clone());
+                    }
                 }
-                None => {
+                Some(Slot::Failed { .. }) | None => {
+                    // Fresh key, or a failure left by a resolved build:
+                    // take the claim (a retry counts as a new miss).
                     if !counted {
                         self.misses.fetch_add(1, Ordering::Relaxed);
                     }
-                    slots.insert(key, Slot::Building);
-                    break;
+                    let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+                    slots.insert(key, Slot::Building { epoch });
+                    break epoch;
                 }
             }
-        }
+        };
         drop(slots);
 
-        let built = build().and_then(|graph| {
-            let normalized = SimConfig {
-                threads: 1,
-                ..cfg.clone()
-            };
-            SimPlan::new(graph, normalized).map(Arc::new)
-        });
-        let mut slots = self.slots.lock().expect("plan cache poisoned");
+        // Builder invocation is panic-isolated: a dying build closure
+        // (or plan freeze) becomes a typed error that resolves the slot
+        // instead of leaving waiters asleep forever.
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            build().and_then(|graph| {
+                let normalized = SimConfig {
+                    threads: 1,
+                    ..cfg.clone()
+                };
+                SimPlan::new(graph, normalized).map(Arc::new)
+            })
+        }))
+        .unwrap_or_else(|p| Err(StepError::Panicked(panic_message(p.as_ref()))));
+        let mut slots = lock(&self.slots);
         let result = match built {
             Ok(plan) => {
                 self.builds.fetch_add(1, Ordering::Relaxed);
@@ -163,12 +237,18 @@ impl PlanCache {
                 Ok(plan)
             }
             Err(e) => {
-                // Clear the claim so a waiter can retake the build
-                // instead of sleeping forever.
-                slots.remove(&key);
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                slots.insert(
+                    key,
+                    Slot::Failed {
+                        error: e.clone(),
+                        epoch: my_epoch,
+                    },
+                );
                 Err(e)
             }
         };
+        drop(slots);
         self.ready.notify_all();
         result
     }
@@ -179,12 +259,13 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
         }
     }
 
-    /// Distinct plans currently cached.
+    /// Distinct plans currently cached (ready, building, or failed).
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("plan cache poisoned").len()
+        lock(&self.slots).len()
     }
 
     /// Whether the cache holds no plans.
@@ -282,6 +363,75 @@ pub struct PointResult {
     pub wall_ms: f64,
 }
 
+/// Why a unit failed — the service's error taxonomy. Every variant is
+/// isolated to its unit: the worker, the cache, and the rest of the
+/// batch carry on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitError {
+    /// The unit's build closure, plan freeze, or run panicked. The
+    /// panic was caught; the payload's message is carried here.
+    Panicked(String),
+    /// Graph build or plan freeze failed. The cache slot holds the
+    /// failure; the next checkout of the key retries the build.
+    Build(StepError),
+    /// The run itself failed — deadlock, execution error, or a
+    /// [`StepError::RoundLimit`] budget blow (non-retryable: the same
+    /// inputs deterministically blow the same budget).
+    Run(StepError),
+    /// A per-unit deadline expired ([`StepError::Deadline`]) or the
+    /// unit was cancelled ([`StepError::Cancelled`]).
+    DeadlineExceeded(StepError),
+    /// The service was shut down before the unit could run.
+    Shutdown,
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::Panicked(m) => write!(f, "panicked: {m}"),
+            UnitError::Build(e) => write!(f, "build failed: {e}"),
+            UnitError::Run(e) => write!(f, "run failed: {e}"),
+            UnitError::DeadlineExceeded(e) => write!(f, "{e}"),
+            UnitError::Shutdown => write!(f, "service shut down"),
+        }
+    }
+}
+
+/// A failed unit: its label plus the typed [`UnitError`]. What the
+/// [`ResultStream`] yields in a faulted unit's submission-order slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitFailure {
+    /// The failed unit's label (sweep cell name).
+    pub label: String,
+    /// Why it failed.
+    pub error: UnitError,
+}
+
+impl fmt::Display for UnitFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sweep point '{}': {}", self.label, self.error)
+    }
+}
+
+impl std::error::Error for UnitFailure {}
+
+/// Classifies a build-path error (cache checkout).
+fn classify_build(e: StepError) -> UnitError {
+    match e {
+        StepError::Panicked(m) => UnitError::Panicked(m),
+        e => UnitError::Build(e),
+    }
+}
+
+/// Classifies a run-path error.
+fn classify_run(e: StepError) -> UnitError {
+    match e {
+        StepError::Deadline { .. } | StepError::Cancelled => UnitError::DeadlineExceeded(e),
+        StepError::Panicked(m) => UnitError::Panicked(m),
+        e => UnitError::Run(e),
+    }
+}
+
 /// A queued unit plus its result route.
 struct Task {
     seq: u64,
@@ -293,7 +443,7 @@ struct Task {
 struct Completion {
     seq: u64,
     label: String,
-    report: Result<UnitReport>,
+    report: std::result::Result<UnitReport, UnitError>,
     wall_ms: f64,
 }
 
@@ -306,6 +456,11 @@ struct ServiceInner {
     cache: PlanCache,
     queue: Mutex<QueueState>,
     work_ready: Condvar,
+    /// Wakes submitters blocked on a full queue (bounded-depth mode).
+    space: Condvar,
+    /// Queue depth `submit` backpressures past. `usize::MAX` =
+    /// unbounded (the default).
+    depth: usize,
 }
 
 /// The long-lived sweep service: a plan cache plus a worker pool.
@@ -320,8 +475,17 @@ pub struct SweepService {
 }
 
 impl SweepService {
-    /// A service with `workers` worker threads (at least one).
+    /// A service with `workers` worker threads (at least one) and an
+    /// unbounded queue.
     pub fn new(workers: usize) -> SweepService {
+        SweepService::with_queue_depth(workers, usize::MAX)
+    }
+
+    /// A service whose queue holds at most `depth` waiting units
+    /// (clamped to at least one): [`SweepService::submit`] blocks per
+    /// unit until a worker makes room — backpressure for producers that
+    /// enumerate sweeps faster than they simulate.
+    pub fn with_queue_depth(workers: usize, depth: usize) -> SweepService {
         let inner = Arc::new(ServiceInner {
             cache: PlanCache::new(),
             queue: Mutex::new(QueueState {
@@ -329,6 +493,8 @@ impl SweepService {
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
+            space: Condvar::new(),
+            depth: depth.max(1),
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -372,20 +538,41 @@ impl SweepService {
 
     /// Enqueues `units` and returns a stream yielding one result per
     /// unit **in submission order**, however the workers interleave.
+    ///
+    /// With a bounded queue ([`SweepService::with_queue_depth`]) this
+    /// blocks per unit while the queue is full. After
+    /// [`SweepService::shutdown`] every unit is rejected — the stream
+    /// still yields all N results, each a typed
+    /// [`UnitError::Shutdown`] failure under the unit's real label.
     pub fn submit(&self, units: Vec<SweepUnit>) -> ResultStream {
         let (tx, rx) = mpsc::channel();
         let total = units.len() as u64;
         {
-            let mut q = self.inner.queue.lock().expect("sweep queue poisoned");
+            let mut q = lock(&self.inner.queue);
             for (seq, unit) in units.into_iter().enumerate() {
+                let seq = seq as u64;
+                while !q.shutdown && q.tasks.len() >= self.inner.depth {
+                    q = wait(&self.inner.space, q);
+                }
+                if q.shutdown {
+                    // Typed rejection straight onto the stream: the
+                    // batch still resolves all N slots.
+                    let _ = tx.send(Completion {
+                        seq,
+                        label: unit.label().to_owned(),
+                        report: Err(UnitError::Shutdown),
+                        wall_ms: 0.0,
+                    });
+                    continue;
+                }
                 q.tasks.push_back(Task {
-                    seq: seq as u64,
+                    seq,
                     unit,
                     tx: tx.clone(),
                 });
+                self.inner.work_ready.notify_one();
             }
         }
-        self.inner.work_ready.notify_all();
         ResultStream {
             rx,
             pending: BTreeMap::new(),
@@ -399,38 +586,53 @@ impl SweepService {
     ///
     /// # Errors
     ///
-    /// The first failing unit's error, in submission order.
-    pub fn run_all(&self, units: Vec<SweepUnit>) -> Result<Vec<PointResult>> {
+    /// The first failing unit's [`UnitFailure`], in submission order.
+    pub fn run_all(
+        &self,
+        units: Vec<SweepUnit>,
+    ) -> std::result::Result<Vec<PointResult>, UnitFailure> {
         self.submit(units).collect()
     }
-}
 
-impl Drop for SweepService {
-    fn drop(&mut self) {
+    /// Graceful drain: stops accepting new submissions (they resolve to
+    /// [`UnitError::Shutdown`]), lets the workers finish everything
+    /// already queued, and joins them. Idempotent; `Drop` calls it.
+    pub fn shutdown(&mut self) {
         {
-            let mut q = self.inner.queue.lock().expect("sweep queue poisoned");
+            let mut q = lock(&self.inner.queue);
             q.shutdown = true;
         }
         self.inner.work_ready.notify_all();
+        self.inner.space.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
 }
 
+impl Drop for SweepService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 /// In-submission-order results of one [`SweepService::submit`] batch.
 ///
 /// Iterating blocks until the next-in-order unit completes; completions
-/// that arrive early are parked in a reassembly buffer.
+/// that arrive early are parked in a reassembly buffer. The stream
+/// **always** yields exactly one item per submitted unit: faulted units
+/// yield their [`UnitFailure`] in their submission-order slot, and a
+/// service torn down mid-batch resolves every unresolved slot with
+/// [`UnitError::Shutdown`] instead of hanging or truncating.
 pub struct ResultStream {
     rx: mpsc::Receiver<Completion>,
-    pending: BTreeMap<u64, Result<PointResult>>,
+    pending: BTreeMap<u64, std::result::Result<PointResult, UnitFailure>>,
     next: u64,
     total: u64,
 }
 
 impl Iterator for ResultStream {
-    type Item = Result<PointResult>;
+    type Item = std::result::Result<PointResult, UnitFailure>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.next == self.total {
@@ -445,19 +647,29 @@ impl Iterator for ResultStream {
                 Ok(c) => {
                     self.pending.insert(
                         c.seq,
-                        c.report.map(|report| PointResult {
-                            label: c.label,
-                            report,
-                            wall_ms: c.wall_ms,
-                        }),
+                        match c.report {
+                            Ok(report) => Ok(PointResult {
+                                label: c.label,
+                                report,
+                                wall_ms: c.wall_ms,
+                            }),
+                            Err(error) => Err(UnitFailure {
+                                label: c.label,
+                                error,
+                            }),
+                        },
                     );
                 }
                 Err(_) => {
-                    // Workers are gone (service dropped mid-stream).
-                    self.next = self.total;
-                    return Some(Err(StepError::Exec(
-                        "sweep service shut down before the batch completed".into(),
-                    )));
+                    // Workers are gone (service dropped mid-stream) and
+                    // this slot never completed: resolve it as shut
+                    // down. Parked later completions still drain in
+                    // order on subsequent calls.
+                    self.next += 1;
+                    return Some(Err(UnitFailure {
+                        label: format!("unit #{}", self.next - 1),
+                        error: UnitError::Shutdown,
+                    }));
                 }
             }
         }
@@ -467,23 +679,33 @@ impl Iterator for ResultStream {
 fn worker_loop(inner: &ServiceInner) {
     // Per-worker pools: after a worker's first run of a plan, its later
     // runs of that plan reset the parked state in place (alloc-free).
+    // A panicking run never parks state (pools park on success only),
+    // so surviving a caught panic cannot corrupt later runs.
     let mut pools: HashMap<u64, RunPool> = HashMap::new();
     loop {
         let task = {
-            let mut q = inner.queue.lock().expect("sweep queue poisoned");
+            let mut q = lock(&inner.queue);
             loop {
                 if let Some(t) = q.tasks.pop_front() {
+                    // Wake one backpressured submitter per slot freed.
+                    inner.space.notify_one();
                     break t;
                 }
                 if q.shutdown {
                     return;
                 }
-                q = inner.work_ready.wait(q).expect("sweep queue poisoned");
+                q = wait(&inner.work_ready, q);
             }
         };
         let label = task.unit.label().to_owned();
         let start = Instant::now();
-        let report = run_unit(&inner.cache, task.unit, &mut pools);
+        // Panic isolation: a faulted unit resolves to a typed error and
+        // the worker keeps serving the queue.
+        let unit = task.unit;
+        let report = catch_unwind(AssertUnwindSafe(|| {
+            run_unit(&inner.cache, unit, &mut pools)
+        }))
+        .unwrap_or_else(|p| Err(UnitError::Panicked(panic_message(p.as_ref()))));
         // A dropped stream just discards results; the worker lives on.
         let _ = task.tx.send(Completion {
             seq: task.seq,
@@ -494,22 +716,70 @@ fn worker_loop(inner: &ServiceInner) {
     }
 }
 
+/// A [`PlanSource`] wrapper that remembers whether a failure came from
+/// plan checkout (build path) — the serve driver funnels both build and
+/// run errors through one `Result`, and the service wants to classify
+/// them apart.
+struct TaggedSource<'a> {
+    cache: &'a PlanCache,
+    build_error: std::cell::Cell<bool>,
+}
+
+impl PlanSource for TaggedSource<'_> {
+    fn plan(
+        &self,
+        fingerprint: u64,
+        cfg: &SimConfig,
+        build: &mut dyn FnMut() -> Result<Graph>,
+    ) -> Result<Arc<SimPlan>> {
+        let r = self.cache.checkout(fingerprint, cfg, build);
+        if r.is_err() {
+            self.build_error.set(true);
+        }
+        r
+    }
+}
+
 fn run_unit(
     cache: &PlanCache,
     unit: SweepUnit,
     pools: &mut HashMap<u64, RunPool>,
-) -> Result<UnitReport> {
+) -> std::result::Result<UnitReport, UnitError> {
     match unit {
         SweepUnit::Sim(mut point) => {
-            let plan = cache.checkout(point.builder, &point.cfg, &mut point.build)?;
+            let plan = cache
+                .checkout(point.builder, &point.cfg, &mut point.build)
+                .map_err(classify_build)?;
             let pool = pools.entry(plan.id()).or_default();
             let report = match &point.binding {
-                Some(binding) => plan.pooled_run_bound(binding, pool)?,
-                None => plan.pooled_run(pool)?,
-            };
+                Some(binding) => plan.pooled_run_bound(binding, pool),
+                None => plan.pooled_run(pool),
+            }
+            .map_err(classify_run)?;
             Ok(UnitReport::Sim(report))
         }
-        SweepUnit::Serve(job) => Ok(UnitReport::Serve(job.run_with(cache)?)),
+        SweepUnit::Serve(job) => {
+            let src = TaggedSource {
+                cache,
+                build_error: std::cell::Cell::new(false),
+            };
+            match job.run_with(&src) {
+                Ok(report) => Ok(UnitReport::Serve(report)),
+                Err(e) if src.build_error.get() => Err(classify_build(e)),
+                Err(e) => Err(classify_run(e)),
+            }
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -636,9 +906,195 @@ mod tests {
             binding: None,
         });
         let units = vec![point("ok", 2), bad, point("ok2", 3)];
-        let results: Vec<Result<PointResult>> = svc.submit(units).collect();
+        let results: Vec<std::result::Result<PointResult, UnitFailure>> =
+            svc.submit(units).collect();
         assert!(results[0].is_ok());
-        assert!(matches!(&results[1], Err(StepError::Config(m)) if m.contains("broken")));
+        match &results[1] {
+            Err(UnitFailure { label, error }) => {
+                assert_eq!(label, "bad");
+                assert!(
+                    matches!(error, UnitError::Build(StepError::Config(m)) if m.contains("broken"))
+                );
+            }
+            Ok(_) => panic!("broken builder must fail its unit"),
+        }
         assert!(results[2].is_ok(), "an error must not poison later units");
+    }
+
+    #[test]
+    fn failed_build_is_counted_and_next_checkout_retries() {
+        let cache = PlanCache::new();
+        let err = cache
+            .checkout(7, &SimConfig::default(), &mut || {
+                Err(StepError::Config("flaky".into()))
+            })
+            .err()
+            .expect("failing builder must fail the checkout");
+        assert!(matches!(err, StepError::Config(m) if m.contains("flaky")));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                builds: 0,
+                failures: 1
+            }
+        );
+        // The failure is sticky but not fatal: the next checkout of the
+        // key retakes the build.
+        let plan = cache
+            .checkout(7, &SimConfig::default(), &mut || tiny_graph(2))
+            .unwrap();
+        assert!(plan.id() > 0);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 2,
+                builds: 1,
+                failures: 1
+            }
+        );
+    }
+
+    #[test]
+    fn panicking_builder_resolves_as_typed_error_not_a_dead_worker() {
+        let svc = SweepService::new(1);
+        let boom = SweepUnit::Sim(SimPoint {
+            label: "boom".into(),
+            builder: 555,
+            cfg: SimConfig::default(),
+            build: Box::new(|| panic!("builder exploded")),
+            binding: None,
+        });
+        // One worker: if the panic killed it, the second unit would
+        // never complete.
+        let results: Vec<_> = svc.submit(vec![boom, point("after", 2)]).collect();
+        match &results[0] {
+            Err(UnitFailure { label, error }) => {
+                assert_eq!(label, "boom");
+                assert!(
+                    matches!(error, UnitError::Panicked(m) if m.contains("exploded")),
+                    "got: {error:?}"
+                );
+            }
+            Ok(_) => panic!("panicking builder must fail its unit"),
+        }
+        assert!(results[1].is_ok(), "the worker must survive the panic");
+        assert_eq!(svc.cache().stats().failures, 1);
+    }
+
+    #[test]
+    fn deadline_blow_classifies_as_deadline_exceeded() {
+        let svc = SweepService::new(1);
+        let mut binding = RunBinding::new();
+        binding.deadline_cycles(1);
+        let doomed = SweepUnit::Sim(SimPoint {
+            label: "doomed".into(),
+            builder: 6,
+            cfg: SimConfig::default(),
+            build: Box::new(|| tiny_graph(6)),
+            binding: Some(binding),
+        });
+        let results: Vec<_> = svc.submit(vec![doomed, point("clean", 6)]).collect();
+        match &results[0] {
+            Err(UnitFailure { label, error }) => {
+                assert_eq!(label, "doomed");
+                assert!(matches!(
+                    error,
+                    UnitError::DeadlineExceeded(StepError::Deadline {
+                        kind: step_core::DeadlineKind::Cycles,
+                        limit: 1,
+                        ..
+                    })
+                ));
+            }
+            Ok(_) => panic!("a 1-cycle deadline must blow"),
+        }
+        // Same plan key (binding is not part of the key): the clean unit
+        // still runs it to completion.
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn shutdown_drains_queue_then_rejects_with_typed_error() {
+        let mut svc = SweepService::new(2);
+        let first = svc.run_all(vec![point("a", 2), point("b", 3)]).unwrap();
+        assert_eq!(first.len(), 2);
+        svc.shutdown();
+        svc.shutdown(); // idempotent
+        let rejected: Vec<_> = svc
+            .submit(vec![point("late", 4), point("later", 5)])
+            .collect();
+        assert_eq!(rejected.len(), 2, "rejected batches still resolve all N");
+        for (r, want) in rejected.iter().zip(["late", "later"]) {
+            match r {
+                Err(UnitFailure { label, error }) => {
+                    assert_eq!(label, want, "rejections keep real labels");
+                    assert_eq!(*error, UnitError::Shutdown);
+                }
+                Ok(_) => panic!("post-shutdown submission must be rejected"),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_queue_backpressures_without_losing_order() {
+        let svc = SweepService::with_queue_depth(1, 1);
+        let units: Vec<SweepUnit> = (1..=4).map(|t| point(&format!("t{t}"), t)).collect();
+        // submit() blocks per unit until the single-slot queue drains;
+        // the batch must still complete in submission order.
+        let results = svc.run_all(units).unwrap();
+        let labels: Vec<&str> = results.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["t1", "t2", "t3", "t4"]);
+    }
+
+    /// Satellite: concurrent same-key checkouts against a builder that
+    /// fails the first F times. Single-flight claims serialize builder
+    /// invocations, so however the threads interleave: exactly F
+    /// recorded failures, exactly one successful build, exactly F+1
+    /// builder invocations — and no waiter blocks forever (the test
+    /// terminates without any watchdog).
+    #[test]
+    fn concurrent_failing_builds_serialize_and_never_strand_waiters() {
+        const THREADS: usize = 8;
+        const FAILURES: u64 = 3;
+        let cache = PlanCache::new();
+        let invocations = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    // Retry until the shared build succeeds. Bounded so
+                    // a protocol bug fails loudly instead of spinning.
+                    for attempt in 0..64 {
+                        let got = cache.checkout(42, &SimConfig::default(), &mut || {
+                            let n = invocations.fetch_add(1, Ordering::SeqCst) + 1;
+                            if n <= FAILURES {
+                                Err(StepError::Config(format!("transient #{n}")))
+                            } else {
+                                tiny_graph(3)
+                            }
+                        });
+                        match got {
+                            Ok(_) => return,
+                            Err(e) => {
+                                assert!(matches!(e, StepError::Config(_)), "unexpected error: {e}");
+                                assert!(attempt < 63, "checkout never converged");
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            invocations.load(Ordering::SeqCst),
+            FAILURES + 1,
+            "exactly one rebuild per retry round"
+        );
+        assert_eq!(stats.failures, FAILURES);
+        assert_eq!(stats.builds, 1);
+        assert!(stats.misses >= 1 && stats.misses <= FAILURES + 1);
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -35,7 +35,8 @@ fn tiling_sweep_matches_serial_at_every_worker_count() {
     let serial = tiling_sweep_serial(ModelConfig::mixtral_8x7b(), 64, &tiles, 7);
     for workers in [1usize, 2, 4, 8] {
         let svc = SweepService::new(workers);
-        let rows = tiling_sweep_on(&svc, ModelConfig::mixtral_8x7b(), 64, &tiles, 7);
+        let rows = tiling_sweep_on(&svc, ModelConfig::mixtral_8x7b(), 64, &tiles, 7)
+            .expect("tiling sweep runs");
         assert_eq!(rows.len(), serial.len());
         for (s, r) in serial.iter().zip(&rows) {
             assert_eq!(s.schedule, r.schedule, "workers={workers} reordered");
@@ -53,7 +54,8 @@ fn tiling_sweep_matches_serial_at_every_worker_count() {
             CacheStats {
                 hits: 0,
                 misses: 3,
-                builds: 3
+                builds: 3,
+                failures: 0
             },
             "workers={workers} cache counters moved"
         );
@@ -68,7 +70,8 @@ fn tiling_sweep_matches_serial_at_every_worker_count() {
 fn timeshare_sweep_matches_serial_and_warm_rerun_builds_nothing() {
     let serial = timeshare_sweep_serial(Tiling::Static { tile: 32 }, 7);
     let svc = SweepService::new(4);
-    let cold = timeshare_sweep_on(&svc, Tiling::Static { tile: 32 }, 7);
+    let cold =
+        timeshare_sweep_on(&svc, Tiling::Static { tile: 32 }, 7).expect("timeshare sweep runs");
     assert_eq!(cold.len(), serial.len());
     for (s, r) in serial.iter().zip(&cold) {
         assert_eq!(s.regions, r.regions, "service reordered the region axis");
@@ -87,10 +90,12 @@ fn timeshare_sweep_matches_serial_and_warm_rerun_builds_nothing() {
         CacheStats {
             hits: 0,
             misses: 6,
-            builds: 6
+            builds: 6,
+            failures: 0
         }
     );
-    let warm = timeshare_sweep_on(&svc, Tiling::Static { tile: 32 }, 7);
+    let warm =
+        timeshare_sweep_on(&svc, Tiling::Static { tile: 32 }, 7).expect("timeshare sweep runs");
     for (c, w) in cold.iter().zip(&warm) {
         assert_eq!(
             (c.regions, c.cycles, c.allocated_compute, c.onchip),
@@ -106,7 +111,8 @@ fn timeshare_sweep_matches_serial_and_warm_rerun_builds_nothing() {
         CacheStats {
             hits: 6,
             misses: 6,
-            builds: 6
+            builds: 6,
+            failures: 0
         },
         "warm rerun must be all hits and build nothing"
     );
@@ -122,7 +128,7 @@ fn serve_sweep_quick_matches_serial_and_pins_cache_counters() {
     let serial = serve_sweep_serial(true);
     for workers in [1usize, 2] {
         let svc = SweepService::new(workers);
-        let rows = serve_sweep_on(&svc, true);
+        let rows = serve_sweep_on(&svc, true).expect("serve sweep runs");
         assert_eq!(rows.len(), serial.len());
         for (s, r) in serial.iter().zip(&rows) {
             assert_eq!(
@@ -136,11 +142,12 @@ fn serve_sweep_quick_matches_serial_and_pins_cache_counters() {
             CacheStats {
                 hits: 0,
                 misses: 2,
-                builds: 2
+                builds: 2,
+                failures: 0
             },
             "workers={workers}: quick cell must build exactly its two phase plans"
         );
-        let warm = serve_sweep_on(&svc, true);
+        let warm = serve_sweep_on(&svc, true).expect("serve sweep runs");
         for (c, w) in rows.iter().zip(&warm) {
             assert_eq!(c.report, w.report, "workers={workers} warm rerun diverged");
         }
@@ -149,7 +156,8 @@ fn serve_sweep_quick_matches_serial_and_pins_cache_counters() {
             CacheStats {
                 hits: 2,
                 misses: 2,
-                builds: 2
+                builds: 2,
+                failures: 0
             },
             "workers={workers}: warm rerun must be all hits"
         );

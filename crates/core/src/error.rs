@@ -5,6 +5,33 @@ use std::fmt;
 /// Convenience result alias for STeP operations.
 pub type Result<T> = std::result::Result<T, StepError>;
 
+/// The unit a run deadline is denominated in.
+///
+/// `Cycles` and `Rounds` are simulated quantities: a deadline expressed
+/// in them fails at exactly the same point of the schedule at any thread
+/// or worker count, so they are the only kinds CI may assert on.
+/// `WallMs` is host wall-clock — opt-in, inherently nondeterministic,
+/// never used by any conformance check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineKind {
+    /// Simulated cycles (the conservative execution horizon).
+    Cycles,
+    /// Scheduler rounds (coordination barriers / waves).
+    Rounds,
+    /// Host wall-clock milliseconds. Nondeterministic; never in CI.
+    WallMs,
+}
+
+impl fmt::Display for DeadlineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlineKind::Cycles => write!(f, "cycles"),
+            DeadlineKind::Rounds => write!(f, "rounds"),
+            DeadlineKind::WallMs => write!(f, "wall-ms"),
+        }
+    }
+}
+
 /// Errors raised while building or executing STeP programs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StepError {
@@ -21,6 +48,33 @@ pub enum StepError {
     Exec(String),
     /// The dataflow graph made no progress before all nodes finished.
     Deadlock(String),
+    /// A caught panic, carrying the panic payload's message. Raised by
+    /// layers that isolate panics (`catch_unwind`) so a dying builder
+    /// or executor surfaces as a typed error instead of an abort.
+    Panicked(String),
+    /// The scheduler exceeded its configured round budget
+    /// (`SimConfig::max_rounds`) before the graph finished. Carries the
+    /// counters at the blow so callers can classify the overrun as
+    /// non-retryable and tests can match on it.
+    RoundLimit {
+        /// The configured round budget.
+        limit: u64,
+        /// Rounds executed when the budget blew.
+        rounds: u64,
+        /// Total node fires executed when the budget blew.
+        fires: u64,
+    },
+    /// A per-run deadline expired before the graph finished.
+    Deadline {
+        /// The unit the deadline was denominated in.
+        kind: DeadlineKind,
+        /// The configured deadline.
+        limit: u64,
+        /// The observed value that tripped the deadline.
+        at: u64,
+    },
+    /// The run was cancelled through a cooperative `CancelToken`.
+    Cancelled,
 }
 
 impl fmt::Display for StepError {
@@ -32,6 +86,19 @@ impl fmt::Display for StepError {
             StepError::Config(m) => write!(f, "invalid configuration: {m}"),
             StepError::Exec(m) => write!(f, "execution error: {m}"),
             StepError::Deadlock(m) => write!(f, "deadlock: {m}"),
+            StepError::Panicked(m) => write!(f, "panicked: {m}"),
+            StepError::RoundLimit {
+                limit,
+                rounds,
+                fires,
+            } => write!(
+                f,
+                "round budget exceeded: {rounds} rounds (limit {limit}, {fires} fires)"
+            ),
+            StepError::Deadline { kind, limit, at } => {
+                write!(f, "deadline exceeded: {at} {kind} (limit {limit})")
+            }
+            StepError::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -48,5 +115,29 @@ mod tests {
         assert_eq!(e.to_string(), "shape mismatch: rank 2 vs 3");
         let e = StepError::Deadlock("node 4 blocked".into());
         assert!(e.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn failure_variants_display_their_counters() {
+        let e = StepError::RoundLimit {
+            limit: 10,
+            rounds: 11,
+            fires: 42,
+        };
+        assert_eq!(
+            e.to_string(),
+            "round budget exceeded: 11 rounds (limit 10, 42 fires)"
+        );
+        let e = StepError::Deadline {
+            kind: DeadlineKind::Cycles,
+            limit: 100,
+            at: 128,
+        };
+        assert_eq!(e.to_string(), "deadline exceeded: 128 cycles (limit 100)");
+        assert_eq!(StepError::Cancelled.to_string(), "cancelled");
+        assert_eq!(
+            StepError::Panicked("boom".into()).to_string(),
+            "panicked: boom"
+        );
     }
 }

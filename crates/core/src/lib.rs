@@ -21,7 +21,9 @@
 //! - [`metrics`] — the symbolic off-chip-traffic and on-chip-memory
 //!   equations of §4.2,
 //! - [`partition`] — slack-guided partitioning of program graphs into
-//!   connected shards for the parallel simulator.
+//!   connected shards for the parallel simulator,
+//! - [`sync`] — poisoning-recovering lock helpers shared by the
+//!   panic-isolating simulator and service layers.
 //!
 //! Execution (functional semantics + cycle-approximate timing) lives in the
 //! `step-sim` crate; `step-hdl` provides the fine-grained reference
@@ -55,11 +57,12 @@ pub mod metrics;
 pub mod ops;
 pub mod partition;
 pub mod shape;
+pub mod sync;
 pub mod tile;
 pub mod token;
 
 pub use elem::{Elem, ElemKind, Selector};
-pub use error::{Result, StepError};
+pub use error::{DeadlineKind, Result, StepError};
 pub use graph::{Graph, GraphBuilder, NodeId, StreamRef};
 pub use shape::{Dim, StreamShape};
 pub use tile::Tile;

@@ -93,6 +93,13 @@ pub struct ServeCfg {
     /// Safety cap on serving iterations; hitting it truncates the run
     /// (reported via [`ServeReport::truncated`]).
     pub max_iterations: u32,
+    /// TTFT service-level objective in cycles: a waiting request whose
+    /// queueing delay already exceeds this can no longer meet the SLO
+    /// and is **shed** at the admission boundary instead of occupying a
+    /// slot (counted in [`ServeReport::shed_total`]). `None` (the
+    /// default) admits everything. Deterministic: shedding depends only
+    /// on the serving clock and the trace.
+    pub ttft_slo: Option<u64>,
 }
 
 impl Default for ServeCfg {
@@ -106,6 +113,7 @@ impl Default for ServeCfg {
             threads: 1,
             pooled: true,
             max_iterations: 100_000,
+            ttft_slo: None,
         }
     }
 }
@@ -232,6 +240,9 @@ pub struct ServeReport {
     pub admitted_total: u32,
     /// Requests evicted after completing.
     pub evicted_total: u32,
+    /// Requests shed at the admission boundary for blowing
+    /// [`ServeCfg::ttft_slo`] while waiting (zero when no SLO is set).
+    pub shed_total: u32,
     /// Node fires summed over all phase runs.
     pub total_fires: u64,
     /// Channel run operations summed over all phase runs.
@@ -540,7 +551,7 @@ pub fn run_serve_with(
     let mut clock: u64 = 0;
     let mut iterations = Vec::new();
     let mut outcomes: Vec<ServeOutcome> = Vec::new();
-    let (mut admitted_total, mut evicted_total) = (0u32, 0u32);
+    let (mut admitted_total, mut evicted_total, mut shed_total) = (0u32, 0u32, 0u32);
     let (mut busy_cycles, mut offchip_traffic) = (0u64, 0u64);
     let (mut total_fires, mut chan_runs) = (0u64, 0u64);
     let mut truncated = false;
@@ -553,6 +564,17 @@ pub fn run_serve_with(
         // arrival order (lowest free slot index first — deterministic).
         while arrivals.peek().is_some_and(|r| r.arrival <= clock) {
             waiting.push_back(arrivals.next().expect("peeked"));
+        }
+        // SLO shedding: a waiting request whose queueing delay already
+        // exceeds the TTFT objective cannot meet it no matter what the
+        // batch does — drop it at the admission boundary instead of
+        // spending slots and tokens on a guaranteed SLO violation. The
+        // queue is in arrival order, so delays are maximal at the front.
+        if let Some(slo) = cfg.ttft_slo {
+            while waiting.front().is_some_and(|r| clock - r.arrival > slo) {
+                waiting.pop_front();
+                shed_total += 1;
+            }
         }
         let mut admitted_now = 0u32;
         for slot in slots.iter_mut() {
@@ -745,6 +767,7 @@ pub fn run_serve_with(
         offchip_traffic,
         admitted_total,
         evicted_total,
+        shed_total,
         total_fires,
         chan_runs,
         ttft,
@@ -847,6 +870,29 @@ mod tests {
         assert_eq!(r.admitted_total, 16);
         assert_eq!(r.evicted_total, 16);
         assert_eq!(r.outcomes.len(), 16);
+    }
+
+    #[test]
+    fn ttft_slo_sheds_hopeless_waiters_deterministically() {
+        let trace = tiny_trace(16, 5_000.0, 2); // heavy load: queueing
+        let v = E2eVariant::static_schedule("s", 4);
+        let baseline = run_serve(&tiny(), &v, &trace, &cfg()).unwrap();
+        assert_eq!(baseline.shed_total, 0, "no SLO, nothing shed");
+        let c = ServeCfg {
+            ttft_slo: Some(0),
+            ..cfg()
+        };
+        let r = run_serve(&tiny(), &v, &trace, &c).unwrap();
+        assert!(r.shed_total > 0, "tight SLO under heavy load must shed");
+        assert_eq!(r.admitted_total + r.shed_total, 16);
+        assert_eq!(r.outcomes.len(), r.admitted_total as usize);
+        // Shedding happens before admission at the same clock, so every
+        // admitted request met the (zero) queueing bound.
+        for o in &r.outcomes {
+            assert_eq!(o.admitted, o.arrival, "queue delay within SLO");
+        }
+        let rerun = run_serve(&tiny(), &v, &trace, &c).unwrap();
+        assert_eq!(r, rerun);
     }
 
     #[test]

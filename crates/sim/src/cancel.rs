@@ -1,0 +1,55 @@
+//! Cooperative cancellation for in-flight runs.
+//!
+//! A [`CancelToken`] is a cloneable flag shared between a driver and a
+//! run. The engine polls it in the scheduler wave loop (next to the
+//! `max_rounds` budget check) and fails the run with
+//! [`step_core::StepError::Cancelled`] once it is raised. Cancellation
+//! is *cooperative and nondeterministic*: which wave observes the flag
+//! depends on when the canceller raised it, so — like wall-clock
+//! deadlines — it is an operational escape hatch, never part of any
+//! determinism check. A token raised before the run starts cancels it
+//! on the first wave, which *is* reproducible and what the tests pin.
+
+use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A shared flag a driver raises to stop an in-flight run.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, unraised token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raise the flag. Idempotent; wakes nothing by itself — runs
+    /// observe it at their next scheduler wave.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has [`CancelToken::cancel`] been called (on this token or any
+    /// clone of it)?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+}

@@ -41,7 +41,11 @@ pub struct SimConfig {
     pub hbm: HbmConfig,
     /// Scheduler wave limit (guards against runaway programs). A wave is
     /// one generation of the engine's wake list; the bound plays the same
-    /// watchdog role the round-robin engine's round limit did.
+    /// watchdog role the round-robin engine's round limit did. An
+    /// overrun fails the run with `StepError::RoundLimit` carrying the
+    /// round and fire counters at the blow — a non-retryable budget
+    /// error, distinct from the per-run deadlines a
+    /// `RunBinding::deadline_rounds` arms.
     pub max_rounds: u64,
     /// Width of the conservative execution window in cycles: nodes only
     /// consume tokens ready within the window, keeping host execution

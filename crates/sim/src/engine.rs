@@ -101,6 +101,7 @@
 //! immediate-commitment path, which the sharded path generalizes.
 
 use crate::arena::{Arena, ArenaEvent, SharedStore, peak_of_events};
+use crate::cancel::CancelToken;
 use crate::channel::{Channel, event};
 use crate::config::SimConfig;
 use crate::hbm::{Hbm, HbmRequest};
@@ -111,10 +112,12 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard};
-use step_core::error::{Result, StepError};
+use std::time::Instant;
+use step_core::error::{DeadlineKind, Result, StepError};
 use step_core::graph::{EdgeId, Graph, NodeId};
 use step_core::ops::OpKind;
 use step_core::partition::{Partition, PartitionCfg, partition};
+use step_core::sync::{get_mut, lock};
 use step_core::token::{self, Token};
 
 /// The outcome of a simulation run.
@@ -681,6 +684,7 @@ impl<N: NodeExec> Shard<N> {
     /// `hbm` is the immediate ledger for single-shard plans and the
     /// solo-shard fast path; otherwise requests queue for the barrier
     /// commit.
+    #[allow(clippy::too_many_arguments)]
     fn run_to_quiescence(
         &mut self,
         plan: &ShardPlan,
@@ -689,6 +693,7 @@ impl<N: NodeExec> Shard<N> {
         store: &SharedStore,
         graph: &Graph,
         hbm: Option<&mut Hbm>,
+        ctrl: &RunCtrl,
     ) -> Result<()> {
         let mut sched = std::mem::take(&mut self.sched);
         let result = match &mut sched {
@@ -699,7 +704,7 @@ impl<N: NodeExec> Shard<N> {
                 next,
                 in_next,
             } => self.run_legacy(
-                plan, bits, ready, cursor, next, in_next, eff, cfg, store, graph, hbm,
+                plan, bits, ready, cursor, next, in_next, eff, cfg, store, graph, hbm, ctrl,
             ),
             Sched::Dedup {
                 cur,
@@ -708,7 +713,7 @@ impl<N: NodeExec> Shard<N> {
                 wave_gen,
                 dedup_hits,
             } => self.run_dedup(
-                plan, cur, nxt, stamp, wave_gen, dedup_hits, eff, cfg, store, graph, hbm,
+                plan, cur, nxt, stamp, wave_gen, dedup_hits, eff, cfg, store, graph, hbm, ctrl,
             ),
         };
         self.sched = sched;
@@ -734,16 +739,15 @@ impl<N: NodeExec> Shard<N> {
         store: &SharedStore,
         graph: &Graph,
         mut hbm: Option<&mut Hbm>,
+        ctrl: &RunCtrl,
     ) -> Result<()> {
         let mut wakes: Vec<u32> = Vec::new();
         while self.undone > 0 && *ready > 0 {
             self.rounds += 1;
             if self.rounds > cfg.max_rounds {
-                return Err(StepError::Exec(format!(
-                    "exceeded {} scheduler rounds",
-                    cfg.max_rounds
-                )));
+                return Err(self.round_limit_error(cfg));
             }
+            ctrl.check_wave()?;
             while let Some(i) = bits_next(bits, *cursor) {
                 bits[i / 64] &= !(1 << (i % 64));
                 *ready -= 1;
@@ -819,16 +823,15 @@ impl<N: NodeExec> Shard<N> {
         store: &SharedStore,
         graph: &Graph,
         mut hbm: Option<&mut Hbm>,
+        ctrl: &RunCtrl,
     ) -> Result<()> {
         let mut wakes: Vec<u32> = Vec::new();
         while self.undone > 0 && !nxt.is_empty() {
             self.rounds += 1;
             if self.rounds > cfg.max_rounds {
-                return Err(StepError::Exec(format!(
-                    "exceeded {} scheduler rounds",
-                    cfg.max_rounds
-                )));
+                return Err(self.round_limit_error(cfg));
             }
+            ctrl.check_wave()?;
             std::mem::swap(cur, nxt);
             *wave_gen += 1;
             cur.sort_unstable();
@@ -868,6 +871,17 @@ impl<N: NodeExec> Shard<N> {
         }
         Ok(())
     }
+
+    /// The typed `max_rounds` overrun error, carrying the counters at
+    /// the blow so callers classify the budget blow as non-retryable
+    /// and tests can match on it.
+    fn round_limit_error(&self, cfg: &SimConfig) -> StepError {
+        StepError::RoundLimit {
+            limit: cfg.max_rounds,
+            rounds: self.rounds,
+            fires: self.nodes.iter().map(|n| n.stats().fires).sum(),
+        }
+    }
 }
 
 /// A cross-shard edge: writer half `w_ch` in shard `w_shard`, reader half
@@ -893,6 +907,121 @@ struct CrossEdge {
 pub struct RunBinding {
     sources: BTreeMap<NodeId, Vec<Token>>,
     preloads: Vec<(u64, usize, usize, Vec<f32>)>,
+    limits: RunLimits,
+}
+
+/// Per-run execution limits carried by a [`RunBinding`]: deadlines and
+/// a cooperative cancellation token.
+///
+/// Cycle- and round-denominated deadlines are **deterministic**: they
+/// are checked only at points the determinism contract already orders
+/// (the monolithic window advance and the coordinator's exclusive
+/// barrier window), so a run that blows a simulated deadline fails with
+/// the identical [`StepError::Deadline`] at any thread or worker count.
+/// The wall-clock deadline and the [`CancelToken`] are polled per
+/// scheduler wave — inherently host-dependent, opt-in escape hatches
+/// that no conformance check ever uses.
+#[derive(Debug, Clone, Default)]
+pub struct RunLimits {
+    deadline_cycles: Option<u64>,
+    deadline_rounds: Option<u64>,
+    wall_deadline_ms: Option<u64>,
+    cancel: Option<CancelToken>,
+}
+
+impl RunLimits {
+    fn is_empty(&self) -> bool {
+        self.deadline_cycles.is_none()
+            && self.deadline_rounds.is_none()
+            && self.wall_deadline_ms.is_none()
+            && self.cancel.is_none()
+    }
+}
+
+/// The resolved limit state for one run: wall deadlines become an
+/// [`Instant`] at run start so waves compare against a fixed point.
+struct RunCtrl {
+    deadline_cycles: Option<u64>,
+    deadline_rounds: Option<u64>,
+    wall: Option<(Instant, u64)>,
+    cancel: Option<CancelToken>,
+}
+
+impl RunCtrl {
+    fn new(limits: &RunLimits) -> RunCtrl {
+        RunCtrl {
+            deadline_cycles: limits.deadline_cycles,
+            deadline_rounds: limits.deadline_rounds,
+            wall: limits.wall_deadline_ms.map(|ms| (Instant::now(), ms)),
+            cancel: limits.cancel.clone(),
+        }
+    }
+
+    /// The nondeterministic per-wave checks: cancellation and the
+    /// wall-clock deadline. Cheap when no limit is armed.
+    fn check_wave(&self) -> Result<()> {
+        if let Some(tok) = &self.cancel
+            && tok.is_cancelled()
+        {
+            return Err(StepError::Cancelled);
+        }
+        if let Some((start, ms)) = &self.wall {
+            // Compare durations, not truncated milliseconds: a sub-ms
+            // elapsed would floor to 0 and sail past a 0 ms limit.
+            let elapsed = start.elapsed();
+            if elapsed > std::time::Duration::from_millis(*ms) {
+                return Err(StepError::Deadline {
+                    kind: DeadlineKind::WallMs,
+                    limit: *ms,
+                    at: elapsed.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The deterministic round-deadline check, run where `rounds` is a
+    /// pure function of the schedule (never mid-wave).
+    fn check_rounds(&self, rounds: u64) -> Result<()> {
+        if let Some(limit) = self.deadline_rounds
+            && rounds > limit
+        {
+            return Err(StepError::Deadline {
+                kind: DeadlineKind::Rounds,
+                limit,
+                at: rounds,
+            });
+        }
+        Ok(())
+    }
+
+    /// The deterministic cycle-deadline check, run when the global
+    /// horizon is about to advance past `t0` (the earliest pending
+    /// event): a run whose next event lies beyond the deadline can
+    /// never finish within it.
+    fn check_cycles(&self, t0: u64) -> Result<()> {
+        if let Some(limit) = self.deadline_cycles
+            && t0 > limit
+        {
+            return Err(StepError::Deadline {
+                kind: DeadlineKind::Cycles,
+                limit,
+                at: t0,
+            });
+        }
+        Ok(())
+    }
+
+    /// The authoritative deadline check on a finished run: a report
+    /// whose final cycle or round count exceeds its budget fails even
+    /// when the run completed without crossing a window boundary (small
+    /// graphs can quiesce in one pass). The mid-run checks are early
+    /// exits consistent with this one — a window trip at `t0 > limit`
+    /// implies the finished run would have blown the budget too.
+    fn check_final(&self, report: &SimReport) -> Result<()> {
+        self.check_cycles(report.cycles)?;
+        self.check_rounds(report.rounds)
+    }
 }
 
 impl RunBinding {
@@ -922,9 +1051,43 @@ impl RunBinding {
         self
     }
 
+    /// Fails the run with [`StepError::Deadline`] (`Cycles`) once the
+    /// conservative horizon would advance past `limit` simulated cycles
+    /// with work still pending. Deterministic at any thread count.
+    pub fn deadline_cycles(&mut self, limit: u64) -> &mut Self {
+        self.limits.deadline_cycles = Some(limit);
+        self
+    }
+
+    /// Fails the run with [`StepError::Deadline`] (`Rounds`) once the
+    /// scheduler has executed more than `limit` rounds with work still
+    /// pending. Deterministic at any thread count. (Monolithic plans
+    /// count waves; sharded plans count summed shard waves at each
+    /// coordination barrier.)
+    pub fn deadline_rounds(&mut self, limit: u64) -> &mut Self {
+        self.limits.deadline_rounds = Some(limit);
+        self
+    }
+
+    /// Fails the run with [`StepError::Deadline`] (`WallMs`) once more
+    /// than `limit` host milliseconds elapse. **Nondeterministic** — an
+    /// operational guard for untrusted workloads, never used by any
+    /// conformance check.
+    pub fn wall_deadline_ms(&mut self, limit: u64) -> &mut Self {
+        self.limits.wall_deadline_ms = Some(limit);
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`]: raising it fails the run
+    /// with [`StepError::Cancelled`] at the next scheduler wave.
+    pub fn cancel_token(&mut self, token: CancelToken) -> &mut Self {
+        self.limits.cancel = Some(token);
+        self
+    }
+
     /// Whether the binding carries no overrides.
     pub fn is_empty(&self) -> bool {
-        self.sources.is_empty() && self.preloads.is_empty()
+        self.sources.is_empty() && self.preloads.is_empty() && self.limits.is_empty()
     }
 }
 
@@ -1198,14 +1361,19 @@ impl SimPlan {
     /// non-`Source` node or violates the source's stream rank, plus the
     /// run errors of [`SimPlan::run`].
     pub fn run_bound(&self, binding: &RunBinding) -> Result<SimReport> {
+        let ctrl = RunCtrl::new(&binding.limits);
         if self.cfg.compiled {
             let mut state = self.build_compiled_state(binding)?;
-            self.drive(&mut state)?;
-            Ok(self.build_report(&mut state))
+            self.drive(&mut state, &ctrl)?;
+            let report = self.build_report(&mut state);
+            ctrl.check_final(&report)?;
+            Ok(report)
         } else {
             let mut state = self.build_state(binding)?;
-            self.drive(&mut state)?;
-            Ok(self.build_report(&mut state))
+            self.drive(&mut state, &ctrl)?;
+            let report = self.build_report(&mut state);
+            ctrl.check_final(&report)?;
+            Ok(report)
         }
     }
 
@@ -1242,6 +1410,7 @@ impl SimPlan {
         // Validate before taking the parked state: a rejected binding
         // must not cost the pool its buffers.
         self.validate_binding(binding)?;
+        let ctrl = RunCtrl::new(&binding.limits);
         let (mut state, reused) = match pool.state.take() {
             Some(mut st) if pool.plan_id == self.id => {
                 self.reset_state(&mut st, binding);
@@ -1249,8 +1418,11 @@ impl SimPlan {
             }
             _ => (self.build_compiled_state(binding)?, false),
         };
-        self.drive(&mut state)?;
+        self.drive(&mut state, &ctrl)?;
         let mut report = self.build_report(&mut state);
+        // A deadline blow is a failed run: state drops instead of
+        // parking, like every other error path.
+        ctrl.check_final(&report)?;
         report.run_allocs = u64::from(!reused);
         report.pool_resets = u64::from(reused);
         pool.plan_id = self.id;
@@ -1259,15 +1431,15 @@ impl SimPlan {
     }
 
     /// Drives a materialized run state to completion.
-    fn drive<N: NodeExec>(&self, state: &mut RunState<N>) -> Result<()> {
+    fn drive<N: NodeExec>(&self, state: &mut RunState<N>, ctrl: &RunCtrl) -> Result<()> {
         if self.plans.len() == 1 {
-            self.run_single(state)
+            self.run_single(state, ctrl)
         } else {
             let threads = self.cfg.threads.clamp(1, self.plans.len());
             if threads == 1 {
-                self.run_sharded_inline(state)
+                self.run_sharded_inline(state, ctrl)
             } else {
-                self.run_sharded_threaded(state, threads)
+                self.run_sharded_threaded(state, threads, ctrl)
             }
         }
     }
@@ -1393,7 +1565,7 @@ impl SimPlan {
     /// the conformance suite holds the two to bit-identical reports.
     fn reset_state(&self, state: &mut RunState<CompiledNode>, binding: &RunBinding) {
         for (sp, s) in self.plans.iter().zip(state.shards.iter_mut()) {
-            let s = s.get_mut().expect("shard lock");
+            let s = get_mut(s);
             let m = sp.node_ids.len();
             for (i, node) in s.nodes.iter_mut().enumerate() {
                 node.reset();
@@ -1426,10 +1598,10 @@ impl SimPlan {
     }
 
     /// Monolithic execution: one shard, immediate HBM commitment.
-    fn run_single<N: NodeExec>(&self, state: &mut RunState<N>) -> Result<()> {
+    fn run_single<N: NodeExec>(&self, state: &mut RunState<N>, ctrl: &RunCtrl) -> Result<()> {
         let mut horizon = self.cfg.horizon_step;
         let plan = &self.plans[0];
-        let shard = state.shards[0].get_mut().expect("shard lock");
+        let shard = get_mut(&mut state.shards[0]);
         loop {
             shard.run_to_quiescence(
                 plan,
@@ -1438,10 +1610,15 @@ impl SimPlan {
                 &state.store,
                 &self.graph,
                 Some(&mut state.hbm),
+                ctrl,
             )?;
             if shard.undone == 0 {
                 return Ok(());
             }
+            // Deterministic deadline checks sit at the window boundary:
+            // a finished run never trips them, and `rounds` here is a
+            // pure function of the schedule.
+            ctrl.check_rounds(shard.rounds)?;
             // Quiescent within the current window: advance the horizon to
             // the next pending channel event and wake the readers whose
             // heads became visible.
@@ -1450,6 +1627,7 @@ impl SimPlan {
                 shard.blocked_lines(plan, &self.graph, &mut lines);
                 return Err(deadlock_error(lines));
             };
+            ctrl.check_cycles(t0)?;
             let new_horizon = t0 + self.cfg.horizon_step;
             shard.wake_visible(plan, horizon, new_horizon);
             horizon = new_horizon;
@@ -1458,7 +1636,11 @@ impl SimPlan {
 
     /// Sharded execution on the calling thread: the reference schedule
     /// every worker count reproduces.
-    fn run_sharded_inline<N: NodeExec>(&self, state: &mut RunState<N>) -> Result<()> {
+    fn run_sharded_inline<N: NodeExec>(
+        &self,
+        state: &mut RunState<N>,
+        ctrl: &RunCtrl,
+    ) -> Result<()> {
         let mut horizon = self.cfg.horizon_step;
         let mut active: Vec<u32> = (0..state.shards.len() as u32).collect();
         state.counters.shard_runs += active.len() as u64;
@@ -1468,7 +1650,7 @@ impl SimPlan {
                 // Off-chip fast path: the sole runnable shard commits
                 // against the ledger immediately, like the monolithic
                 // engine.
-                let mut shard = state.shards[id as usize].lock().expect("shard lock");
+                let mut shard = lock(&state.shards[id as usize]);
                 let eff = shard.eff;
                 shard.run_to_quiescence(
                     &self.plans[id as usize],
@@ -1477,10 +1659,11 @@ impl SimPlan {
                     &state.store,
                     &self.graph,
                     Some(&mut state.hbm),
+                    ctrl,
                 )?;
             } else {
                 for &id in &active {
-                    let mut shard = state.shards[id as usize].lock().expect("shard lock");
+                    let mut shard = lock(&state.shards[id as usize]);
                     let eff = shard.eff;
                     shard.run_to_quiescence(
                         &self.plans[id as usize],
@@ -1489,6 +1672,7 @@ impl SimPlan {
                         &state.store,
                         &self.graph,
                         None,
+                        ctrl,
                     )?;
                 }
             }
@@ -1499,6 +1683,7 @@ impl SimPlan {
                 &mut horizon,
                 &mut active,
                 &mut state.counters,
+                ctrl,
             )? {
                 CoordStep::Done => return Ok(()),
                 CoordStep::Run => solo = None,
@@ -1518,6 +1703,7 @@ impl SimPlan {
         &self,
         state: &mut RunState<N>,
         threads: usize,
+        ctrl: &RunCtrl,
     ) -> Result<()> {
         let barrier = Barrier::new(threads);
         let stop = AtomicBool::new(false);
@@ -1543,13 +1729,13 @@ impl SimPlan {
                 loop {
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     let id = {
-                        let a = active.lock().expect("active list");
+                        let a = lock(&active);
                         match a.get(k) {
                             Some(&id) => id as usize,
                             None => return Ok(()),
                         }
                     };
-                    let mut shard = shards[id].lock().expect("shard lock");
+                    let mut shard = lock(&shards[id]);
                     let eff = shard.eff;
                     shard.run_to_quiescence(
                         &self.plans[id],
@@ -1558,6 +1744,7 @@ impl SimPlan {
                         store,
                         &self.graph,
                         None,
+                        ctrl,
                     )?;
                 }
             };
@@ -1568,10 +1755,8 @@ impl SimPlan {
                         panic_message(&p)
                     )))
                 });
-            if let Err(e) = result
-                && let Ok(mut slot) = failure.lock()
-            {
-                slot.get_or_insert(e);
+            if let Err(e) = result {
+                lock(&failure).get_or_insert(e);
             }
         };
 
@@ -1604,7 +1789,7 @@ impl SimPlan {
                     CoordStep::Done => break Ok(()),
                     CoordStep::Solo(id) => {
                         let solo = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            let mut shard = shards[id as usize].lock().expect("shard lock");
+                            let mut shard = lock(&shards[id as usize]);
                             let eff = shard.eff;
                             shard.run_to_quiescence(
                                 &self.plans[id as usize],
@@ -1613,6 +1798,7 @@ impl SimPlan {
                                 store,
                                 &self.graph,
                                 Some(hbm),
+                                ctrl,
                             )
                         }))
                         .unwrap_or_else(|p| {
@@ -1630,14 +1816,14 @@ impl SimPlan {
                         barrier.wait();
                         work();
                         barrier.wait();
-                        if let Some(e) = failure.lock().expect("failure slot").take() {
+                        if let Some(e) = lock(&failure).take() {
                             break Err(e);
                         }
                     }
                 }
                 let next = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let mut a = active.lock().expect("active list");
-                    coordinate(self, shards, hbm, &mut horizon, &mut a, counters)
+                    let mut a = lock(&active);
+                    coordinate(self, shards, hbm, &mut horizon, &mut a, counters, ctrl)
                 }))
                 .unwrap_or_else(|p| {
                     Err(StepError::Exec(format!(
@@ -1668,7 +1854,7 @@ impl SimPlan {
         let mut counters = state.counters.clone();
         let (mut chan_tokens, mut chan_runs) = (0, 0);
         for (sp, s) in self.plans.iter().zip(state.shards.iter_mut()) {
-            let s = s.get_mut().expect("shard lock");
+            let s = get_mut(s);
             rounds += s.rounds;
             if let Sched::Dedup { dedup_hits, .. } = &s.sched {
                 counters.wake_dedup += dedup_hits;
@@ -1809,12 +1995,10 @@ fn coordinate<N: NodeExec>(
     horizon: &mut u64,
     active: &mut Vec<u32>,
     counters: &mut SchedCounters,
+    ctrl: &RunCtrl,
 ) -> Result<CoordStep> {
     counters.sub_rounds += 1;
-    let mut gs: Vec<MutexGuard<'_, Shard<N>>> = shards
-        .iter()
-        .map(|s| s.lock().expect("shard lock"))
-        .collect();
+    let mut gs: Vec<MutexGuard<'_, Shard<N>>> = shards.iter().map(lock).collect();
 
     // Cross-shard transfer, in edge order. Idle edges — nothing queued,
     // no credits to return, flags and floor already mirrored — are
@@ -1915,6 +2099,11 @@ fn coordinate<N: NodeExec>(
     if undone == 0 {
         return Ok(CoordStep::Done);
     }
+    // Deterministic round deadline: summed shard waves are a pure
+    // function of the schedule, and the coordinator's exclusive window
+    // is ordered identically at every worker count. A finished run
+    // (checked above) never trips this.
+    ctrl.check_rounds(gs.iter().map(|s| s.rounds).sum())?;
 
     // Barrier elision: raise each shard's effective horizon to its
     // cut-slack allowance, waking readers of newly visible heads.
@@ -1951,6 +2140,11 @@ fn coordinate<N: NodeExec>(
             }
             return Err(deadlock_error(lines));
         };
+        // Deterministic cycle deadline, checked when the global horizon
+        // advances (under barrier elision shards may run ahead of it
+        // within their slack allowance, so the check is coarse — but
+        // t0 is a pure function of shard states, hence reproducible).
+        ctrl.check_cycles(t0)?;
         *horizon = t0 + plan.cfg.horizon_step;
         for (sp, s) in plan.plans.iter().zip(gs.iter_mut()) {
             s.raise_eff(sp, *horizon);

@@ -170,6 +170,7 @@
 //! ```
 
 pub mod arena;
+pub mod cancel;
 pub mod channel;
 pub mod config;
 pub mod engine;
@@ -179,7 +180,8 @@ pub mod nodes;
 pub mod run;
 pub mod stats;
 
+pub use cancel::CancelToken;
 pub use config::{HbmConfig, SimConfig};
-pub use engine::{RunBinding, RunPool, SimPlan, SimReport, Simulation};
+pub use engine::{RunBinding, RunLimits, RunPool, SimPlan, SimReport, Simulation};
 pub use fingerprint::Fingerprint;
 pub use stats::NodeStats;

@@ -40,7 +40,9 @@ pub struct NodeStats {
     /// Measured on-chip memory requirement in bytes, per the §4.2
     /// equations with dynamic quantities observed at runtime.
     pub onchip_bytes: u64,
-    /// Times the scheduler invoked this node's `fire`.
+    /// Times the scheduler invoked this node's `fire`. The shard-summed
+    /// total also rides in `StepError::RoundLimit` when a run blows its
+    /// `SimConfig::max_rounds` budget.
     pub fires: u64,
     /// Fires that made no progress (wasted polls; the event-driven
     /// scheduler keeps this near zero).
