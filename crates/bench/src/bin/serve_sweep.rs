@@ -13,14 +13,16 @@
 //! and counter), which extends the engine's thread-count-independence
 //! contract through the serving scheduler — and, since both sweeps run
 //! on the process-wide [`step_bench::SweepService`], the rerun is served
-//! from a warm plan cache, making it the warm-vs-cold identity check
-//! too. With `--quick` the sweep shrinks to one CI-affordable cell whose
-//! scheduling counters (iterations, admitted, evicted — exact), engine
-//! counters (fires, channel run ops — pinned ~5% above measured), and
-//! plan-cache counters (2 misses + 2 builds cold, 2 hits warm — exact)
-//! are guarded; like sched_bench, the guards are pure functions of the
-//! plan and can never flake on a noisy runner. Wall-clock is never
-//! asserted.
+//! from warm plan *and report* caches, making it the warm-vs-cold
+//! identity check too. With `--quick` the sweep shrinks to one
+//! CI-affordable cell whose scheduling counters (iterations, admitted,
+//! evicted — exact), engine counters (fires, channel run ops — pinned
+//! ~5% above measured), plan-cache counters (2 misses + 2 builds cold,
+//! 2 hits warm — exact), and report-cache counters (exact hit/miss
+//! split cold and warm, plus an engine-fires elision floor — the memo
+//! layer must skip ≥40% of the two passes' logical fire work) are
+//! guarded; like sched_bench, the guards are pure functions of the plan
+//! and can never flake on a noisy runner. Wall-clock is never asserted.
 //!
 //! Run with: `cargo run --release -p step-bench --bin serve_sweep`
 //! (`--quick` for the CI cell, `--json` to append one JSON row per cell
@@ -39,6 +41,16 @@ const QUICK_ITERATIONS: usize = 56;
 const QUICK_ADMITTED: u32 = 8;
 const QUICK_FIRE_BUDGET: u64 = 12_600_000;
 const QUICK_CHAN_RUN_BUDGET: u64 = 5_210_000;
+/// Report-memoization guards for the quick cell. Each pass issues
+/// `2 × QUICK_ITERATIONS` phase requests (QKV + MoE per iteration);
+/// the cold pass resolves some from intra-run repeats, the warm rerun
+/// resolves all of them from the shared service cache, leaving only
+/// attention on the engine (measured 8,638 fires — pinned ~5% above).
+/// Across both passes the cache must elide at least 40% of the logical
+/// fire work (two passes × the committed 12.0M-fire baseline).
+const QUICK_PHASE_REQUESTS: u64 = 2 * QUICK_ITERATIONS as u64;
+const QUICK_WARM_ENGINE_FIRE_BUDGET: u64 = 9_100;
+const QUICK_LOGICAL_FIRE_BASELINE: u64 = 12_000_000;
 
 fn json_line(r: &ServeRow) -> String {
     let rep = &r.report;
@@ -54,8 +66,10 @@ fn json_line(r: &ServeRow) -> String {
          \"ttft_p50\":{},\"ttft_p95\":{},\"ttft_p99\":{},\
          \"tpot_p50\":{},\"tpot_p95\":{},\"tpot_p99\":{},\
          \"hbm_bytes_per_cycle\":{:.2},\"hbm_utilization\":{:.4},\
-         \"iterations\":{},\"admitted\":{},\"evicted\":{},\"completed\":{},\
-         \"total_cycles\":{},\"busy_cycles\":{},\"fires\":{},\"chan_runs\":{}}}",
+         \"iterations\":{},\"admitted\":{},\"evicted\":{},\"shed\":{},\"completed\":{},\
+         \"total_cycles\":{},\"busy_cycles\":{},\"fires\":{},\"chan_runs\":{},\
+         \"engine_fires\":{},\"report_cache\":{{\"hits\":{},\"misses\":{},\
+         \"canonical_hits\":{}}}}}",
         r.mean_interarrival,
         r.prefill_chunk
             .map_or("null".to_string(), |c| c.to_string()),
@@ -72,11 +86,16 @@ fn json_line(r: &ServeRow) -> String {
         rep.iterations.len(),
         rep.admitted_total,
         rep.evicted_total,
+        rep.shed_total,
         rep.outcomes.len(),
         rep.total_cycles,
         rep.busy_cycles,
         rep.total_fires,
         rep.chan_runs,
+        rep.engine_fires,
+        rep.report_cache.hits,
+        rep.report_cache.misses,
+        rep.report_cache.canonical_hits,
     )
 }
 
@@ -135,6 +154,47 @@ fn main() {
             "quick-cell channel run ops regressed: {} > budget {QUICK_CHAN_RUN_BUDGET}",
             rep.chan_runs,
         );
+        // Report-memoization pins. Every iteration issues one QKV and
+        // one MoE request; the split between hits and misses is a pure
+        // function of the trace (which token counts and routings
+        // repeat), so the cold pin is exact. The warm rerun replays
+        // every phase from the shared service cache: zero misses, only
+        // attention still reaches the engine.
+        let warm = &rerun[0].report;
+        for (label, r) in [("cold", rep), ("warm", warm)] {
+            assert_eq!(
+                r.report_cache.hits + r.report_cache.misses,
+                QUICK_PHASE_REQUESTS,
+                "{label} pass: phase-request accounting moved — if intentional, re-pin"
+            );
+            assert_eq!(
+                r.report_cache.canonical_hits, 0,
+                "{label} pass: canonical hits without moe_canonical on"
+            );
+        }
+        assert_eq!(
+            (rep.report_cache.hits, rep.report_cache.misses),
+            (42, 70),
+            "cold-pass report-cache split moved — if intentional, re-pin"
+        );
+        assert_eq!(
+            (warm.report_cache.hits, warm.report_cache.misses),
+            (QUICK_PHASE_REQUESTS, 0),
+            "warm rerun missed the shared report cache"
+        );
+        assert!(
+            warm.engine_fires <= QUICK_WARM_ENGINE_FIRE_BUDGET,
+            "warm-pass engine fires regressed: {} > budget {QUICK_WARM_ENGINE_FIRE_BUDGET}",
+            warm.engine_fires,
+        );
+        // The elision floor: across cold + warm the memo layer must
+        // skip at least 40% of the logical fire work.
+        let executed = rep.engine_fires + warm.engine_fires;
+        let logical = 2 * QUICK_LOGICAL_FIRE_BASELINE;
+        assert!(
+            executed * 10 <= logical * 6,
+            "report cache elided <40% of fire work: executed {executed} of {logical} logical",
+        );
     }
 
     if json {
@@ -167,7 +227,9 @@ fn main() {
         );
         println!("\nsame-seed warm-cache rerun bit-identical on every cell: ok");
         if quick {
-            println!("quick-cell scheduling, engine, and plan-cache counter budgets: ok");
+            println!(
+                "quick-cell scheduling, engine, plan-cache, and report-cache counter budgets: ok"
+            );
         }
     }
 }

@@ -13,6 +13,15 @@
 //!   plan. Concurrent misses on one key are **single-flight**: the first
 //!   requester builds, the rest wait on the same build and share the
 //!   result;
+//! - a [`step_sim::ReportCache`] shared across serve jobs, next to the
+//!   plan cache and under the same single-flight discipline: serving
+//!   iterations whose QKV or MoE signature repeats — within a job or
+//!   across jobs sharing a cell configuration — replay a cached
+//!   [`SimReport`] instead of running the engine
+//!   ([`step_models::serving::run_serve_memo`]). Like the plan cache its
+//!   counters are request-scoped and scheduler-independent, failed runs
+//!   park a sticky `Failed` slot that the next request retakes, and
+//!   panics resolve to typed errors instead of stranding waiters;
 //! - a `std::thread` worker pool (no external deps, per the workspace
 //!   convention). Each worker keeps a private `plan.id() →`[`RunPool`]
 //!   map, so once a worker has run a plan, its later points on that plan
@@ -74,7 +83,7 @@ use std::time::Instant;
 use step_core::sync::{lock, wait};
 use step_core::{Graph, Result, StepError};
 use step_models::serving::{PlanSource, ServeJob, ServeReport};
-use step_sim::{RunBinding, RunPool, SimConfig, SimPlan, SimReport};
+use step_sim::{ReportCache, RunBinding, RunPool, SimConfig, SimPlan, SimReport};
 
 /// Cache key: what a frozen plan is a pure function of.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -454,6 +463,9 @@ struct QueueState {
 
 struct ServiceInner {
     cache: PlanCache,
+    /// Shared report memoization for serve jobs (plans come from
+    /// `cache`, steady-state phase *reports* come from here).
+    reports: ReportCache,
     queue: Mutex<QueueState>,
     work_ready: Condvar,
     /// Wakes submitters blocked on a full queue (bounded-depth mode).
@@ -488,6 +500,7 @@ impl SweepService {
     pub fn with_queue_depth(workers: usize, depth: usize) -> SweepService {
         let inner = Arc::new(ServiceInner {
             cache: PlanCache::new(),
+            reports: ReportCache::new(),
             queue: Mutex::new(QueueState {
                 tasks: VecDeque::new(),
                 shutdown: false,
@@ -534,6 +547,13 @@ impl SweepService {
     /// as a [`PlanSource`]).
     pub fn cache(&self) -> &PlanCache {
         &self.inner.cache
+    }
+
+    /// The shared report cache serve jobs memoize their QKV and MoE
+    /// phase reports in (cumulative counters for CI pins). Sim points
+    /// don't consult it — their reports are one-shot by construction.
+    pub fn reports(&self) -> &ReportCache {
+        &self.inner.reports
     }
 
     /// Enqueues `units` and returns a stream yielding one result per
@@ -703,7 +723,7 @@ fn worker_loop(inner: &ServiceInner) {
         // the worker keeps serving the queue.
         let unit = task.unit;
         let report = catch_unwind(AssertUnwindSafe(|| {
-            run_unit(&inner.cache, unit, &mut pools)
+            run_unit(&inner.cache, &inner.reports, unit, &mut pools)
         }))
         .unwrap_or_else(|p| Err(UnitError::Panicked(panic_message(p.as_ref()))));
         // A dropped stream just discards results; the worker lives on.
@@ -742,6 +762,7 @@ impl PlanSource for TaggedSource<'_> {
 
 fn run_unit(
     cache: &PlanCache,
+    reports: &ReportCache,
     unit: SweepUnit,
     pools: &mut HashMap<u64, RunPool>,
 ) -> std::result::Result<UnitReport, UnitError> {
@@ -763,7 +784,7 @@ fn run_unit(
                 cache,
                 build_error: std::cell::Cell::new(false),
             };
-            match job.run_with(&src) {
+            match job.run_memo(&src, reports) {
                 Ok(report) => Ok(UnitReport::Serve(report)),
                 Err(e) if src.build_error.get() => Err(classify_build(e)),
                 Err(e) => Err(classify_run(e)),

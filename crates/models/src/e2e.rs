@@ -14,9 +14,7 @@ use crate::attention::{
 };
 use crate::config::ModelConfig;
 use crate::moe::{MoeCfg, Tiling, moe_graph, moe_graph_with_ports};
-use crate::phases::{
-    QkvCache, bind_attention, bind_moe, debug_assert_steady, moe_sim_config, qkv_graph,
-};
+use crate::phases::{bind_attention, bind_moe, debug_assert_steady, moe_sim_config, qkv_graph};
 use step_core::Result;
 use step_sim::{RunPool, SimConfig, SimPlan, SimReport};
 use step_traces::{KvTrace, KvTraceConfig, RoutingConfig, Variability, expert_routing, kv_lengths};
@@ -273,12 +271,11 @@ pub fn run_decode(
     }
     let (moe_g, moe_ports) = moe_graph_with_ports(&moe_cfg, &routing_at(0))?;
     let moe_plan = SimPlan::new(moe_g, moe_sim_config())?;
-    // QKV is one token per request regardless of iteration: the cache
-    // simulates the count once and serves the report afterwards
-    // (reused-plan runs are bit-identical anyway, so this changes
-    // nothing but wall time).
-    let mut qkv_cache = QkvCache::new(SimConfig::default());
-    let qkv = qkv_cache.report(model, batch)?.clone();
+    // QKV is one token per request regardless of iteration: simulate
+    // the count once up front and reuse the report every iteration
+    // (reruns are bit-identical anyway, so this changes nothing but
+    // wall time).
+    let qkv = SimPlan::new(qkv_graph(model, batch)?, SimConfig::default())?.run()?;
 
     let mut iterations = Vec::with_capacity(cfg.iterations as usize);
     let (mut total_cycles, mut offchip_traffic) = (0u64, 0u64);

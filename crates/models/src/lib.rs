@@ -31,6 +31,18 @@
 //! busy cycle). Every serving run is a pure function of
 //! `(model, variant, trace, ServeCfg minus threads)` — bit-identical
 //! across reruns, thread counts, and pooled vs fresh run state.
+//!
+//! Steady-state iterations additionally memoize their QKV and MoE
+//! reports through a binding-keyed [`step_sim::ReportCache`] (reports
+//! are pure functions of `(plan, binding)`, so replay is exact):
+//! [`phases::qkv_fingerprint`] keys the bindingless QKV phase,
+//! [`phases::canonical_routing`] optionally canonicalizes MoE routings
+//! before binding ([`serving::ServeCfg::moe_canonical`]) so
+//! order-permuted routings share one exact entry, and
+//! [`serving::ServeReport::engine_fires`] reports the fires the engine
+//! actually executed versus the logical total. The differential proof
+//! (and the measured refutation of order-permuted *replay*) lives in
+//! `tests/report_memo_conformance.rs`.
 
 pub mod attention;
 pub mod config;

@@ -9,9 +9,14 @@
 //!
 //! - [`bind_attention`] / [`bind_moe`] build the per-iteration
 //!   [`RunBinding`]s from a KV trace / routing trace;
-//! - [`QkvCache`] memoizes the QKV phase per token count (the QKV graph
-//!   has no rebindable inputs — its report is a pure function of the
-//!   token count, so each distinct count simulates exactly once);
+//! - [`qkv_fingerprint`] / [`canonical_routing`] /
+//!   [`moe_canonical_key`] are the report-memoization machinery for the
+//!   two memoizable phases: the QKV graph has no rebindable inputs (its
+//!   report is a pure function of `(model, tokens, SimConfig)`, so the
+//!   graph identity *is* the key), and MoE routings that are the same
+//!   multiset of expert sets can be **canonicalized** to one binding so
+//!   they share one exact cache entry. The serving driver routes both
+//!   phases through one [`step_sim::ReportCache`];
 //! - [`debug_assert_steady`] pins the steady-state contract both drivers
 //!   rely on: after the warmup iteration materializes the pooled run
 //!   state, every later iteration must reset it in place
@@ -22,10 +27,9 @@ use crate::attention::{AttentionCfg, AttentionPorts, attention_request_tokens};
 use crate::config::ModelConfig;
 use crate::moe::{MoePorts, moe_router_tokens, moe_token_stream};
 use crate::swiglu::{GemmCfg, build_gemm};
-use std::collections::BTreeMap;
 use step_core::Result;
 use step_core::graph::GraphBuilder;
-use step_sim::{RunBinding, SimConfig, SimPlan, SimReport};
+use step_sim::{Fingerprint, RunBinding, SimConfig, SimReport};
 use step_traces::{KvTrace, RoutingTrace};
 
 /// The per-iteration attention binding: the `attn.requests` source
@@ -92,50 +96,83 @@ pub fn qkv_graph(model: &ModelConfig, tokens: usize) -> Result<step_core::Graph>
     Ok(g.finish())
 }
 
-/// Memoized QKV phase reports, keyed by token count.
+/// The builder-fingerprint half of the QKV phase's report-cache key.
 ///
 /// The QKV graph has no rebindable sources: its report is a pure
-/// function of `(model, tokens, SimConfig)`, so each distinct token
-/// count is simulated exactly once and served from the cache afterwards
-/// — in steady state (a full serving batch, or any fixed-batch decode
-/// loop) the QKV phase performs no simulation work at all.
-#[derive(Debug, Default)]
-pub struct QkvCache {
-    cfg: SimConfig,
-    reports: BTreeMap<usize, SimReport>,
+/// function of `(model, tokens, SimConfig)`, so the graph's identity is
+/// the whole binding-independent key (the [`RunBinding`] half is the
+/// empty binding's fingerprint). Folds exactly the model fields
+/// [`qkv_graph`] reads, so two models whose QKV GEMMs coincide share
+/// their reports.
+pub fn qkv_fingerprint(model: &ModelConfig, tokens: usize) -> u64 {
+    let mut fp = Fingerprint::new("phase.qkv");
+    fp.push_u64(model.hidden)
+        .push_u64(model.q_heads)
+        .push_u64(model.kv_heads)
+        .push_u64(model.head_dim)
+        .push_u64(tokens as u64);
+    fp.finish()
 }
 
-impl QkvCache {
-    /// An empty cache whose simulations run under `cfg`.
-    pub fn new(cfg: SimConfig) -> QkvCache {
-        QkvCache {
-            cfg,
-            reports: BTreeMap::new(),
+/// The canonical form of a routing trace: each per-token expert set
+/// sorted and deduped (exactly the normalization `Selector::multi`
+/// applies when the routing is bound, so this half changes nothing the
+/// engine sees), then the whole collection sorted — erasing token
+/// order. Two routings that are permutations of the same **multiset**
+/// of expert sets canonicalize to the identical trace, and therefore to
+/// the identical [`RunBinding`] and — by the determinism contract — the
+/// identical report.
+///
+/// This is how the serving driver's
+/// [`crate::serving::ServeCfg::moe_canonical`] mode makes order-permuted
+/// iterations share one *exact* report-cache entry. Canonicalizing the
+/// binding, rather than nominating a canonical *replay* class on the
+/// cache, is deliberate: differential measurement
+/// ([`step_sim::ReportCache::checked`]) refuted the folk invariance
+/// that token order cannot matter — permuting which token carries which
+/// expert set changes token adjacency, with it how the engine coalesces
+/// channel runs, and through scheduling even `cycles` and `rounds`
+/// drift (measured: 1979 vs 1981 cycles on a 4-expert plan), so an
+/// order-permuted replay is *not* aggregate-equivalent and may not be
+/// substituted. Re-simulating the canonical order is exact by
+/// construction; `crates/models/tests/report_memo_conformance.rs`
+/// carries both the proof and the refutation.
+pub fn canonical_routing(routing: &RoutingTrace) -> RoutingTrace {
+    let mut sets: Vec<Vec<u32>> = routing
+        .assignments
+        .iter()
+        .map(|set| {
+            let mut s = set.clone();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect();
+    sets.sort_unstable();
+    RoutingTrace {
+        assignments: sets,
+        experts: routing.experts,
+    }
+}
+
+/// The order-invariant identity of a routing's expert-set multiset —
+/// a fingerprint of [`canonical_routing`]: equal keys iff the two
+/// routings canonicalize to the same trace. The histogram (per-expert
+/// token counts) would be weaker — equal histograms with different
+/// token↔set pairings change even the per-expert workloads — which is
+/// why the key folds the multiset and not the histogram.
+pub fn moe_canonical_key(routing: &RoutingTrace) -> u64 {
+    let canon = canonical_routing(routing);
+    let mut fp = Fingerprint::new("phase.moe.canonical");
+    fp.push_u64(u64::from(canon.experts));
+    fp.push_u64(canon.assignments.len() as u64);
+    for set in &canon.assignments {
+        fp.push_u64(set.len() as u64);
+        for e in set {
+            fp.push_u64(u64::from(*e));
         }
     }
-
-    /// The QKV report for `tokens` tokens, simulating on first use.
-    ///
-    /// # Errors
-    ///
-    /// Propagates graph-construction and simulation errors.
-    pub fn report(&mut self, model: &ModelConfig, tokens: usize) -> Result<&SimReport> {
-        if !self.reports.contains_key(&tokens) {
-            let report = SimPlan::new(qkv_graph(model, tokens)?, self.cfg.clone())?.run()?;
-            self.reports.insert(tokens, report);
-        }
-        Ok(&self.reports[&tokens])
-    }
-
-    /// Distinct token counts simulated so far.
-    pub fn len(&self) -> usize {
-        self.reports.len()
-    }
-
-    /// Whether no token count has been simulated yet.
-    pub fn is_empty(&self) -> bool {
-        self.reports.is_empty()
-    }
+    fp.finish()
 }
 
 /// Pins the steady-state contract of the multi-iteration drivers: once

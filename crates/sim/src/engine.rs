@@ -104,6 +104,7 @@ use crate::arena::{Arena, ArenaEvent, SharedStore, peak_of_events};
 use crate::cancel::CancelToken;
 use crate::channel::{Channel, event};
 use crate::config::SimConfig;
+use crate::fingerprint::Fingerprint;
 use crate::hbm::{Hbm, HbmRequest};
 use crate::nodes::{self, Chans, CompiledNode, Ctx, HbmPort, HbmSink, NodeExec, SimNode};
 use crate::run::TimeRun;
@@ -1088,6 +1089,54 @@ impl RunBinding {
     /// Whether the binding carries no overrides.
     pub fn is_empty(&self) -> bool {
         self.sources.is_empty() && self.preloads.is_empty() && self.limits.is_empty()
+    }
+
+    /// The content identity of this binding for report-cache keys: a
+    /// seeded [`crate::Fingerprint`] folding every bound source's token
+    /// stream (in node-id order — `sources` is a `BTreeMap`, so
+    /// insertion order cannot leak in), every preload (address, shape,
+    /// and data bits), and the **deterministic** limits (cycle and round
+    /// deadlines change a run's outcome, so they are part of its
+    /// identity). The host-dependent limits — wall deadline and
+    /// cancellation — are deliberately *not* folded: they make the
+    /// outcome impure, which [`RunBinding::cache_safe`] reports so
+    /// caches can bypass such bindings entirely.
+    ///
+    /// Two bindings with equal fingerprints drive a given plan to
+    /// bit-identical reports (minus the host-side `run_allocs` /
+    /// `pool_resets` bookkeeping); any single-token, ordering, or
+    /// preload perturbation changes the fingerprint
+    /// (`crates/sim/tests/report_cache.rs` holds both directions over
+    /// seeded generators).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("RunBinding");
+        fp.push_u64(self.sources.len() as u64);
+        for (id, tokens) in &self.sources {
+            fp.push_debug(id).push_u64(tokens.len() as u64);
+            fp.push_debug(tokens);
+        }
+        fp.push_u64(self.preloads.len() as u64);
+        for (base, rows, cols, data) in &self.preloads {
+            fp.push_u64(*base)
+                .push_u64(*rows as u64)
+                .push_u64(*cols as u64)
+                .push_u64(data.len() as u64);
+            for v in data {
+                fp.push_u64(u64::from(v.to_bits()));
+            }
+        }
+        fp.push_debug(&self.limits.deadline_cycles);
+        fp.push_debug(&self.limits.deadline_rounds);
+        fp.finish()
+    }
+
+    /// Whether a run of this binding is a pure function of
+    /// `(plan, binding)`: true unless a host-dependent limit is armed
+    /// (wall-clock deadline or cancellation token), whose firing depends
+    /// on the host scheduler. [`crate::ReportCache`] refuses to store or
+    /// serve bindings that are not cache-safe.
+    pub fn cache_safe(&self) -> bool {
+        self.limits.wall_deadline_ms.is_none() && self.limits.cancel.is_none()
     }
 }
 

@@ -139,6 +139,16 @@
 //!   per node (`fire_profile` consumes it) — host-dependent and never
 //!   part of any determinism check.
 //!
+//! The determinism contract is also what makes reports *memoizable*:
+//! [`report_cache::ReportCache`] keys a shared cache by
+//! `(plan content key, RunBinding::fingerprint)` and replays a cloned
+//! [`engine::SimReport`] instead of running the engine when an
+//! iteration's signature repeats — single-flight under concurrency,
+//! with an optional caller-proved canonical layer and a differential
+//! [`report_cache::ReportCache::checked`] mode that re-simulates every
+//! hit to assert the replay guarantee. The serving driver in
+//! `step-models` routes its QKV and MoE phases through it.
+//!
 //! # Example
 //!
 //! ```
@@ -177,6 +187,7 @@ pub mod engine;
 pub mod fingerprint;
 pub mod hbm;
 pub mod nodes;
+pub mod report_cache;
 pub mod run;
 pub mod stats;
 
@@ -184,4 +195,7 @@ pub use cancel::CancelToken;
 pub use config::{HbmConfig, SimConfig};
 pub use engine::{RunBinding, RunLimits, RunPool, SimPlan, SimReport, Simulation};
 pub use fingerprint::Fingerprint;
+pub use report_cache::{
+    Replay, ReportAggregates, ReportCache, ReportCacheStats, Resolution, plan_content_key,
+};
 pub use stats::NodeStats;

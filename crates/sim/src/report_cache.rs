@@ -1,0 +1,532 @@
+//! Binding-keyed memoization of simulation reports.
+//!
+//! The determinism contract makes every [`SimReport`] a pure function of
+//! `(plan, binding)`: a rerun of the same frozen [`crate::SimPlan`] with
+//! the same [`RunBinding`] is bit-identical, however many times and on
+//! however many threads it runs. [`ReportCache`] exploits that at the
+//! *report* level, the way [`crate::SimPlan`] already exploits it at the
+//! plan level and [`crate::RunPool`] at the run-state level: iterations
+//! whose signature repeats skip the engine entirely and replay a cloned
+//! report.
+//!
+//! # Key contract
+//!
+//! The cache has two layers with different guarantees:
+//!
+//! - **Exact layer** — keyed by `(plan content key, binding
+//!   fingerprint)` ([`plan_content_key`] × [`RunBinding::fingerprint`]).
+//!   A hit replays the exact `(plan, binding)` pair, so the returned
+//!   report is **bit-identical** to re-simulation by the determinism
+//!   contract — minus the host-side `run_allocs` / `pool_resets`
+//!   bookkeeping, which records how the original run materialized its
+//!   state, not what it computed.
+//! - **Canonical layer** — keyed by `(plan content key, caller-supplied
+//!   canonical key)`. The caller nominates an equivalence class whose
+//!   members provably share their **aggregate projection**
+//!   ([`ReportAggregates`]: cycles, off-chip traffic, on-chip memory,
+//!   FLOPs, rounds, channel tokens). The projection deliberately
+//!   excludes the engine-execution counters (`total_fires`,
+//!   `idle_fires`, `chan_runs`): those depend on how the scheduler
+//!   coalesced runs, which depends on token adjacency. A canonical hit
+//!   therefore guarantees the projection only, and must only feed
+//!   consumers that read it. The safety of a canonical key is never
+//!   assumed: [`ReportCache::checked`] re-runs every hit and asserts
+//!   the guarantee — full normalized-report equality for exact hits,
+//!   projection equality for canonical hits — and the conformance
+//!   suites drive that mode across seeds and thread counts. That
+//!   differential mode has teeth: it *refuted* the candidate class
+//!   "MoE routings with equal expert-set multisets" (run coalescing
+//!   drifts with token adjacency, and through scheduling even `cycles`
+//!   and `rounds` move), which is why the serving driver canonicalizes
+//!   such bindings and lets the exact layer share them instead of
+//!   nominating them here.
+//!
+//! The plan half of the key is **content**, not identity:
+//! [`plan_content_key`] folds the builder fingerprint with
+//! [`SimConfig::fingerprint`] (which excludes `threads`), so replays hit
+//! across plan rebuilds, across a shared plan cache, and across thread
+//! counts — the same normalization the sweep service's `PlanCache` key
+//! uses.
+//!
+//! Bindings that arm a host-dependent limit (wall deadline,
+//! cancellation) are not pure functions of `(plan, binding)`;
+//! [`RunBinding::cache_safe`] reports them and the cache bypasses such
+//! runs — simulated, counted as misses, never stored or served.
+//!
+//! # Counter semantics
+//!
+//! [`ReportCacheStats`] counts per request, mirroring the sweep
+//! service's plan-cache discipline so the counters are
+//! scheduler-independent and CI can pin them exactly: concurrent misses
+//! on one exact key are **single-flight** (the first requester
+//! simulates; coalesced waiters share the result and count as hits), a
+//! failed run moves its slot to a sticky `Failed` state that wakes every
+//! coalesced waiter with the error, and the next request for the key
+//! retakes the claim (a new miss). `hits + misses` always equals the
+//! requests made; `canonical_hits` says how many hits came from the
+//! canonical layer. [`ReportCache::checked`]'s re-simulations change no
+//! counter — the stats are mode-independent.
+
+use crate::config::SimConfig;
+use crate::engine::{RunBinding, SimReport};
+use crate::fingerprint::Fingerprint;
+use std::collections::HashMap;
+use std::panic::{AssertUnwindSafe, catch_unwind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use step_core::error::{Result, StepError};
+use step_core::sync::{lock, wait};
+
+/// The plan half of a report-cache key: the builder fingerprint folded
+/// with [`SimConfig::fingerprint`]. Two plans with equal content keys
+/// are interchangeable by the determinism contract (the config
+/// fingerprint excludes `threads`), so reports replay across rebuilds,
+/// shared plan caches, and thread counts.
+pub fn plan_content_key(builder: u64, cfg: &SimConfig) -> u64 {
+    let mut fp = Fingerprint::new("ReportCache.plan");
+    fp.push_u64(builder).push_u64(cfg.fingerprint());
+    fp.finish()
+}
+
+/// How a [`ReportCache::replay_or_run`] request was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Served from the exact layer: bit-identical replay of this very
+    /// `(plan, binding)` pair.
+    Exact,
+    /// Served from the canonical layer: a replay of an equivalent
+    /// binding ([`ReportAggregates`] guaranteed; per-node attribution
+    /// and the engine-execution counters may differ).
+    Canonical,
+    /// The engine actually ran (cache miss, disabled mode, or a
+    /// non-cache-safe binding).
+    Simulated,
+}
+
+/// A resolved replay: the (shared) report plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// The report — cloned cheaply via `Arc` on hits.
+    pub report: Arc<SimReport>,
+    /// How the request resolved.
+    pub resolution: Resolution,
+}
+
+/// Cumulative [`ReportCache`] counters. Request-scoped and
+/// scheduler-independent (single-flight, see the module docs), so CI
+/// pins them exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReportCacheStats {
+    /// Requests served without simulating — exact and canonical hits,
+    /// including waiters coalesced behind an in-flight miss.
+    pub hits: u64,
+    /// Requests that simulated: cache misses, plus bypassed
+    /// non-cache-safe bindings.
+    pub misses: u64,
+    /// The subset of `hits` served from the canonical layer.
+    pub canonical_hits: u64,
+}
+
+impl ReportCacheStats {
+    /// Folds one request's [`Resolution`] into these counters — for
+    /// drivers keeping request-scoped stats of their own runs alongside
+    /// a shared cache's cumulative ones.
+    pub fn absorb(&mut self, resolution: Resolution) {
+        match resolution {
+            Resolution::Exact => self.hits += 1,
+            Resolution::Canonical => {
+                self.hits += 1;
+                self.canonical_hits += 1;
+            }
+            Resolution::Simulated => self.misses += 1,
+        }
+    }
+}
+
+/// The aggregate projection of a [`SimReport`] that canonical hits
+/// guarantee: the whole-run *performance* scalars. Excluded, and
+/// deliberately so:
+///
+/// - per-node attribution (`node_stats`) and recorded sink streams —
+///   they permute across class members by construction;
+/// - the host-side pool counters (`run_allocs`, `pool_resets`) — they
+///   record how a run materialized state, not what it computed;
+/// - the engine-execution counters (`total_fires`, `idle_fires`,
+///   `chan_runs`) — run coalescing depends on token *adjacency*, so
+///   even bindings whose performance metrics coincide can need
+///   different runs and fires to execute.
+///
+/// [`ReportCache::checked`] asserts equality of this projection on
+/// every canonical hit. Note that the projection still contains
+/// schedule-derived scalars (`cycles`, `rounds`): a sound canonical
+/// class must preserve *those* too, which is a strong demand — checked
+/// mode refuted it for order-permuted MoE routings (see
+/// `step_models::phases::canonical_routing` for the rebinding approach
+/// used instead), and any new class must earn it the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportAggregates {
+    /// [`SimReport::cycles`].
+    pub cycles: u64,
+    /// [`SimReport::offchip_traffic`].
+    pub offchip_traffic: u64,
+    /// [`SimReport::offchip_read`].
+    pub offchip_read: u64,
+    /// [`SimReport::offchip_write`].
+    pub offchip_write: u64,
+    /// [`SimReport::onchip_memory`].
+    pub onchip_memory: u64,
+    /// [`SimReport::arena_peak`].
+    pub arena_peak: u64,
+    /// [`SimReport::total_flops`].
+    pub total_flops: u64,
+    /// [`SimReport::rounds`].
+    pub rounds: u64,
+    /// [`SimReport::chan_tokens`].
+    pub chan_tokens: u64,
+}
+
+impl ReportAggregates {
+    /// Projects a report onto its canonical-hit guarantee.
+    pub fn of(r: &SimReport) -> ReportAggregates {
+        ReportAggregates {
+            cycles: r.cycles,
+            offchip_traffic: r.offchip_traffic,
+            offchip_read: r.offchip_read,
+            offchip_write: r.offchip_write,
+            onchip_memory: r.onchip_memory,
+            arena_peak: r.arena_peak,
+            total_flops: r.total_flops,
+            rounds: r.rounds,
+            chan_tokens: r.chan_tokens,
+        }
+    }
+}
+
+/// A report with the host-side run-materialization counters zeroed —
+/// what "bit-identical" means for a replay: the original run may have
+/// built fresh state (`run_allocs == 1`) while the re-simulation reset a
+/// pool in place, without either changing anything the engine computed.
+fn normalized(r: &SimReport) -> SimReport {
+    SimReport {
+        run_allocs: 0,
+        pool_resets: 0,
+        ..r.clone()
+    }
+}
+
+/// Cache operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Memoize (the default).
+    Enabled,
+    /// Memoize, and differentially re-simulate **every** hit, asserting
+    /// the layer's guarantee. Conformance-suite mode.
+    Checked,
+    /// Pure passthrough: always simulate, never store, count nothing.
+    Disabled,
+}
+
+/// An exact-layer slot: ready, claimed by an in-flight run, or failed.
+/// Claims are stamped with a cache-wide epoch exactly like the sweep
+/// service's plan cache: a waiter sleeps while the slot is `Building`
+/// with its epoch and receives the error iff the slot is `Failed` with
+/// that same epoch — otherwise the world moved on and it re-dispatches.
+enum Slot {
+    Building {
+        epoch: u64,
+    },
+    Ready(Arc<SimReport>),
+    /// Sticky until the next request retakes the claim, so waiters that
+    /// coalesced on the failed run all observe the error instead of
+    /// sleeping forever.
+    Failed {
+        error: StepError,
+        epoch: u64,
+    },
+}
+
+/// A shared, single-flight, two-layer cache of [`SimReport`]s (see the
+/// module docs for the key contract and counter semantics).
+pub struct ReportCache {
+    mode: Mode,
+    slots: Mutex<HashMap<(u64, u64), Slot>>,
+    /// Canonical layer: first successful run of each `(plan, canonical
+    /// key)` class. Locked strictly after `slots` (never the other way),
+    /// so the two mutexes cannot deadlock.
+    canon: Mutex<HashMap<(u64, u64), Arc<SimReport>>>,
+    ready: Condvar,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    canonical_hits: AtomicU64,
+}
+
+impl Default for ReportCache {
+    fn default() -> ReportCache {
+        ReportCache::new()
+    }
+}
+
+impl ReportCache {
+    fn with_mode(mode: Mode) -> ReportCache {
+        ReportCache {
+            mode,
+            slots: Mutex::new(HashMap::new()),
+            canon: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            canonical_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// An empty memoizing cache.
+    pub fn new() -> ReportCache {
+        ReportCache::with_mode(Mode::Enabled)
+    }
+
+    /// A differential cache: every hit **re-simulates** and asserts its
+    /// layer's guarantee — full normalized-report equality for exact
+    /// hits, [`ReportAggregates`] equality for canonical hits — then
+    /// still serves the cached report. Counters are unchanged by the
+    /// re-runs, so pins written against [`ReportCache::new`] hold here
+    /// too. A violated guarantee panics with both sides; this is how the
+    /// conformance suites *prove* (not assume) canonical-key safety.
+    pub fn checked() -> ReportCache {
+        ReportCache::with_mode(Mode::Checked)
+    }
+
+    /// A passthrough cache: every request simulates, nothing is stored,
+    /// no counter moves. The cache-off differential baseline.
+    pub fn disabled() -> ReportCache {
+        ReportCache::with_mode(Mode::Disabled)
+    }
+
+    /// Whether this cache re-simulates hits ([`ReportCache::checked`]).
+    pub fn is_checked(&self) -> bool {
+        self.mode == Mode::Checked
+    }
+
+    /// Resolves one `(plan, binding)` request: replays a cached report
+    /// when the exact or canonical layer holds one, otherwise runs
+    /// `run` (which must simulate exactly this pair — pooled or fresh,
+    /// both are bit-identical) and stores the result under both layers.
+    ///
+    /// `plan` is the plan's **content** key ([`plan_content_key`]).
+    /// `canonical` nominates the binding's equivalence class for the
+    /// canonical layer, or `None` to use the exact layer only; the
+    /// caller owns the proof that class members share their
+    /// [`ReportAggregates`] (drive [`ReportCache::checked`] over the
+    /// class in a test to earn it).
+    ///
+    /// Concurrent requests for one exact key coalesce onto a single
+    /// `run` (single-flight); a panicking `run` resolves the slot with a
+    /// typed [`StepError::Panicked`] instead of stranding waiters.
+    ///
+    /// # Errors
+    ///
+    /// A failed or panicked run propagates to the requester that ran it
+    /// and to every coalesced waiter; the next request for the key
+    /// retakes the claim and retries.
+    pub fn replay_or_run(
+        &self,
+        plan: u64,
+        binding: &RunBinding,
+        canonical: Option<u64>,
+        run: &mut dyn FnMut() -> Result<SimReport>,
+    ) -> Result<Replay> {
+        if self.mode == Mode::Disabled {
+            return Ok(Replay {
+                report: Arc::new(run()?),
+                resolution: Resolution::Simulated,
+            });
+        }
+        if !binding.cache_safe() {
+            // A wall deadline or cancel token makes the outcome depend
+            // on the host: simulate (counted as a miss — the engine
+            // really ran), but never store or serve such a run.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(Replay {
+                report: Arc::new(run()?),
+                resolution: Resolution::Simulated,
+            });
+        }
+        let key = (plan, binding.fingerprint());
+        let mut slots = lock(&self.slots);
+        // `counted` keeps the counters request-scoped: one hit or miss
+        // per call, however many condvar wakeups happen in between.
+        let mut counted = false;
+        let my_epoch = loop {
+            match slots.get(&key) {
+                Some(Slot::Ready(report)) => {
+                    let report = report.clone();
+                    drop(slots);
+                    if !counted {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.check_exact(&report, run)?;
+                    return Ok(Replay {
+                        report,
+                        resolution: Resolution::Exact,
+                    });
+                }
+                Some(&Slot::Building { epoch }) => {
+                    if !counted {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        counted = true;
+                    }
+                    // Sleep until *this* run resolves (epoch match — a
+                    // later retake must not re-capture us)…
+                    while matches!(slots.get(&key), Some(Slot::Building { epoch: e }) if *e == epoch)
+                    {
+                        slots = wait(&self.ready, slots);
+                    }
+                    // …then propagate its failure to every coalesced
+                    // waiter, or re-dispatch on the new slot state.
+                    if let Some(Slot::Failed { error, epoch: e }) = slots.get(&key)
+                        && *e == epoch
+                    {
+                        return Err(error.clone());
+                    }
+                }
+                Some(Slot::Failed { .. }) | None => {
+                    // Exact miss. The canonical layer is consulted under
+                    // the `slots` lock (then `canon`, the fixed order)
+                    // so a hit here and a claim below cannot interleave
+                    // with another requester's store.
+                    if let Some(c) = canonical
+                        && let Some(report) = lock(&self.canon).get(&(plan, c)).cloned()
+                    {
+                        drop(slots);
+                        if !counted {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.canonical_hits.fetch_add(1, Ordering::Relaxed);
+                        self.check_canonical(&report, run)?;
+                        return Ok(Replay {
+                            report,
+                            resolution: Resolution::Canonical,
+                        });
+                    }
+                    // Fresh key, or a failure left by a resolved run:
+                    // take the claim (a retry counts as a new miss).
+                    if !counted {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+                    slots.insert(key, Slot::Building { epoch });
+                    break epoch;
+                }
+            }
+        };
+        drop(slots);
+
+        // Panic isolation, mirroring the plan cache: a dying run becomes
+        // a typed error that resolves the slot instead of leaving
+        // waiters asleep forever.
+        let ran = catch_unwind(AssertUnwindSafe(run))
+            .unwrap_or_else(|p| Err(StepError::Panicked(panic_message(p.as_ref()))));
+        let mut slots = lock(&self.slots);
+        let result = match ran {
+            Ok(report) => {
+                let report = Arc::new(report);
+                slots.insert(key, Slot::Ready(report.clone()));
+                if let Some(c) = canonical {
+                    // First writer represents the class; every member
+                    // shares the aggregates the layer guarantees.
+                    lock(&self.canon)
+                        .entry((plan, c))
+                        .or_insert_with(|| report.clone());
+                }
+                Ok(Replay {
+                    report,
+                    resolution: Resolution::Simulated,
+                })
+            }
+            Err(e) => {
+                slots.insert(
+                    key,
+                    Slot::Failed {
+                        error: e.clone(),
+                        epoch: my_epoch,
+                    },
+                );
+                Err(e)
+            }
+        };
+        drop(slots);
+        self.ready.notify_all();
+        result
+    }
+
+    /// Checked-mode guarantee for an exact hit: re-simulation is
+    /// bit-identical minus the host-side pool counters.
+    fn check_exact(
+        &self,
+        cached: &SimReport,
+        run: &mut dyn FnMut() -> Result<SimReport>,
+    ) -> Result<()> {
+        if self.mode != Mode::Checked {
+            return Ok(());
+        }
+        let fresh = run()?;
+        assert_eq!(
+            normalized(cached),
+            normalized(&fresh),
+            "exact report-cache hit diverged from re-simulation — the determinism \
+             contract or the binding fingerprint is broken"
+        );
+        Ok(())
+    }
+
+    /// Checked-mode guarantee for a canonical hit: re-simulation agrees
+    /// on the whole aggregate projection.
+    fn check_canonical(
+        &self,
+        cached: &SimReport,
+        run: &mut dyn FnMut() -> Result<SimReport>,
+    ) -> Result<()> {
+        if self.mode != Mode::Checked {
+            return Ok(());
+        }
+        let fresh = run()?;
+        assert_eq!(
+            ReportAggregates::of(cached),
+            ReportAggregates::of(&fresh),
+            "canonical report-cache hit diverged from re-simulation — the canonical \
+             key admits bindings that are not aggregate-equivalent"
+        );
+        Ok(())
+    }
+
+    /// Cumulative counters since construction.
+    pub fn stats(&self) -> ReportCacheStats {
+        ReportCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            canonical_hits: self.canonical_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Distinct exact keys currently held (ready, in flight, or failed).
+    pub fn len(&self) -> usize {
+        lock(&self.slots).len()
+    }
+
+    /// Whether the cache holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
